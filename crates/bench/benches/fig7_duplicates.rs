@@ -1,0 +1,42 @@
+//! Fig. 7 micro-benchmark: duplicate-expression workloads — the trie
+//! collapses duplicates onto shared nodes, YFilter shares prefixes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxf_bench::{build_workload, AnyEngine, EngineKind, WorkloadSpec};
+use pxf_core::AttrMode;
+use pxf_workload::Regime;
+use pxf_xml::Document;
+
+fn bench_fig7(c: &mut Criterion) {
+    let regime = Regime::psd();
+    let spec = WorkloadSpec {
+        n_exprs: 200_000,
+        distinct: false,
+        n_docs: 10,
+        ..Default::default()
+    };
+    let w = build_workload(&regime, &spec);
+    let docs: Vec<Document> = w
+        .doc_bytes
+        .iter()
+        .map(|b| Document::parse(b).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("fig7/psd-200k-dup");
+    group.sample_size(10);
+    for kind in [EngineKind::BasicPcAp, EngineKind::YFilter] {
+        let mut engine = AnyEngine::build(kind, AttrMode::Inline, &w.exprs);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let mut m = 0usize;
+                for d in &docs {
+                    m += engine.match_count(d);
+                }
+                m
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 8 micro-benchmark: effect of wildcard (W) and descendant (DO)
+//! probability on filter time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxf_bench::{build_workload, AnyEngine, EngineKind, WorkloadSpec};
+use pxf_core::AttrMode;
+use pxf_workload::Regime;
+use pxf_xml::Document;
+
+fn bench_fig8(c: &mut Criterion) {
+    let regime = Regime::nitf();
+    for (label, wildcard) in [("wildcard", true), ("descendant", false)] {
+        let mut group = c.benchmark_group(format!("fig8/{label}"));
+        group.sample_size(10);
+        for p in [0.0, 0.3, 0.9] {
+            let spec = WorkloadSpec {
+                n_exprs: 50_000,
+                distinct: false,
+                n_docs: 10,
+                wildcard_prob: wildcard.then_some(p),
+                descendant_prob: (!wildcard).then_some(p),
+                ..Default::default()
+            };
+            let w = build_workload(&regime, &spec);
+            let docs: Vec<Document> = w
+                .doc_bytes
+                .iter()
+                .map(|b| Document::parse(b).unwrap())
+                .collect();
+            for kind in [EngineKind::BasicPcAp, EngineKind::YFilter] {
+                let mut engine = AnyEngine::build(kind, AttrMode::Inline, &w.exprs);
+                group.bench_function(BenchmarkId::new(kind.label(), p), |b| {
+                    b.iter(|| {
+                        let mut m = 0usize;
+                        for d in &docs {
+                            m += engine.match_count(d);
+                        }
+                        m
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! §6.5 parse-time micro-benchmark: the paper reports 314 µs (NITF) and
+//! 355 µs (PSD) per document and argues parsing is negligible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pxf_bench::{build_workload, WorkloadSpec};
+use pxf_workload::Regime;
+use pxf_xml::Document;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for regime in [Regime::nitf(), Regime::psd()] {
+        let w = build_workload(
+            &regime,
+            &WorkloadSpec {
+                n_exprs: 100,
+                n_docs: 50,
+                ..Default::default()
+            },
+        );
+        let bytes: usize = w.doc_bytes.iter().map(|b| b.len()).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_function(BenchmarkId::from_parameter(regime.name), |b| {
+            b.iter(|| {
+                let mut tags = 0usize;
+                for d in &w.doc_bytes {
+                    tags += Document::parse(d).unwrap().len();
+                }
+                tags
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

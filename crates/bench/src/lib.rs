@@ -1,0 +1,274 @@
+//! Shared benchmark machinery: workload construction and engine runners
+//! used by both the `harness` binary (regenerates every figure of the
+//! paper) and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pxf_core::{Algorithm, AttrMode, FilterEngine};
+use pxf_indexfilter::IndexFilter;
+use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
+use pxf_xml::Document;
+use pxf_xpath::XPathExpr;
+use pxf_yfilter::YFilter;
+use std::time::Instant;
+
+/// A prepared workload: expressions plus serialized documents (documents
+/// are re-parsed inside the timed region — the paper's total filtering
+/// time includes parsing).
+pub struct Workload {
+    /// Subscription expressions.
+    pub exprs: Vec<XPathExpr>,
+    /// Serialized XML documents.
+    pub doc_bytes: Vec<Vec<u8>>,
+    /// Number of distinct expressions (≤ exprs.len()).
+    pub distinct: usize,
+}
+
+/// Workload construction options on top of a [`Regime`].
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of expressions.
+    pub n_exprs: usize,
+    /// D: distinct expressions only.
+    pub distinct: bool,
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Attribute filters per expression (Fig. 9).
+    pub attr_filters: usize,
+    /// Override W (wildcard probability), if set (Fig. 8).
+    pub wildcard_prob: Option<f64>,
+    /// Override DO (descendant probability), if set (Fig. 8).
+    pub descendant_prob: Option<f64>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            n_exprs: 10_000,
+            distinct: true,
+            n_docs: 50,
+            attr_filters: 0,
+            wildcard_prob: None,
+            descendant_prob: None,
+        }
+    }
+}
+
+/// Builds a workload for a regime.
+pub fn build_workload(regime: &Regime, spec: &WorkloadSpec) -> Workload {
+    let mut xpath = regime.xpath.clone();
+    xpath.count = spec.n_exprs;
+    xpath.distinct = spec.distinct;
+    xpath.attr_filters = spec.attr_filters;
+    if let Some(w) = spec.wildcard_prob {
+        xpath.wildcard_prob = w;
+    }
+    if let Some(d) = spec.descendant_prob {
+        xpath.descendant_prob = d;
+    }
+    let exprs = XPathGenerator::new(&regime.dtd, xpath).generate();
+    let distinct = {
+        let mut set: std::collections::HashSet<String> =
+            std::collections::HashSet::with_capacity(exprs.len());
+        for e in &exprs {
+            set.insert(e.to_string());
+        }
+        set.len()
+    };
+    let doc_bytes = XmlGenerator::new(&regime.dtd, regime.xml.clone())
+        .generate_batch(spec.n_docs)
+        .into_iter()
+        .map(|d| d.to_xml().into_bytes())
+        .collect();
+    Workload {
+        exprs,
+        doc_bytes,
+        distinct,
+    }
+}
+
+/// The engines compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Predicate engine, `basic` organization.
+    Basic,
+    /// Predicate engine, `basic-pc`.
+    BasicPc,
+    /// Predicate engine, `basic-pc-ap`.
+    BasicPcAp,
+    /// YFilter NFA baseline.
+    YFilter,
+    /// Index-Filter baseline.
+    IndexFilter,
+}
+
+impl EngineKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Basic => "basic",
+            EngineKind::BasicPc => "basic-pc",
+            EngineKind::BasicPcAp => "basic-pc-ap",
+            EngineKind::YFilter => "yfilter",
+            EngineKind::IndexFilter => "index-filter",
+        }
+    }
+
+    /// All five engines, in figure order.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Basic,
+        EngineKind::BasicPc,
+        EngineKind::BasicPcAp,
+        EngineKind::YFilter,
+        EngineKind::IndexFilter,
+    ];
+}
+
+/// Result of one engine run over a workload.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Average total filtering time per document, milliseconds (includes
+    /// document parsing, per the paper's metric).
+    pub ms_per_doc: f64,
+    /// Average matches per document.
+    pub avg_matches: f64,
+    /// Matched percentage (avg matches / expressions).
+    pub match_pct: f64,
+    /// Engine construction time (expression insertion), milliseconds.
+    pub build_ms: f64,
+    /// Distinct predicates stored (predicate engines only).
+    pub distinct_preds: usize,
+    /// Stage timing breakdown from the engine, per document, in
+    /// milliseconds: (predicate matching, expression matching, other).
+    /// Zero for the baselines.
+    pub breakdown_ms: (f64, f64, f64),
+}
+
+/// A boxed engine wrapper so the harness can drive all five uniformly.
+pub enum AnyEngine {
+    /// The predicate engine.
+    Pxf(Box<FilterEngine>),
+    /// YFilter.
+    Yf(Box<YFilter>),
+    /// Index-Filter.
+    Ixf(Box<IndexFilter>),
+}
+
+impl AnyEngine {
+    /// Builds an engine of the given kind over the workload expressions.
+    pub fn build(kind: EngineKind, attr_mode: AttrMode, exprs: &[XPathExpr]) -> AnyEngine {
+        match kind {
+            EngineKind::Basic | EngineKind::BasicPc | EngineKind::BasicPcAp => {
+                let algo = match kind {
+                    EngineKind::Basic => Algorithm::Basic,
+                    EngineKind::BasicPc => Algorithm::PrefixCovering,
+                    _ => Algorithm::AccessPredicate,
+                };
+                let mut engine = FilterEngine::new(algo, attr_mode);
+                for e in exprs {
+                    engine.add(e).expect("workload expressions are encodable");
+                }
+                AnyEngine::Pxf(Box::new(engine))
+            }
+            EngineKind::YFilter => {
+                let mut yf = YFilter::new();
+                for e in exprs {
+                    yf.add(e).expect("workload expressions are single-path");
+                }
+                AnyEngine::Yf(Box::new(yf))
+            }
+            EngineKind::IndexFilter => {
+                let mut ixf = IndexFilter::new();
+                for e in exprs {
+                    ixf.add(e).expect("workload expressions are single-path");
+                }
+                AnyEngine::Ixf(Box::new(ixf))
+            }
+        }
+    }
+
+    /// Filters a document, returning the number of matches.
+    pub fn match_count(&mut self, doc: &Document) -> usize {
+        match self {
+            AnyEngine::Pxf(e) => e.match_document(doc).len(),
+            AnyEngine::Yf(e) => e.match_document(doc).len(),
+            AnyEngine::Ixf(e) => e.match_document(doc).len(),
+        }
+    }
+
+    /// Filters a document, returning matching ids (for agreement checks).
+    pub fn match_ids(&mut self, doc: &Document) -> Vec<u32> {
+        match self {
+            AnyEngine::Pxf(e) => e.match_document(doc).iter().map(|s| s.0).collect(),
+            AnyEngine::Yf(e) => e.match_document(doc),
+            AnyEngine::Ixf(e) => e.match_document(doc),
+        }
+    }
+}
+
+/// Runs one engine over a workload, measuring the paper's total-filter-time
+/// metric (parse + match, averaged over documents).
+pub fn run_engine(kind: EngineKind, attr_mode: AttrMode, workload: &Workload) -> RunResult {
+    let t0 = Instant::now();
+    let mut engine = AnyEngine::build(kind, attr_mode, &workload.exprs);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    if let AnyEngine::Pxf(e) = &mut engine {
+        e.reset_stats();
+    }
+    let mut total_matches = 0usize;
+    let t1 = Instant::now();
+    for bytes in &workload.doc_bytes {
+        let doc = Document::parse(bytes).expect("generated documents are well-formed");
+        total_matches += engine.match_count(&doc);
+    }
+    let elapsed = t1.elapsed().as_secs_f64() * 1e3;
+    let n_docs = workload.doc_bytes.len().max(1) as f64;
+
+    let (distinct_preds, breakdown_ms) = match &engine {
+        AnyEngine::Pxf(e) => {
+            let stats = e.stats();
+            (
+                e.distinct_predicates(),
+                (
+                    stats.predicate_ns as f64 / 1e6 / n_docs,
+                    stats.expression_ns as f64 / 1e6 / n_docs,
+                    stats.other_ns as f64 / 1e6 / n_docs,
+                ),
+            )
+        }
+        _ => (0, (0.0, 0.0, 0.0)),
+    };
+
+    let avg_matches = total_matches as f64 / n_docs;
+    RunResult {
+        ms_per_doc: elapsed / n_docs,
+        avg_matches,
+        match_pct: avg_matches / workload.exprs.len().max(1) as f64 * 100.0,
+        build_ms,
+        distinct_preds,
+        breakdown_ms,
+    }
+}
+
+/// Measures average document parse time in microseconds (the paper §6.5
+/// reports 314 µs / 355 µs for NITF / PSD).
+pub fn measure_parse_us(workload: &Workload, repeats: usize) -> f64 {
+    let t = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..repeats.max(1) {
+        for bytes in &workload.doc_bytes {
+            let doc = Document::parse(bytes).expect("well-formed");
+            sink += doc.len();
+        }
+    }
+    let total = t.elapsed().as_secs_f64() * 1e6;
+    std::hint::black_box(sink);
+    total / (repeats.max(1) * workload.doc_bytes.len().max(1)) as f64
+}
+
+/// Convenience: the two paper regimes.
+pub fn regimes() -> [Regime; 2] {
+    [Regime::nitf(), Regime::psd()]
+}

@@ -1,0 +1,364 @@
+//! `pxf` — command-line XML/XPath filtering.
+//!
+//! ```text
+//! pxf match  --subs FILE [--algorithm basic|pc|ap] [--attr-mode inline|sp]
+//!            [--threads N] [--stats] [--quiet] DOC.xml [DOC.xml …]
+//! pxf match  --subs FILE --stream [-]          # concatenated docs on stdin
+//! pxf encode 'EXPR' ['EXPR' …]
+//! pxf generate --regime nitf|psd --exprs N --docs N --out DIR [--seed S]
+//! pxf --help
+//! ```
+//!
+//! Subscription files contain one XPath expression per line; blank lines
+//! and lines starting with `#` are ignored. `pxf match` prints, for every
+//! document, the 1-based line numbers of the matching subscriptions.
+
+use pxf_core::{parallel, Algorithm, AttrMode, FilterEngine, SubId};
+use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
+use pxf_xml::Document;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(|s| s.as_str()) {
+        Some("match") => cmd_match(&args[1..]),
+        Some("encode") => cmd_encode(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (see pxf --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pxf: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pxf — predicate-based XML/XPath filtering
+
+USAGE:
+  pxf match  --subs FILE [options] DOC.xml [DOC.xml …]
+  pxf encode 'EXPR' ['EXPR' …]
+  pxf generate --regime nitf|psd --exprs N --docs N --out DIR [--seed S]
+
+MATCH OPTIONS:
+  --subs FILE          subscription file (one XPath per line, # comments)
+  --algorithm KIND     basic | pc | ap            (default: ap)
+  --attr-mode MODE     inline | sp                (default: inline)
+  --threads N          parallel workers           (default: 1)
+  --stream             read concatenated documents from stdin (or from one
+                       file argument) instead of one document per file
+  --stats              print matching statistics to stderr
+  --quiet              suppress per-document output (timing runs only)
+
+Output: one line per document: `<path>: <n> [line numbers…]`
+(`<stream#i>` in --stream mode)."
+    );
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn cmd_match(args: &[String]) -> Result<(), String> {
+    let mut subs_path: Option<PathBuf> = None;
+    let mut algorithm = Algorithm::AccessPredicate;
+    let mut attr_mode = AttrMode::Inline;
+    let mut threads = 1usize;
+    let mut stats = false;
+    let mut quiet = false;
+    let mut stream = false;
+    let mut docs: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--subs" => subs_path = Some(PathBuf::from(take_value(args, &mut i, "--subs")?)),
+            "--algorithm" => {
+                algorithm = match take_value(args, &mut i, "--algorithm")?.as_str() {
+                    "basic" => Algorithm::Basic,
+                    "pc" => Algorithm::PrefixCovering,
+                    "ap" => Algorithm::AccessPredicate,
+                    other => return Err(format!("unknown algorithm '{other}'")),
+                }
+            }
+            "--attr-mode" => {
+                attr_mode = match take_value(args, &mut i, "--attr-mode")?.as_str() {
+                    "inline" => AttrMode::Inline,
+                    "sp" | "postponed" => AttrMode::Postponed,
+                    other => return Err(format!("unknown attr mode '{other}'")),
+                }
+            }
+            "--threads" => {
+                threads = take_value(args, &mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?
+            }
+            "--stats" => stats = true,
+            "--quiet" => quiet = true,
+            "--stream" => stream = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            doc => docs.push(PathBuf::from(doc)),
+        }
+        i += 1;
+    }
+    let subs_path = subs_path.ok_or("--subs FILE is required")?;
+    if docs.is_empty() && !stream {
+        return Err("no documents given".into());
+    }
+
+    // Load subscriptions.
+    let text = std::fs::read_to_string(&subs_path)
+        .map_err(|e| format!("cannot read {}: {e}", subs_path.display()))?;
+    let mut engine = FilterEngine::new(algorithm, attr_mode);
+    // SubId → 1-based line number.
+    let mut lines_of: Vec<usize> = Vec::new();
+    let mut skipped = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match pxf_xpath::parse(line) {
+            Ok(expr) => match engine.add(&expr) {
+                Ok(_) => lines_of.push(lineno + 1),
+                Err(e) => {
+                    eprintln!("pxf: line {}: {e} — skipped", lineno + 1);
+                    skipped += 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("pxf: line {}: {e} — skipped", lineno + 1);
+                skipped += 1;
+            }
+        }
+    }
+    engine.prepare();
+    if stats {
+        eprintln!(
+            "pxf: {} subscriptions ({skipped} skipped), {} distinct predicates",
+            engine.len(),
+            engine.distinct_predicates()
+        );
+    }
+
+    if stream {
+        return match_stream(&engine, &lines_of, &docs, quiet, stats);
+    }
+
+    // Load documents.
+    let mut doc_bytes: Vec<Vec<u8>> = Vec::with_capacity(docs.len());
+    for p in &docs {
+        doc_bytes.push(std::fs::read(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?);
+    }
+
+    let started = std::time::Instant::now();
+    let results = parallel::filter_batch_bytes(&engine, &doc_bytes, threads);
+    let elapsed = started.elapsed();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut total = 0usize;
+    for (path, result) in docs.iter().zip(results) {
+        match result {
+            Ok(matched) => {
+                total += matched.len();
+                if !quiet {
+                    let lines: Vec<String> = matched
+                        .iter()
+                        .map(|s: &SubId| lines_of[s.0 as usize].to_string())
+                        .collect();
+                    writeln!(out, "{}: {} [{}]", path.display(), lines.len(), lines.join(" "))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            Err(e) => eprintln!("pxf: {}: {e}", path.display()),
+        }
+    }
+    if stats {
+        eprintln!(
+            "pxf: {} documents in {:.2} ms ({:.3} ms/doc), {total} matches",
+            docs.len(),
+            elapsed.as_secs_f64() * 1e3,
+            elapsed.as_secs_f64() * 1e3 / docs.len() as f64,
+        );
+    }
+    Ok(())
+}
+
+/// Streams concatenated documents (stdin, or one file) through the engine.
+fn match_stream(
+    engine: &FilterEngine,
+    lines_of: &[usize],
+    inputs: &[PathBuf],
+    quiet: bool,
+    stats: bool,
+) -> Result<(), String> {
+    use pxf_xml::DocumentStream;
+    let reader: Box<dyn std::io::BufRead> = match inputs {
+        [] => Box::new(std::io::stdin().lock()),
+        [one] if one.as_os_str() == "-" => Box::new(std::io::stdin().lock()),
+        [one] => Box::new(std::io::BufReader::new(
+            std::fs::File::open(one).map_err(|e| format!("cannot open {}: {e}", one.display()))?,
+        )),
+        _ => return Err("--stream takes stdin or exactly one file".into()),
+    };
+    let mut matcher = engine.matcher();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let started = std::time::Instant::now();
+    let mut count = 0usize;
+    let mut total = 0usize;
+    for (i, doc) in DocumentStream::new(reader).enumerate() {
+        match doc {
+            Ok(doc) => {
+                let matched = matcher.match_document(&doc);
+                count += 1;
+                total += matched.len();
+                if !quiet {
+                    let lines: Vec<String> = matched
+                        .iter()
+                        .map(|s| lines_of[s.0 as usize].to_string())
+                        .collect();
+                    writeln!(out, "<stream#{i}>: {} [{}]", lines.len(), lines.join(" "))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            Err(e) => eprintln!("pxf: stream document #{i}: {e}"),
+        }
+    }
+    if stats {
+        let elapsed = started.elapsed();
+        eprintln!(
+            "pxf: {count} streamed documents in {:.2} ms, {total} matches",
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+    Ok(())
+}
+
+fn cmd_encode(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("encode needs at least one expression".into());
+    }
+    let mut interner = pxf_xml::Interner::new();
+    for src in args {
+        let expr = pxf_xpath::parse(src).map_err(|e| e.to_string())?;
+        if expr.has_nested_paths() {
+            println!("{src}");
+            let plan = pxf_core::nested::decompose(&expr);
+            for (ci, comp) in plan.components.iter().enumerate() {
+                let enc = pxf_core::encode::encode_single_path(
+                    &comp.expr.structural_skeleton(),
+                    &mut interner,
+                    pxf_core::AttrMode::Postponed,
+                )
+                .map_err(|e| e.to_string())?;
+                let rendered: Vec<String> = enc
+                    .preds
+                    .iter()
+                    .map(|p| p.to_notation(&interner))
+                    .collect();
+                let branch = comp
+                    .parent
+                    .map(|p| format!(" [branches from #{p} at (pos, =, {})]", comp.parent_branch_step + 1))
+                    .unwrap_or_default();
+                println!("  #{ci} {}{branch}", comp.expr);
+                println!("      {}", rendered.join(" |-> "));
+            }
+        } else {
+            let enc = pxf_core::encode::encode_single_path(
+                &expr,
+                &mut interner,
+                pxf_core::AttrMode::Inline,
+            )
+            .map_err(|e| e.to_string())?;
+            let rendered: Vec<String> = enc
+                .preds
+                .iter()
+                .map(|p| p.to_notation(&interner))
+                .collect();
+            println!("{src}");
+            println!("  {}", rendered.join(" |-> "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let mut regime_name = "nitf".to_string();
+    let mut n_exprs = 1000usize;
+    let mut n_docs = 10usize;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--regime" => regime_name = take_value(args, &mut i, "--regime")?,
+            "--exprs" => {
+                n_exprs = take_value(args, &mut i, "--exprs")?
+                    .parse()
+                    .map_err(|_| "--exprs needs a number".to_string())?
+            }
+            "--docs" => {
+                n_docs = take_value(args, &mut i, "--docs")?
+                    .parse()
+                    .map_err(|_| "--docs needs a number".to_string())?
+            }
+            "--out" => out_dir = Some(PathBuf::from(take_value(args, &mut i, "--out")?)),
+            "--seed" => {
+                seed = take_value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number".to_string())?
+            }
+            flag => return Err(format!("unknown flag '{flag}'")),
+        }
+        i += 1;
+    }
+    let out_dir = out_dir.ok_or("--out DIR is required")?;
+    let regime = match regime_name.as_str() {
+        "nitf" => Regime::nitf(),
+        "psd" => Regime::psd(),
+        other => return Err(format!("unknown regime '{other}' (nitf|psd)")),
+    };
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+
+    let mut xpath = regime.xpath.clone();
+    xpath.count = n_exprs;
+    xpath.seed = seed;
+    let exprs = XPathGenerator::new(&regime.dtd, xpath).generate();
+    let subs_file = out_dir.join("subscriptions.xpath");
+    let mut text = String::new();
+    for e in &exprs {
+        text.push_str(&e.to_string());
+        text.push('\n');
+    }
+    std::fs::write(&subs_file, text).map_err(|e| e.to_string())?;
+
+    let mut xml = regime.xml.clone();
+    xml.seed = seed.wrapping_add(1);
+    let mut gen = XmlGenerator::new(&regime.dtd, xml);
+    for d in 0..n_docs {
+        let doc: Document = gen.generate();
+        let path = out_dir.join(format!("doc{d:04}.xml"));
+        std::fs::write(&path, doc.to_xml()).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {} subscriptions and {} documents to {}",
+        exprs.len(),
+        n_docs,
+        out_dir.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,1431 @@
+//! The filtering engine: subscription storage, the two-stage matching
+//! algorithm, and the optimized expression organizations of §4.2.2.
+//!
+//! Three organizations are provided (the paper's experimental variants):
+//!
+//! * [`Algorithm::Basic`] — every expression is checked independently
+//!   (predicates are still shared through the predicate index),
+//! * [`Algorithm::PrefixCovering`] (`basic-pc`) — expressions are held in a
+//!   trie keyed by their predicate sequences; identical expressions collapse
+//!   onto one node, and evaluation proceeds longest-first so that a match
+//!   of an expression marks every prefix expression matched without
+//!   re-running occurrence determination,
+//! * [`Algorithm::AccessPredicate`] (`basic-pc-ap`) — additionally clusters
+//!   the trie by each expression's first predicate (the *access
+//!   predicate*); if it has no matches the entire cluster is skipped.
+
+use crate::encode::{encode_single_path, AttrMode, EncodeError, EncodedPath};
+use crate::nested::{combine, decompose, NestedPlan};
+use crate::occurrence::determine_match;
+use pxf_predicate::{MatchContext, PredId, PredicateIndex, Publication};
+use pxf_xml::{Document, Interner, NodeId, Symbol};
+use pxf_xpath::{AttrFilter, XPathExpr};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier of a registered subscription (dense, insertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubId(pub u32);
+
+/// Expression organization (paper §4.2.2 / §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// `basic` — no expression-level sharing.
+    Basic,
+    /// `basic-pc` — prefix-covering trie, longest-first evaluation.
+    PrefixCovering,
+    /// `basic-pc-ap` — prefix covering plus access-predicate clustering.
+    #[default]
+    AccessPredicate,
+}
+
+/// Error returned when a subscription cannot be added.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddError {
+    /// The expression could not be encoded.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddError::Encode(e) => write!(f, "cannot add subscription: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AddError {}
+
+impl From<EncodeError> for AddError {
+    fn from(e: EncodeError) -> Self {
+        AddError::Encode(e)
+    }
+}
+
+/// Cumulative matching statistics (the paper's Fig. 10 cost breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Documents processed.
+    pub docs: u64,
+    /// Time spent encoding publications and matching predicates (stage 1).
+    pub predicate_ns: u64,
+    /// Time spent in expression matching / occurrence determination
+    /// (stage 2).
+    pub expression_ns: u64,
+    /// Time spent on everything else (result collection, nested-path
+    /// combination).
+    pub other_ns: u64,
+    /// Occurrence determination invocations.
+    pub occurrence_runs: u64,
+    /// Expressions resolved by prefix-covering propagation instead of an
+    /// occurrence determination run.
+    pub pc_propagations: u64,
+    /// Whole clusters skipped because their access predicate was
+    /// unmatched.
+    pub ap_cluster_skips: u64,
+    /// Total subscription matches reported.
+    pub matches: u64,
+}
+
+/// Selection-postponed attribute re-check data: for each predicate level,
+/// the attribute filters of the steps bound to its first/second tag
+/// variables.
+#[derive(Debug)]
+struct AttrCheck {
+    levels: Box<[LevelCheck]>,
+}
+
+#[derive(Debug)]
+struct LevelCheck {
+    first_tag: Option<Symbol>,
+    first: Box<[AttrFilter]>,
+    second_tag: Option<Symbol>,
+    second: Box<[AttrFilter]>,
+}
+
+impl AttrCheck {
+    /// Builds the check from an encoding; `None` when the expression has no
+    /// attribute filters on any slot.
+    fn build(expr: &XPathExpr, enc: &EncodedPath, interner: &mut Interner) -> Option<Box<AttrCheck>> {
+        let mut any = false;
+        let levels: Vec<LevelCheck> = enc
+            .preds
+            .iter()
+            .zip(&enc.slots)
+            .map(|(pred, (s1, s2))| {
+                let collect = |slot: &Option<usize>| -> Box<[AttrFilter]> {
+                    slot.map(|i| {
+                        expr.steps[i]
+                            .attr_filters()
+                            .cloned()
+                            .collect::<Vec<_>>()
+                            .into_boxed_slice()
+                    })
+                    .unwrap_or_default()
+                };
+                let first = collect(s1);
+                let second = collect(s2);
+                if !first.is_empty() || !second.is_empty() {
+                    any = true;
+                }
+                LevelCheck {
+                    first_tag: pred.first_tag(),
+                    first,
+                    second_tag: pred.second_tag(),
+                    second,
+                }
+            })
+            .collect();
+        let _ = interner;
+        any.then(|| {
+            Box::new(AttrCheck {
+                levels: levels.into_boxed_slice(),
+            })
+        })
+    }
+
+    /// Is the occurrence pair admissible at `level` on this publication?
+    fn admit(&self, level: usize, pair: (u16, u16), publication: &Publication, doc: &Document) -> bool {
+        let lc = &self.levels[level];
+        let node_ok = |tag: Option<Symbol>, occ: u16, filters: &[AttrFilter]| -> bool {
+            if filters.is_empty() {
+                return true;
+            }
+            let Some(tag) = tag else { return true };
+            let Some(tuple) = publication.find_occurrence(tag, occ) else {
+                return false;
+            };
+            let element = doc.node(tuple.node);
+            filters.iter().all(|f| f.matches(element.value_of(&f.name)))
+        };
+        node_ok(lc.first_tag, pair.0, &lc.first) && node_ok(lc.second_tag, pair.1, &lc.second)
+    }
+}
+
+/// What an expression entry resolves to when it matches a path.
+#[derive(Debug)]
+enum Sink {
+    /// A public single-path subscription.
+    Sub {
+        sub: SubId,
+        attr_check: Option<Box<AttrCheck>>,
+    },
+    /// A component of a nested-path subscription: record the path index.
+    Component { comp: u32 },
+    /// Tombstone left by subscription removal (Basic organization).
+    Removed,
+}
+
+/// Flat expression entry (Basic organization).
+#[derive(Debug)]
+struct FlatExpr {
+    preds: Box<[PredId]>,
+    sink: Sink,
+}
+
+/// A trie node (PrefixCovering / AccessPredicate organizations).
+#[derive(Debug)]
+struct TrieNode {
+    pid: PredId,
+    parent: u32, // u32::MAX = no parent (root-level node)
+    depth: u16,
+    children: HashMap<PredId, u32>,
+    sinks: Vec<Sink>,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct Trie {
+    nodes: Vec<TrieNode>,
+    roots: HashMap<PredId, u32>,
+    /// Terminals (nodes with sinks) with their full predicate chains,
+    /// sorted for evaluation; rebuilt lazily.
+    terminals: Vec<Terminal>,
+    dirty: bool,
+}
+
+#[derive(Debug)]
+struct Terminal {
+    node: u32,
+    root_pid: PredId,
+    chain: Box<[PredId]>,
+}
+
+impl Trie {
+    fn insert(&mut self, preds: &[PredId], sink: Sink) -> u32 {
+        debug_assert!(!preds.is_empty());
+        let mut current: Option<u32> = None;
+        for &pid in preds {
+            let next = match current {
+                None => match self.roots.get(&pid) {
+                    Some(&n) => n,
+                    None => {
+                        let n = self.alloc(pid, NO_PARENT, 1);
+                        self.roots.insert(pid, n);
+                        n
+                    }
+                },
+                Some(cur) => match self.nodes[cur as usize].children.get(&pid) {
+                    Some(&n) => n,
+                    None => {
+                        let depth = self.nodes[cur as usize].depth + 1;
+                        let n = self.alloc(pid, cur, depth);
+                        self.nodes[cur as usize].children.insert(pid, n);
+                        n
+                    }
+                },
+            };
+            current = Some(next);
+        }
+        let node = current.unwrap();
+        self.nodes[node as usize].sinks.push(sink);
+        self.dirty = true;
+        node
+    }
+
+    fn alloc(&mut self, pid: PredId, parent: u32, depth: u16) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(TrieNode {
+            pid,
+            parent,
+            depth,
+            children: HashMap::new(),
+            sinks: Vec::new(),
+        });
+        id
+    }
+
+    /// Rebuilds the terminal list: per root cluster, longest chain first
+    /// (the paper's longest-expression-first strategy); clusters contiguous
+    /// for access-predicate skipping.
+    fn finalize(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.terminals.clear();
+        for (ni, node) in self.nodes.iter().enumerate() {
+            if node.sinks.is_empty() {
+                continue;
+            }
+            let mut chain = Vec::with_capacity(node.depth as usize);
+            let mut cur = ni as u32;
+            loop {
+                let n = &self.nodes[cur as usize];
+                chain.push(n.pid);
+                if n.parent == NO_PARENT {
+                    break;
+                }
+                cur = n.parent;
+            }
+            chain.reverse();
+            self.terminals.push(Terminal {
+                node: ni as u32,
+                root_pid: chain[0],
+                chain: chain.into_boxed_slice(),
+            });
+        }
+        self.terminals
+            .sort_by(|a, b| a.root_pid.cmp(&b.root_pid).then(b.chain.len().cmp(&a.chain.len())));
+        self.dirty = false;
+    }
+}
+
+/// A registered nested-path subscription.
+#[derive(Debug)]
+struct NestedSub {
+    sub: SubId,
+    plan: NestedPlan,
+    /// First component registry id; components occupy
+    /// `comp_base .. comp_base + plan.len()`.
+    comp_base: u32,
+    /// False once removed.
+    live: bool,
+}
+
+/// The predicate-based XPath filtering engine.
+///
+/// ```
+/// use pxf_core::FilterEngine;
+/// use pxf_xml::Document;
+///
+/// let mut engine = FilterEngine::default();
+/// let s1 = engine.add_str("a//b/c").unwrap();
+/// let s2 = engine.add_str("c//b//a").unwrap();
+/// let doc = Document::parse(b"<a><b><c><a><b><c/></b></a></c></b></a>").unwrap();
+/// assert_eq!(engine.match_document(&doc), vec![s1]);
+/// let _ = s2;
+/// ```
+#[derive(Debug)]
+pub struct FilterEngine {
+    algorithm: Algorithm,
+    attr_mode: AttrMode,
+    interner: Interner,
+    index: PredicateIndex,
+    n_subs: u32,
+    flat: Vec<FlatExpr>,
+    trie: Trie,
+    nested: Vec<NestedSub>,
+    n_components: u32,
+    /// Where each subscription's sinks live (for O(depth) removal).
+    locations: Vec<SubLocation>,
+    /// Subscriptions removed via [`FilterEngine::remove`] (ids are never
+    /// reused).
+    removed: u32,
+    /// Scratch backing the convenient `&mut self` matching API; concurrent
+    /// users create their own via [`FilterEngine::matcher`].
+    scratch: MatchScratch,
+}
+
+/// Back-pointer from a subscription to its storage, enabling removal.
+#[derive(Debug, Clone, Copy)]
+enum SubLocation {
+    /// Index into `flat` (Basic organization).
+    Flat(u32),
+    /// Trie node holding the sink.
+    Node(u32),
+    /// Index into `nested`.
+    Nested(u32),
+    /// Already removed.
+    Gone,
+}
+
+/// Reusable per-document matching state. One scratch per concurrent
+/// matcher; see [`FilterEngine::matcher`].
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    publication: Publication,
+    ctx: MatchContext,
+    state: DocState,
+    stats: EngineStats,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative statistics of the documents matched with this scratch.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// A matching handle over a shared, immutable [`FilterEngine`]: holds its
+/// own scratch so that many matchers (e.g. one per thread) can filter
+/// documents concurrently against one subscription base.
+///
+/// Create with [`FilterEngine::matcher`] after all subscriptions are
+/// registered.
+#[derive(Debug)]
+pub struct Matcher<'e> {
+    engine: &'e FilterEngine,
+    scratch: MatchScratch,
+}
+
+impl Matcher<'_> {
+    /// Filters a document: ids of all matching subscriptions, ascending.
+    pub fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        self.engine.match_document_with(doc, &mut self.scratch)
+    }
+
+    /// Statistics accumulated by this matcher.
+    pub fn stats(&self) -> EngineStats {
+        self.scratch.stats()
+    }
+
+    /// The engine this matcher reads from.
+    pub fn engine(&self) -> &FilterEngine {
+        self.engine
+    }
+}
+
+#[derive(Debug, Default)]
+struct DocState {
+    doc_epoch: u32,
+    path_epoch: u32,
+    /// SubId → doc epoch at which it matched.
+    sub_matched: Vec<u32>,
+    /// Trie node → path epoch at which it was (found or propagated)
+    /// structurally matched.
+    node_matched: Vec<u32>,
+    /// Trie node → doc epoch at which its whole subtree became resolved
+    /// (every reachable subscription matched): pruned from later paths.
+    node_done: Vec<u32>,
+    /// Trie node → doc epoch at which all of its own sinks resolved (so
+    /// later visits skip sink processing — crucial for duplicate-heavy
+    /// workloads where one node carries thousands of subscriptions).
+    node_sinks_done: Vec<u32>,
+    /// Component registry id → path indices matched in the current doc.
+    comp_paths: Vec<Vec<u32>>,
+    /// Terminals (trie) or expressions (flat) still unresolved in the
+    /// current document; compacted in place as subscriptions match so that
+    /// later paths skip them (an expression is matched by a document as
+    /// soon as any of its paths matches — §3.1).
+    active: Vec<u32>,
+    /// Scratch for the selection-postponed re-check: per-level admissible
+    /// pair lists.
+    sp_bufs: Vec<Vec<(u16, u16)>>,
+    results: Vec<SubId>,
+}
+
+impl Default for FilterEngine {
+    fn default() -> Self {
+        FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline)
+    }
+}
+
+impl FilterEngine {
+    /// Creates an engine with the given expression organization and
+    /// attribute-filter mode.
+    pub fn new(algorithm: Algorithm, attr_mode: AttrMode) -> Self {
+        FilterEngine {
+            algorithm,
+            attr_mode,
+            interner: Interner::new(),
+            index: PredicateIndex::new(),
+            n_subs: 0,
+            flat: Vec::new(),
+            trie: Trie::default(),
+            nested: Vec::new(),
+            n_components: 0,
+            locations: Vec::new(),
+            removed: 0,
+            scratch: MatchScratch::default(),
+        }
+    }
+
+    /// The configured expression organization.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The configured attribute-filter mode.
+    pub fn attr_mode(&self) -> AttrMode {
+        self.attr_mode
+    }
+
+    /// Number of live subscriptions (registered minus removed).
+    pub fn len(&self) -> usize {
+        (self.n_subs - self.removed) as usize
+    }
+
+    /// True if no live subscriptions exist.
+    pub fn is_empty(&self) -> bool {
+        self.n_subs == self.removed
+    }
+
+    /// Number of distinct predicates stored (Fig. 10 metric).
+    pub fn distinct_predicates(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Cumulative matching statistics of the internal (`&mut self`)
+    /// matching API. [`Matcher`]s carry their own statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.scratch.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.scratch.stats = EngineStats::default();
+    }
+
+    /// Finishes construction after a batch of [`Self::add`] calls,
+    /// preparing the internal organization for matching. Called
+    /// automatically by the `&mut self` matching API; required before
+    /// [`Self::matcher`] handles can be created.
+    pub fn prepare(&mut self) {
+        self.trie.finalize();
+    }
+
+    /// Creates a concurrent matching handle over this engine. Panics if
+    /// subscriptions were added since the last [`Self::prepare`] (or
+    /// `&mut self` match) — prepare first.
+    pub fn matcher(&self) -> Matcher<'_> {
+        assert!(
+            !self.trie.dirty,
+            "FilterEngine::matcher: call prepare() after adding subscriptions"
+        );
+        Matcher {
+            engine: self,
+            scratch: MatchScratch::default(),
+        }
+    }
+
+    /// Parses and registers an XPath expression.
+    pub fn add_str(&mut self, src: &str) -> Result<SubId, Box<dyn std::error::Error>> {
+        let expr = pxf_xpath::parse(src)?;
+        Ok(self.add(&expr)?)
+    }
+
+    /// Registers a parsed expression, returning its subscription id.
+    ///
+    /// Insertion is constant-time in the number of subscriptions already in
+    /// the system (the paper §6.1): encoding is linear in the expression's
+    /// location steps and each predicate insert is an O(1) index probe.
+    pub fn add(&mut self, expr: &XPathExpr) -> Result<SubId, AddError> {
+        let sub = SubId(self.n_subs);
+        if expr.has_nested_paths() {
+            self.add_nested(expr, sub)?;
+            self.locations.push(SubLocation::Nested(self.nested.len() as u32 - 1));
+        } else {
+            let enc = encode_single_path(expr, &mut self.interner, self.attr_mode)?;
+            let attr_check = match self.attr_mode {
+                AttrMode::Inline => None,
+                AttrMode::Postponed => AttrCheck::build(expr, &enc, &mut self.interner),
+            };
+            let preds: Box<[PredId]> = enc
+                .preds
+                .iter()
+                .map(|p| self.index.insert(p.clone()))
+                .collect();
+            let location = self.insert_expr(preds, Sink::Sub { sub, attr_check });
+            self.locations.push(location);
+        }
+        self.n_subs += 1;
+        debug_assert_eq!(self.locations.len(), self.n_subs as usize);
+        Ok(sub)
+    }
+
+    /// Removes a subscription. Returns false if the id was already removed
+    /// (or never existed). Removal cost is independent of the number of
+    /// subscriptions in the system — the sink is unlinked from its trie
+    /// node or flat entry directly. Shared predicates stay in the index
+    /// (they may serve other expressions; unreferenced predicates simply
+    /// stop mattering).
+    pub fn remove(&mut self, sub: SubId) -> bool {
+        let Some(location) = self.locations.get(sub.0 as usize).copied() else {
+            return false;
+        };
+        let strip = |sinks: &mut Vec<Sink>| -> bool {
+            let before = sinks.len();
+            sinks.retain(|s| !matches!(s, Sink::Sub { sub: s2, .. } if *s2 == sub));
+            sinks.len() != before
+        };
+        let removed = match location {
+            SubLocation::Gone => false,
+            SubLocation::Flat(i) => {
+                let entry = &mut self.flat[i as usize];
+                match &entry.sink {
+                    Sink::Sub { sub: s2, .. } if *s2 == sub => {
+                        // Tombstone the flat entry by emptying its chain's
+                        // sink: replace with a never-matching marker.
+                        entry.sink = Sink::Removed;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            SubLocation::Node(n) => {
+                let changed = strip(&mut self.trie.nodes[n as usize].sinks);
+                if changed && self.trie.nodes[n as usize].sinks.is_empty() {
+                    // The node may no longer be a terminal.
+                    self.trie.dirty = true;
+                }
+                changed
+            }
+            SubLocation::Nested(i) => {
+                // Nested subscriptions tombstone their plan; component
+                // expressions stay registered but their recorded paths are
+                // simply never combined.
+                let ns = &mut self.nested[i as usize];
+                if ns.live {
+                    ns.live = false;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if removed {
+            self.locations[sub.0 as usize] = SubLocation::Gone;
+            self.removed += 1;
+        }
+        removed
+    }
+
+    fn add_nested(&mut self, expr: &XPathExpr, sub: SubId) -> Result<(), AddError> {
+        let plan = decompose(expr);
+        let comp_base = self.n_components;
+        // Validate every component before registering any of them.
+        let mut encoded = Vec::with_capacity(plan.components.len());
+        for comp in &plan.components {
+            // Components are pre-filtered structurally; attribute filters
+            // are applied exactly by the combination DP, so the skeleton is
+            // always encoded without attribute constraints.
+            let skeleton = comp.expr.structural_skeleton();
+            encoded.push(encode_single_path(
+                &skeleton,
+                &mut self.interner,
+                AttrMode::Postponed,
+            )?);
+        }
+        for (ci, enc) in encoded.into_iter().enumerate() {
+            let preds: Box<[PredId]> = enc
+                .preds
+                .iter()
+                .map(|p| self.index.insert(p.clone()))
+                .collect();
+            self.insert_expr(
+                preds,
+                Sink::Component {
+                    comp: comp_base + ci as u32,
+                },
+            );
+        }
+        self.n_components += plan.components.len() as u32;
+        self.nested.push(NestedSub {
+            sub,
+            plan,
+            comp_base,
+            live: true,
+        });
+        Ok(())
+    }
+
+    fn insert_expr(&mut self, preds: Box<[PredId]>, sink: Sink) -> SubLocation {
+        match self.algorithm {
+            Algorithm::Basic => {
+                self.flat.push(FlatExpr { preds, sink });
+                SubLocation::Flat(self.flat.len() as u32 - 1)
+            }
+            Algorithm::PrefixCovering | Algorithm::AccessPredicate => {
+                SubLocation::Node(self.trie.insert(&preds, sink))
+            }
+        }
+    }
+
+    /// Filters a document: returns the ids of all matching subscriptions,
+    /// in ascending order.
+    pub fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        self.prepare();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let results = self.match_document_with(doc, &mut scratch);
+        self.scratch = scratch;
+        results
+    }
+
+    /// Filters a document using caller-provided scratch. The engine itself
+    /// is not mutated, so any number of scratches may be used concurrently
+    /// (see [`Self::matcher`]). Requires [`Self::prepare`].
+    pub fn match_document_with(&self, doc: &Document, scratch: &mut MatchScratch) -> Vec<SubId> {
+        debug_assert!(!self.trie.dirty, "prepare() before match_document_with");
+        let MatchScratch {
+            publication,
+            ctx,
+            state,
+            stats,
+        } = scratch;
+        state.doc_epoch = state.doc_epoch.wrapping_add(1);
+        state.results.clear();
+        state.sub_matched.resize(self.n_subs as usize, 0);
+        state.node_matched.resize(self.trie.nodes.len(), 0);
+        state.node_done.resize(self.trie.nodes.len(), 0);
+        state.node_sinks_done.resize(self.trie.nodes.len(), 0);
+        state
+            .comp_paths
+            .resize_with(self.n_components as usize, Vec::new);
+        let has_nested = !self.nested.is_empty();
+        for cp in &mut state.comp_paths {
+            cp.clear();
+        }
+        state.active.clear();
+        let n_entries = match self.algorithm {
+            Algorithm::Basic => self.flat.len(),
+            _ => self.trie.terminals.len(),
+        };
+        state.active.extend(0..n_entries as u32);
+        let mut paths: Vec<Vec<NodeId>> = Vec::new();
+
+        stats.docs += 1;
+        let mut path_idx: u32 = 0;
+        {
+            let interner = &self.interner;
+            let index = &self.index;
+            let trie = &self.trie;
+            let flat = &self.flat;
+            let algorithm = self.algorithm;
+            doc.for_each_leaf_path(|path| {
+                let t0 = Instant::now();
+                publication.encode_readonly(doc, path, interner);
+                index.evaluate(publication, Some(doc), ctx);
+                let t1 = Instant::now();
+                stats.predicate_ns += (t1 - t0).as_nanos() as u64;
+
+                state.path_epoch = state.path_epoch.wrapping_add(1);
+                match algorithm {
+                    Algorithm::Basic => {
+                        stage2_flat(flat, ctx, publication, doc, state, stats, path_idx)
+                    }
+                    Algorithm::PrefixCovering => {
+                        stage2_trie(trie, ctx, publication, doc, state, stats, path_idx)
+                    }
+                    Algorithm::AccessPredicate => {
+                        stage2_dfs(trie, ctx, publication, doc, state, stats, path_idx)
+                    }
+                }
+                stats.expression_ns += t1.elapsed().as_nanos() as u64;
+                if has_nested {
+                    paths.push(path.to_vec());
+                }
+                path_idx += 1;
+            });
+        }
+
+        let t2 = Instant::now();
+        for ns in &self.nested {
+            if !ns.live {
+                continue;
+            }
+            let comp_paths =
+                &state.comp_paths[ns.comp_base as usize..(ns.comp_base as usize + ns.plan.len())];
+            // Cheap pre-check: every component must have matched somewhere.
+            if comp_paths.iter().any(|c| c.is_empty()) {
+                continue;
+            }
+            if combine(&ns.plan, doc, &paths, comp_paths) {
+                state.results.push(ns.sub);
+            }
+        }
+        let mut results = std::mem::take(&mut state.results);
+        results.sort_unstable();
+        stats.matches += results.len() as u64;
+        stats.other_ns += t2.elapsed().as_nanos() as u64;
+        results
+    }
+}
+
+/// Stage 2 for the Basic organization: every active expression
+/// independently. Expressions whose subscription has matched the current
+/// document are compacted out of the active list (stop-after-first-match,
+/// §3.1).
+#[allow(clippy::too_many_arguments)]
+fn stage2_flat(
+    flat: &[FlatExpr],
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &Document,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) {
+    let mut lists: Vec<&[(u16, u16)]> = Vec::with_capacity(16);
+    let mut active = std::mem::take(&mut state.active);
+    let mut write = 0;
+    for read in 0..active.len() {
+        let ei = active[read];
+        let expr = &flat[ei as usize];
+        lists.clear();
+        let mut any_empty = false;
+        for &pid in expr.preds.iter() {
+            let l = ctx.get(pid);
+            if l.is_empty() {
+                any_empty = true;
+                break;
+            }
+            lists.push(l);
+        }
+        if !any_empty {
+            stats.occurrence_runs += 1;
+            if determine_match(&lists) {
+                process_sink(&expr.sink, &lists, ctx, publication, doc, state, stats, path_idx);
+            }
+        }
+        let resolved = match &expr.sink {
+            Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
+            Sink::Component { .. } => false,
+            Sink::Removed => true,
+        };
+        if !resolved {
+            active[write] = ei;
+            write += 1;
+        }
+    }
+    active.truncate(write);
+    state.active = active;
+}
+
+/// Stage 2 for the `basic-pc` organization: active terminals evaluated
+/// longest-first per cluster with Algorithm 1, plus prefix-covering
+/// propagation (a match marks every prefix expression matched).
+#[allow(clippy::too_many_arguments)]
+fn stage2_trie(
+    trie: &Trie,
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &Document,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) {
+    let mut lists: Vec<&[(u16, u16)]> = Vec::with_capacity(16);
+    let mut active = std::mem::take(&mut state.active);
+    let mut write = 0;
+    let mut read = 0;
+    while read < active.len() {
+        let ti = active[read];
+        let terminal = &trie.terminals[ti as usize];
+        read += 1;
+        let node = terminal.node as usize;
+        let mut evaluate = state.node_matched[node] != state.path_epoch;
+        // Already known matched on this path via covering propagation?
+        // Then its sinks were already processed; only resolution below.
+        let mut matched_here = !evaluate;
+        if evaluate {
+            lists.clear();
+            let mut any_empty = false;
+            for &pid in terminal.chain.iter() {
+                let l = ctx.get(pid);
+                if l.is_empty() {
+                    any_empty = true;
+                    break;
+                }
+                lists.push(l);
+            }
+            if any_empty {
+                evaluate = false;
+            }
+            if evaluate {
+                stats.occurrence_runs += 1;
+                matched_here = determine_match(&lists);
+            }
+        }
+        if matched_here && state.node_matched[node] != state.path_epoch {
+            // Mark this node and every ancestor (prefix expressions) as
+            // structurally matched on this path, resolving their sinks.
+            let mut cur = terminal.node;
+            let mut depth = terminal.chain.len();
+            loop {
+                let n = &trie.nodes[cur as usize];
+                if state.node_matched[cur as usize] != state.path_epoch {
+                    state.node_matched[cur as usize] = state.path_epoch;
+                    if cur != terminal.node && !n.sinks.is_empty() {
+                        stats.pc_propagations += 1;
+                    }
+                    for sink in &n.sinks {
+                        process_sink(
+                            sink,
+                            &lists[..depth],
+                            ctx,
+                            publication,
+                            doc,
+                            state,
+                            stats,
+                            path_idx,
+                        );
+                    }
+                }
+                if n.parent == NO_PARENT {
+                    break;
+                }
+                cur = n.parent;
+                depth -= 1;
+            }
+        }
+        // Stop-after-first-match: drop the terminal from the active list
+        // once every subscription it resolves has matched this document.
+        let resolved = trie.nodes[node].sinks.iter().all(|s| match s {
+            Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
+            Sink::Component { .. } => false,
+            Sink::Removed => true,
+        });
+        if !resolved {
+            active[write] = ti;
+            write += 1;
+        }
+    }
+    active.truncate(write);
+    state.active = active;
+}
+
+/// Stage 2 for the `basic-pc-ap` organization: clusters are ruled out
+/// whole when their access predicate has no matches (paper §4.2.2); the
+/// surviving clusters are evaluated by a depth-first walk of the
+/// expression trie (paper Fig. 2) that forward-propagates the feasible
+/// occurrence set. Because the occurrence constraints form a chain
+/// (`o2[i−1] = o1[i]`), a node is reachable with a non-empty feasible set
+/// iff Algorithm 1 would report a match for the expression ending there —
+/// forward propagation is exact and needs no backtracking, and every
+/// shared predicate prefix is evaluated exactly once per path.
+///
+/// Occurrence numbers are tracked in a 128-bit set; paths deeper than 127
+/// elements (which could alias bits) fall back to the `basic-pc`
+/// evaluation for that path.
+#[allow(clippy::too_many_arguments)]
+fn stage2_dfs(
+    trie: &Trie,
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &Document,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) {
+    if publication.length >= 128 {
+        stage2_trie(trie, ctx, publication, doc, state, stats, path_idx);
+        return;
+    }
+    for (&pid, &root) in &trie.roots {
+        if state.node_done[root as usize] == state.doc_epoch {
+            continue;
+        }
+        let pairs = ctx.get(pid);
+        if pairs.is_empty() {
+            // Access predicate unsatisfied: the entire cluster is ruled
+            // out without touching its expressions.
+            stats.ap_cluster_skips += 1;
+            continue;
+        }
+        let mut f: u128 = 0;
+        for &(_, o2) in pairs {
+            f |= 1u128 << o2;
+        }
+        dfs_node(trie, root, f, ctx, publication, doc, state, stats, path_idx);
+    }
+}
+
+/// Visits one trie node reached with feasible occurrence set `f_in`
+/// (non-empty): resolves its sinks, recurses into children whose predicate
+/// chains on, and returns whether the whole subtree is now resolved for
+/// this document.
+#[allow(clippy::too_many_arguments)]
+fn dfs_node(
+    trie: &Trie,
+    n: u32,
+    f_in: u128,
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &Document,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) -> bool {
+    debug_assert_ne!(f_in, 0);
+    stats.occurrence_runs += 1;
+    let node = &trie.nodes[n as usize];
+    if !node.sinks.is_empty() && state.node_sinks_done[n as usize] != state.doc_epoch {
+        // Selection-postponed attribute checks need the per-level match
+        // lists of the chain; collect them only when some sink asks.
+        let mut lists: Vec<&[(u16, u16)]> = Vec::new();
+        if node
+            .sinks
+            .iter()
+            .any(|s| matches!(s, Sink::Sub { attr_check: Some(_), .. }))
+        {
+            let mut chain: Vec<PredId> = Vec::with_capacity(node.depth as usize);
+            let mut cur = n;
+            loop {
+                let nd = &trie.nodes[cur as usize];
+                chain.push(nd.pid);
+                if nd.parent == NO_PARENT {
+                    break;
+                }
+                cur = nd.parent;
+            }
+            chain.reverse();
+            lists.extend(chain.iter().map(|&p| ctx.get(p)));
+        }
+        for sink in &node.sinks {
+            process_sink(sink, &lists, ctx, publication, doc, state, stats, path_idx);
+        }
+        if node.sinks.iter().all(|s| match s {
+            Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
+            Sink::Component { .. } => false,
+            Sink::Removed => true,
+        }) {
+            state.node_sinks_done[n as usize] = state.doc_epoch;
+        }
+    }
+    let mut all_done =
+        node.sinks.is_empty() || state.node_sinks_done[n as usize] == state.doc_epoch;
+    for (&cpid, &child) in &node.children {
+        if state.node_done[child as usize] == state.doc_epoch {
+            continue;
+        }
+        let mut f: u128 = 0;
+        for &(o1, o2) in ctx.get(cpid) {
+            if f_in & (1u128 << o1) != 0 {
+                f |= 1u128 << o2;
+            }
+        }
+        let done = if f != 0 {
+            dfs_node(trie, child, f, ctx, publication, doc, state, stats, path_idx)
+        } else {
+            false
+        };
+        if !done {
+            all_done = false;
+        }
+    }
+    if all_done {
+        state.node_done[n as usize] = state.doc_epoch;
+    }
+    all_done
+}
+
+/// Resolves a structural match of an expression (on the current path) into
+/// subscription results or component path records, applying postponed
+/// attribute checks where present.
+#[allow(clippy::too_many_arguments)]
+fn process_sink(
+    sink: &Sink,
+    lists: &[&[(u16, u16)]],
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &Document,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) {
+    let _ = ctx;
+    match sink {
+        Sink::Sub { sub, attr_check } => {
+            if state.sub_matched[sub.0 as usize] == state.doc_epoch {
+                return;
+            }
+            if let Some(check) = attr_check {
+                // Selection postponed: repeat the occurrence determination
+                // admitting only pairs whose nodes pass the attribute
+                // filters (paper §5). Each level's pairs are filtered once
+                // up front (admissibility does not depend on the search
+                // state), then the plain determination runs on the
+                // filtered lists.
+                stats.occurrence_runs += 1;
+                if state.sp_bufs.len() < lists.len() {
+                    state.sp_bufs.resize_with(lists.len(), Vec::new);
+                }
+                for (level, pairs) in lists.iter().enumerate() {
+                    let buf = &mut state.sp_bufs[level];
+                    buf.clear();
+                    for &pair in *pairs {
+                        if check.admit(level, pair, publication, doc) {
+                            buf.push(pair);
+                        }
+                    }
+                    if buf.is_empty() {
+                        return;
+                    }
+                }
+                let filtered: Vec<&[(u16, u16)]> = state.sp_bufs[..lists.len()]
+                    .iter()
+                    .map(|b| b.as_slice())
+                    .collect();
+                if !determine_match(&filtered) {
+                    return;
+                }
+            }
+            state.sub_matched[sub.0 as usize] = state.doc_epoch;
+            state.results.push(*sub);
+        }
+        Sink::Component { comp } => {
+            let cp = &mut state.comp_paths[*comp as usize];
+            if cp.last() != Some(&path_idx) {
+                cp.push(path_idx);
+            }
+        }
+        Sink::Removed => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::matches_document;
+    use pxf_xpath::parse;
+
+    const ALGOS: [Algorithm; 3] = [
+        Algorithm::Basic,
+        Algorithm::PrefixCovering,
+        Algorithm::AccessPredicate,
+    ];
+
+    fn doc(xml: &str) -> Document {
+        Document::parse(xml.as_bytes()).unwrap()
+    }
+
+    /// Every (algorithm, attr-mode) combination must agree with the
+    /// reference oracle on this expression/document catalog.
+    #[test]
+    fn engines_agree_with_oracle() {
+        let exprs = [
+            "/a/b/b",
+            "a",
+            "a/a/b/c",
+            "/a/*/*/b",
+            "/a/b/*/*",
+            "/*/a/b",
+            "/*/*/*/*",
+            "a/b/*/*",
+            "*/*/a/*/b",
+            "a/*/*/b/c",
+            "*/*/*/*",
+            "/a//b/c",
+            "/*/b//c/*",
+            "a/b//c",
+            "*/a/*/b//c/*/*",
+            "a//b/c",
+            "c//b//a",
+            "a/c/*/a//c",
+            "a//c/*/a/c",
+            "//b",
+            "/a",
+            "b/c",
+        ];
+        let docs = [
+            "<a><b><b/></b></a>",
+            "<a><b><c><a><b><c/></b></a></c></b></a>",
+            "<x><y><z/></y></x>",
+            "<a><c><x><a><q><c/></q></a></x></c></a>",
+            "<a><b/><b><c/></b><d><e><f/></e></d></a>",
+            "<r><a><b/></a><a><a><b><c/></b></a></a></r>",
+        ];
+        for algo in ALGOS {
+            for mode in [AttrMode::Inline, AttrMode::Postponed] {
+                let mut engine = FilterEngine::new(algo, mode);
+                let subs: Vec<SubId> = exprs
+                    .iter()
+                    .map(|e| engine.add(&parse(e).unwrap()).unwrap())
+                    .collect();
+                for d in docs {
+                    let document = doc(d);
+                    let matched = engine.match_document(&document);
+                    for (e, s) in exprs.iter().zip(&subs) {
+                        let expected = matches_document(&parse(e).unwrap(), &document);
+                        assert_eq!(
+                            matched.contains(s),
+                            expected,
+                            "{algo:?}/{mode:?}: {e} over {d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_modes_agree() {
+        let exprs = [
+            "/a/b[@x = 1]",
+            "/a/b[@x >= 2]",
+            "a[@y = \"hi\"]//c",
+            "/a[@x]/b",
+            "/a/b[@x = 1][@y = 2]",
+            "*/b[@x != 1]",
+        ];
+        let docs = [
+            r#"<a><b x="1"/></a>"#,
+            r#"<a><b x="2" y="2"/></a>"#,
+            r#"<a y="hi"><q><c/></q></a>"#,
+            r#"<a x="0"><b x="1" y="2"/></a>"#,
+            r#"<a><b/></a>"#,
+        ];
+        for algo in ALGOS {
+            let mut inline = FilterEngine::new(algo, AttrMode::Inline);
+            let mut postponed = FilterEngine::new(algo, AttrMode::Postponed);
+            for e in exprs {
+                inline.add(&parse(e).unwrap()).unwrap();
+                postponed.add(&parse(e).unwrap()).unwrap();
+            }
+            for d in docs {
+                let document = doc(d);
+                assert_eq!(
+                    inline.match_document(&document),
+                    postponed.match_document(&document),
+                    "{algo:?} over {d}"
+                );
+                // And both agree with the oracle.
+                let matched = inline.match_document(&document);
+                for (i, e) in exprs.iter().enumerate() {
+                    assert_eq!(
+                        matched.contains(&SubId(i as u32)),
+                        matches_document(&parse(e).unwrap(), &document),
+                        "{algo:?}/{e} over {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_subscriptions_all_reported() {
+        for algo in ALGOS {
+            let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+            let s1 = engine.add(&parse("/a/b").unwrap()).unwrap();
+            let s2 = engine.add(&parse("/a/b").unwrap()).unwrap();
+            let s3 = engine.add(&parse("/a/c").unwrap()).unwrap();
+            let matched = engine.match_document(&doc("<a><b/></a>"));
+            assert_eq!(matched, vec![s1, s2], "{algo:?}");
+            assert!(!matched.contains(&s3));
+        }
+    }
+
+    #[test]
+    fn prefix_covering_propagates() {
+        let mut engine = FilterEngine::new(Algorithm::PrefixCovering, AttrMode::Inline);
+        let short = engine.add(&parse("/a/b").unwrap()).unwrap();
+        let long = engine.add(&parse("/a/b/c/d").unwrap()).unwrap();
+        let matched = engine.match_document(&doc("<a><b><c><d/></c></b></a>"));
+        assert_eq!(matched, vec![short, long]);
+        let stats = engine.stats();
+        // The short expression is a predicate-prefix of the long one: it
+        // must have been resolved by propagation, not by its own run.
+        assert!(stats.pc_propagations >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn access_predicate_skips_clusters() {
+        let mut engine = FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline);
+        engine.add(&parse("/zzz/yyy").unwrap()).unwrap();
+        engine.add(&parse("/zzz/xxx").unwrap()).unwrap();
+        engine.add(&parse("/a/b").unwrap()).unwrap();
+        let matched = engine.match_document(&doc("<a><b/></a>"));
+        assert_eq!(matched, vec![SubId(2)]);
+        let stats = engine.stats();
+        assert!(stats.ap_cluster_skips >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn nested_subscriptions_through_engine() {
+        for algo in ALGOS {
+            let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+            let both = engine.add(&parse("//a[b][c]").unwrap()).unwrap();
+            let deep = engine.add(&parse("/a[b[c]]").unwrap()).unwrap();
+            let paper = engine.add(&parse("/a[*/c[d]/e]//c[d]/e").unwrap()).unwrap();
+            let plain = engine.add(&parse("/r//a").unwrap()).unwrap();
+
+            let d1 = doc("<r><a><b/><c/></a></r>");
+            assert_eq!(engine.match_document(&d1), vec![both, plain], "{algo:?}");
+
+            let d2 = doc("<r><a><b/></a><a><c/></a></r>");
+            assert_eq!(engine.match_document(&d2), vec![plain], "{algo:?}");
+
+            let d3 = doc("<a><b><c/></b></a>");
+            assert_eq!(engine.match_document(&d3), vec![deep], "{algo:?}");
+
+            let d4 = doc("<a><x><c><d/><e/></c></x><y><c><d/><e/></c></y></a>");
+            assert_eq!(engine.match_document(&d4), vec![paper], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_documents_are_independent() {
+        let mut engine = FilterEngine::default();
+        let s = engine.add(&parse("/a/b").unwrap()).unwrap();
+        assert_eq!(engine.match_document(&doc("<a><b/></a>")), vec![s]);
+        assert!(engine.match_document(&doc("<x/>")).is_empty());
+        assert_eq!(engine.match_document(&doc("<a><b/></a>")), vec![s]);
+    }
+
+    #[test]
+    fn adding_after_matching_works() {
+        let mut engine = FilterEngine::default();
+        let s1 = engine.add(&parse("/a").unwrap()).unwrap();
+        assert_eq!(engine.match_document(&doc("<a/>")), vec![s1]);
+        let s2 = engine.add(&parse("/a/b").unwrap()).unwrap();
+        assert_eq!(engine.match_document(&doc("<a><b/></a>")), vec![s1, s2]);
+    }
+
+    #[test]
+    fn distinct_predicate_sharing() {
+        let mut engine = FilterEngine::default();
+        engine.add(&parse("/a/b/c/d").unwrap()).unwrap();
+        let n1 = engine.distinct_predicates();
+        // b/c occurs inside: shares (d(p_b,p_c), =, 1).
+        engine.add(&parse("b/c").unwrap()).unwrap();
+        let n2 = engine.distinct_predicates();
+        assert_eq!(n1, 4);
+        assert_eq!(n2, 4, "b/c must reuse the stored predicate");
+        engine.add(&parse("b//c").unwrap()).unwrap();
+        assert_eq!(engine.distinct_predicates(), 5);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut engine = FilterEngine::default();
+        engine.add(&parse("/a/b").unwrap()).unwrap();
+        engine.match_document(&doc("<a><b/></a>"));
+        engine.match_document(&doc("<a><b/></a>"));
+        let stats = engine.stats();
+        assert_eq!(stats.docs, 2);
+        assert_eq!(stats.matches, 2);
+        assert!(stats.occurrence_runs >= 2);
+        engine.reset_stats();
+        assert_eq!(engine.stats().docs, 0);
+    }
+
+    #[test]
+    fn empty_engine_matches_nothing() {
+        let mut engine = FilterEngine::default();
+        assert!(engine.is_empty());
+        assert!(engine.match_document(&doc("<a/>")).is_empty());
+    }
+
+    #[test]
+    fn add_str_reports_parse_errors() {
+        let mut engine = FilterEngine::default();
+        assert!(engine.add_str("/a[").is_err());
+        assert!(engine.add_str("/a/*[@x = 1]").is_err());
+    }
+
+    /// Postponed attribute filters on a prefix expression are still checked
+    /// when the match arrives via covering propagation.
+    #[test]
+    fn postponed_attrs_checked_under_propagation() {
+        let mut engine = FilterEngine::new(Algorithm::PrefixCovering, AttrMode::Postponed);
+        let filtered = engine.add(&parse("/a/b[@x = 9]").unwrap()).unwrap();
+        let longer = engine.add(&parse("/a/b/c").unwrap()).unwrap();
+        // The structural prefix /a/b matches via propagation from /a/b/c,
+        // but the attribute filter x=9 fails.
+        let matched = engine.match_document(&doc(r#"<a><b x="1"><c/></b></a>"#));
+        assert_eq!(matched, vec![longer]);
+        let matched = engine.match_document(&doc(r#"<a><b x="9"><c/></b></a>"#));
+        assert_eq!(matched, vec![filtered, longer]);
+    }
+}
+
+#[cfg(test)]
+mod removal_tests {
+    use super::*;
+    use pxf_xpath::parse;
+
+    fn doc(xml: &str) -> Document {
+        Document::parse(xml.as_bytes()).unwrap()
+    }
+
+    const ALGOS: [Algorithm; 3] = [
+        Algorithm::Basic,
+        Algorithm::PrefixCovering,
+        Algorithm::AccessPredicate,
+    ];
+
+    #[test]
+    fn removed_subscriptions_stop_matching() {
+        for algo in ALGOS {
+            let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+            let s1 = engine.add(&parse("/a/b").unwrap()).unwrap();
+            let s2 = engine.add(&parse("/a/b").unwrap()).unwrap(); // duplicate
+            let s3 = engine.add(&parse("//b").unwrap()).unwrap();
+            let d = doc("<a><b/></a>");
+            assert_eq!(engine.match_document(&d), vec![s1, s2, s3], "{algo:?}");
+            assert!(engine.remove(s1));
+            assert_eq!(engine.match_document(&d), vec![s2, s3], "{algo:?}");
+            assert!(!engine.remove(s1), "double remove must return false");
+            assert_eq!(engine.len(), 2);
+            assert!(engine.remove(s2));
+            assert!(engine.remove(s3));
+            assert!(engine.is_empty());
+            assert!(engine.match_document(&d).is_empty(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn removal_keeps_other_subscriptions_intact() {
+        for algo in ALGOS {
+            let mut engine = FilterEngine::new(algo, AttrMode::Postponed);
+            let subs: Vec<SubId> = ["/a/b", "/a/b/c", "/a", "a/b[@x = 1]", "//c"]
+                .iter()
+                .map(|s| engine.add(&parse(s).unwrap()).unwrap())
+                .collect();
+            let d = doc(r#"<a><b x="1"><c/></b></a>"#);
+            assert_eq!(engine.match_document(&d), subs, "{algo:?}");
+            // Remove the middle of the prefix chain.
+            assert!(engine.remove(subs[0]));
+            let expected: Vec<SubId> = subs[1..].to_vec();
+            assert_eq!(engine.match_document(&d), expected, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn nested_subscription_removal() {
+        for algo in ALGOS {
+            let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+            let tree = engine.add(&parse("/a[b]/c").unwrap()).unwrap();
+            let plain = engine.add(&parse("/a/c").unwrap()).unwrap();
+            let d = doc("<a><b/><c/></a>");
+            assert_eq!(engine.match_document(&d), vec![tree, plain]);
+            assert!(engine.remove(tree));
+            assert_eq!(engine.match_document(&d), vec![plain]);
+            assert!(!engine.remove(tree));
+        }
+    }
+
+    #[test]
+    fn add_after_remove_allocates_fresh_ids() {
+        let mut engine = FilterEngine::default();
+        let s1 = engine.add(&parse("/a").unwrap()).unwrap();
+        engine.remove(s1);
+        let s2 = engine.add(&parse("/b").unwrap()).unwrap();
+        assert_ne!(s1, s2);
+        let d = doc("<b/>");
+        assert_eq!(engine.match_document(&d), vec![s2]);
+    }
+
+    #[test]
+    fn remove_unknown_id_is_noop() {
+        let mut engine = FilterEngine::default();
+        assert!(!engine.remove(SubId(42)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Predicate-based XPath filtering engine — the core contribution of
+//! *Predicate-based Filtering of XPath Expressions* (Hou & Jacobsen).
+//!
+//! The engine solves the XML/XPath *filtering problem*: given a large set
+//! of XPath expressions (subscriptions) and a stream of XML documents,
+//! determine for each document the set of matching expressions. XPEs are
+//! encoded as ordered sets of position predicates ([`encode`]), documents
+//! as sets of (attribute, value) tuples, and matching runs in two stages —
+//! predicate matching over a shared, deduplicated predicate index, followed
+//! by per-expression occurrence determination ([`occurrence`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use pxf_core::{Algorithm, AttrMode, FilterEngine};
+//! use pxf_xml::Document;
+//!
+//! let mut engine = FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline);
+//! let sports = engine.add_str("/news//article[@category = \"sports\"]").unwrap();
+//! let politics = engine.add_str("/news//article[@category = \"politics\"]/headline").unwrap();
+//!
+//! let doc = Document::parse(
+//!     br#"<news><article category="sports"><headline/></article></news>"#,
+//! ).unwrap();
+//! assert_eq!(engine.match_document(&doc), vec![sports]);
+//! let _ = politics;
+//! ```
+//!
+//! The three expression organizations of the paper (§4.2.2) are selected
+//! with [`Algorithm`]: `Basic`, `PrefixCovering` (basic-pc), and
+//! `AccessPredicate` (basic-pc-ap). Attribute filters run [`AttrMode::Inline`]
+//! or [`AttrMode::Postponed`] (§5). Nested path filters (tree patterns) are
+//! decomposed and combined per §5 ([`nested`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod covering;
+pub mod encode;
+mod engine;
+pub mod nested;
+pub mod occurrence;
+pub mod parallel;
+pub mod reference;
+
+pub use encode::{AttrMode, EncodeError, EncodedPath};
+pub use engine::{AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, SubId};

@@ -1,0 +1,196 @@
+//! Concurrent document filtering against a shared engine.
+//!
+//! A [`FilterEngine`] is immutable during matching
+//! (scratch state lives in per-matcher [`MatchScratch`](crate::MatchScratch)
+//! buffers), so one subscription base can serve any number of threads — the
+//! deployment shape of the paper's motivating scenario, where a broker
+//! filters a high-rate document stream against millions of standing
+//! subscriptions.
+
+use crate::engine::{FilterEngine, SubId};
+use pxf_xml::Document;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-document outcome of [`filter_batch_bytes`]: the match set, or the
+/// parse error for that document.
+pub type ByteFilterResult = Result<Vec<SubId>, pxf_xml::XmlError>;
+
+/// Filters a batch of documents across `threads` worker threads, returning
+/// per-document match sets in input order.
+///
+/// The engine must be prepared ([`FilterEngine::prepare`]) — it is borrowed
+/// immutably. With `threads == 1` this degenerates to a sequential loop
+/// (no threads are spawned).
+///
+/// ```
+/// use pxf_core::{parallel, FilterEngine};
+/// use pxf_xml::Document;
+///
+/// let mut engine = FilterEngine::default();
+/// let s = engine.add_str("/a/b").unwrap();
+/// engine.prepare();
+/// let docs = vec![
+///     Document::parse(b"<a><b/></a>").unwrap(),
+///     Document::parse(b"<x/>").unwrap(),
+/// ];
+/// let results = parallel::filter_batch(&engine, &docs, 4);
+/// assert_eq!(results, vec![vec![s], vec![]]);
+/// ```
+pub fn filter_batch(
+    engine: &FilterEngine,
+    docs: &[Document],
+    threads: usize,
+) -> Vec<Vec<SubId>> {
+    let threads = threads.max(1).min(docs.len().max(1));
+    if threads == 1 {
+        let mut matcher = engine.matcher();
+        return docs.iter().map(|d| matcher.match_document(d)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Vec<SubId>> = vec![Vec::new(); docs.len()];
+    // Hand each worker a disjoint set of result slots via raw indices:
+    // simplest safe formulation is collecting (index, result) pairs per
+    // worker and scattering afterwards.
+    let mut per_worker: Vec<Vec<(usize, Vec<SubId>)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut matcher = engine.matcher();
+                let mut out: Vec<(usize, Vec<SubId>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= docs.len() {
+                        return out;
+                    }
+                    out.push((i, matcher.match_document(&docs[i])));
+                }
+            }));
+        }
+        for h in handles {
+            per_worker.push(h.join().expect("worker panicked"));
+        }
+    });
+    for chunk in per_worker {
+        for (i, r) in chunk {
+            results[i] = r;
+        }
+    }
+    results
+}
+
+/// Filters raw serialized documents (parse + match per document, the
+/// paper's total-filter-time unit of work) across worker threads.
+pub fn filter_batch_bytes(
+    engine: &FilterEngine,
+    docs: &[Vec<u8>],
+    threads: usize,
+) -> Vec<ByteFilterResult> {
+    let threads = threads.max(1).min(docs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, ByteFilterResult)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut matcher = engine.matcher();
+                let mut out = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= docs.len() {
+                        return out;
+                    }
+                    let result = Document::parse(&docs[i])
+                        .map(|doc| matcher.match_document(&doc));
+                    out.push((i, result));
+                }
+            }));
+        }
+        for h in handles {
+            per_worker.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut results: Vec<ByteFilterResult> = (0..docs.len()).map(|_| Ok(Vec::new())).collect();
+    for chunk in per_worker {
+        for (i, r) in chunk {
+            results[i] = r;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, AttrMode};
+
+    fn sample_engine() -> (FilterEngine, Vec<SubId>) {
+        let mut engine = FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline);
+        let ids = vec![
+            engine.add_str("/a/b").unwrap(),
+            engine.add_str("//c").unwrap(),
+            engine.add_str("a/*/d").unwrap(),
+        ];
+        engine.prepare();
+        (engine, ids)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (engine, _) = sample_engine();
+        let docs: Vec<Document> = [
+            "<a><b/></a>",
+            "<a><x><c/></x></a>",
+            "<a><q><d/></q></a>",
+            "<z/>",
+            "<a><b><c/></b></a>",
+        ]
+        .iter()
+        .cycle()
+        .take(50)
+        .map(|s| Document::parse(s.as_bytes()).unwrap())
+        .collect();
+        let sequential = filter_batch(&engine, &docs, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(filter_batch(&engine, &docs, threads), sequential);
+        }
+    }
+
+    #[test]
+    fn bytes_variant_reports_parse_errors() {
+        let (engine, ids) = sample_engine();
+        let docs = vec![b"<a><b/></a>".to_vec(), b"<broken".to_vec()];
+        let results = filter_batch_bytes(&engine, &docs, 2);
+        assert_eq!(results[0].as_ref().unwrap(), &vec![ids[0]]);
+        assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn matcher_requires_prepare() {
+        let mut engine = FilterEngine::default();
+        engine.add_str("/a").unwrap();
+        let result = std::panic::catch_unwind(|| {
+            let _ = engine.matcher();
+        });
+        assert!(result.is_err(), "matcher() must panic before prepare()");
+        engine.prepare();
+        let mut m = engine.matcher();
+        let doc = Document::parse(b"<a/>").unwrap();
+        assert_eq!(m.match_document(&doc).len(), 1);
+    }
+
+    #[test]
+    fn independent_matchers_have_independent_stats() {
+        let (engine, _) = sample_engine();
+        let doc = Document::parse(b"<a><b/></a>").unwrap();
+        let mut m1 = engine.matcher();
+        let mut m2 = engine.matcher();
+        m1.match_document(&doc);
+        m1.match_document(&doc);
+        m2.match_document(&doc);
+        assert_eq!(m1.stats().docs, 2);
+        assert_eq!(m2.stats().docs, 1);
+    }
+}

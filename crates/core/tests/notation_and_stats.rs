@@ -1,0 +1,107 @@
+//! Tests for the paper-notation renderer and the engine's statistics
+//! surface (the instrumentation behind Fig. 10).
+
+use pxf_core::encode::{encode_single_path, AttrMode};
+use pxf_core::{Algorithm, FilterEngine};
+use pxf_xml::{Document, Interner};
+use pxf_xpath::parse;
+
+fn notation(src: &str, mode: AttrMode) -> String {
+    let expr = parse(src).unwrap();
+    let mut interner = Interner::new();
+    let enc = encode_single_path(&expr, &mut interner, mode).unwrap();
+    enc.preds
+        .iter()
+        .map(|p| p.to_notation(&interner))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+#[test]
+fn notation_covers_every_predicate_type() {
+    assert_eq!(notation("/*/*/*", AttrMode::Postponed), "(length, >=, 3)");
+    assert_eq!(
+        notation("/a//b/*", AttrMode::Postponed),
+        "(p_a, =, 1) -> (d(p_a, p_b), >=, 1) -> (p_b-|, >=, 1)"
+    );
+    assert_eq!(
+        notation("*/x", AttrMode::Postponed),
+        "(p_x, >=, 2)"
+    );
+}
+
+#[test]
+fn notation_renders_attribute_constraints() {
+    assert_eq!(
+        notation("/a[@k = \"v\"]", AttrMode::Inline),
+        "(p_a([k, =, \"v\"]), =, 1)"
+    );
+    assert_eq!(
+        notation("/a[@k]", AttrMode::Inline),
+        "(p_a([k]), =, 1)"
+    );
+    // Multiple constraints are rendered sorted by name.
+    assert_eq!(
+        notation("/a[@z = 1][@b >= 2]", AttrMode::Inline),
+        "(p_a([b, >=, 2], [z, =, 1]), =, 1)"
+    );
+}
+
+#[test]
+fn notation_renders_text_filters() {
+    assert_eq!(
+        notation("/a[text() = \"w\"]", AttrMode::Inline),
+        "(p_a([text(), =, \"w\"]), =, 1)"
+    );
+}
+
+#[test]
+fn stats_breakdown_composes() {
+    let mut engine = FilterEngine::new(Algorithm::AccessPredicate, pxf_core::AttrMode::Inline);
+    for src in ["/a/b", "/a//c", "a/b/c", "/a/*", "//c[@x = 1]"] {
+        engine.add(&parse(src).unwrap()).unwrap();
+    }
+    let doc = Document::parse(b"<a><b><c x=\"1\"/></b><b/></a>").unwrap();
+    for _ in 0..20 {
+        engine.match_document(&doc);
+    }
+    let s = engine.stats();
+    assert_eq!(s.docs, 20);
+    assert_eq!(s.matches, 20 * 5);
+    assert!(s.predicate_ns > 0);
+    assert!(s.expression_ns > 0);
+    assert!(s.occurrence_runs > 0);
+    // Counters are cumulative and monotone.
+    engine.match_document(&doc);
+    let s2 = engine.stats();
+    assert!(s2.docs == 21 && s2.matches == 21 * 5);
+    assert!(s2.predicate_ns >= s.predicate_ns);
+    assert!(s2.expression_ns >= s.expression_ns);
+}
+
+#[test]
+fn distinct_predicates_is_fig10_metric() {
+    // Duplicate-heavy adds barely move the distinct predicate count — the
+    // sublinearity Fig. 10 reports.
+    let mut engine = FilterEngine::default();
+    for _ in 0..1000 {
+        engine.add(&parse("/a/b/c").unwrap()).unwrap();
+        engine.add(&parse("/a/b//d").unwrap()).unwrap();
+    }
+    assert_eq!(engine.len(), 2000);
+    assert_eq!(engine.distinct_predicates(), 4); // p_a, d(a,b), d(b,c), d(b,≥d)
+}
+
+#[test]
+fn ap_skip_counter_reflects_ruled_out_clusters() {
+    let mut engine = FilterEngine::new(Algorithm::AccessPredicate, pxf_core::AttrMode::Inline);
+    // Three clusters: two can never match the document below.
+    engine.add(&parse("/nope1/x").unwrap()).unwrap();
+    engine.add(&parse("/nope2/y").unwrap()).unwrap();
+    engine.add(&parse("/a/b").unwrap()).unwrap();
+    let doc = Document::parse(b"<a><b/><b/></a>").unwrap();
+    engine.match_document(&doc);
+    let s = engine.stats();
+    // Two clusters skipped on every path (two paths here).
+    assert_eq!(s.ap_cluster_skips, 4, "{s:?}");
+}

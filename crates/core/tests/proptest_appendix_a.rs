@@ -1,0 +1,96 @@
+//! The paper's Appendix A theorem as a property: an XPath expression
+//! matches a document path iff its predicate encoding matches the path's
+//! publication encoding.
+
+use proptest::prelude::*;
+use pxf_core::encode::{encode_single_path, AttrMode};
+use pxf_core::occurrence::{determine_match, for_each_combination};
+use pxf_core::reference::{matches_path, TagsView};
+use pxf_predicate::{MatchContext, PredicateIndex, Publication};
+use pxf_xml::Interner;
+use pxf_xpath::{Axis, NodeTest, Step, XPathExpr};
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_expr() -> impl Strategy<Value = XPathExpr> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            (
+                prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+                prop_oneof![
+                    3 => (0..TAGS.len()).prop_map(|i| NodeTest::Tag(TAGS[i].to_string())),
+                    1 => Just(NodeTest::Wildcard),
+                ],
+            ),
+            1..7,
+        ),
+    )
+        .prop_map(|(absolute, steps)| {
+            let mut steps: Vec<Step> = steps
+                .into_iter()
+                .map(|(axis, test)| Step {
+                    axis,
+                    test,
+                    filters: Vec::new(),
+                })
+                .collect();
+            if !absolute {
+                steps[0].axis = Axis::Child;
+            }
+            XPathExpr { absolute, steps }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Theorem A.1: s matches e  ⇔  s' matches e'.
+    #[test]
+    fn encoding_theorem(
+        expr in arb_expr(),
+        path in proptest::collection::vec(0..TAGS.len(), 1..10),
+    ) {
+        let tags: Vec<&str> = path.iter().map(|&i| TAGS[i]).collect();
+
+        // Left side: direct XPath path semantics.
+        let direct = matches_path(&expr, &TagsView(&tags));
+
+        // Right side: predicate encoding + predicate matching + occurrence
+        // determination.
+        let mut interner = Interner::new();
+        let enc = encode_single_path(&expr, &mut interner, AttrMode::Postponed).unwrap();
+        let mut index = PredicateIndex::new();
+        let pids: Vec<_> = enc.preds.iter().map(|p| index.insert(p.clone())).collect();
+        let publication = Publication::from_tags(&tags, &mut interner);
+        let mut ctx = MatchContext::new();
+        index.evaluate(&publication, None, &mut ctx);
+        let lists: Vec<&[(u16, u16)]> = pids.iter().map(|&p| ctx.get(p)).collect();
+        let encoded = determine_match(&lists);
+
+        prop_assert_eq!(
+            direct, encoded,
+            "expr={} path={:?} preds={:?}",
+            expr.to_string(), tags,
+            enc.preds.iter().map(|p| p.to_notation(&interner)).collect::<Vec<_>>()
+        );
+    }
+
+    /// Occurrence determination agrees with exhaustive combination
+    /// enumeration (match ⇔ at least one full combination exists).
+    #[test]
+    fn determination_agrees_with_enumeration(
+        lists in proptest::collection::vec(
+            proptest::collection::vec((1u16..4, 1u16..4), 0..5),
+            1..5,
+        ),
+    ) {
+        let refs: Vec<&[(u16, u16)]> = lists.iter().map(|l| l.as_slice()).collect();
+        let mut any = false;
+        for_each_combination(&refs, |_| {
+            any = true;
+            false
+        });
+        prop_assert_eq!(determine_match(&refs), any);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property: removing subscriptions is equivalent to never having added
+//! them, under random interleavings of adds, removals, and matches.
+
+use proptest::prelude::*;
+use pxf_core::{Algorithm, AttrMode, FilterEngine, SubId};
+use pxf_xml::{Document, DocumentBuilder};
+use pxf_xpath::{Axis, NodeTest, Step, XPathExpr};
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_expr() -> impl Strategy<Value = XPathExpr> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            (
+                prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+                prop_oneof![
+                    3 => (0..TAGS.len()).prop_map(|i| NodeTest::Tag(TAGS[i].to_string())),
+                    1 => Just(NodeTest::Wildcard),
+                ],
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(absolute, steps)| {
+            let mut steps: Vec<Step> = steps
+                .into_iter()
+                .map(|(axis, test)| Step {
+                    axis,
+                    test,
+                    filters: Vec::new(),
+                })
+                .collect();
+            if !absolute {
+                steps[0].axis = Axis::Child;
+            }
+            XPathExpr { absolute, steps }
+        })
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    tag: usize,
+    children: Vec<Tree>,
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = (0..TAGS.len()).prop_map(|tag| Tree {
+        tag,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(4, 16, 3, |inner| {
+        (0..TAGS.len(), proptest::collection::vec(inner, 0..3))
+            .prop_map(|(tag, children)| Tree { tag, children })
+    })
+}
+
+fn build_doc(tree: &Tree) -> Document {
+    fn emit(t: &Tree, b: &mut DocumentBuilder) {
+        b.start(TAGS[t.tag]);
+        for c in &t.children {
+            emit(c, b);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new();
+    emit(tree, &mut b);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn removal_is_equivalent_to_absence(
+        exprs in proptest::collection::vec(arb_expr(), 2..10),
+        remove_mask in proptest::collection::vec(any::<bool>(), 2..10),
+        trees in proptest::collection::vec(arb_tree(), 1..4),
+        match_between in any::<bool>(),
+    ) {
+        for algo in [Algorithm::Basic, Algorithm::PrefixCovering, Algorithm::AccessPredicate] {
+            let mut full = FilterEngine::new(algo, AttrMode::Inline);
+            for e in &exprs {
+                full.add(e).unwrap();
+            }
+            if match_between {
+                // Interleave a match before removal: engine state (epochs,
+                // active lists) must not leak into post-removal results.
+                let doc = build_doc(&trees[0]);
+                let _ = full.match_document(&doc);
+            }
+            let mut kept_orig: Vec<u32> = Vec::new();
+            let mut survivor = FilterEngine::new(algo, AttrMode::Inline);
+            for (i, e) in exprs.iter().enumerate() {
+                let removed = remove_mask.get(i).copied().unwrap_or(false);
+                if removed {
+                    prop_assert!(full.remove(SubId(i as u32)));
+                } else {
+                    survivor.add(e).unwrap();
+                    kept_orig.push(i as u32);
+                }
+            }
+            for tree in &trees {
+                let doc = build_doc(tree);
+                let got: Vec<u32> = full.match_document(&doc).iter().map(|s| s.0).collect();
+                let expected: Vec<u32> = survivor
+                    .match_document(&doc)
+                    .iter()
+                    .map(|s| kept_orig[s.0 as usize])
+                    .collect();
+                prop_assert_eq!(&got, &expected, "{:?}", algo);
+            }
+        }
+    }
+
+    /// A prepared engine gives identical results through `&mut self`
+    /// matching and through any number of `Matcher` handles.
+    #[test]
+    fn matcher_handles_agree_with_mut_api(
+        exprs in proptest::collection::vec(arb_expr(), 1..8),
+        trees in proptest::collection::vec(arb_tree(), 1..4),
+    ) {
+        let mut engine = FilterEngine::default();
+        for e in &exprs {
+            engine.add(e).unwrap();
+        }
+        let docs: Vec<Document> = trees.iter().map(build_doc).collect();
+        let sequential: Vec<_> = docs.iter().map(|d| engine.match_document(d)).collect();
+        engine.prepare();
+        let mut m1 = engine.matcher();
+        let mut m2 = engine.matcher();
+        // Interleave the two handles in opposite orders.
+        for (d, expected) in docs.iter().zip(&sequential) {
+            prop_assert_eq!(&m1.match_document(d), expected);
+        }
+        for (d, expected) in docs.iter().zip(&sequential).rev() {
+            prop_assert_eq!(&m2.match_document(d), expected);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Value-indexed storage for attribute-constrained predicates.
+//!
+//! A positional bucket (same tag, positional operator, and value) can hold
+//! thousands of predicates differing only in their attribute constants —
+//! `[@value = 17]`, `[@value >= 250]`, … . Evaluating them one by one per
+//! tuple is linear in the subscription count; this module applies the
+//! predicate-indexing idea of Fabret et al. (SIGMOD 2001), which the paper
+//! builds on for its access predicates, to the attribute dimension:
+//!
+//! * equality constraints are hashed by constant (integer or string),
+//! * lower bounds (`>=`, `>`) are sorted ascending: for a document value
+//!   `v`, exactly a prefix of constants satisfies `c ≤ v`,
+//! * upper bounds (`<=`, `<`) are sorted descending, symmetrically,
+//! * everything else (`!=`, existence, string ranges) stays in a small
+//!   linear overflow list.
+//!
+//! Entries are grouped by the *first* attribute constraint of their tag
+//! variable; on a hit the full tag variable (all constraints, both tag
+//! variables for relative predicates) is re-verified.
+
+use crate::types::{AttrConstraint, TagVar};
+use pxf_xpath::{AttrValue, CmpOp};
+use std::collections::HashMap;
+
+/// A set of attribute-constrained entries sharing one positional bucket,
+/// indexed by their first attribute constraint.
+#[derive(Debug, Clone)]
+pub struct AttrBucket<E> {
+    groups: Vec<AttrGroup<E>>,
+    /// Entries whose *indexed* tag variable has no constraints cannot
+    /// exist (plain predicates live in the plain arrays), but entries whose
+    /// first constraint is not indexable land here.
+    overflow: Vec<E>,
+    len: usize,
+}
+
+impl<E> Default for AttrBucket<E> {
+    fn default() -> Self {
+        AttrBucket {
+            groups: Vec::new(),
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AttrGroup<E> {
+    name: Box<str>,
+    int_eq: HashMap<i64, Vec<E>>,
+    str_eq: HashMap<Box<str>, Vec<E>>,
+    /// (constant, strict) sorted ascending by constant: entry matches iff
+    /// `v > c` (strict) or `v ≥ c`.
+    lower: Vec<(i64, bool, E)>,
+    /// (constant, strict) sorted descending: `v < c` / `v ≤ c`.
+    upper: Vec<(i64, bool, E)>,
+    /// `!=`, existence tests, string range comparisons.
+    other: Vec<E>,
+}
+
+impl<E> AttrGroup<E> {
+    fn new(name: &str) -> Self {
+        AttrGroup {
+            name: name.into(),
+            int_eq: HashMap::new(),
+            str_eq: HashMap::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            other: Vec::new(),
+        }
+    }
+}
+
+impl<E> AttrBucket<E> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bucket holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry indexed by the first constraint of `key` (the tag
+    /// variable carrying the constraints).
+    pub fn insert(&mut self, key: &TagVar, entry: E) {
+        self.len += 1;
+        let Some(first) = key.attrs.first() else {
+            self.overflow.push(entry);
+            return;
+        };
+        let gi = match self.groups.iter().position(|g| *g.name == *first.name) {
+            Some(i) => i,
+            None => {
+                self.groups.push(AttrGroup::new(&first.name));
+                self.groups.len() - 1
+            }
+        };
+        let group = &mut self.groups[gi];
+        match &first.constraint {
+            Some((CmpOp::Eq, AttrValue::Int(n))) => {
+                group.int_eq.entry(*n).or_default().push(entry)
+            }
+            Some((CmpOp::Eq, AttrValue::Str(s))) => group
+                .str_eq
+                .entry(s.as_str().into())
+                .or_default()
+                .push(entry),
+            Some((CmpOp::Ge, AttrValue::Int(n))) => {
+                let pos = group.lower.partition_point(|&(c, _, _)| c < *n);
+                group.lower.insert(pos, (*n, false, entry));
+            }
+            Some((CmpOp::Gt, AttrValue::Int(n))) => {
+                let pos = group.lower.partition_point(|&(c, _, _)| c < *n);
+                group.lower.insert(pos, (*n, true, entry));
+            }
+            Some((CmpOp::Le, AttrValue::Int(n))) => {
+                let pos = group.upper.partition_point(|&(c, _, _)| c > *n);
+                group.upper.insert(pos, (*n, false, entry));
+            }
+            Some((CmpOp::Lt, AttrValue::Int(n))) => {
+                let pos = group.upper.partition_point(|&(c, _, _)| c > *n);
+                group.upper.insert(pos, (*n, true, entry));
+            }
+            _ => group.other.push(entry),
+        }
+    }
+
+    /// Iterates every entry (dedup lookups at insert time).
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.overflow.iter().chain(self.groups.iter().flat_map(|g| {
+            g.int_eq
+                .values()
+                .flatten()
+                .chain(g.str_eq.values().flatten())
+                .chain(g.lower.iter().map(|(_, _, e)| e))
+                .chain(g.upper.iter().map(|(_, _, e)| e))
+                .chain(g.other.iter())
+        }))
+    }
+
+    /// Visits every entry whose *first* constraint is satisfied by the
+    /// attributes reported by `attr_of` (raw string value per name).
+    /// Callers re-verify the entry's full constraints before use.
+    pub fn for_each_candidate<'a, F, A>(&'a self, mut attr_of: A, mut visit: F)
+    where
+        F: FnMut(&'a E),
+        A: FnMut(&str) -> Option<&'a str>,
+    {
+        for entry in &self.overflow {
+            visit(entry);
+        }
+        for group in &self.groups {
+            let raw = attr_of(&group.name);
+            for entry in &group.other {
+                visit(entry);
+            }
+            let Some(raw) = raw else { continue };
+            if let Some(list) = group.str_eq.get(raw) {
+                for entry in list {
+                    visit(entry);
+                }
+            }
+            let Ok(v) = raw.trim().parse::<i64>() else {
+                continue;
+            };
+            if let Some(list) = group.int_eq.get(&v) {
+                for entry in list {
+                    visit(entry);
+                }
+            }
+            for (c, strict, entry) in &group.lower {
+                if *c > v {
+                    break; // sorted ascending: nothing further matches
+                }
+                if *strict && *c == v {
+                    continue; // `> v` fails, but `≥ v` entries may follow
+                }
+                visit(entry);
+            }
+            for (c, strict, entry) in &group.upper {
+                if *c < v {
+                    break; // sorted descending
+                }
+                if *strict && *c == v {
+                    continue;
+                }
+                visit(entry);
+            }
+        }
+    }
+}
+
+/// Verifies every constraint of a tag variable against an element's
+/// attributes (full re-check after an index hit).
+pub fn verify_tagvar<'a, A>(tag: &TagVar, mut attr_of: A) -> bool
+where
+    A: FnMut(&str) -> Option<&'a str>,
+{
+    tag.attrs.iter().all(|c: &AttrConstraint| c.matches(attr_of(&c.name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxf_xml::Symbol;
+
+    fn tv(constraints: &[(&str, Option<(CmpOp, AttrValue)>)]) -> TagVar {
+        TagVar::with_attrs(
+            Symbol(0),
+            constraints
+                .iter()
+                .map(|(n, c)| AttrConstraint {
+                    name: (*n).into(),
+                    constraint: c.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    fn candidates(bucket: &AttrBucket<u32>, attrs: &[(&str, &str)]) -> Vec<u32> {
+        let mut out = Vec::new();
+        bucket.for_each_candidate(
+            |name| attrs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v),
+            |&e| out.push(e),
+        );
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn equality_hashing() {
+        let mut b: AttrBucket<u32> = AttrBucket::default();
+        for (i, v) in [3i64, 5, 3, 7].iter().enumerate() {
+            b.insert(
+                &tv(&[("x", Some((CmpOp::Eq, AttrValue::Int(*v))))]),
+                i as u32,
+            );
+        }
+        assert_eq!(b.len(), 4);
+        assert_eq!(candidates(&b, &[("x", "3")]), vec![0, 2]);
+        assert_eq!(candidates(&b, &[("x", "7")]), vec![3]);
+        assert_eq!(candidates(&b, &[("x", "9")]), Vec::<u32>::new());
+        assert_eq!(candidates(&b, &[("y", "3")]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn range_prefix_scans() {
+        let mut b: AttrBucket<u32> = AttrBucket::default();
+        b.insert(&tv(&[("x", Some((CmpOp::Ge, AttrValue::Int(10))))]), 0);
+        b.insert(&tv(&[("x", Some((CmpOp::Gt, AttrValue::Int(10))))]), 1);
+        b.insert(&tv(&[("x", Some((CmpOp::Ge, AttrValue::Int(20))))]), 2);
+        b.insert(&tv(&[("x", Some((CmpOp::Le, AttrValue::Int(15))))]), 3);
+        b.insert(&tv(&[("x", Some((CmpOp::Lt, AttrValue::Int(10))))]), 4);
+        assert_eq!(candidates(&b, &[("x", "10")]), vec![0, 3]);
+        assert_eq!(candidates(&b, &[("x", "12")]), vec![0, 1, 3]);
+        assert_eq!(candidates(&b, &[("x", "25")]), vec![0, 1, 2]);
+        assert_eq!(candidates(&b, &[("x", "5")]), vec![3, 4]);
+    }
+
+    #[test]
+    fn string_and_other_constraints() {
+        let mut b: AttrBucket<u32> = AttrBucket::default();
+        b.insert(
+            &tv(&[("cat", Some((CmpOp::Eq, AttrValue::Str("news".into()))))]),
+            0,
+        );
+        b.insert(
+            &tv(&[("cat", Some((CmpOp::Ne, AttrValue::Str("news".into()))))]),
+            1,
+        );
+        b.insert(&tv(&[("cat", None)]), 2); // existence → other
+        assert_eq!(candidates(&b, &[("cat", "news")]), vec![0, 1, 2]);
+        // "other" entries are always candidates (verified later).
+        assert_eq!(candidates(&b, &[("cat", "sports")]), vec![1, 2]);
+        assert_eq!(candidates(&b, &[]), vec![1, 2]);
+    }
+
+    #[test]
+    fn candidates_are_a_superset_of_matches() {
+        // Index soundness: every truly matching entry must be visited.
+        let mut b: AttrBucket<u32> = AttrBucket::default();
+        let mut vars = Vec::new();
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let mut k = 0;
+        for op in ops {
+            for c in [-2i64, 0, 3, 7] {
+                let var = tv(&[("x", Some((op, AttrValue::Int(c))))]);
+                b.insert(&var, k);
+                vars.push(var);
+                k += 1u32;
+            }
+        }
+        for v in [-3i64, -2, 0, 1, 3, 5, 7, 100] {
+            let raw = v.to_string();
+            let attrs = [("x", raw.as_str())];
+            let cands = candidates(&b, &attrs);
+            for (i, var) in vars.iter().enumerate() {
+                let matches = verify_tagvar(var, |name| {
+                    attrs.iter().find(|(n, _)| *n == name).map(|(_, r)| *r)
+                });
+                if matches {
+                    assert!(cands.contains(&(i as u32)), "entry {i} missing for v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_constraint_indexed_by_first() {
+        // Constraints are sorted by name: first = "a".
+        let var = tv(&[
+            ("b", Some((CmpOp::Eq, AttrValue::Int(1)))),
+            ("a", Some((CmpOp::Eq, AttrValue::Int(2)))),
+        ]);
+        let mut b: AttrBucket<u32> = AttrBucket::default();
+        b.insert(&var, 0);
+        // Candidate when a=2 (first constraint), even if b is wrong —
+        // verification rejects it later.
+        assert_eq!(candidates(&b, &[("a", "2"), ("b", "9")]), vec![0]);
+        assert_eq!(candidates(&b, &[("a", "3"), ("b", "1")]), Vec::<u32>::new());
+        assert!(!verify_tagvar(&var, |n| {
+            [("a", "2"), ("b", "9")]
+                .iter()
+                .find(|(x, _)| *x == n)
+                .map(|(_, v)| *v)
+        }));
+    }
+}

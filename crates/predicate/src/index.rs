@@ -1,0 +1,703 @@
+//! The predicate index (paper §4.1.2, Fig. 1) and predicate matching.
+//!
+//! Distinct predicates are managed through staged lookups: the first stage
+//! dispatches on predicate type; absolute predicates hash on the tag name
+//! into per-operator arrays indexed by the predicate value; relative
+//! predicates use a two-stage lookup on (first tag, second tag); end-of-path
+//! predicates use one array per tag; length predicates a single array.
+//! Inserting a predicate that already exists returns the existing
+//! [`PredId`] — overlapping parts of different XPEs are stored and evaluated
+//! exactly once.
+//!
+//! Attribute-constrained predicates (inline mode, §5) cannot be indexed by
+//! position value alone (several distinct predicates can share (tag, op, v)
+//! but differ in their attribute filters), so they live in per-tag side
+//! lists scanned during evaluation.
+
+use crate::attr_index::{verify_tagvar, AttrBucket};
+use crate::publication::Publication;
+use crate::types::{PredId, Predicate, PosOp, TagVar};
+use pxf_xml::{Document, Symbol};
+use std::collections::HashMap;
+
+/// Per-operator arrays of predicate ids, indexed by predicate value.
+#[derive(Debug, Default, Clone)]
+struct OpArrays {
+    eq: Vec<Option<PredId>>,
+    ge: Vec<Option<PredId>>,
+}
+
+impl OpArrays {
+    fn slot(&mut self, op: PosOp, value: u32) -> &mut Option<PredId> {
+        let arr = match op {
+            PosOp::Eq => &mut self.eq,
+            PosOp::Ge => &mut self.ge,
+        };
+        let idx = value as usize;
+        if arr.len() <= idx {
+            arr.resize(idx + 1, None);
+        }
+        &mut arr[idx]
+    }
+}
+
+/// An attribute-constrained absolute or end-of-path predicate entry. The
+/// positional operator and value are implicit in the bucket holding the
+/// entry.
+#[derive(Debug, Clone)]
+struct AttrUnary {
+    tag: TagVar,
+    pid: PredId,
+}
+
+/// An attribute-constrained relative predicate entry (keyed by the `from`
+/// tag and, within [`AttrOpLists`], by operator and value).
+#[derive(Debug, Clone)]
+struct AttrBinary {
+    from: TagVar,
+    to: TagVar,
+    pid: PredId,
+}
+
+/// Positional slot for relative attribute predicates: entries indexed by
+/// whichever tag variable carries constraints.
+#[derive(Debug, Clone, Default)]
+struct RelSlot {
+    by_from: AttrBucket<AttrBinary>,
+    by_to: AttrBucket<AttrBinary>,
+}
+
+impl RelSlot {
+    fn insert(&mut self, entry: AttrBinary) {
+        if entry.from.has_attrs() {
+            let key = entry.from.clone();
+            self.by_from.insert(&key, entry);
+        } else {
+            let key = entry.to.clone();
+            self.by_to.insert(&key, entry);
+        }
+    }
+
+    fn find(&self, from: &TagVar, to: &TagVar) -> Option<PredId> {
+        self.by_from
+            .iter()
+            .chain(self.by_to.iter())
+            .find(|e| e.from == *from && e.to == *to)
+            .map(|e| e.pid)
+    }
+}
+
+/// Attribute-predicate slots, value-indexed exactly like the plain
+/// [`OpArrays`] — so evaluation only ever touches slots whose positional
+/// relation already holds.
+#[derive(Debug, Clone)]
+struct AttrOpLists<S> {
+    eq: Vec<S>,
+    ge: Vec<S>,
+}
+
+impl<S> Default for AttrOpLists<S> {
+    fn default() -> Self {
+        AttrOpLists {
+            eq: Vec::new(),
+            ge: Vec::new(),
+        }
+    }
+}
+
+impl<S: Default> AttrOpLists<S> {
+    fn slot_mut(&mut self, op: PosOp, value: u32) -> &mut S {
+        let arr = match op {
+            PosOp::Eq => &mut self.eq,
+            PosOp::Ge => &mut self.ge,
+        };
+        let idx = value as usize;
+        if arr.len() <= idx {
+            arr.resize_with(idx + 1, S::default);
+        }
+        &mut arr[idx]
+    }
+
+    fn slot(&self, op: PosOp, value: u32) -> Option<&S> {
+        let arr = match op {
+            PosOp::Eq => &self.eq,
+            PosOp::Ge => &self.ge,
+        };
+        arr.get(value as usize)
+    }
+}
+
+/// Grow-on-demand dense table indexed by [`Symbol`].
+#[derive(Debug, Clone)]
+struct SymTable<T>(Vec<T>);
+
+impl<T: Default> SymTable<T> {
+    fn new() -> Self {
+        SymTable(Vec::new())
+    }
+    fn get(&self, sym: Symbol) -> Option<&T> {
+        self.0.get(sym.index())
+    }
+    fn get_mut(&mut self, sym: Symbol) -> &mut T {
+        let idx = sym.index();
+        if self.0.len() <= idx {
+            self.0.resize_with(idx + 1, T::default);
+        }
+        &mut self.0[idx]
+    }
+}
+
+/// The predicate index: distinct-predicate storage plus the access paths
+/// used for matching (paper Fig. 1).
+#[derive(Debug)]
+pub struct PredicateIndex {
+    /// Absolute predicates: tag → per-operator value arrays.
+    absolute: SymTable<OpArrays>,
+    /// Relative predicates: first tag → (second tag → value arrays). The
+    /// paper's two-stage hash; the first stage is a dense symbol table.
+    relative: SymTable<HashMap<Symbol, OpArrays>>,
+    /// End-of-path predicates: tag → value array (operator is always ≥).
+    end_of_path: SymTable<Vec<Option<PredId>>>,
+    /// Length predicates: value array (operator is always ≥).
+    length: Vec<Option<PredId>>,
+    /// Attribute-constrained predicates, bucketed by tag, positional
+    /// operator and value, then indexed by attribute constant (see
+    /// [`crate::attr_index`]).
+    absolute_attr: SymTable<AttrOpLists<AttrBucket<AttrUnary>>>,
+    relative_attr: SymTable<HashMap<Symbol, AttrOpLists<RelSlot>>>,
+    end_attr: SymTable<AttrOpLists<AttrBucket<AttrUnary>>>,
+    /// Whether any attribute-constrained predicate exists (skips side-list
+    /// scans entirely otherwise).
+    has_attr_preds: bool,
+    /// PredId → predicate.
+    preds: Vec<Predicate>,
+}
+
+impl Default for PredicateIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PredicateIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        PredicateIndex {
+            absolute: SymTable::new(),
+            relative: SymTable::new(),
+            end_of_path: SymTable::new(),
+            length: Vec::new(),
+            absolute_attr: SymTable::new(),
+            relative_attr: SymTable::new(),
+            end_attr: SymTable::new(),
+            has_attr_preds: false,
+            preds: Vec::new(),
+        }
+    }
+
+    /// Number of distinct predicates stored (the paper's Fig. 10 metric).
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if no predicate has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Returns the predicate for an id.
+    pub fn predicate(&self, pid: PredId) -> &Predicate {
+        &self.preds[pid.index()]
+    }
+
+    fn alloc(preds: &mut Vec<Predicate>, pred: Predicate) -> PredId {
+        let pid = PredId(preds.len() as u32);
+        preds.push(pred);
+        pid
+    }
+
+    /// Inserts a predicate, returning its id. If the exact same predicate is
+    /// already stored, the existing id is returned (overlap sharing).
+    pub fn insert(&mut self, pred: Predicate) -> PredId {
+        match &pred {
+            Predicate::Absolute { tag, op, value } if !tag.has_attrs() => {
+                let slot = self.absolute.get_mut(tag.tag).slot(*op, *value);
+                match slot {
+                    Some(pid) => *pid,
+                    None => {
+                        let pid = Self::alloc(&mut self.preds, pred.clone());
+                        *slot = Some(pid);
+                        pid
+                    }
+                }
+            }
+            Predicate::Relative { from, to, op, value }
+                if !from.has_attrs() && !to.has_attrs() =>
+            {
+                let slot = self
+                    .relative
+                    .get_mut(from.tag)
+                    .entry(to.tag)
+                    .or_default()
+                    .slot(*op, *value);
+                match slot {
+                    Some(pid) => *pid,
+                    None => {
+                        let pid = Self::alloc(&mut self.preds, pred.clone());
+                        *slot = Some(pid);
+                        pid
+                    }
+                }
+            }
+            Predicate::EndOfPath { tag, value } if !tag.has_attrs() => {
+                let arr = self.end_of_path.get_mut(tag.tag);
+                let idx = *value as usize;
+                if arr.len() <= idx {
+                    arr.resize(idx + 1, None);
+                }
+                match &arr[idx] {
+                    Some(pid) => *pid,
+                    None => {
+                        let pid = Self::alloc(&mut self.preds, pred.clone());
+                        arr[idx] = Some(pid);
+                        pid
+                    }
+                }
+            }
+            Predicate::Length { value } => {
+                let idx = *value as usize;
+                if self.length.len() <= idx {
+                    self.length.resize(idx + 1, None);
+                }
+                match &self.length[idx] {
+                    Some(pid) => *pid,
+                    None => {
+                        let pid = Self::alloc(&mut self.preds, pred.clone());
+                        self.length[idx] = Some(pid);
+                        pid
+                    }
+                }
+            }
+            // Attribute-constrained variants: value-indexed slots holding
+            // constant-indexed buckets, with dedup on the full tag
+            // variables.
+            Predicate::Absolute { tag, op, value } => {
+                self.has_attr_preds = true;
+                let bucket = self.absolute_attr.get_mut(tag.tag).slot_mut(*op, *value);
+                if let Some(e) = bucket.iter().find(|e| e.tag == *tag) {
+                    return e.pid;
+                }
+                let pid = Self::alloc(&mut self.preds, pred.clone());
+                bucket.insert(
+                    tag,
+                    AttrUnary {
+                        tag: tag.clone(),
+                        pid,
+                    },
+                );
+                pid
+            }
+            Predicate::Relative { from, to, op, value } => {
+                self.has_attr_preds = true;
+                let slot = self
+                    .relative_attr
+                    .get_mut(from.tag)
+                    .entry(to.tag)
+                    .or_default()
+                    .slot_mut(*op, *value);
+                if let Some(pid) = slot.find(from, to) {
+                    return pid;
+                }
+                let pid = Self::alloc(&mut self.preds, pred.clone());
+                slot.insert(AttrBinary {
+                    from: from.clone(),
+                    to: to.clone(),
+                    pid,
+                });
+                pid
+            }
+            Predicate::EndOfPath { tag, value } => {
+                self.has_attr_preds = true;
+                let bucket = self.end_attr.get_mut(tag.tag).slot_mut(PosOp::Ge, *value);
+                if let Some(e) = bucket.iter().find(|e| e.tag == *tag) {
+                    return e.pid;
+                }
+                let pid = Self::alloc(&mut self.preds, pred.clone());
+                bucket.insert(
+                    tag,
+                    AttrUnary {
+                        tag: tag.clone(),
+                        pid,
+                    },
+                );
+                pid
+            }
+        }
+    }
+
+    /// Looks up a predicate without inserting.
+    pub fn get(&self, pred: &Predicate) -> Option<PredId> {
+        match pred {
+            Predicate::Absolute { tag, op, value } if !tag.has_attrs() => {
+                let arrays = self.absolute.get(tag.tag)?;
+                let arr = match op {
+                    PosOp::Eq => &arrays.eq,
+                    PosOp::Ge => &arrays.ge,
+                };
+                arr.get(*value as usize).copied().flatten()
+            }
+            Predicate::Relative { from, to, op, value }
+                if !from.has_attrs() && !to.has_attrs() =>
+            {
+                let arrays = self.relative.get(from.tag)?.get(&to.tag)?;
+                let arr = match op {
+                    PosOp::Eq => &arrays.eq,
+                    PosOp::Ge => &arrays.ge,
+                };
+                arr.get(*value as usize).copied().flatten()
+            }
+            Predicate::EndOfPath { tag, value } if !tag.has_attrs() => self
+                .end_of_path
+                .get(tag.tag)?
+                .get(*value as usize)
+                .copied()
+                .flatten(),
+            Predicate::Length { value } => {
+                self.length.get(*value as usize).copied().flatten()
+            }
+            Predicate::Absolute { tag, op, value } => self
+                .absolute_attr
+                .get(tag.tag)?
+                .slot(*op, *value)?
+                .iter()
+                .find(|e| e.tag == *tag)
+                .map(|e| e.pid),
+            Predicate::Relative { from, to, op, value } => self
+                .relative_attr
+                .get(from.tag)?
+                .get(&to.tag)?
+                .slot(*op, *value)?
+                .find(from, to),
+            Predicate::EndOfPath { tag, value } => self
+                .end_attr
+                .get(tag.tag)?
+                .slot(PosOp::Ge, *value)?
+                .iter()
+                .find(|e| e.tag == *tag)
+                .map(|e| e.pid),
+        }
+    }
+
+    /// Evaluates a publication against every predicate in the index
+    /// (paper §4.1), recording matches in `ctx`. `doc` is required when
+    /// attribute-constrained predicates are present (inline mode).
+    pub fn evaluate(&self, publication: &Publication, doc: Option<&Document>, ctx: &mut MatchContext) {
+        ctx.begin(self.preds.len());
+        let len = publication.length;
+
+        // Length-of-expression predicates: (length, ≥, v) matches iff v ≤ n.
+        let max_l = (self.length.len().saturating_sub(1) as u16).min(len);
+        for v in 1..=max_l {
+            if let Some(pid) = self.length[v as usize] {
+                ctx.push(pid, (0, 0));
+            }
+        }
+
+        for tuple in &publication.tuples {
+            // Absolute predicates: (p_t, =, v) matches iff pos == v;
+            // (p_t, ≥, v) matches iff pos ≥ v, i.e. every array slot 1..=pos.
+            if let Some(arrays) = self.absolute.get(tuple.tag) {
+                if let Some(Some(pid)) = arrays.eq.get(tuple.pos as usize) {
+                    ctx.push(*pid, (tuple.occ, tuple.occ));
+                }
+                let max = (arrays.ge.len().saturating_sub(1) as u16).min(tuple.pos);
+                for v in 1..=max {
+                    if let Some(pid) = arrays.ge[v as usize] {
+                        ctx.push(pid, (tuple.occ, tuple.occ));
+                    }
+                }
+            }
+            // End-of-path predicates: (p_t⊣, ≥, v) matches iff n − pos ≥ v.
+            if let Some(arr) = self.end_of_path.get(tuple.tag) {
+                let rem = len - tuple.pos;
+                let max = (arr.len().saturating_sub(1) as u16).min(rem);
+                for v in 1..=max {
+                    if let Some(pid) = arr[v as usize] {
+                        ctx.push(pid, (tuple.occ, tuple.occ));
+                    }
+                }
+            }
+        }
+
+        // Relative predicates: correlate ordered pairs of tuples
+        // (paper §4.1.2: "the index position is identified by the difference
+        // of the positions of the second-level and first-level tags").
+        let tuples = &publication.tuples;
+        for i in 0..tuples.len() {
+            let from = &tuples[i];
+            let Some(map) = self.relative.get(from.tag) else {
+                continue;
+            };
+            if map.is_empty() {
+                continue;
+            }
+            for to in &tuples[i + 1..] {
+                let Some(arrays) = map.get(&to.tag) else {
+                    continue;
+                };
+                let diff = to.pos - from.pos;
+                if let Some(Some(pid)) = arrays.eq.get(diff as usize) {
+                    ctx.push(*pid, (from.occ, to.occ));
+                }
+                let max = (arrays.ge.len().saturating_sub(1) as u16).min(diff);
+                for v in 1..=max {
+                    if let Some(pid) = arrays.ge[v as usize] {
+                        ctx.push(pid, (from.occ, to.occ));
+                    }
+                }
+            }
+        }
+
+        if self.has_attr_preds {
+            let doc = doc.expect(
+                "PredicateIndex::evaluate: a Document is required when \
+                 attribute-constrained predicates are present",
+            );
+            self.evaluate_attr_preds(publication, doc, ctx);
+        }
+    }
+
+    /// Evaluates the attribute-constrained side lists (inline mode, §5): a
+    /// predicate matches iff both the positional relation and every attached
+    /// attribute filter hold.
+    fn evaluate_attr_preds(
+        &self,
+        publication: &Publication,
+        doc: &Document,
+        ctx: &mut MatchContext,
+    ) {
+        let len = publication.length;
+        let scan_unary = |lists: &AttrOpLists<AttrBucket<AttrUnary>>,
+                          value: u16,
+                          node: pxf_xml::NodeId,
+                          occ: u16,
+                          ctx: &mut MatchContext| {
+            let element = doc.node(node);
+            let on_candidate = |e: &AttrUnary, ctx: &mut MatchContext| {
+                if verify_tagvar(&e.tag, |name| element.value_of(name)) {
+                    ctx.push(e.pid, (occ, occ));
+                }
+            };
+            if let Some(bucket) = lists.slot(PosOp::Eq, value as u32) {
+                bucket.for_each_candidate(|name| element.value_of(name), |e| on_candidate(e, ctx));
+            }
+            let max = (lists.ge.len().saturating_sub(1) as u16).min(value);
+            for v in 1..=max {
+                lists.ge[v as usize]
+                    .for_each_candidate(|name| element.value_of(name), |e| on_candidate(e, ctx));
+            }
+        };
+        for tuple in &publication.tuples {
+            if let Some(lists) = self.absolute_attr.get(tuple.tag) {
+                scan_unary(lists, tuple.pos, tuple.node, tuple.occ, ctx);
+            }
+            if let Some(lists) = self.end_attr.get(tuple.tag) {
+                scan_unary(lists, len - tuple.pos, tuple.node, tuple.occ, ctx);
+            }
+        }
+        let tuples = &publication.tuples;
+        for i in 0..tuples.len() {
+            let from = &tuples[i];
+            let Some(map) = self.relative_attr.get(from.tag) else {
+                continue;
+            };
+            if map.is_empty() {
+                continue;
+            }
+            let from_element = doc.node(from.node);
+            for to in &tuples[i + 1..] {
+                let Some(lists) = map.get(&to.tag) else {
+                    continue;
+                };
+                let to_element = doc.node(to.node);
+                let on_candidate = |e: &AttrBinary, ctx: &mut MatchContext| {
+                    if verify_tagvar(&e.from, |name| from_element.value_of(name))
+                        && verify_tagvar(&e.to, |name| to_element.value_of(name))
+                    {
+                        ctx.push(e.pid, (from.occ, to.occ));
+                    }
+                };
+                let scan_slot = |slot: &RelSlot, ctx: &mut MatchContext| {
+                    slot.by_from
+                        .for_each_candidate(|name| from_element.value_of(name), |e| {
+                            on_candidate(e, ctx)
+                        });
+                    slot.by_to
+                        .for_each_candidate(|name| to_element.value_of(name), |e| {
+                            on_candidate(e, ctx)
+                        });
+                };
+                let diff = (to.pos - from.pos) as u32;
+                if let Some(slot) = lists.slot(PosOp::Eq, diff) {
+                    scan_slot(slot, ctx);
+                }
+                let max = (lists.ge.len().saturating_sub(1) as u32).min(diff);
+                for v in 1..=max {
+                    scan_slot(&lists.ge[v as usize], ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Checks every attribute constraint of a tag variable against a document
+/// element.
+fn tagvar_attrs_match(tag: &TagVar, node: pxf_xml::NodeId, doc: &Document) -> bool {
+    if tag.attrs.is_empty() {
+        return true;
+    }
+    let element = doc.node(node);
+    tag.attrs
+        .iter()
+        .all(|c| c.matches(element.value_of(&c.name)))
+}
+
+/// Per-publication predicate matching results: for each matched predicate,
+/// the list of matching occurrence-number pairs (paper Table 1).
+///
+/// The context is reused across publications via an epoch counter — no
+/// clearing or reallocation between documents.
+#[derive(Debug, Default)]
+pub struct MatchContext {
+    epoch: u32,
+    lists: Vec<MatchList>,
+    touched: Vec<PredId>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct MatchList {
+    epoch: u32,
+    pairs: Vec<(u16, u16)>,
+}
+
+impl MatchContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new publication evaluation (invalidates previous results).
+    pub fn begin(&mut self, npreds: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.lists.len() < npreds {
+            self.lists.resize_with(npreds, MatchList::default);
+        }
+        self.touched.clear();
+    }
+
+    /// Records a matching occurrence pair for a predicate.
+    #[inline]
+    pub fn push(&mut self, pid: PredId, pair: (u16, u16)) {
+        let list = &mut self.lists[pid.index()];
+        if list.epoch != self.epoch {
+            list.epoch = self.epoch;
+            list.pairs.clear();
+            self.touched.push(pid);
+        }
+        list.pairs.push(pair);
+    }
+
+    /// The matching occurrence pairs for a predicate in the current
+    /// publication (empty slice if the predicate did not match).
+    #[inline]
+    pub fn get(&self, pid: PredId) -> &[(u16, u16)] {
+        match self.lists.get(pid.index()) {
+            Some(list) if list.epoch == self.epoch => &list.pairs,
+            _ => &[],
+        }
+    }
+
+    /// True if the predicate matched the current publication.
+    #[inline]
+    pub fn is_matched(&self, pid: PredId) -> bool {
+        !self.get(pid).is_empty()
+    }
+
+    /// All predicates matched by the current publication.
+    pub fn matched(&self) -> &[PredId] {
+        &self.touched
+    }
+}
+
+/// Evaluates a single predicate directly against a publication, without
+/// the index — the paper's evaluation rules (§4.1.1) executed by scanning
+/// the tuples. Used as a test oracle for the index and as the
+/// no-predicate-sharing ablation baseline (each expression evaluating its
+/// own predicates).
+pub fn eval_direct(
+    pred: &Predicate,
+    publication: &Publication,
+    doc: Option<&Document>,
+    out: &mut Vec<(u16, u16)>,
+) {
+    out.clear();
+    let attrs_ok = |tag: &TagVar, node: pxf_xml::NodeId| -> bool {
+        match doc {
+            _ if tag.attrs.is_empty() => true,
+            Some(doc) => tagvar_attrs_match(tag, node, doc),
+            None => false,
+        }
+    };
+    match pred {
+        Predicate::Absolute { tag, op, value } => {
+            for t in &publication.tuples {
+                if t.tag != tag.tag {
+                    continue;
+                }
+                let pos_ok = match op {
+                    PosOp::Eq => t.pos as u32 == *value,
+                    PosOp::Ge => t.pos as u32 >= *value,
+                };
+                if pos_ok && attrs_ok(tag, t.node) {
+                    out.push((t.occ, t.occ));
+                }
+            }
+        }
+        Predicate::Relative { from, to, op, value } => {
+            let tuples = &publication.tuples;
+            for i in 0..tuples.len() {
+                if tuples[i].tag != from.tag {
+                    continue;
+                }
+                for j in i + 1..tuples.len() {
+                    if tuples[j].tag != to.tag {
+                        continue;
+                    }
+                    let diff = (tuples[j].pos - tuples[i].pos) as u32;
+                    let pos_ok = match op {
+                        PosOp::Eq => diff == *value,
+                        PosOp::Ge => diff >= *value,
+                    };
+                    if pos_ok && attrs_ok(from, tuples[i].node) && attrs_ok(to, tuples[j].node) {
+                        out.push((tuples[i].occ, tuples[j].occ));
+                    }
+                }
+            }
+        }
+        Predicate::EndOfPath { tag, value } => {
+            for t in &publication.tuples {
+                if t.tag == tag.tag
+                    && (publication.length - t.pos) as u32 >= *value
+                    && attrs_ok(tag, t.node)
+                {
+                    out.push((t.occ, t.occ));
+                }
+            }
+        }
+        Predicate::Length { value } => {
+            if publication.length as u32 >= *value {
+                out.push((0, 0));
+            }
+        }
+    }
+}

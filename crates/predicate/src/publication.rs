@@ -1,0 +1,191 @@
+//! Publication encoding of XML document paths (paper §3.3).
+//!
+//! Each root-to-leaf document path `e = (t1, …, tn)` becomes a set of
+//! (attribute, value) pairs: a `(length, n)` tuple plus one `(tag, position)`
+//! tuple per element, with each tag annotated by its *occurrence number* —
+//! how many times that tag name has already appeared in the path (Example 1
+//! of the paper).
+
+use pxf_xml::{Document, Interner, NodeId, Symbol};
+
+/// One `(tag, position)` tuple of a publication, with its occurrence number
+/// and the originating document node (for attribute lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathTuple {
+    /// Interned tag name.
+    pub tag: Symbol,
+    /// 1-based position in the document path.
+    pub pos: u16,
+    /// 1-based occurrence number of this tag name within the path.
+    pub occ: u16,
+    /// The element this tuple came from.
+    pub node: NodeId,
+}
+
+/// The publication for one document path: its length plus one tuple per
+/// element. The struct is designed for reuse across paths — see
+/// [`Publication::encode`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Publication {
+    /// Path length (the `(length, n)` tuple).
+    pub length: u16,
+    /// `(tag, position)` tuples in path order.
+    pub tuples: Vec<PathTuple>,
+    /// Scratch for occurrence counting, keyed by tag symbol.
+    occ_scratch: Vec<(Symbol, u16)>,
+}
+
+impl Publication {
+    /// Creates an empty publication (fill with [`Self::encode`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes a document path (root-to-leaf node ids) into this
+    /// publication, reusing buffers. Tags are interned on the fly — per the
+    /// paper this happens during document parsing and "does not require
+    /// additional processing, except for collecting the occurrence numbers".
+    pub fn encode(&mut self, doc: &Document, path: &[NodeId], interner: &mut Interner) {
+        self.length = path.len() as u16;
+        self.tuples.clear();
+        self.occ_scratch.clear();
+        for (i, &node) in path.iter().enumerate() {
+            let tag = interner.intern(&doc.node(node).tag);
+            self.push_tuple(tag, (i + 1) as u16, node);
+        }
+    }
+
+    /// Read-only variant of [`Self::encode`]: tags never seen by the
+    /// interner map to [`Symbol::UNKNOWN`]. Such tags cannot match any
+    /// stored predicate (no predicate mentions them), so matching results
+    /// are identical — this is what allows concurrent matching against a
+    /// shared, immutable engine.
+    pub fn encode_readonly(&mut self, doc: &Document, path: &[NodeId], interner: &Interner) {
+        self.length = path.len() as u16;
+        self.tuples.clear();
+        self.occ_scratch.clear();
+        for (i, &node) in path.iter().enumerate() {
+            let tag = interner
+                .get(&doc.node(node).tag)
+                .unwrap_or(pxf_xml::Symbol::UNKNOWN);
+            self.push_tuple(tag, (i + 1) as u16, node);
+        }
+    }
+
+    fn push_tuple(&mut self, tag: pxf_xml::Symbol, pos: u16, node: NodeId) {
+        let occ = match self.occ_scratch.iter_mut().find(|(t, _)| *t == tag) {
+            Some((_, n)) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                self.occ_scratch.push((tag, 1));
+                1
+            }
+        };
+        self.tuples.push(PathTuple { tag, pos, occ, node });
+    }
+
+    /// Convenience constructor for a single path.
+    pub fn from_path(doc: &Document, path: &[NodeId], interner: &mut Interner) -> Self {
+        let mut p = Publication::new();
+        p.encode(doc, path, interner);
+        p
+    }
+
+    /// Builds a publication directly from a tag-name sequence (tests and the
+    /// reference matcher).
+    pub fn from_tags(tags: &[&str], interner: &mut Interner) -> Self {
+        let mut p = Publication::new();
+        p.length = tags.len() as u16;
+        for (i, t) in tags.iter().enumerate() {
+            let tag = interner.intern(t);
+            let occ = match p.occ_scratch.iter_mut().find(|(s, _)| *s == tag) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    p.occ_scratch.push((tag, 1));
+                    1
+                }
+            };
+            p.tuples.push(PathTuple {
+                tag,
+                pos: (i + 1) as u16,
+                occ,
+                node: 0,
+            });
+        }
+        p
+    }
+
+    /// Finds the tuple for a given tag occurrence.
+    pub fn find_occurrence(&self, tag: Symbol, occ: u16) -> Option<&PathTuple> {
+        self.tuples.iter().find(|t| t.tag == tag && t.occ == occ)
+    }
+
+    /// The position (1-based) of a given tag occurrence.
+    pub fn position_of(&self, tag: Symbol, occ: u16) -> Option<u16> {
+        self.find_occurrence(tag, occ).map(|t| t.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Example 1: e = (a, b, c, a, b, c) annotated with occurrence
+    /// numbers (a¹ b¹ c¹ a² b² c²).
+    #[test]
+    fn example1_occurrence_annotation() {
+        let mut interner = Interner::new();
+        let p = Publication::from_tags(&["a", "b", "c", "a", "b", "c"], &mut interner);
+        assert_eq!(p.length, 6);
+        let a = interner.get("a").unwrap();
+        let b = interner.get("b").unwrap();
+        let c = interner.get("c").unwrap();
+        let expected = [
+            (a, 1u16, 1u16),
+            (b, 2, 1),
+            (c, 3, 1),
+            (a, 4, 2),
+            (b, 5, 2),
+            (c, 6, 2),
+        ];
+        for (tuple, (tag, pos, occ)) in p.tuples.iter().zip(expected) {
+            assert_eq!((tuple.tag, tuple.pos, tuple.occ), (tag, pos, occ));
+        }
+        assert_eq!(p.position_of(a, 2), Some(4));
+        assert_eq!(p.position_of(c, 2), Some(6));
+        assert_eq!(p.position_of(c, 3), None);
+    }
+
+    #[test]
+    fn encode_from_document() {
+        let doc = Document::parse(b"<a><b><a/></b></a>").unwrap();
+        let mut interner = Interner::new();
+        let paths = doc.leaf_paths();
+        let p = Publication::from_path(&doc, &paths[0], &mut interner);
+        assert_eq!(p.length, 3);
+        let a = interner.get("a").unwrap();
+        assert_eq!(p.tuples[0].tag, a);
+        assert_eq!(p.tuples[2].tag, a);
+        assert_eq!(p.tuples[0].occ, 1);
+        assert_eq!(p.tuples[2].occ, 2);
+        assert_eq!(p.tuples[2].node, 2);
+    }
+
+    #[test]
+    fn reuse_clears_state() {
+        let mut interner = Interner::new();
+        let doc = Document::parse(b"<x><y/></x>").unwrap();
+        let mut p = Publication::from_tags(&["a", "a"], &mut interner);
+        assert_eq!(p.tuples[1].occ, 2);
+        let paths = doc.leaf_paths();
+        p.encode(&doc, &paths[0], &mut interner);
+        assert_eq!(p.length, 2);
+        assert_eq!(p.tuples.len(), 2);
+        assert!(p.tuples.iter().all(|t| t.occ == 1));
+    }
+}

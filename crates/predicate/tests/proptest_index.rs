@@ -1,0 +1,59 @@
+//! Property: the predicate index's staged evaluation agrees exactly with
+//! direct per-predicate evaluation (the §4.1.1 rules applied naively).
+
+use proptest::prelude::*;
+use pxf_predicate::{eval_direct, MatchContext, PosOp, Predicate, PredicateIndex, Publication};
+use pxf_xml::{Interner, Symbol};
+
+fn arb_pred(n_tags: u32) -> impl Strategy<Value = Predicate> {
+    let tag = move || 0..n_tags;
+    prop_oneof![
+        (tag(), any::<bool>(), 1u32..8).prop_map(|(t, ge, v)| Predicate::absolute(
+            Symbol(t),
+            if ge { PosOp::Ge } else { PosOp::Eq },
+            v
+        )),
+        (tag(), tag(), any::<bool>(), 1u32..6).prop_map(|(a, b, ge, v)| Predicate::relative(
+            Symbol(a),
+            Symbol(b),
+            if ge { PosOp::Ge } else { PosOp::Eq },
+            v
+        )),
+        (tag(), 1u32..6).prop_map(|(t, v)| Predicate::end_of_path(Symbol(t), v)),
+        (1u32..8).prop_map(Predicate::length),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn index_agrees_with_direct_evaluation(
+        preds in proptest::collection::vec(arb_pred(4), 1..12),
+        path in proptest::collection::vec(0u32..4, 1..9),
+    ) {
+        let mut interner = Interner::new();
+        // Intern the 4 tag names so symbols 0..4 exist.
+        let names = ["a", "b", "c", "d"];
+        for n in names {
+            interner.intern(n);
+        }
+        let tags: Vec<&str> = path.iter().map(|&i| names[i as usize]).collect();
+        let publication = Publication::from_tags(&tags, &mut interner);
+
+        let mut index = PredicateIndex::new();
+        let pids: Vec<_> = preds.iter().map(|p| index.insert(p.clone())).collect();
+        let mut ctx = MatchContext::new();
+        index.evaluate(&publication, None, &mut ctx);
+
+        let mut direct = Vec::new();
+        for (pred, &pid) in preds.iter().zip(&pids) {
+            eval_direct(pred, &publication, None, &mut direct);
+            // The index may enumerate pairs in a different order.
+            let mut via_index: Vec<(u16, u16)> = ctx.get(pid).to_vec();
+            via_index.sort_unstable();
+            direct.sort_unstable();
+            prop_assert_eq!(&via_index, &direct, "pred {:?}", pred);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! DTD models for workload generation.
+//!
+//! The paper's experiments use the NITF (News Industry Text Format) DTD and
+//! the PSD (Protein Sequence Database) DTD. The original DTD files are not
+//! redistributable here, so this module ships hand-written models that
+//! mirror the two *regimes* the evaluation depends on:
+//!
+//! * **NITF-like** — a wide vocabulary (~110 elements, generous fanout,
+//!   many attributes). Random expressions rarely align with the branches a
+//!   particular document instantiates → low match percentage (the paper
+//!   reports ≈6%).
+//! * **PSD-like** — a narrow vocabulary (~45 elements, small fanout, few
+//!   attributes). Documents cover most of the schema → high match
+//!   percentage (the paper reports ≈75%).
+
+use std::collections::HashMap;
+
+/// An attribute declaration: name plus a value domain used by the
+/// generators.
+#[derive(Debug, Clone)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: &'static str,
+    /// Value domain.
+    pub kind: AttrKind,
+}
+
+/// Value domain of a generated attribute.
+#[derive(Debug, Clone)]
+pub enum AttrKind {
+    /// Integers in `0..max` (exclusive).
+    Int {
+        /// Exclusive upper bound.
+        max: i64,
+    },
+    /// One of a fixed set of strings.
+    Enum(&'static [&'static str]),
+}
+
+/// One element declaration.
+#[derive(Debug, Clone)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: &'static str,
+    /// Indices of allowed child elements.
+    pub children: Vec<usize>,
+    /// Declared attributes.
+    pub attributes: Vec<AttrDecl>,
+}
+
+/// A document type definition: a named element graph with a root.
+#[derive(Debug, Clone)]
+pub struct Dtd {
+    /// Human-readable name ("nitf", "psd").
+    pub name: &'static str,
+    /// Index of the root element.
+    pub root: usize,
+    /// Element declarations.
+    pub elements: Vec<ElementDecl>,
+    by_name: HashMap<&'static str, usize>,
+}
+
+impl Dtd {
+    /// Builds a DTD from `(name, children, attrs)` rows. Children named but
+    /// never declared become implicit leaf elements.
+    fn build(
+        name: &'static str,
+        rows: &[(&'static str, &[&'static str], &[AttrDecl])],
+    ) -> Dtd {
+        let mut by_name: HashMap<&'static str, usize> = HashMap::new();
+        let mut elements: Vec<ElementDecl> = Vec::new();
+        let intern = |n: &'static str,
+                          elements: &mut Vec<ElementDecl>,
+                          by_name: &mut HashMap<&'static str, usize>| {
+            *by_name.entry(n).or_insert_with(|| {
+                elements.push(ElementDecl {
+                    name: n,
+                    children: Vec::new(),
+                    attributes: Vec::new(),
+                });
+                elements.len() - 1
+            })
+        };
+        for (n, children, attrs) in rows {
+            let id = intern(n, &mut elements, &mut by_name);
+            elements[id].attributes = attrs.to_vec();
+            let child_ids: Vec<usize> = children
+                .iter()
+                .map(|c| intern(c, &mut elements, &mut by_name))
+                .collect();
+            elements[id].children = child_ids;
+        }
+        Dtd {
+            name,
+            root: 0,
+            elements,
+            by_name,
+        }
+    }
+
+    /// Looks up an element by name.
+    pub fn element(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of declared elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// A DTD always has at least a root element.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The NITF-like DTD (wide, attribute-rich; low-match regime).
+    pub fn nitf() -> Dtd {
+        use AttrKind::*;
+        const MT: &[AttrDecl] = &[];
+        fn a(name: &'static str, kind: AttrKind) -> AttrDecl {
+            AttrDecl { name, kind }
+        }
+        let id_attr = || a("id", Int { max: 1000 });
+        let class_attr = || {
+            a(
+                "class",
+                Enum(&["lead", "main", "side", "brief", "update", "wrap"]),
+            )
+        };
+        let rows: &[(&'static str, &[&'static str], &[AttrDecl])] = &[
+            ("nitf", &["head", "body"], &[a("version", Int { max: 5 }), a("change.date", Int { max: 30 })]),
+            ("head", &["title", "meta", "tobject", "iim", "docdata", "pubdata", "revision-history"], MT),
+            ("title", &[], MT),
+            ("meta", &[], &[a("name", Enum(&["author", "desk", "slug", "priority"])), a("content", Int { max: 100 })]),
+            ("tobject", &["tobject.property", "tobject.subject"], &[a("tobject.type", Enum(&["news", "analysis", "feature", "opinion"]))]),
+            ("tobject.property", &[], MT),
+            ("tobject.subject", &[], &[a("tobject.subject.code", Int { max: 20000 }), a("tobject.subject.type", Enum(&["sports", "politics", "finance", "weather", "culture"]))]),
+            ("iim", &["ds"], &[a("ver", Int { max: 5 })]),
+            ("ds", &[], &[a("num", Int { max: 100 }), a("value", Int { max: 1000 })]),
+            ("docdata", &["doc-id", "urgency", "date.issue", "date.release", "date.expire", "doc-scope", "series", "ed-msg", "du-key", "doc.copyright", "doc.rights", "key-list", "identified-content"], MT),
+            ("doc-id", &[], &[a("id-string", Int { max: 100000 }), a("regsrc", Enum(&["AP", "Reuters", "AFP", "DPA"]))]),
+            ("urgency", &[], &[a("ed-urg", Int { max: 9 })]),
+            ("date.issue", &[], &[a("norm", Int { max: 20351231 })]),
+            ("date.release", &[], &[a("norm", Int { max: 20351231 })]),
+            ("date.expire", &[], &[a("norm", Int { max: 20351231 })]),
+            ("doc-scope", &[], &[a("scope", Enum(&["local", "regional", "national", "international"]))]),
+            ("series", &[], &[a("series.name", Int { max: 500 }), a("series.part", Int { max: 30 })]),
+            ("ed-msg", &[], &[a("info", Int { max: 1000 })]),
+            ("du-key", &[], &[a("key", Int { max: 10000 }), a("generation", Int { max: 10 })]),
+            ("doc.copyright", &[], &[a("year", Int { max: 2035 }), a("holder", Enum(&["AP", "Reuters", "AFP", "NYT", "WSJ"]))]),
+            ("doc.rights", &[], &[a("owner", Enum(&["AP", "Reuters", "AFP", "NYT"])), a("startdate", Int { max: 20351231 })]),
+            ("key-list", &["keyword"], MT),
+            ("keyword", &[], &[a("key", Int { max: 5000 })]),
+            ("identified-content", &["person", "org", "location", "event", "function", "object.title", "virtloc", "classifier"], MT),
+            ("classifier", &[], &[a("type", Enum(&["subject", "genre", "audience"])), a("value", Int { max: 300 })]),
+            ("pubdata", &[], &[a("type", Enum(&["print", "web", "broadcast"])), a("position.section", Enum(&["front", "sports", "business", "world"])), a("item-length", Int { max: 5000 })]),
+            ("revision-history", &[], &[a("name", Enum(&["editor-a", "editor-b", "editor-c"])), a("function", Enum(&["created", "edited", "reviewed"])), a("norm", Int { max: 20351231 })]),
+            ("body", &["body.head", "body.content", "body.end"], MT),
+            ("body.head", &["hedline", "note", "rights", "byline", "distributor", "dateline", "abstract", "series"], MT),
+            ("hedline", &["hl1", "hl2"], MT),
+            ("hl1", &[], &[id_attr()]),
+            ("hl2", &[], &[id_attr()]),
+            ("note", &["body.content"], &[a("noteclass", Enum(&["editorsnote", "correction", "clarification"])), a("type", Enum(&["std", "pa", "npa"]))]),
+            ("rights", &["rights.owner", "rights.startdate", "rights.enddate", "rights.agent", "rights.geography", "rights.type", "rights.limitations"], MT),
+            ("rights.owner", &[], &[a("contact", Int { max: 1000 })]),
+            ("rights.startdate", &[], &[a("norm", Int { max: 20351231 })]),
+            ("rights.enddate", &[], &[a("norm", Int { max: 20351231 })]),
+            ("rights.agent", &[], &[a("contact", Int { max: 1000 })]),
+            ("rights.geography", &[], &[a("location", Enum(&["us", "eu", "asia", "world"]))]),
+            ("rights.type", &[], &[a("type", Enum(&["reprint", "broadcast", "web"]))]),
+            ("rights.limitations", &[], MT),
+            ("byline", &["person", "byttl", "location", "virtloc"], MT),
+            ("byttl", &[], MT),
+            ("distributor", &["org"], MT),
+            ("dateline", &["location", "story.date"], MT),
+            ("story.date", &[], &[a("norm", Int { max: 20351231 })]),
+            ("abstract", &["p"], MT),
+            ("body.content", &["block", "p", "media", "table", "ol", "ul", "hr", "pre", "fn", "bq"], MT),
+            ("block", &["p", "media", "table", "ol", "ul", "hr", "note", "bq", "datasource", "copyrite"], &[id_attr(), class_attr()]),
+            ("p", &["em", "strong", "a", "br", "q", "person", "location", "org", "money", "num", "chron", "event", "function", "object.title", "virtloc", "copyrite", "pronounce", "alt-code"], &[a("lede", Enum(&["true", "false"])), a("summary", Enum(&["true", "false"])), a("optional-text", Enum(&["true", "false"]))]),
+            ("em", &[], MT),
+            ("strong", &[], MT),
+            ("a", &[], &[a("href", Int { max: 100000 }), a("name", Int { max: 1000 })]),
+            ("br", &[], MT),
+            ("q", &["person", "org"], &[a("quote-source", Int { max: 1000 })]),
+            ("person", &["name.given", "name.family", "function", "alt-code"], &[a("idsrc", Enum(&["local", "wiki", "iptc"])), a("value", Int { max: 100000 })]),
+            ("name.given", &[], MT),
+            ("name.family", &[], MT),
+            ("location", &["sublocation", "city", "state", "region", "country", "alt-code"], &[a("location-code", Int { max: 10000 }), a("code-source", Enum(&["iso", "iptc"]))]),
+            ("sublocation", &[], MT),
+            ("city", &[], MT),
+            ("state", &[], MT),
+            ("region", &[], MT),
+            ("country", &[], &[a("iso-cc", Enum(&["us", "gb", "de", "fr", "jp", "cn", "br", "in"]))]),
+            ("org", &["alt-code"], &[a("idsrc", Enum(&["nasdaq", "nyse", "local"])), a("value", Int { max: 100000 })]),
+            ("money", &[], &[a("unit", Enum(&["usd", "eur", "gbp", "jpy"]))]),
+            ("num", &[], &[a("units", Enum(&["percent", "absolute", "ratio"])), a("decimals", Int { max: 6 })]),
+            ("chron", &[], &[a("norm", Int { max: 20351231 })]),
+            ("event", &["alt-code"], &[a("idsrc", Enum(&["local", "iptc"])), a("value", Int { max: 10000 })]),
+            ("function", &[], &[a("idsrc", Enum(&["local", "iptc"])), a("value", Int { max: 1000 })]),
+            ("object.title", &[], &[id_attr()]),
+            ("virtloc", &[], &[id_attr(), class_attr()]),
+            ("copyrite", &["copyrite.year", "copyrite.holder"], MT),
+            ("copyrite.year", &[], MT),
+            ("copyrite.holder", &[], MT),
+            ("pronounce", &[], &[a("guide", Int { max: 1000 }), a("phonetic", Int { max: 1000 })]),
+            ("alt-code", &[], &[a("idsrc", Enum(&["iptc", "local", "wiki"])), a("value", Int { max: 100000 })]),
+            ("media", &["media-reference", "media-metadata", "media-object", "media-caption", "media-producer"], &[a("media-type", Enum(&["image", "video", "audio", "graphic"])), class_attr()]),
+            ("media-reference", &[], &[a("source", Int { max: 100000 }), a("mime-type", Enum(&["image/jpeg", "image/png", "video/mp4", "audio/mp3"])), a("coding", Enum(&["base64", "binary"])), a("time", Int { max: 86400 }), a("height", Int { max: 4096 }), a("width", Int { max: 4096 })]),
+            ("media-metadata", &[], &[a("name", Enum(&["camera", "shutter", "iso", "gps"])), a("value", Int { max: 100000 })]),
+            ("media-object", &[], &[a("encoding", Enum(&["base64", "binary"]))]),
+            ("media-caption", &["p"], MT),
+            ("media-producer", &["person", "org"], MT),
+            ("table", &["caption", "tr", "col", "colgroup", "thead", "tbody", "tfoot"], &[a("frame", Enum(&["box", "void", "above", "below"])), a("cellpadding", Int { max: 20 }), a("cellspacing", Int { max: 20 }), a("width", Int { max: 1600 })]),
+            ("caption", &["em", "strong"], MT),
+            ("col", &[], &[a("span", Int { max: 10 }), a("width", Int { max: 400 })]),
+            ("colgroup", &["col"], &[a("span", Int { max: 10 })]),
+            ("thead", &["tr"], MT),
+            ("tbody", &["tr"], MT),
+            ("tfoot", &["tr"], MT),
+            ("tr", &["td", "th"], &[a("align", Enum(&["left", "center", "right"]))]),
+            ("td", &["p", "em", "strong", "num", "money"], &[a("colspan", Int { max: 8 }), a("rowspan", Int { max: 8 }), a("align", Enum(&["left", "center", "right"]))]),
+            ("th", &["em", "strong"], &[a("colspan", Int { max: 8 }), a("align", Enum(&["left", "center", "right"]))]),
+            ("ol", &["li"], &[a("seqnum", Int { max: 100 })]),
+            ("ul", &["li"], MT),
+            ("li", &["p", "em", "strong", "a", "num", "money"], MT),
+            ("hr", &[], MT),
+            ("pre", &[], MT),
+            ("fn", &["p"], MT),
+            ("bq", &["block", "credit"], &[a("nowrap", Enum(&["nowrap", "wrap"])), a("quote-source", Int { max: 1000 })]),
+            ("credit", &["person", "org"], MT),
+            ("datasource", &[], MT),
+            ("body.end", &["tagline", "bibliography"], MT),
+            ("tagline", &["person", "org", "a"], &[a("type", Enum(&["std", "pa"]))]),
+            ("bibliography", &[], MT),
+        ];
+        Dtd::build("nitf", rows)
+    }
+
+    /// The PSD-like DTD (narrow, recursive; high-match regime).
+    pub fn psd() -> Dtd {
+        use AttrKind::*;
+        const MT: &[AttrDecl] = &[];
+        fn a(name: &'static str, kind: AttrKind) -> AttrDecl {
+            AttrDecl { name, kind }
+        }
+        let rows: &[(&'static str, &[&'static str], &[AttrDecl])] = &[
+            ("ProteinDatabase", &["ProteinEntry"], MT),
+            ("ProteinEntry", &["header", "protein", "organism", "reference", "genetics", "complex", "function", "classification", "keywords", "feature", "summary", "sequence"], &[a("id", Int { max: 100000 })]),
+            ("header", &["uid", "accession", "created_date", "seq-rev_date", "txt-rev_date"], MT),
+            ("uid", &[], MT),
+            ("accession", &[], MT),
+            ("created_date", &[], MT),
+            ("seq-rev_date", &[], MT),
+            ("txt-rev_date", &[], MT),
+            ("protein", &["name", "description", "superfamily", "contains"], MT),
+            ("name", &[], MT),
+            ("description", &[], MT),
+            ("superfamily", &[], MT),
+            ("contains", &["name"], MT),
+            ("organism", &["source", "common", "formal_domain", "organelle", "variety"], MT),
+            ("source", &[], &[a("src", Enum(&["nat", "syn", "rec"]))]),
+            ("common", &[], MT),
+            ("formal_domain", &[], MT),
+            ("organelle", &[], MT),
+            ("variety", &[], MT),
+            ("reference", &["refinfo", "accinfo"], MT),
+            ("refinfo", &["authors", "citation", "title", "volume", "year", "pages", "xrefs", "note"], &[a("refid", Int { max: 10000 })]),
+            ("authors", &["author"], MT),
+            ("author", &[], MT),
+            ("citation", &[], &[a("type", Enum(&["journal", "book", "submission", "patent"]))]),
+            ("title", &[], MT),
+            ("volume", &[], MT),
+            ("year", &[], &[a("value", Int { max: 2035 })]),
+            ("pages", &[], MT),
+            ("xrefs", &["xref"], MT),
+            ("xref", &["db", "uid"], MT),
+            ("db", &[], MT),
+            ("note", &[], MT),
+            ("accinfo", &["mol-type", "seq-spec"], &[a("acc", Int { max: 100000 })]),
+            ("mol-type", &[], MT),
+            ("genetics", &["gene", "gene-map", "genome", "codon_usage", "introns"], MT),
+            ("gene", &[], MT),
+            ("gene-map", &[], MT),
+            ("genome", &[], MT),
+            ("codon_usage", &[], MT),
+            ("introns", &[], MT),
+            ("complex", &[], MT),
+            ("function", &["description", "pathway"], MT),
+            ("pathway", &[], MT),
+            ("classification", &["superfamily", "family"], MT),
+            ("family", &[], MT),
+            ("keywords", &["keyword"], MT),
+            ("keyword", &[], MT),
+            ("feature", &["feature-type", "description", "status", "seq-spec"], MT),
+            ("feature-type", &[], &[a("type", Enum(&["active-site", "binding-site", "modified-site", "domain", "disulfide"]))]),
+            ("status", &[], &[a("value", Enum(&["predicted", "experimental", "absent"]))]),
+            ("seq-spec", &[], &[a("from", Int { max: 5000 }), a("to", Int { max: 5000 })]),
+            ("summary", &["length", "type"], MT),
+            ("length", &[], &[a("value", Int { max: 5000 })]),
+            ("type", &[], MT),
+            ("sequence", &[], MT),
+        ];
+        Dtd::build("psd", rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nitf_shape() {
+        let d = Dtd::nitf();
+        assert!(d.len() >= 100, "NITF-like should be wide, got {}", d.len());
+        assert_eq!(d.elements[d.root].name, "nitf");
+        // Attribute-rich: many elements declare attributes.
+        let with_attrs = d
+            .elements
+            .iter()
+            .filter(|e| !e.attributes.is_empty())
+            .count();
+        assert!(with_attrs >= 40, "got {with_attrs}");
+    }
+
+    #[test]
+    fn psd_shape() {
+        let d = Dtd::psd();
+        assert!(d.len() >= 40 && d.len() <= 70, "got {}", d.len());
+        assert_eq!(d.elements[d.root].name, "ProteinDatabase");
+        // Few attributes compared to NITF.
+        let with_attrs = d
+            .elements
+            .iter()
+            .filter(|e| !e.attributes.is_empty())
+            .count();
+        assert!(with_attrs <= 15, "got {with_attrs}");
+    }
+
+    #[test]
+    fn children_resolve() {
+        for d in [Dtd::nitf(), Dtd::psd()] {
+            for e in &d.elements {
+                for &c in &e.children {
+                    assert!(c < d.len());
+                }
+            }
+            assert_eq!(d.element(d.elements[d.root].name), Some(d.root));
+        }
+    }
+
+    #[test]
+    fn reachability_from_root() {
+        // Every element should be reachable from the root (the generators
+        // walk from the root).
+        for d in [Dtd::nitf(), Dtd::psd()] {
+            let mut seen = vec![false; d.len()];
+            let mut stack = vec![d.root];
+            while let Some(e) = stack.pop() {
+                if std::mem::replace(&mut seen[e], true) {
+                    continue;
+                }
+                stack.extend(d.elements[e].children.iter().copied());
+            }
+            let unreachable: Vec<&str> = d
+                .elements
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !seen[*i])
+                .map(|(_, e)| e.name)
+                .collect();
+            assert!(unreachable.is_empty(), "{}: {unreachable:?}", d.name);
+        }
+    }
+}

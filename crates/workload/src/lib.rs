@@ -1,0 +1,33 @@
+//! Workload generation for XML/XPath filtering experiments.
+//!
+//! Reproduces the experimental substrate of *Predicate-based Filtering of
+//! XPath Expressions* (§6.1): DTD models standing in for the NITF and PSD
+//! DTDs ([`Dtd::nitf`], [`Dtd::psd`]), a Diao-style XPath generator
+//! ([`XPathGenerator`], parameters D / L / W / DO / filters-per-path), and
+//! an IBM-style XML document generator ([`XmlGenerator`], max-levels and
+//! max-repeats). All generation is deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use pxf_workload::{Dtd, XPathGenerator, XPathParams, XmlGenerator, XmlParams};
+//!
+//! let dtd = Dtd::psd();
+//! let exprs = XPathGenerator::new(&dtd, XPathParams { count: 100, ..Default::default() }).generate();
+//! let docs = XmlGenerator::new(&dtd, XmlParams::default()).generate_batch(5);
+//! assert_eq!(exprs.len(), 100);
+//! assert_eq!(docs.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dtd;
+mod presets;
+mod xml_gen;
+mod xpath_gen;
+
+pub use dtd::{AttrDecl, AttrKind, Dtd, ElementDecl};
+pub use presets::Regime;
+pub use xml_gen::{XmlGenerator, XmlParams};
+pub use xpath_gen::{XPathGenerator, XPathParams};

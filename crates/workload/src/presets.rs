@@ -1,0 +1,90 @@
+//! Canonical experiment configurations reproducing the paper's two
+//! workload regimes (§6.1).
+//!
+//! The knob values below were calibrated (see EXPERIMENTS.md) so that the
+//! generated workloads land in the regimes the paper reports:
+//!
+//! * **NITF**: ≈6% of expressions matched per document, ≈140 tags per
+//!   document (measured here: ≈7%, ≈134 tags);
+//! * **PSD**: ≈75% matched (measured here: ≈73%, ≈206 tags).
+
+use crate::dtd::Dtd;
+use crate::xml_gen::XmlParams;
+use crate::xpath_gen::XPathParams;
+
+/// A fully specified workload regime: DTD plus generator parameters.
+#[derive(Debug, Clone)]
+pub struct Regime {
+    /// Regime name ("nitf" / "psd").
+    pub name: &'static str,
+    /// The DTD.
+    pub dtd: Dtd,
+    /// XPath generator parameters (count left at its default; set it per
+    /// experiment).
+    pub xpath: XPathParams,
+    /// XML generator parameters.
+    pub xml: XmlParams,
+}
+
+impl Regime {
+    /// The low-match regime (the paper's NITF workload): wide DTD, skewed
+    /// documents, selective expressions.
+    pub fn nitf() -> Regime {
+        Regime {
+            name: "nitf",
+            dtd: Dtd::nitf(),
+            xpath: XPathParams {
+                min_depth: 4,
+                max_depth: 6,
+                wildcard_prob: 0.2,
+                descendant_prob: 0.2,
+                ..Default::default()
+            },
+            xml: XmlParams {
+                max_levels: 9,
+                min_fanout: 1,
+                max_fanout: 6,
+                child_skew: 3.0,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The high-match regime (the paper's PSD workload): narrow DTD,
+    /// broad-coverage documents.
+    pub fn psd() -> Regime {
+        Regime {
+            name: "psd",
+            dtd: Dtd::psd(),
+            xpath: XPathParams {
+                min_depth: 2,
+                max_depth: 6,
+                wildcard_prob: 0.2,
+                descendant_prob: 0.2,
+                ..Default::default()
+            },
+            xml: XmlParams {
+                max_levels: 8,
+                min_fanout: 3,
+                max_fanout: 6,
+                child_skew: 0.0,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_construct() {
+        let n = Regime::nitf();
+        assert_eq!(n.dtd.name, "nitf");
+        assert_eq!(n.xpath.max_depth, 6);
+        let p = Regime::psd();
+        assert_eq!(p.dtd.name, "psd");
+        assert_eq!(p.xml.child_skew, 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Statistical guardrails on the calibrated workload regimes: if the
+//! generators drift, the evaluation's premise (low-match NITF vs
+//! high-match PSD, paper §6.1) silently breaks — these tests pin the
+//! regimes with loose bounds.
+
+use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
+use pxf_xpath::{Axis, NodeTest};
+
+/// Counts, for a workload and documents, the fraction of (expression,
+/// document) pairs that match, using a simple direct matcher (kept local
+/// so this crate stays independent of pxf-core).
+fn match_rate(regime: &Regime, n_exprs: usize, n_docs: usize) -> f64 {
+    let mut params = regime.xpath.clone();
+    params.count = n_exprs;
+    let exprs = XPathGenerator::new(&regime.dtd, params).generate();
+    let docs = XmlGenerator::new(&regime.dtd, regime.xml.clone()).generate_batch(n_docs);
+    let mut hits = 0usize;
+    for doc in &docs {
+        let paths = doc.leaf_paths();
+        let tag_paths: Vec<Vec<&str>> = paths
+            .iter()
+            .map(|p| p.iter().map(|&n| doc.node(n).tag.as_str()).collect())
+            .collect();
+        for expr in &exprs {
+            if tag_paths.iter().any(|tags| path_matches(expr, tags)) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / (exprs.len() * docs.len()) as f64
+}
+
+/// Frontier DP over a tag path (structural only — regime expressions carry
+/// no filters by default).
+fn path_matches(expr: &pxf_xpath::XPathExpr, tags: &[&str]) -> bool {
+    let n = tags.len();
+    let step_ok = |step: &pxf_xpath::Step, pos: usize| match &step.test {
+        NodeTest::Tag(t) => tags[pos - 1] == t,
+        NodeTest::Wildcard => true,
+    };
+    let mut frontier: Vec<usize> = Vec::new();
+    for (i, step) in expr.steps.iter().enumerate() {
+        let mut next = Vec::new();
+        if i == 0 {
+            let all: Vec<usize> = if expr.absolute && step.axis == Axis::Child {
+                vec![1]
+            } else {
+                (1..=n).collect()
+            };
+            for pos in all {
+                if step_ok(step, pos) {
+                    next.push(pos);
+                }
+            }
+        } else {
+            for &prev in &frontier {
+                match step.axis {
+                    Axis::Child => {
+                        if prev < n && step_ok(step, prev + 1) && !next.contains(&(prev + 1)) {
+                            next.push(prev + 1);
+                        }
+                    }
+                    Axis::Descendant => {
+                        for pos in prev + 1..=n {
+                            if step_ok(step, pos) && !next.contains(&pos) {
+                                next.push(pos);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            return false;
+        }
+        frontier = next;
+    }
+    true
+}
+
+#[test]
+fn nitf_regime_is_low_match() {
+    let rate = match_rate(&Regime::nitf(), 600, 15);
+    assert!(
+        (0.01..0.20).contains(&rate),
+        "NITF match rate drifted to {:.1}% (paper regime ≈6%)",
+        rate * 100.0
+    );
+}
+
+#[test]
+fn psd_regime_is_high_match() {
+    let rate = match_rate(&Regime::psd(), 600, 15);
+    assert!(
+        (0.55..0.95).contains(&rate),
+        "PSD match rate drifted to {:.1}% (paper regime ≈75%)",
+        rate * 100.0
+    );
+}
+
+#[test]
+fn regimes_are_separated() {
+    let nitf = match_rate(&Regime::nitf(), 400, 10);
+    let psd = match_rate(&Regime::psd(), 400, 10);
+    assert!(
+        psd > nitf * 4.0,
+        "regimes too close: NITF {:.1}%, PSD {:.1}%",
+        nitf * 100.0,
+        psd * 100.0
+    );
+}
+
+#[test]
+fn document_shapes_are_paperlike() {
+    // Paper: ~140 tags per document on average, levels 6–10.
+    for (regime, lo, hi) in [(Regime::nitf(), 40.0, 400.0), (Regime::psd(), 80.0, 500.0)] {
+        let docs = XmlGenerator::new(&regime.dtd, regime.xml.clone()).generate_batch(30);
+        let avg = docs.iter().map(|d| d.len() as f64).sum::<f64>() / docs.len() as f64;
+        assert!(
+            (lo..hi).contains(&avg),
+            "{}: avg tags {avg:.0} outside [{lo}, {hi}]",
+            regime.name
+        );
+        let max_depth = docs.iter().map(|d| d.max_depth()).max().unwrap();
+        assert!(max_depth as usize <= regime.xml.max_levels);
+    }
+}

@@ -1,0 +1,39 @@
+//! Streaming XML parsing and document trees for XML/XPath filtering.
+//!
+//! This crate is the document substrate of the `pxf` engine (reproduction of
+//! *Predicate-based Filtering of XPath Expressions*, Hou & Jacobsen). It
+//! provides:
+//!
+//! * [`Reader`] — a hand-rolled SAX-style pull parser (events, attributes,
+//!   CDATA, comments, entities, DOCTYPE skipping, well-formedness checks),
+//! * [`Document`] / [`DocumentBuilder`] — an element-arena tree recording
+//!   1-based child indices (the paper's *structure tuples*, §5) and depths,
+//! * root-to-leaf path extraction ([`Document::for_each_leaf_path`]) — the
+//!   paper decomposes every document into its set of document paths (§3.3),
+//! * [`Interner`] — name interning so engines work on integer [`Symbol`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use pxf_xml::Document;
+//!
+//! let doc = Document::parse(b"<a><b><c/></b><b/></a>").unwrap();
+//! let mut paths = Vec::new();
+//! doc.for_each_leaf_path(|p| {
+//!     paths.push(p.iter().map(|&n| doc.node(n).tag.clone()).collect::<Vec<_>>());
+//! });
+//! assert_eq!(paths, vec![vec!["a", "b", "c"], vec!["a", "b"]]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod name;
+mod reader;
+mod stream;
+mod tree;
+
+pub use name::{Interner, Symbol};
+pub use reader::{Attribute, Event, Reader, XmlError};
+pub use stream::DocumentStream;
+pub use tree::{Document, DocumentBuilder, Element, NodeId, TreeEvent};

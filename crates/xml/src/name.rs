@@ -1,0 +1,109 @@
+//! String interning for tag and attribute names.
+//!
+//! The filtering engines operate on integer [`Symbol`]s instead of strings in
+//! all hot paths; the [`Interner`] maps names to symbols once per distinct
+//! name.
+
+use std::collections::HashMap;
+
+/// An interned name. Symbols are dense (`0..interner.len()`), so they can
+/// index side tables directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Sentinel for names that are not interned (e.g. document tags no
+    /// subscription mentions). Safe to use in lookups — it never equals a
+    /// real symbol and indexes past every dense table.
+    pub const UNKNOWN: Symbol = Symbol(u32::MAX);
+
+    /// The symbol as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True if this is the [`Symbol::UNKNOWN`] sentinel.
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        self == Symbol::UNKNOWN
+    }
+}
+
+/// Bidirectional name ↔ [`Symbol`] table.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a name, returning its symbol (allocating one if new).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its name.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("a"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let mut i = Interner::new();
+        for (n, name) in ["x", "y", "z"].iter().enumerate() {
+            assert_eq!(i.intern(name).index(), n);
+        }
+    }
+
+    #[test]
+    fn resolve_and_get() {
+        let mut i = Interner::new();
+        let s = i.intern("hedline");
+        assert_eq!(i.resolve(s), "hedline");
+        assert_eq!(i.get("hedline"), Some(s));
+        assert_eq!(i.get("missing"), None);
+    }
+}

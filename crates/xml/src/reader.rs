@@ -1,0 +1,488 @@
+//! A small streaming (SAX-style) XML pull parser.
+//!
+//! The parser covers the XML subset needed for filtering workloads: element
+//! structure, attributes, character data, CDATA sections, comments,
+//! processing instructions, the XML declaration, a DOCTYPE prolog (skipped),
+//! and the five predefined entities plus numeric character references. It
+//! reports errors with byte offsets and checks tag balance.
+
+use std::fmt;
+
+/// An attribute on a start tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (qualified, prefixes are kept verbatim).
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+}
+
+/// A parsing event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v">` or `<name/>` (the latter sets `self_closing` and is
+    /// *not* followed by a matching [`Event::End`]).
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+        /// True for `<name/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    End {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags (entity-decoded). Whitespace-only runs are
+    /// suppressed.
+    Text(String),
+    /// End of input.
+    Eof,
+}
+
+/// Error produced while parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset at which the error occurred.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Streaming pull parser over a byte slice.
+///
+/// ```
+/// use pxf_xml::{Event, Reader};
+/// let mut r = Reader::new(b"<a x=\"1\"><b/>hi</a>");
+/// assert!(matches!(r.next_event().unwrap(), Event::Start { ref name, .. } if name == "a"));
+/// assert!(matches!(r.next_event().unwrap(), Event::Start { self_closing: true, .. }));
+/// assert!(matches!(r.next_event().unwrap(), Event::Text(ref t) if t == "hi"));
+/// assert!(matches!(r.next_event().unwrap(), Event::End { .. }));
+/// assert!(matches!(r.next_event().unwrap(), Event::Eof));
+/// ```
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+    /// Open-tag stack for balance checking.
+    stack: Vec<String>,
+    done: bool,
+    seen_root: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over raw document bytes.
+    pub fn new(input: &'a [u8]) -> Self {
+        Reader {
+            input,
+            pos: 0,
+            stack: Vec::with_capacity(16),
+            done: false,
+            seen_root: false,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            pos: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Advances past `needle`, erroring if the input ends first.
+    fn skip_until(&mut self, needle: &[u8], what: &str) -> Result<(), XmlError> {
+        while self.pos < self.input.len() {
+            if self.starts_with(needle) {
+                self.pos += needle.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.error(format!("unterminated {what}")))
+    }
+
+    /// Returns the next event, or an error on malformed input.
+    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        loop {
+            if self.done {
+                return Ok(Event::Eof);
+            }
+            if self.pos >= self.input.len() {
+                if let Some(open) = self.stack.last() {
+                    return Err(self.error(format!("unexpected end of input: <{open}> not closed")));
+                }
+                self.done = true;
+                return Ok(Event::Eof);
+            }
+            if self.peek() == Some(b'<') {
+                if self.starts_with(b"<!--") {
+                    self.pos += 4;
+                    self.skip_until(b"-->", "comment")?;
+                    continue;
+                }
+                if self.starts_with(b"<![CDATA[") {
+                    self.pos += 9;
+                    let start = self.pos;
+                    self.skip_until(b"]]>", "CDATA section")?;
+                    let text = &self.input[start..self.pos - 3];
+                    if self.stack.is_empty() {
+                        return Err(self.error("CDATA outside of root element"));
+                    }
+                    if !text.iter().all(u8::is_ascii_whitespace) {
+                        let s = std::str::from_utf8(text)
+                            .map_err(|_| self.error("invalid UTF-8 in CDATA"))?;
+                        return Ok(Event::Text(s.to_string()));
+                    }
+                    continue;
+                }
+                if self.starts_with(b"<!DOCTYPE") || self.starts_with(b"<!doctype") {
+                    self.skip_doctype()?;
+                    continue;
+                }
+                if self.starts_with(b"<?") {
+                    self.pos += 2;
+                    self.skip_until(b"?>", "processing instruction")?;
+                    continue;
+                }
+                if self.starts_with(b"</") {
+                    return self.parse_end_tag();
+                }
+                return self.parse_start_tag();
+            }
+            // Character data.
+            let start = self.pos;
+            while self.pos < self.input.len() && self.peek() != Some(b'<') {
+                self.pos += 1;
+            }
+            let raw = &self.input[start..self.pos];
+            if raw.iter().all(u8::is_ascii_whitespace) {
+                continue;
+            }
+            if self.stack.is_empty() {
+                return Err(XmlError {
+                    pos: start,
+                    message: "character data outside of root element".into(),
+                });
+            }
+            let decoded = decode_entities(raw, start)?;
+            return Ok(Event::Text(decoded));
+        }
+    }
+
+    /// Skips a DOCTYPE declaration, including an internal subset in `[...]`.
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        self.pos += 9; // "<!DOCTYPE"
+        let mut depth = 0usize;
+        while self.pos < self.input.len() {
+            match self.input[self.pos] {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated DOCTYPE declaration"))
+    }
+
+    fn parse_start_tag(&mut self) -> Result<Event, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        if self.seen_root && self.stack.is_empty() {
+            return Err(self.error("document has more than one root element"));
+        }
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.seen_root = true;
+                    self.stack.push(name.clone());
+                    return Ok(Event::Start {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.error("expected '>' after '/' in empty-element tag"));
+                    }
+                    self.pos += 1;
+                    self.seen_root = true;
+                    return Ok(Event::Start {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.error(format!(
+                            "expected '=' after attribute name '{attr_name}'"
+                        )));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.error("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while self.pos < self.input.len() && self.input[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.input.len() {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let value = decode_entities(&self.input[vstart..self.pos], vstart)?;
+                    self.pos += 1;
+                    if attributes.iter().any(|a: &Attribute| a.name == attr_name) {
+                        return Err(self.error(format!("duplicate attribute '{attr_name}'")));
+                    }
+                    attributes.push(Attribute {
+                        name: attr_name,
+                        value,
+                    });
+                }
+                None => return Err(self.error("unterminated start tag")),
+            }
+        }
+    }
+
+    fn parse_end_tag(&mut self) -> Result<Event, XmlError> {
+        self.pos += 2; // "</"
+        let name = self.parse_name()?;
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return Err(self.error("expected '>' in end tag"));
+        }
+        self.pos += 1;
+        match self.stack.pop() {
+            Some(open) if open == name => Ok(Event::End { name }),
+            Some(open) => Err(self.error(format!(
+                "mismatched end tag: expected </{open}>, found </{name}>"
+            ))),
+            None => Err(self.error(format!("end tag </{name}> with no open element"))),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if is_name_start(b) => self.pos += 1,
+            _ => return Err(self.error("expected a name")),
+        }
+        while matches!(self.peek(), Some(b) if is_name_char(b)) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(|s| s.to_string())
+            .map_err(|_| self.error("invalid UTF-8 in name"))
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.') || b >= 0x80
+}
+
+/// Decodes the five predefined entities and numeric character references.
+fn decode_entities(raw: &[u8], base: usize) -> Result<String, XmlError> {
+    let s = std::str::from_utf8(raw).map_err(|_| XmlError {
+        pos: base,
+        message: "invalid UTF-8 in character data".into(),
+    })?;
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or_else(|| XmlError {
+            pos: base + amp,
+            message: "unterminated entity reference".into(),
+        })?;
+        let ent = &after[..semi];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with('#') => {
+                let code = if let Some(hex) = ent.strip_prefix("#x").or(ent.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()
+                } else {
+                    ent[1..].parse::<u32>().ok()
+                };
+                let c = code.and_then(char::from_u32).ok_or_else(|| XmlError {
+                    pos: base + amp,
+                    message: format!("invalid character reference '&{ent};'"),
+                })?;
+                out.push(c);
+            }
+            _ => {
+                return Err(XmlError {
+                    pos: base + amp,
+                    message: format!("unknown entity '&{ent};'"),
+                })
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Result<Vec<Event>, XmlError> {
+        let mut r = Reader::new(input.as_bytes());
+        let mut out = Vec::new();
+        loop {
+            let e = r.next_event()?;
+            let eof = e == Event::Eof;
+            out.push(e);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    #[test]
+    fn basic_document() {
+        let ev = events("<a><b>text</b><c/></a>").unwrap();
+        assert_eq!(ev.len(), 7);
+        assert!(matches!(&ev[0], Event::Start { name, .. } if name == "a"));
+        assert!(matches!(&ev[2], Event::Text(t) if t == "text"));
+        assert!(matches!(&ev[4], Event::Start { name, self_closing: true, .. } if name == "c"));
+    }
+
+    #[test]
+    fn attributes_parsed() {
+        let ev = events(r#"<a x="1" y='two'/>"#).unwrap();
+        match &ev[0] {
+            Event::Start { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].name, "x");
+                assert_eq!(attributes[0].value, "1");
+                assert_eq!(attributes[1].value, "two");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let ev = events("<a>&lt;hi&gt; &amp; &#65;&#x42;</a>").unwrap();
+        assert!(matches!(&ev[1], Event::Text(t) if t == "<hi> & AB"));
+        let ev = events(r#"<a v="&quot;q&apos;"/>"#).unwrap();
+        match &ev[0] {
+            Event::Start { attributes, .. } => assert_eq!(attributes[0].value, "\"q'"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prolog_comments_cdata() {
+        let src = r#"<?xml version="1.0"?>
+            <!DOCTYPE a [<!ELEMENT a (b)>]>
+            <!-- top comment -->
+            <a><!-- inner --><![CDATA[raw <stuff> & more]]></a>"#;
+        let ev = events(src).unwrap();
+        assert!(matches!(&ev[0], Event::Start { name, .. } if name == "a"));
+        assert!(matches!(&ev[1], Event::Text(t) if t == "raw <stuff> & more"));
+    }
+
+    #[test]
+    fn whitespace_text_suppressed() {
+        let ev = events("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(ev.len(), 4); // start a, start b, end a, eof
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(events("<a><b></a></b>").is_err());
+        assert!(events("<a>").is_err());
+        assert!(events("</a>").is_err());
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        assert!(events("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(events("hello<a/>").is_err());
+        assert!(events("<a/>tail").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(events(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "<a", "<a x>", "<a x=>", "<a x=1>", "<a x=\"1>", "<1a/>", "<a>&bogus;</a>",
+            "<a>&#xZZ;</a>", "<a>&unterminated</a>", "<!-- never closed", "<a><![CDATA[x</a>",
+        ] {
+            assert!(events(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = events("<a></b>").unwrap_err();
+        assert!(err.to_string().contains("mismatched end tag"));
+        assert!(err.pos > 0);
+    }
+
+    #[test]
+    fn namespaced_names_pass_through() {
+        let ev = events("<ns:a ns:x=\"1\"><ns:b/></ns:a>").unwrap();
+        assert!(matches!(&ev[0], Event::Start { name, .. } if name == "ns:a"));
+    }
+}

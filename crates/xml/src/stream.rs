@@ -1,0 +1,317 @@
+//! Streaming over concatenated XML documents.
+//!
+//! A filtering broker ingests an unbounded stream of documents — often
+//! concatenated back-to-back or separated by whitespace on one connection.
+//! [`DocumentStream`] incrementally scans such a byte stream, finds
+//! document boundaries (tracking element depth through comments, CDATA,
+//! processing instructions, DOCTYPE declarations, and quoted attribute
+//! values), and yields each complete document parsed.
+
+use crate::reader::XmlError;
+use crate::tree::Document;
+use std::io::{BufRead, Read};
+
+/// Iterator over the documents in a byte stream.
+///
+/// ```
+/// use pxf_xml::DocumentStream;
+/// let stream = b"<a><b/></a>\n<c/> <d>x</d>";
+/// let docs: Result<Vec<_>, _> = DocumentStream::new(&stream[..]).collect();
+/// let docs = docs.unwrap();
+/// assert_eq!(docs.len(), 3);
+/// assert_eq!(docs[0].node(0).tag, "a");
+/// assert_eq!(docs[2].node(0).tag, "d");
+/// ```
+pub struct DocumentStream<R: Read> {
+    input: R,
+    buffer: Vec<u8>,
+    /// Bytes of `buffer` already scanned by the boundary scanner.
+    scanned: usize,
+    scanner: Scanner,
+    done: bool,
+}
+
+/// Boundary scanner state.
+#[derive(Debug, Default)]
+struct Scanner {
+    depth: i64,
+    /// Have we seen the first start tag of the current document?
+    started: bool,
+    mode: Mode,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    #[default]
+    Text,
+    /// Inside a tag (`<...>`), with the current quote byte if any.
+    Tag(Option<u8>),
+    Comment(u8), // number of consecutive '-' seen (0..=2)
+    Cdata(u8),   // number of consecutive ']' seen (0..=2)
+    /// `<!DOCTYPE …>` with bracket nesting depth.
+    Doctype(u8),
+    Pi(bool), // saw '?'
+    /// Just saw `<` — classifying the construct.
+    Open,
+    /// Saw `<!` — could be comment, CDATA, or DOCTYPE.
+    Bang(u8),
+    /// Inside a tag, previous byte was `/` (possible self-close).
+    TagSlash,
+}
+
+impl<R: Read> DocumentStream<R> {
+    /// Creates a stream over a reader.
+    pub fn new(input: R) -> Self {
+        DocumentStream {
+            input,
+            buffer: Vec::with_capacity(8 * 1024),
+            scanned: 0,
+            scanner: Scanner::default(),
+            done: false,
+        }
+    }
+
+    /// Scans newly buffered bytes; returns the byte offset one past the end
+    /// of a complete document, if one is now present.
+    fn scan(&mut self) -> Option<usize> {
+        let s = &mut self.scanner;
+        while self.scanned < self.buffer.len() {
+            let b = self.buffer[self.scanned];
+            self.scanned += 1;
+            match s.mode {
+                Mode::Text => {
+                    if b == b'<' {
+                        s.mode = Mode::Open;
+                    }
+                }
+                Mode::Open => match b {
+                    b'!' => s.mode = Mode::Bang(0),
+                    b'?' => s.mode = Mode::Pi(false),
+                    b'/' => {
+                        // End tag.
+                        s.depth -= 1;
+                        s.mode = Mode::Tag(None);
+                    }
+                    _ => {
+                        s.depth += 1;
+                        s.started = true;
+                        s.mode = Mode::Tag(None);
+                    }
+                },
+                Mode::Bang(n) => match (n, b) {
+                    (0, b'-') => s.mode = Mode::Bang(1),
+                    (1, b'-') => s.mode = Mode::Comment(0),
+                    (0, b'[') => s.mode = Mode::Bang(2),
+                    (2, _) => {
+                        // inside "<![CDATA[" prefix; count to the second '['
+                        if b == b'[' {
+                            s.mode = Mode::Cdata(0);
+                        }
+                    }
+                    (0, _) => s.mode = Mode::Doctype(0),
+                    _ => s.mode = Mode::Doctype(0),
+                },
+                Mode::Comment(dashes) => {
+                    s.mode = match (dashes, b) {
+                        (2, b'>') => Mode::Text,
+                        (_, b'-') => Mode::Comment((dashes + 1).min(2)),
+                        _ => Mode::Comment(0),
+                    }
+                }
+                Mode::Cdata(brackets) => {
+                    s.mode = match (brackets, b) {
+                        (2, b'>') => Mode::Text,
+                        (_, b']') => Mode::Cdata((brackets + 1).min(2)),
+                        _ => Mode::Cdata(0),
+                    }
+                }
+                Mode::Doctype(depth) => {
+                    s.mode = match b {
+                        b'[' => Mode::Doctype(depth + 1),
+                        b']' => Mode::Doctype(depth.saturating_sub(1)),
+                        b'>' if depth == 0 => Mode::Text,
+                        _ => Mode::Doctype(depth),
+                    }
+                }
+                Mode::Pi(saw_q) => {
+                    s.mode = match (saw_q, b) {
+                        (true, b'>') => Mode::Text,
+                        (_, b'?') => Mode::Pi(true),
+                        _ => Mode::Pi(false),
+                    }
+                }
+                Mode::Tag(Some(q)) => {
+                    if b == q {
+                        s.mode = Mode::Tag(None);
+                    }
+                }
+                Mode::Tag(None) => match b {
+                    b'"' | b'\'' => s.mode = Mode::Tag(Some(b)),
+                    b'/' => s.mode = Mode::TagSlash,
+                    b'>' => {
+                        s.mode = Mode::Text;
+                        if s.started && s.depth == 0 {
+                            return Some(self.scanned);
+                        }
+                    }
+                    _ => {}
+                },
+                Mode::TagSlash => match b {
+                    b'>' => {
+                        // Self-closing tag: undo the depth increment.
+                        s.depth -= 1;
+                        s.mode = Mode::Text;
+                        if s.started && s.depth == 0 {
+                            return Some(self.scanned);
+                        }
+                    }
+                    b'"' | b'\'' => s.mode = Mode::Tag(Some(b)),
+                    b'/' => {}
+                    _ => s.mode = Mode::Tag(None),
+                },
+            }
+        }
+        None
+    }
+}
+
+impl<R: BufRead> Iterator for DocumentStream<R> {
+    type Item = Result<Document, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if let Some(end) = self.scan() {
+                let doc_bytes: Vec<u8> = self.buffer.drain(..end).collect();
+                self.scanned = 0;
+                self.scanner = Scanner::default();
+                return Some(Document::parse(&doc_bytes));
+            }
+            // Need more input.
+            let mut chunk = [0u8; 4096];
+            match self.input.read(&mut chunk) {
+                Ok(0) => {
+                    self.done = true;
+                    // Trailing garbage or an incomplete document?
+                    if self.buffer.iter().any(|b| !b.is_ascii_whitespace()) {
+                        return Some(Err(XmlError {
+                            pos: self.buffer.len(),
+                            message: "stream ended inside a document".into(),
+                        }));
+                    }
+                    return None;
+                }
+                Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(XmlError {
+                        pos: 0,
+                        message: format!("I/O error: {e}"),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(input: &str) -> Result<Vec<Document>, XmlError> {
+        DocumentStream::new(input.as_bytes()).collect()
+    }
+
+    #[test]
+    fn multiple_documents() {
+        let docs = collect("<a><b/></a><c/>\n  <d>text</d>").unwrap();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].len(), 2);
+        assert_eq!(docs[1].node(0).tag, "c");
+        assert_eq!(docs[2].node(0).text, "text");
+    }
+
+    #[test]
+    fn single_document() {
+        let docs = collect("<root><x/></root>").unwrap();
+        assert_eq!(docs.len(), 1);
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(collect("").unwrap().is_empty());
+        assert!(collect("   \n  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn prolog_and_comments_between_documents() {
+        let input = r#"<?xml version="1.0"?><a/><!-- separator --><b/>"#;
+        let docs = collect(input).unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn tricky_content_does_not_confuse_boundaries() {
+        // '>' inside attribute values, CDATA with tags, comments with tags.
+        let input = r#"<a x="1>2"><!-- <fake> --><![CDATA[</a>]]></a><b/>"#;
+        let docs = collect(input).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].node(0).attr("x"), Some("1>2"));
+    }
+
+    #[test]
+    fn self_closing_roots() {
+        let docs = collect("<a/><b/><c/>").unwrap();
+        assert_eq!(docs.len(), 3);
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let input = "<!DOCTYPE a [<!ELEMENT a (b)> ]><a><b/></a><c/>";
+        let docs = collect(input).unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn incomplete_document_is_an_error() {
+        let result: Result<Vec<Document>, XmlError> = collect("<a><b/>");
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn malformed_document_reports_parse_error() {
+        let mut stream = DocumentStream::new(&b"<a></b> <ok/>"[..]);
+        // Boundary scanner pairs <a> with </b> (depth math), the parser
+        // then rejects the mismatch.
+        let first = stream.next().unwrap();
+        assert!(first.is_err());
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_matter() {
+        // Feed one byte at a time through a BufRead with capacity 1.
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        impl BufRead for OneByte<'_> {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Ok(self.0)
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        let input = br#"<a x="<">1</a><b><c/></b>"#;
+        let docs: Result<Vec<_>, _> = DocumentStream::new(OneByte(input)).collect();
+        let docs = docs.unwrap();
+        assert_eq!(docs.len(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Robustness: the XML reader must never panic; documents built through
+//! the builder must serialize and re-parse to the same tree; leaf-path
+//! extraction invariants.
+
+use proptest::prelude::*;
+use pxf_xml::{Document, DocumentBuilder, Reader};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic the reader.
+    #[test]
+    fn reader_never_panics(input in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut r = Reader::new(&input);
+        for _ in 0..300 {
+            match r.next_event() {
+                Ok(pxf_xml::Event::Eof) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+
+    /// XML-ish text never panics.
+    #[test]
+    fn xmlish_never_panics(input in "[<>/a-c \"='!\\-\\[\\]&;#x0-9]{0,120}") {
+        let _ = Document::parse(input.as_bytes());
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    tag: u8,
+    attrs: Vec<(u8, String)>,
+    text: String,
+    children: Vec<Tree>,
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = (0u8..4, proptest::collection::vec((0u8..3, "[a-z<&\"]{0,6}"), 0..2), "[a-z<&]{0,6}")
+        .prop_map(|(tag, attrs, text)| Tree { tag, attrs, text, children: Vec::new() });
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        (
+            0u8..4,
+            proptest::collection::vec((0u8..3, "[a-z<&\"]{0,6}"), 0..2),
+            "[a-z<&]{0,6}",
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, attrs, text, children)| Tree { tag, attrs, text, children })
+    })
+}
+
+fn build(t: &Tree, b: &mut DocumentBuilder) {
+    const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+    const ATTRS: [&str; 3] = ["x", "y", "z"];
+    b.start(TAGS[t.tag as usize]);
+    for (i, (name, value)) in t.attrs.iter().enumerate() {
+        if t.attrs[..i].iter().all(|(n, _)| n != name) {
+            b.attr(ATTRS[*name as usize], value);
+        }
+    }
+    if !t.text.is_empty() {
+        b.text(&t.text);
+    }
+    for c in &t.children {
+        build(c, b);
+    }
+    b.end();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Serialize → parse is the identity on built documents (entity
+    /// escaping round-trips arbitrary attribute/text content).
+    #[test]
+    fn serialization_roundtrip(tree in arb_tree()) {
+        let mut b = DocumentBuilder::new();
+        build(&tree, &mut b);
+        let doc = b.finish().unwrap();
+        let reparsed = Document::parse(doc.to_xml().as_bytes()).unwrap();
+        prop_assert_eq!(doc, reparsed);
+    }
+
+    /// Leaf-path invariants: every leaf appears in exactly one path; paths
+    /// start at the root and follow parent links.
+    #[test]
+    fn leaf_path_invariants(tree in arb_tree()) {
+        let mut b = DocumentBuilder::new();
+        build(&tree, &mut b);
+        let doc = b.finish().unwrap();
+        let paths = doc.leaf_paths();
+        prop_assert_eq!(paths.len(), doc.leaf_count());
+        for p in &paths {
+            prop_assert_eq!(p[0], doc.root());
+            for w in p.windows(2) {
+                prop_assert_eq!(doc.node(w[1]).parent, Some(w[0]));
+            }
+            prop_assert!(doc.node(*p.last().unwrap()).children.is_empty());
+        }
+    }
+}
+
+// Differential test for the document-stream boundary scanner: N built
+// documents concatenated with assorted separators stream back as the
+// same N documents.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn document_stream_splits_concatenations(
+        trees in proptest::collection::vec(arb_tree(), 1..6),
+        separators in proptest::collection::vec(0usize..4, 1..6),
+    ) {
+        let docs: Vec<Document> = trees
+            .iter()
+            .map(|t| {
+                let mut b = DocumentBuilder::new();
+                build(t, &mut b);
+                b.finish().unwrap()
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for (i, d) in docs.iter().enumerate() {
+            let sep = separators[i % separators.len()];
+            match sep {
+                0 => {}
+                1 => wire.extend_from_slice(b"\n  \n"),
+                2 => wire.extend_from_slice(b"<!-- sep -->"),
+                _ => wire.extend_from_slice(b"<?pi data?>\t"),
+            }
+            wire.extend_from_slice(d.to_xml().as_bytes());
+        }
+        let streamed: Vec<Document> = pxf_xml::DocumentStream::new(&wire[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(&streamed, &docs);
+    }
+}

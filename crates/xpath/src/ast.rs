@@ -1,0 +1,445 @@
+//! Abstract syntax tree for the XPath subset handled by the filtering engine.
+//!
+//! The language covers exactly what the paper's encoding supports:
+//! parent-child steps (`/`), ancestor-descendant steps (`//`), name tests,
+//! wildcards (`*`), attribute-based filters (`[@a op v]`, `[@a]`) and nested
+//! path filters (`[rel/path]`).
+
+use std::fmt;
+
+/// Relationship between a location step and its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — the step's node is a direct child of the previous node.
+    Child,
+    /// `//` — the step's node is any descendant of the previous node.
+    Descendant,
+}
+
+/// The node test of a location step: a tag name or the wildcard `*`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// A named element test, e.g. `book`.
+    Tag(String),
+    /// The wildcard test `*`, matching any element.
+    Wildcard,
+}
+
+impl NodeTest {
+    /// Returns the tag name if this is a named test.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            NodeTest::Tag(t) => Some(t),
+            NodeTest::Wildcard => None,
+        }
+    }
+
+    /// True if this is the wildcard test.
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, NodeTest::Wildcard)
+    }
+}
+
+/// Comparison operator used in attribute filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs` for ordered operands.
+    pub fn eval_ord(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The textual operator as it appears in an expression.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An attribute filter value: integer literals compare numerically, quoted
+/// literals compare as strings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrValue {
+    /// An integer literal, compared numerically.
+    Int(i64),
+    /// A quoted string literal, compared lexicographically.
+    Str(String),
+}
+
+impl AttrValue {
+    /// Compares a raw attribute value from a document against this literal.
+    ///
+    /// Integer literals first try a numeric comparison of the document value;
+    /// if the document value is not an integer the comparison fails (no
+    /// implicit coercion). String literals compare lexicographically.
+    pub fn compare_raw(&self, raw: &str) -> Option<std::cmp::Ordering> {
+        match self {
+            AttrValue::Int(n) => raw.trim().parse::<i64>().ok().map(|v| v.cmp(n)),
+            AttrValue::Str(s) => Some(raw.cmp(s.as_str())),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(n) => write!(f, "{n}"),
+            AttrValue::Str(s) => {
+                // XPath 1.0 string literals have no escape mechanism: pick
+                // whichever quote the value does not contain. A value
+                // containing both quotes is unrepresentable as a literal;
+                // render with double quotes (the parser will reject a
+                // round-trip, surfacing the problem instead of corrupting
+                // the value).
+                if s.contains('"') && !s.contains('\'') {
+                    write!(f, "'{s}'")
+                } else {
+                    write!(f, "\"{s}\"")
+                }
+            }
+        }
+    }
+}
+
+/// Reserved [`AttrFilter::name`] selecting the element's character data
+/// instead of an attribute: `[text() = "…"]`, `[text()]`.
+pub const TEXT_FILTER: &str = "text()";
+
+/// An attribute-based filter `[@name op value]`, the existence test
+/// `[@name]`, or a content filter `[text() op value]` / `[text()]`
+/// (represented with the reserved name [`TEXT_FILTER`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttrFilter {
+    /// Attribute name (without the leading `@`).
+    pub name: String,
+    /// The comparison, or `None` for a bare existence test.
+    pub constraint: Option<(CmpOp, AttrValue)>,
+}
+
+impl AttrFilter {
+    /// Builds an equality filter `[@name = value]`.
+    pub fn eq(name: impl Into<String>, value: AttrValue) -> Self {
+        AttrFilter {
+            name: name.into(),
+            constraint: Some((CmpOp::Eq, value)),
+        }
+    }
+
+    /// Builds an existence filter `[@name]`.
+    pub fn exists(name: impl Into<String>) -> Self {
+        AttrFilter {
+            name: name.into(),
+            constraint: None,
+        }
+    }
+
+    /// Evaluates this filter against a raw attribute value, if the attribute
+    /// is present on the element (`Some(raw)`) or absent (`None`).
+    pub fn matches(&self, raw: Option<&str>) -> bool {
+        match (raw, &self.constraint) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(raw), Some((op, value))) => value
+                .compare_raw(raw)
+                .map(|ord| op.eval_ord(ord))
+                .unwrap_or(false),
+        }
+    }
+}
+
+impl fmt::Display for AttrFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (sigil, name) = if self.name == TEXT_FILTER {
+            ("", self.name.as_str())
+        } else {
+            ("@", self.name.as_str())
+        };
+        match &self.constraint {
+            None => write!(f, "{sigil}{name}"),
+            Some((op, value)) => write!(f, "{sigil}{name} {op} {value}"),
+        }
+    }
+}
+
+/// A filter attached to a location step: either an attribute constraint or a
+/// nested (relative) path expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StepFilter {
+    /// `[@a = 3]`, `[@a]`
+    Attribute(AttrFilter),
+    /// `[b//c]` — a nested relative path evaluated in the step's context.
+    Path(XPathExpr),
+}
+
+impl fmt::Display for StepFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepFilter::Attribute(a) => write!(f, "[{a}]"),
+            StepFilter::Path(p) => write!(f, "[{p}]"),
+        }
+    }
+}
+
+/// A single location step: axis, node test, and any filters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// How this step relates to the previous one. For the first step of a
+    /// relative expression the axis is [`Axis::Child`] by convention (the
+    /// matching semantics of a leading relative step do not depend on it).
+    pub axis: Axis,
+    /// The node test (tag name or wildcard).
+    pub test: NodeTest,
+    /// Attribute and nested-path filters attached to this step.
+    pub filters: Vec<StepFilter>,
+}
+
+impl Step {
+    /// A plain child step with a named test and no filters.
+    pub fn child(tag: impl Into<String>) -> Self {
+        Step {
+            axis: Axis::Child,
+            test: NodeTest::Tag(tag.into()),
+            filters: Vec::new(),
+        }
+    }
+
+    /// A plain descendant step with a named test and no filters.
+    pub fn descendant(tag: impl Into<String>) -> Self {
+        Step {
+            axis: Axis::Descendant,
+            test: NodeTest::Tag(tag.into()),
+            filters: Vec::new(),
+        }
+    }
+
+    /// A child wildcard step `*`.
+    pub fn wildcard() -> Self {
+        Step {
+            axis: Axis::Child,
+            test: NodeTest::Wildcard,
+            filters: Vec::new(),
+        }
+    }
+
+    /// Returns the attribute filters on this step.
+    pub fn attr_filters(&self) -> impl Iterator<Item = &AttrFilter> {
+        self.filters.iter().filter_map(|f| match f {
+            StepFilter::Attribute(a) => Some(a),
+            StepFilter::Path(_) => None,
+        })
+    }
+
+    /// Returns the nested path filters on this step.
+    pub fn path_filters(&self) -> impl Iterator<Item = &XPathExpr> {
+        self.filters.iter().filter_map(|f| match f {
+            StepFilter::Path(p) => Some(p),
+            StepFilter::Attribute(_) => None,
+        })
+    }
+}
+
+/// A parsed XPath expression: an optional leading `/` (absolute vs relative)
+/// followed by one or more location steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XPathExpr {
+    /// True when the expression starts at the document root (`/a/b`), false
+    /// for relative expressions (`a/b`), which may match anywhere in a
+    /// document path.
+    pub absolute: bool,
+    /// The location steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl XPathExpr {
+    /// Creates an expression from parts. Panics if `steps` is empty; use the
+    /// parser for untrusted input.
+    pub fn new(absolute: bool, steps: Vec<Step>) -> Self {
+        assert!(!steps.is_empty(), "an XPath expression needs at least one step");
+        XPathExpr { absolute, steps }
+    }
+
+    /// Number of location steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the expression has no steps (never produced by the parser).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// True if any step carries a nested path filter (a tree pattern rather
+    /// than a single path).
+    pub fn has_nested_paths(&self) -> bool {
+        self.steps.iter().any(|s| s.path_filters().next().is_some())
+    }
+
+    /// True if any step (at any nesting depth) carries an attribute filter.
+    pub fn has_attr_filters(&self) -> bool {
+        self.steps.iter().any(|s| {
+            s.attr_filters().next().is_some()
+                || s.path_filters().any(|p| p.has_attr_filters())
+        })
+    }
+
+    /// True if the expression contains a descendant (`//`) step.
+    pub fn has_descendant(&self) -> bool {
+        self.steps.iter().any(|s| s.axis == Axis::Descendant)
+    }
+
+    /// Returns a copy of this expression with all filters (attribute and
+    /// nested-path) removed — the pure structural skeleton.
+    pub fn structural_skeleton(&self) -> XPathExpr {
+        XPathExpr {
+            absolute: self.absolute,
+            steps: self
+                .steps
+                .iter()
+                .map(|s| Step {
+                    axis: s.axis,
+                    test: s.test.clone(),
+                    filters: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for XPathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            let sep = match (i, self.absolute, step.axis) {
+                (0, false, _) => "",
+                (_, _, Axis::Descendant) => "//",
+                (0, true, Axis::Child) => "/",
+                (_, _, Axis::Child) => "/",
+            };
+            f.write_str(sep)?;
+            match &step.test {
+                NodeTest::Tag(t) => f.write_str(t)?,
+                NodeTest::Wildcard => f.write_str("*")?,
+            }
+            for filter in &step.filters {
+                write!(f, "{filter}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_absolute() {
+        let e = XPathExpr::new(
+            true,
+            vec![Step::child("a"), Step::wildcard(), Step::descendant("b")],
+        );
+        assert_eq!(e.to_string(), "/a/*//b");
+    }
+
+    #[test]
+    fn display_relative() {
+        let e = XPathExpr::new(false, vec![Step::child("a"), Step::child("b")]);
+        assert_eq!(e.to_string(), "a/b");
+    }
+
+    #[test]
+    fn display_attr_filter() {
+        let mut s = Step::child("t1");
+        s.filters.push(StepFilter::Attribute(AttrFilter::eq(
+            "x",
+            AttrValue::Int(3),
+        )));
+        let e = XPathExpr::new(true, vec![Step::wildcard(), s]);
+        assert_eq!(e.to_string(), "/*/t1[@x = 3]");
+    }
+
+    #[test]
+    fn attr_filter_matches() {
+        let f = AttrFilter {
+            name: "x".into(),
+            constraint: Some((CmpOp::Ge, AttrValue::Int(3))),
+        };
+        assert!(f.matches(Some("6")));
+        assert!(f.matches(Some("3")));
+        assert!(!f.matches(Some("2")));
+        assert!(!f.matches(Some("abc")));
+        assert!(!f.matches(None));
+    }
+
+    #[test]
+    fn attr_exists_filter() {
+        let f = AttrFilter::exists("id");
+        assert!(f.matches(Some("")));
+        assert!(!f.matches(None));
+    }
+
+    #[test]
+    fn string_comparison() {
+        let f = AttrFilter {
+            name: "cat".into(),
+            constraint: Some((CmpOp::Eq, AttrValue::Str("news".into()))),
+        };
+        assert!(f.matches(Some("news")));
+        assert!(!f.matches(Some("sports")));
+    }
+
+    #[test]
+    fn skeleton_strips_filters() {
+        let mut s = Step::child("a");
+        s.filters
+            .push(StepFilter::Attribute(AttrFilter::exists("x")));
+        let e = XPathExpr::new(true, vec![s]);
+        assert!(e.has_attr_filters());
+        let sk = e.structural_skeleton();
+        assert!(!sk.has_attr_filters());
+        assert_eq!(sk.to_string(), "/a");
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.eval_ord(Less));
+        assert!(CmpOp::Le.eval_ord(Equal));
+        assert!(!CmpOp::Le.eval_ord(Greater));
+        assert!(CmpOp::Ne.eval_ord(Greater));
+        assert!(!CmpOp::Ne.eval_ord(Equal));
+    }
+}

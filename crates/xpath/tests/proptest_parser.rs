@@ -1,0 +1,47 @@
+//! Robustness: the parser must never panic, and accepted inputs must
+//! round-trip through Display.
+
+use proptest::prelude::*;
+use pxf_xpath::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary UTF-8 never panics the parser.
+    #[test]
+    fn parser_never_panics(input in ".{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Inputs over the XPath alphabet never panic, and anything accepted
+    /// round-trips.
+    #[test]
+    fn alphabet_inputs_roundtrip(input in "[a-c/*@\\[\\]=<>!'\"0-9 ]{0,40}") {
+        if let Ok(expr) = parse(&input) {
+            let rendered = expr.to_string();
+            let reparsed = parse(&rendered).unwrap();
+            prop_assert_eq!(expr, reparsed);
+        }
+    }
+
+    /// Well-formed random expressions always parse.
+    #[test]
+    fn constructed_expressions_parse(
+        absolute in any::<bool>(),
+        steps in proptest::collection::vec(("[a-e]{1,3}", any::<bool>(), any::<bool>()), 1..7),
+    ) {
+        let mut src = String::new();
+        for (i, (tag, desc, wild)) in steps.iter().enumerate() {
+            if i == 0 {
+                if absolute { src.push('/'); }
+            } else {
+                src.push('/');
+                if *desc { src.push('/'); }
+            }
+            if *wild { src.push('*'); } else { src.push_str(tag); }
+        }
+        let expr = parse(&src).unwrap();
+        prop_assert_eq!(expr.steps.len(), steps.len());
+        prop_assert_eq!(expr.absolute, absolute);
+    }
+}

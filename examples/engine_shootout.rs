@@ -1,0 +1,85 @@
+//! Engine shootout: runs all five engines (basic, basic-pc, basic-pc-ap,
+//! YFilter, Index-Filter) over both workload regimes, verifies that they
+//! produce identical match sets, and prints a compact comparison — a
+//! miniature, self-checking version of the paper's Fig. 6.
+//!
+//! Run with: `cargo run --release --example engine_shootout [n_exprs]`
+
+use pxf::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10_000);
+
+    for regime in [Regime::nitf(), Regime::psd()] {
+        let mut xp = regime.xpath.clone();
+        xp.count = n;
+        let exprs = XPathGenerator::new(&regime.dtd, xp).generate();
+        let docs: Vec<Vec<u8>> = XmlGenerator::new(&regime.dtd, regime.xml.clone())
+            .generate_batch(30)
+            .into_iter()
+            .map(|d| d.to_xml().into_bytes())
+            .collect();
+
+        println!(
+            "── {} regime: {} expressions, {} documents ──",
+            regime.name.to_uppercase(),
+            exprs.len(),
+            docs.len()
+        );
+
+        let mut reference: Option<Vec<Vec<u32>>> = None;
+        let mut run = |name: &str, f: &mut dyn FnMut(&Document) -> Vec<u32>| {
+            let t = Instant::now();
+            let mut all: Vec<Vec<u32>> = Vec::with_capacity(docs.len());
+            let mut matches = 0usize;
+            for bytes in &docs {
+                let doc = Document::parse(bytes).unwrap();
+                let m = f(&doc);
+                matches += m.len();
+                all.push(m);
+            }
+            let ms = t.elapsed().as_secs_f64() * 1e3 / docs.len() as f64;
+            println!(
+                "  {name:<14} {ms:>8.2} ms/doc   {:>7.1} matches/doc",
+                matches as f64 / docs.len() as f64
+            );
+            match &reference {
+                None => reference = Some(all),
+                Some(r) => assert_eq!(r, &all, "{name} disagrees with the other engines!"),
+            }
+        };
+
+        for (name, algo) in [
+            ("basic", Algorithm::Basic),
+            ("basic-pc", Algorithm::PrefixCovering),
+            ("basic-pc-ap", Algorithm::AccessPredicate),
+        ] {
+            let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+            for e in &exprs {
+                engine.add(e).unwrap();
+            }
+            run(name, &mut |d| {
+                engine.match_document(d).iter().map(|s| s.0).collect()
+            });
+        }
+        {
+            let mut yf = YFilter::new();
+            for e in &exprs {
+                yf.add(e).unwrap();
+            }
+            run("yfilter", &mut |d| yf.match_document(d));
+        }
+        {
+            let mut ixf = IndexFilter::new();
+            for e in &exprs {
+                ixf.add(e).unwrap();
+            }
+            run("index-filter", &mut |d| ixf.match_document(d));
+        }
+        println!("  all engines agree ✓\n");
+    }
+}

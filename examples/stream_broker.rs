@@ -1,0 +1,104 @@
+//! A streaming filtering broker: documents arrive concatenated on one
+//! input stream, workers filter them concurrently against a shared engine
+//! — the deployment shape of the paper's selective-information-
+//! dissemination scenario (§1), this time end to end: byte stream in,
+//! routing decisions out.
+//!
+//! Run with: `cargo run --release --example stream_broker`
+
+use pxf::prelude::*;
+use pxf::xml::DocumentStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn main() {
+    let regime = Regime::nitf();
+
+    // Subscription base.
+    let mut params = regime.xpath.clone();
+    params.count = 20_000;
+    let exprs = XPathGenerator::new(&regime.dtd, params).generate();
+    let mut engine = FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline);
+    for e in &exprs {
+        engine.add(e).unwrap();
+    }
+    engine.prepare();
+
+    // Simulate the wire: 300 documents concatenated into one byte stream.
+    let mut gen = XmlGenerator::new(&regime.dtd, regime.xml.clone());
+    let mut wire = Vec::new();
+    for _ in 0..300 {
+        wire.extend_from_slice(gen.generate().to_xml().as_bytes());
+        wire.push(b'\n');
+    }
+    println!(
+        "wire: {:.1} KB, {} subscriptions, {} distinct predicates",
+        wire.len() as f64 / 1024.0,
+        engine.len(),
+        engine.distinct_predicates()
+    );
+
+    // One reader thread splits the stream into documents; N workers filter.
+    let queue: Mutex<Vec<Document>> = Mutex::new(Vec::new());
+    let produced = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let docs_routed = AtomicUsize::new(0);
+    let matches_total = AtomicUsize::new(0);
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        let produced = &produced;
+        let done = &done;
+        let engine = &engine;
+        let docs_routed = &docs_routed;
+        let matches_total = &matches_total;
+
+        scope.spawn(move || {
+            for doc in DocumentStream::new(&wire[..]) {
+                let doc = doc.expect("well-formed stream");
+                queue.lock().unwrap().push(doc);
+                produced.fetch_add(1, Ordering::SeqCst);
+            }
+            done.store(1, Ordering::SeqCst);
+        });
+
+        for _ in 0..4 {
+            scope.spawn(move || {
+                let mut matcher = engine.matcher();
+                loop {
+                    let doc = queue.lock().unwrap().pop();
+                    match doc {
+                        Some(doc) => {
+                            let matched = matcher.match_document(&doc);
+                            docs_routed.fetch_add(1, Ordering::SeqCst);
+                            matches_total.fetch_add(matched.len(), Ordering::SeqCst);
+                        }
+                        None => {
+                            if done.load(Ordering::SeqCst) == 1
+                                && queue.lock().unwrap().is_empty()
+                            {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let routed = docs_routed.load(Ordering::SeqCst);
+    println!(
+        "routed {} documents in {:.1} ms ({:.0} docs/s, 4 workers)",
+        routed,
+        elapsed.as_secs_f64() * 1e3,
+        routed as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "average fan-out: {:.1} subscriptions/document",
+        matches_total.load(Ordering::SeqCst) as f64 / routed as f64
+    );
+}

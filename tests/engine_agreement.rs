@@ -1,0 +1,133 @@
+//! Cross-engine agreement: on any generated workload, the three predicate
+//! engine organizations, YFilter, Index-Filter, and the reference oracle
+//! must produce identical match sets.
+
+use pxf::engine::reference::matches_document;
+use pxf::prelude::*;
+
+fn workload(regime: &Regime, n_exprs: usize, n_docs: usize, attr_filters: usize, seed: u64) -> (Vec<XPathExpr>, Vec<Document>) {
+    let mut xp = regime.xpath.clone();
+    xp.count = n_exprs;
+    xp.attr_filters = attr_filters;
+    xp.seed = seed;
+    let exprs = XPathGenerator::new(&regime.dtd, xp).generate();
+    let mut xm = regime.xml.clone();
+    xm.seed = seed.wrapping_add(1);
+    let docs = XmlGenerator::new(&regime.dtd, xm).generate_batch(n_docs);
+    (exprs, docs)
+}
+
+fn ids(v: Vec<SubId>) -> Vec<u32> {
+    v.into_iter().map(|s| s.0).collect()
+}
+
+type EngineFn = Box<dyn FnMut(&Document) -> Vec<u32>>;
+
+fn check_all_engines(regime: &Regime, attr_filters: usize, seed: u64) {
+    let (exprs, docs) = workload(regime, 300, 10, attr_filters, seed);
+    let mut engines: Vec<(String, EngineFn)> = Vec::new();
+    for algo in [
+        Algorithm::Basic,
+        Algorithm::PrefixCovering,
+        Algorithm::AccessPredicate,
+    ] {
+        for mode in [AttrMode::Inline, AttrMode::Postponed] {
+            let mut e = FilterEngine::new(algo, mode);
+            for x in &exprs {
+                e.add(x).unwrap();
+            }
+            engines.push((
+                format!("{algo:?}/{mode:?}"),
+                Box::new(move |d: &Document| ids(e.match_document(d))),
+            ));
+        }
+    }
+    let mut yf = YFilter::new();
+    let mut ixf = IndexFilter::new();
+    let mut xfl = XFilter::new();
+    for x in &exprs {
+        yf.add(x).unwrap();
+        ixf.add(x).unwrap();
+        xfl.add(x).unwrap();
+    }
+    engines.push(("yfilter".into(), Box::new(move |d| yf.match_document(d))));
+    engines.push(("index-filter".into(), Box::new(move |d| ixf.match_document(d))));
+    engines.push(("xfilter".into(), Box::new(move |d| xfl.match_document(d))));
+
+    for (di, doc) in docs.iter().enumerate() {
+        // Reference oracle.
+        let expected: Vec<u32> = exprs
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches_document(e, doc))
+            .map(|(i, _)| i as u32)
+            .collect();
+        for (name, run) in engines.iter_mut() {
+            let got = run(doc);
+            assert_eq!(
+                got, expected,
+                "{name} disagrees with oracle on {} doc #{di} (seed {seed})",
+                regime.name
+            );
+        }
+    }
+}
+
+#[test]
+fn all_engines_agree_nitf() {
+    check_all_engines(&Regime::nitf(), 0, 1);
+    check_all_engines(&Regime::nitf(), 0, 2);
+}
+
+#[test]
+fn all_engines_agree_psd() {
+    check_all_engines(&Regime::psd(), 0, 3);
+    check_all_engines(&Regime::psd(), 0, 4);
+}
+
+#[test]
+fn all_engines_agree_with_attribute_filters() {
+    check_all_engines(&Regime::nitf(), 1, 5);
+    check_all_engines(&Regime::nitf(), 2, 6);
+    check_all_engines(&Regime::psd(), 1, 7);
+    check_all_engines(&Regime::psd(), 2, 8);
+}
+
+#[test]
+fn predicate_engine_agrees_on_nested_workloads() {
+    // Nested path filters: only the predicate engine and the oracle
+    // support them (the baselines reject tree patterns).
+    for regime in [Regime::nitf(), Regime::psd()] {
+        let mut xp = regime.xpath.clone();
+        xp.count = 200;
+        xp.nested_prob = 0.5;
+        xp.seed = 99;
+        let exprs = XPathGenerator::new(&regime.dtd, xp).generate();
+        assert!(exprs.iter().any(|e| e.has_nested_paths()));
+        let docs = XmlGenerator::new(&regime.dtd, regime.xml.clone()).generate_batch(8);
+        for algo in [
+            Algorithm::Basic,
+            Algorithm::PrefixCovering,
+            Algorithm::AccessPredicate,
+        ] {
+            let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+            for e in &exprs {
+                engine.add(e).unwrap();
+            }
+            for (di, doc) in docs.iter().enumerate() {
+                let got = ids(engine.match_document(doc));
+                let expected: Vec<u32> = exprs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| matches_document(e, doc))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(
+                    got, expected,
+                    "{algo:?} disagrees on nested workload, {} doc #{di}",
+                    regime.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Property tests: the paper's Appendix A correctness theorem,
+//! operationalized. For arbitrary expressions and documents, the predicate
+//! engine (all organizations and attribute modes) and both baselines must
+//! agree with the direct XPath semantics of the reference oracle.
+
+use proptest::prelude::*;
+use pxf::engine::reference::matches_document;
+use pxf::prelude::*;
+use pxf::xpath::{AttrFilter, AttrValue, Axis, CmpOp, NodeTest, Step, StepFilter};
+
+const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+const ATTRS: [&str; 3] = ["x", "y", "z"];
+
+fn arb_attr_filter() -> impl Strategy<Value = AttrFilter> {
+    (
+        // Index ATTRS.len() selects the reserved text() target.
+        0..=ATTRS.len(),
+        prop_oneof![
+            Just(None),
+            (
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Ne),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Le),
+                    Just(CmpOp::Gt),
+                    Just(CmpOp::Ge)
+                ],
+                0i64..4
+            )
+                .prop_map(|(op, v)| Some((op, AttrValue::Int(v)))),
+        ],
+    )
+        .prop_map(|(name, constraint)| AttrFilter {
+            name: if name == ATTRS.len() {
+                pxf::xpath::TEXT_FILTER.to_string()
+            } else {
+                ATTRS[name].to_string()
+            },
+            constraint,
+        })
+}
+
+fn arb_step(with_attrs: bool) -> impl Strategy<Value = Step> {
+    (
+        prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+        prop_oneof![
+            3 => (0..TAGS.len()).prop_map(|i| NodeTest::Tag(TAGS[i].to_string())),
+            1 => Just(NodeTest::Wildcard),
+        ],
+        if with_attrs {
+            proptest::collection::vec(arb_attr_filter(), 0..2).boxed()
+        } else {
+            Just(Vec::new()).boxed()
+        },
+    )
+        .prop_map(|(axis, test, attrs)| {
+            // Attribute filters only attach to named steps (engine
+            // restriction, documented in EncodeError).
+            let filters = if matches!(test, NodeTest::Tag(_)) {
+                attrs.into_iter().map(StepFilter::Attribute).collect()
+            } else {
+                Vec::new()
+            };
+            Step { axis, test, filters }
+        })
+}
+
+fn arb_expr(with_attrs: bool) -> impl Strategy<Value = XPathExpr> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(arb_step(with_attrs), 1..6),
+    )
+        .prop_map(|(absolute, mut steps)| {
+            // A relative expression's first step axis is Child by
+            // convention (the parser never produces anything else).
+            if !absolute {
+                steps[0].axis = Axis::Child;
+            }
+            XPathExpr { absolute, steps }
+        })
+}
+
+/// A random small document over the same alphabet.
+#[derive(Debug, Clone)]
+struct Tree {
+    tag: usize,
+    attrs: Vec<(usize, i64)>,
+    /// Character data: None = empty; Some(n) = the number rendered as text
+    /// (so integer text() comparisons are exercised).
+    text: Option<i64>,
+    children: Vec<Tree>,
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = (
+        0..TAGS.len(),
+        proptest::collection::vec((0..ATTRS.len(), 0i64..4), 0..2),
+        proptest::option::of(0i64..4),
+    )
+        .prop_map(|(tag, attrs, text)| Tree {
+            tag,
+            attrs,
+            text,
+            children: Vec::new(),
+        });
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        (
+            0..TAGS.len(),
+            proptest::collection::vec((0..ATTRS.len(), 0i64..4), 0..2),
+            proptest::option::of(0i64..4),
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, attrs, text, children)| Tree {
+                tag,
+                attrs,
+                text,
+                children,
+            })
+    })
+}
+
+fn build_doc(tree: &Tree) -> Document {
+    fn emit(t: &Tree, b: &mut DocumentBuilder) {
+        b.start(TAGS[t.tag]);
+        for (i, &(a, v)) in t.attrs.iter().enumerate() {
+            // Skip duplicate attribute names.
+            if t.attrs[..i].iter().all(|&(a2, _)| a2 != a) {
+                b.attr(ATTRS[a], &v.to_string());
+            }
+        }
+        if let Some(n) = t.text {
+            b.text(&n.to_string());
+        }
+        for c in &t.children {
+            emit(c, b);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new();
+    emit(tree, &mut b);
+    b.finish().unwrap()
+}
+
+fn check_agreement(exprs: &[XPathExpr], doc: &Document) {
+    let expected: Vec<u32> = exprs
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches_document(e, doc))
+        .map(|(i, _)| i as u32)
+        .collect();
+    for algo in [
+        Algorithm::Basic,
+        Algorithm::PrefixCovering,
+        Algorithm::AccessPredicate,
+    ] {
+        for mode in [AttrMode::Inline, AttrMode::Postponed] {
+            let mut engine = FilterEngine::new(algo, mode);
+            for e in exprs {
+                engine.add(e).unwrap();
+            }
+            let got: Vec<u32> = engine.match_document(doc).iter().map(|s| s.0).collect();
+            assert_eq!(
+                got,
+                expected,
+                "{algo:?}/{mode:?} disagrees with oracle; exprs={:?} doc={}",
+                exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
+                doc.to_xml()
+            );
+        }
+    }
+    let mut yf = YFilter::new();
+    let mut ixf = IndexFilter::new();
+    let mut xfl = XFilter::new();
+    for e in exprs {
+        yf.add(e).unwrap();
+        ixf.add(e).unwrap();
+        xfl.add(e).unwrap();
+    }
+    assert_eq!(yf.match_document(doc), expected, "yfilter disagrees");
+    assert_eq!(ixf.match_document(doc), expected, "index-filter disagrees");
+    assert_eq!(
+        xfl.match_document(doc),
+        expected,
+        "xfilter disagrees; exprs={:?} doc={}",
+        exprs.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
+        doc.to_xml()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structural expressions only.
+    #[test]
+    fn engines_match_oracle_structural(
+        exprs in proptest::collection::vec(arb_expr(false), 1..12),
+        tree in arb_tree(),
+    ) {
+        let doc = build_doc(&tree);
+        check_agreement(&exprs, &doc);
+    }
+
+    /// With attribute filters (inline vs postponed vs baselines).
+    #[test]
+    fn engines_match_oracle_with_attrs(
+        exprs in proptest::collection::vec(arb_expr(true), 1..10),
+        tree in arb_tree(),
+    ) {
+        let doc = build_doc(&tree);
+        check_agreement(&exprs, &doc);
+    }
+
+    /// Parser round-trip through Display.
+    #[test]
+    fn parser_roundtrip(expr in arb_expr(true)) {
+        let rendered = expr.to_string();
+        let reparsed = pxf::xpath::parse(&rendered).unwrap();
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    /// Encoding is deterministic and insertion into the engine never
+    /// panics for arbitrary generated expressions.
+    #[test]
+    fn encoding_total(expr in arb_expr(true)) {
+        let mut interner = pxf::xml::Interner::new();
+        let a = pxf::engine::encode::encode_single_path(&expr, &mut interner, pxf::engine::AttrMode::Postponed).unwrap();
+        let b = pxf::engine::encode::encode_single_path(&expr, &mut interner, pxf::engine::AttrMode::Postponed).unwrap();
+        prop_assert_eq!(a.preds, b.preds);
+        prop_assert!(!b.slots.is_empty());
+    }
+}
+
+// Nested path filters: predicate engine vs oracle (baselines reject tree
+// patterns). Smaller case count — each case builds several engines.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn nested_patterns_match_oracle(
+        base in arb_expr(false),
+        nested in arb_expr(false),
+        at in 0usize..5,
+        tree in arb_tree(),
+    ) {
+        // Attach `nested` (made relative) as a path filter on some step.
+        let mut expr = base;
+        let idx = at % expr.steps.len();
+        let mut inner = nested;
+        inner.absolute = false;
+        inner.steps[0].axis = Axis::Child;
+        expr.steps[idx].filters.push(StepFilter::Path(inner));
+
+        let doc = build_doc(&tree);
+        let expected = matches_document(&expr, &doc);
+        for algo in [Algorithm::Basic, Algorithm::PrefixCovering, Algorithm::AccessPredicate] {
+            let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+            let id = engine.add(&expr).unwrap();
+            let got = engine.match_document(&doc).contains(&id);
+            prop_assert_eq!(
+                got, expected,
+                "{:?} disagrees on {} over {}", algo, expr.to_string(), doc.to_xml()
+            );
+        }
+    }
+}
