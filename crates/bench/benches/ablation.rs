@@ -7,15 +7,14 @@
 //! * **Insertion cost**: adding expressions to a small vs an already-large
 //!   engine (the §6.1 constant-time claim).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pxf_bench::{build_workload, WorkloadSpec};
+use pxf_bench::{build_workload, micro, WorkloadSpec};
 use pxf_core::encode::{encode_single_path, AttrMode};
 use pxf_core::{Algorithm, FilterEngine};
 use pxf_predicate::{eval_direct, MatchContext, Predicate, PredicateIndex, Publication};
 use pxf_workload::Regime;
 use pxf_xml::{Document, Interner};
 
-fn bench_sharing(c: &mut Criterion) {
+fn bench_sharing() {
     let regime = Regime::psd();
     let w = build_workload(
         &regime,
@@ -48,7 +47,7 @@ fn bench_sharing(c: &mut Criterion) {
         }
     }
 
-    let mut group = c.benchmark_group("ablation/predicate-sharing");
+    let mut group = micro::Group::new("ablation/predicate-sharing");
     group.sample_size(10);
 
     // Shared index: every distinct predicate evaluated once per path.
@@ -56,19 +55,17 @@ fn bench_sharing(c: &mut Criterion) {
         let mut ctx = MatchContext::new();
         let mut publication = Publication::new();
         let interner = interner.clone();
-        group.bench_function(BenchmarkId::from_parameter("shared-index"), |b| {
-            b.iter(|| {
-                let mut matched = 0usize;
-                let mut i = interner.clone();
-                for d in &docs {
-                    d.for_each_leaf_path(|path| {
-                        publication.encode(d, path, &mut i);
-                        index.evaluate(&publication, None, &mut ctx);
-                        matched += ctx.matched().len();
-                    });
-                }
-                matched
-            })
+        group.bench("shared-index", || {
+            let mut matched = 0usize;
+            let mut i = interner.clone();
+            for d in &docs {
+                d.for_each_leaf_path(|path| {
+                    publication.encode(d, path, &mut i);
+                    index.evaluate(&publication, None::<&Document>, &mut ctx);
+                    matched += ctx.matched().len();
+                });
+            }
+            matched
         });
     }
 
@@ -77,29 +74,26 @@ fn bench_sharing(c: &mut Criterion) {
         let mut publication = Publication::new();
         let mut out = Vec::new();
         let interner2 = interner.clone();
-        group.bench_function(BenchmarkId::from_parameter("per-expression"), |b| {
-            b.iter(|| {
-                let mut matched = 0usize;
-                let mut i = interner2.clone();
-                for d in &docs {
-                    d.for_each_leaf_path(|path| {
-                        publication.encode(d, path, &mut i);
-                        for chain in &chains {
-                            for pred in chain {
-                                eval_direct(pred, &publication, None, &mut out);
-                                matched += usize::from(!out.is_empty());
-                            }
+        group.bench("per-expression", || {
+            let mut matched = 0usize;
+            let mut i = interner2.clone();
+            for d in &docs {
+                d.for_each_leaf_path(|path| {
+                    publication.encode(d, path, &mut i);
+                    for chain in &chains {
+                        for pred in chain {
+                            eval_direct(pred, &publication, None::<&Document>, &mut out);
+                            matched += usize::from(!out.is_empty());
                         }
-                    });
-                }
-                matched
-            })
+                    }
+                });
+            }
+            matched
         });
     }
-    group.finish();
 }
 
-fn bench_insertion(c: &mut Criterion) {
+fn bench_insertion() {
     let regime = Regime::nitf();
     let w = build_workload(
         &regime,
@@ -110,35 +104,32 @@ fn bench_insertion(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    let mut group = c.benchmark_group("ablation/insertion");
+    let mut group = micro::Group::new("ablation/insertion");
     group.sample_size(10);
     for preload in [0usize, 100_000] {
         // Engine preloaded with `preload` subscriptions; measure adding
         // 10k more — constant-time insertion means both are equal.
-        group.bench_function(BenchmarkId::new("add-10k-at", preload), |b| {
-            b.iter_batched(
-                || {
-                    let mut engine = FilterEngine::new(
-                        Algorithm::AccessPredicate,
-                        pxf_core::AttrMode::Inline,
-                    );
-                    for e in &w.exprs[..preload] {
-                        engine.add(e).unwrap();
-                    }
-                    engine
-                },
-                |mut engine| {
-                    for e in &w.exprs[preload..preload + 10_000] {
-                        engine.add(e).unwrap();
-                    }
-                    engine.len()
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_batched(
+            &format!("add-10k-at/{preload}"),
+            || {
+                let mut engine =
+                    FilterEngine::new(Algorithm::AccessPredicate, pxf_core::AttrMode::Inline);
+                for e in &w.exprs[..preload] {
+                    engine.add(e).unwrap();
+                }
+                engine
+            },
+            |mut engine| {
+                for e in &w.exprs[preload..preload + 10_000] {
+                    engine.add(e).unwrap();
+                }
+                engine.len()
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sharing, bench_insertion);
-criterion_main!(benches);
+fn main() {
+    bench_sharing();
+    bench_insertion();
+}

@@ -1,17 +1,15 @@
 //! Fig. 10 micro-benchmark: isolates the two stages of the algorithm —
 //! predicate matching (publication encoding + index evaluation) vs the
 //! full pipeline — on the duplicate workload. The harness prints the
-//! timer-based per-stage breakdown; this bench provides the
-//! statistically-rigorous endpoints.
+//! timer-based per-stage breakdown; this bench provides the endpoints.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use pxf_bench::{build_workload, WorkloadSpec};
+use pxf_bench::{build_workload, micro, WorkloadSpec};
 use pxf_core::{Algorithm, AttrMode, FilterEngine};
 use pxf_predicate::{MatchContext, Publication};
 use pxf_workload::Regime;
 use pxf_xml::Document;
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
     let regime = Regime::nitf();
     let spec = WorkloadSpec {
         n_exprs: 200_000,
@@ -26,7 +24,7 @@ fn bench_fig10(c: &mut Criterion) {
         .map(|b| Document::parse(b).unwrap())
         .collect();
 
-    let mut group = c.benchmark_group("fig10/nitf-200k-dup");
+    let mut group = micro::Group::new("fig10/nitf-200k-dup");
     group.sample_size(10);
 
     // Stage 1 alone: encode publications and evaluate the predicate index.
@@ -47,18 +45,16 @@ fn bench_fig10(c: &mut Criterion) {
         }
         let mut ctx = MatchContext::new();
         let mut publication = Publication::new();
-        group.bench_function("predicate-matching-only", |b| {
-            b.iter(|| {
-                let mut matched = 0usize;
-                for d in &docs {
-                    d.for_each_leaf_path(|path| {
-                        publication.encode(d, path, &mut interner);
-                        index.evaluate(&publication, Some(d), &mut ctx);
-                        matched += ctx.matched().len();
-                    });
-                }
-                matched
-            })
+        group.bench("predicate-matching-only", || {
+            let mut matched = 0usize;
+            for d in &docs {
+                d.for_each_leaf_path(|path| {
+                    publication.encode(d, path, &mut interner);
+                    index.evaluate(&publication, Some(d), &mut ctx);
+                    matched += ctx.matched().len();
+                });
+            }
+            matched
         });
     }
 
@@ -68,18 +64,12 @@ fn bench_fig10(c: &mut Criterion) {
         for e in &w.exprs {
             engine.add(e).unwrap();
         }
-        group.bench_function("full-pipeline", |b| {
-            b.iter(|| {
-                let mut m = 0usize;
-                for d in &docs {
-                    m += engine.match_document(d).len();
-                }
-                m
-            })
+        group.bench("full-pipeline", || {
+            let mut m = 0usize;
+            for d in &docs {
+                m += engine.match_document(d).len();
+            }
+            m
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

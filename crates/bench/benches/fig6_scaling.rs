@@ -1,14 +1,15 @@
 //! Fig. 6 micro-benchmarks: per-document filter time of all five engines
 //! on distinct-expression workloads in both regimes (reduced sizes; the
-//! full-scale sweep lives in the `harness` binary).
+//! full-scale sweep lives in the `harness` binary). Each engine is also
+//! timed on the streaming path (`match_bytes`, parse + match in one
+//! pass) for comparison against tree-based matching.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pxf_bench::{build_workload, AnyEngine, EngineKind, WorkloadSpec};
+use pxf_bench::{build_workload, micro, EngineKind, WorkloadSpec};
 use pxf_core::AttrMode;
 use pxf_workload::Regime;
 use pxf_xml::Document;
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     for (regime, n_exprs) in [(Regime::nitf(), 20_000usize), (Regime::psd(), 5_000)] {
         let spec = WorkloadSpec {
             n_exprs,
@@ -21,23 +22,24 @@ fn bench_fig6(c: &mut Criterion) {
             .iter()
             .map(|b| Document::parse(b).unwrap())
             .collect();
-        let mut group = c.benchmark_group(format!("fig6/{}-{}", regime.name, n_exprs));
+        let mut group = micro::Group::new(format!("fig6/{}-{}", regime.name, n_exprs));
         group.sample_size(10);
         for kind in EngineKind::ALL {
-            let mut engine = AnyEngine::build(kind, AttrMode::Inline, &w.exprs);
-            group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
-                b.iter(|| {
-                    let mut m = 0usize;
-                    for d in &docs {
-                        m += engine.match_count(d);
-                    }
-                    m
-                })
+            let mut engine = pxf_bench::build_backend(kind, AttrMode::Inline, &w.exprs);
+            group.bench(kind.label(), || {
+                let mut m = 0usize;
+                for d in &docs {
+                    m += engine.match_document(d).len();
+                }
+                m
+            });
+            group.bench(&format!("{}-streaming", kind.label()), || {
+                let mut m = 0usize;
+                for bytes in &w.doc_bytes {
+                    m += engine.match_bytes(bytes).unwrap().len();
+                }
+                m
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! Fig. 7 micro-benchmark: duplicate-expression workloads — the trie
 //! collapses duplicates onto shared nodes, YFilter shares prefixes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pxf_bench::{build_workload, AnyEngine, EngineKind, WorkloadSpec};
+use pxf_bench::{build_backend, build_workload, micro, EngineKind, WorkloadSpec};
 use pxf_core::AttrMode;
 use pxf_workload::Regime;
 use pxf_xml::Document;
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
     let regime = Regime::psd();
     let spec = WorkloadSpec {
         n_exprs: 200_000,
@@ -21,22 +20,16 @@ fn bench_fig7(c: &mut Criterion) {
         .iter()
         .map(|b| Document::parse(b).unwrap())
         .collect();
-    let mut group = c.benchmark_group("fig7/psd-200k-dup");
+    let mut group = micro::Group::new("fig7/psd-200k-dup");
     group.sample_size(10);
     for kind in [EngineKind::BasicPcAp, EngineKind::YFilter] {
-        let mut engine = AnyEngine::build(kind, AttrMode::Inline, &w.exprs);
-        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
-            b.iter(|| {
-                let mut m = 0usize;
-                for d in &docs {
-                    m += engine.match_count(d);
-                }
-                m
-            })
+        let mut engine = build_backend(kind, AttrMode::Inline, &w.exprs);
+        group.bench(kind.label(), || {
+            let mut m = 0usize;
+            for d in &docs {
+                m += engine.match_document(d).len();
+            }
+            m
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
 //! Fig. 8 micro-benchmark: effect of wildcard (W) and descendant (DO)
 //! probability on filter time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pxf_bench::{build_workload, AnyEngine, EngineKind, WorkloadSpec};
+use pxf_bench::{build_backend, build_workload, micro, EngineKind, WorkloadSpec};
 use pxf_core::AttrMode;
 use pxf_workload::Regime;
 use pxf_xml::Document;
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
     let regime = Regime::nitf();
     for (label, wildcard) in [("wildcard", true), ("descendant", false)] {
-        let mut group = c.benchmark_group(format!("fig8/{label}"));
+        let mut group = micro::Group::new(format!("fig8/{label}"));
         group.sample_size(10);
         for p in [0.0, 0.3, 0.9] {
             let spec = WorkloadSpec {
@@ -28,21 +27,15 @@ fn bench_fig8(c: &mut Criterion) {
                 .map(|b| Document::parse(b).unwrap())
                 .collect();
             for kind in [EngineKind::BasicPcAp, EngineKind::YFilter] {
-                let mut engine = AnyEngine::build(kind, AttrMode::Inline, &w.exprs);
-                group.bench_function(BenchmarkId::new(kind.label(), p), |b| {
-                    b.iter(|| {
-                        let mut m = 0usize;
-                        for d in &docs {
-                            m += engine.match_count(d);
-                        }
-                        m
-                    })
+                let mut engine = build_backend(kind, AttrMode::Inline, &w.exprs);
+                group.bench(&format!("{}/{p}", kind.label()), || {
+                    let mut m = 0usize;
+                    for d in &docs {
+                        m += engine.match_document(d).len();
+                    }
+                    m
                 });
             }
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! Fig. 9 micro-benchmark: attribute filters — inline vs selection
 //! postponed vs YFilter (selection postponed), 1 and 2 filters per path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pxf_bench::{build_workload, AnyEngine, EngineKind, WorkloadSpec};
+use pxf_bench::{build_backend, build_workload, micro, EngineKind, WorkloadSpec};
 use pxf_core::AttrMode;
 use pxf_workload::Regime;
 use pxf_xml::Document;
 
-fn bench_fig9(c: &mut Criterion) {
+fn main() {
     for (regime, n_exprs) in [(Regime::nitf(), 20_000usize), (Regime::psd(), 5_000)] {
         for filters in [1usize, 2] {
             let spec = WorkloadSpec {
@@ -22,29 +21,22 @@ fn bench_fig9(c: &mut Criterion) {
                 .iter()
                 .map(|b| Document::parse(b).unwrap())
                 .collect();
-            let mut group =
-                c.benchmark_group(format!("fig9/{}-{}filters", regime.name, filters));
+            let mut group = micro::Group::new(format!("fig9/{}-{}filters", regime.name, filters));
             group.sample_size(10);
             for (label, kind, mode) in [
                 ("inline", EngineKind::BasicPcAp, AttrMode::Inline),
                 ("sp", EngineKind::BasicPcAp, AttrMode::Postponed),
                 ("yfilter-sp", EngineKind::YFilter, AttrMode::Postponed),
             ] {
-                let mut engine = AnyEngine::build(kind, mode, &w.exprs);
-                group.bench_function(BenchmarkId::from_parameter(label), |b| {
-                    b.iter(|| {
-                        let mut m = 0usize;
-                        for d in &docs {
-                            m += engine.match_count(d);
-                        }
-                        m
-                    })
+                let mut engine = build_backend(kind, mode, &w.exprs);
+                group.bench(label, || {
+                    let mut m = 0usize;
+                    for d in &docs {
+                        m += engine.match_document(d).len();
+                    }
+                    m
                 });
             }
-            group.finish();
         }
     }
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! §6.5 parse-time micro-benchmark: the paper reports 314 µs (NITF) and
-//! 355 µs (PSD) per document and argues parsing is negligible.
+//! 355 µs (PSD) per document and argues parsing is negligible. Also
+//! times the tree-free `PathDoc` parse used by the streaming match path,
+//! which should be no slower than building the `Document` tree.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pxf_bench::{build_workload, WorkloadSpec};
+use pxf_bench::{build_workload, micro, WorkloadSpec};
 use pxf_workload::Regime;
-use pxf_xml::Document;
+use pxf_xml::{Document, PathDoc};
 
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parse");
+fn main() {
     for regime in [Regime::nitf(), Regime::psd()] {
         let w = build_workload(
             &regime,
@@ -18,19 +18,21 @@ fn bench_parse(c: &mut Criterion) {
             },
         );
         let bytes: usize = w.doc_bytes.iter().map(|b| b.len()).sum();
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_function(BenchmarkId::from_parameter(regime.name), |b| {
-            b.iter(|| {
-                let mut tags = 0usize;
-                for d in &w.doc_bytes {
-                    tags += Document::parse(d).unwrap().len();
-                }
-                tags
-            })
+        let mut group = micro::Group::new(format!("parse/{}", regime.name));
+        group.throughput_bytes(bytes as u64);
+        group.bench("document-tree", || {
+            let mut tags = 0usize;
+            for d in &w.doc_bytes {
+                tags += Document::parse(d).unwrap().len();
+            }
+            tags
+        });
+        group.bench("pathdoc-streaming", || {
+            let mut tags = 0usize;
+            for d in &w.doc_bytes {
+                tags += PathDoc::parse(d).unwrap().len();
+            }
+            tags
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_parse);
-criterion_main!(benches);

@@ -12,7 +12,8 @@
 //! number of documents per data point (the paper averages over 500).
 
 use pxf_bench::{
-    build_workload, measure_parse_us, run_engine, EngineKind, RunResult, WorkloadSpec,
+    build_workload, measure_parse_paths_us, measure_parse_us, run_engine, EngineKind, RunResult,
+    WorkloadSpec,
 };
 use pxf_core::AttrMode;
 use pxf_workload::Regime;
@@ -166,8 +167,11 @@ fn table1() {
     }
     let publication = Publication::from_tags(&["a", "b", "c", "a", "b", "c"], &mut interner);
     let mut ctx = MatchContext::new();
-    index.evaluate(&publication, None, &mut ctx);
-    println!("{:<10} {:<26} matching occurrence pairs", "XPE", "predicate");
+    index.evaluate(&publication, None::<&pxf_xml::Document>, &mut ctx);
+    println!(
+        "{:<10} {:<26} matching occurrence pairs",
+        "XPE", "predicate"
+    );
     for (src, notation, pid) in rows {
         println!("{src:<10} {notation:<26} {:?}", ctx.get(pid));
     }
@@ -189,7 +193,16 @@ fn fig6a(opts: &Opts) {
     let regime = Regime::nitf();
     println!("## Fig 6(a) — NITF distinct expressions (scale {scale}, {docs} docs)");
     println!("total filter time, ms/doc");
-    print_header(&["n_exprs", "basic", "basic-pc", "basic-pc-ap", "yfilter", "index-filter", "match%", "distinct"]);
+    print_header(&[
+        "n_exprs",
+        "basic",
+        "basic-pc",
+        "basic-pc-ap",
+        "yfilter",
+        "index-filter",
+        "match%",
+        "distinct",
+    ]);
     for n in [25_000, 50_000, 75_000, 100_000, 125_000] {
         let n = scaled(n, scale);
         let w = build_workload(
@@ -221,7 +234,16 @@ fn fig6b(opts: &Opts) {
     let regime = Regime::psd();
     println!("## Fig 6(b) — PSD distinct expressions (scale {scale}, {docs} docs)");
     println!("total filter time, ms/doc");
-    print_header(&["n_exprs", "basic", "basic-pc", "basic-pc-ap", "yfilter", "index-filter", "match%", "distinct"]);
+    print_header(&[
+        "n_exprs",
+        "basic",
+        "basic-pc",
+        "basic-pc-ap",
+        "yfilter",
+        "index-filter",
+        "match%",
+        "distinct",
+    ]);
     for n in [1_000, 2_500, 5_000, 7_500, 10_000] {
         let n = scaled(n, scale);
         let w = build_workload(
@@ -290,14 +312,23 @@ fn fig8(opts: &Opts, wildcard: bool) {
     let (name, flag) = if wildcard {
         ("Fig 8 — varying wildcard probability W", "W")
     } else {
-        ("Fig 8 (companion) — varying descendant probability DO", "DO")
+        (
+            "Fig 8 (companion) — varying descendant probability DO",
+            "DO",
+        )
     };
     println!("## {name} (NITF, {base} exprs, scale {scale}, {docs} docs)");
     println!("total filter time, ms/doc");
     if wildcard {
         print_header(&[flag, "basic-pc-ap", "yfilter", "distinct-preds"]);
     } else {
-        print_header(&[flag, "basic-pc-ap", "yfilter", "index-filter", "distinct-preds"]);
+        print_header(&[
+            flag,
+            "basic-pc-ap",
+            "yfilter",
+            "index-filter",
+            "distinct-preds",
+        ]);
     }
     for p in [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
         let spec = WorkloadSpec {
@@ -349,7 +380,15 @@ fn fig9(opts: &Opts) {
             regime.name.to_uppercase()
         );
         println!("total filter time, ms/doc");
-        print_header(&["n_exprs", "inline-1", "inline-2", "sp-1", "sp-2", "yfilter-1", "yfilter-2"]);
+        print_header(&[
+            "n_exprs",
+            "inline-1",
+            "inline-2",
+            "sp-1",
+            "sp-2",
+            "yfilter-1",
+            "yfilter-2",
+        ]);
         for &n in &sizes {
             let mut row: Vec<RunResult> = Vec::new();
             for filters in [1usize, 2] {
@@ -394,7 +433,14 @@ fn fig10(opts: &Opts) {
             regime.name.to_uppercase()
         );
         println!("per-document cost of basic-pc-ap, ms");
-        print_header(&["n_exprs", "predicate", "expression", "other", "total", "distinct-preds"]);
+        print_header(&[
+            "n_exprs",
+            "predicate",
+            "expression",
+            "other",
+            "total",
+            "distinct-preds",
+        ]);
         for n in [1_000_000usize, 2_000_000, 3_000_000, 4_000_000, 5_000_000] {
             let n = scaled(n, scale);
             let w = build_workload(
@@ -461,7 +507,14 @@ fn covering_analysis(opts: &Opts) {
     println!("## Covering analysis (paper §4.2.2 future work: suffix/contained covering)");
     print_header(&["regime", "exprs", "prefix-pairs", "contained", "ac-states"]);
     for regime in [Regime::nitf(), Regime::psd()] {
-        let n = scaled(if regime.name == "nitf" { 50_000 } else { 10_000 }, scale);
+        let n = scaled(
+            if regime.name == "nitf" {
+                50_000
+            } else {
+                10_000
+            },
+            scale,
+        );
         let mut xpath = regime.xpath.clone();
         xpath.count = n;
         // A third of the workload is relative expressions: contained
@@ -500,10 +553,11 @@ fn covering_analysis(opts: &Opts) {
 /// XFilter (one FSM per expression, no sharing) → YFilter (shared-prefix
 /// NFA) → the predicate engine (shared predicates + expression trie).
 fn xfilter_lineage(opts: &Opts) {
-    use pxf_xfilter::XFilter;
     let scale = scale_or(opts, 1.0);
     let docs = docs_or(opts, 50);
-    println!("## Lineage — XFilter vs YFilter vs basic-pc-ap (paper §2; scale {scale}, {docs} docs)");
+    println!(
+        "## Lineage — XFilter vs YFilter vs basic-pc-ap (paper §2; scale {scale}, {docs} docs)"
+    );
     println!("total filter time, ms/doc");
     for regime in [Regime::nitf(), Regime::psd()] {
         let sizes: &[usize] = if regime.name == "nitf" {
@@ -523,28 +577,21 @@ fn xfilter_lineage(opts: &Opts) {
                     ..Default::default()
                 },
             );
-            let mut xf = XFilter::new();
-            for e in &w.exprs {
-                xf.add(e).unwrap();
-            }
-            let t = std::time::Instant::now();
-            for bytes in &w.doc_bytes {
-                let doc = pxf_xml::Document::parse(bytes).unwrap();
-                std::hint::black_box(xf.match_document(&doc));
-            }
-            let xf_ms = t.elapsed().as_secs_f64() * 1e3 / docs as f64;
+            let xf = run_engine(EngineKind::XFilter, AttrMode::Inline, &w);
             let yf = run_engine(EngineKind::YFilter, AttrMode::Inline, &w);
             let ap = run_engine(EngineKind::BasicPcAp, AttrMode::Inline, &w);
             println!(
-                "{n:<10} {xf_ms:>13.3} {:>13.3} {:>13.3}",
-                yf.ms_per_doc, ap.ms_per_doc
+                "{n:<10} {:>13.3} {:>13.3} {:>13.3}",
+                xf.ms_per_doc, yf.ms_per_doc, ap.ms_per_doc
             );
         }
         println!();
     }
 }
 
-/// §6.5 parse-time measurement (paper: 314 µs NITF, 355 µs PSD).
+/// §6.5 parse-time measurement (paper: 314 µs NITF, 355 µs PSD). Also
+/// reports the tree-free `PathDoc` parse used by the streaming match
+/// path — it should be no slower than building the `Document` tree.
 fn parse_times(opts: &Opts) {
     let docs = docs_or(opts, 200);
     println!("## Parse time (paper §6.5: 314 us NITF, 355 us PSD)");
@@ -558,9 +605,10 @@ fn parse_times(opts: &Opts) {
             },
         );
         let us = measure_parse_us(&w, 5);
+        let stream_us = measure_parse_paths_us(&w, 5);
         let bytes: usize = w.doc_bytes.iter().map(|b| b.len()).sum();
         println!(
-            "{:<6} avg parse {us:>8.1} us/doc   avg size {:>6.2} KB",
+            "{:<6} avg parse {us:>8.1} us/doc   streaming {stream_us:>8.1} us/doc   avg size {:>6.2} KB",
             regime.name.to_uppercase(),
             bytes as f64 / docs as f64 / 1024.0
         );

@@ -1,17 +1,27 @@
 //! Shared benchmark machinery: workload construction and engine runners
 //! used by both the `harness` binary (regenerates every figure of the
-//! paper) and the Criterion benches.
+//! paper) and the plain-`std` benches (`benches/`, via [`micro`]).
+//!
+//! All engines are driven through the [`FilterBackend`] trait — one
+//! builder ([`build_backend`]) and one runner ([`run_engine`]) cover the
+//! predicate engine in its three organizations plus the YFilter,
+//! Index-Filter, and XFilter baselines. Matching takes the streaming path
+//! ([`FilterBackend::match_bytes`]): parse and match happen in one pass
+//! per document, matching the paper's total-filter-time metric.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pxf_core::{Algorithm, AttrMode, FilterEngine};
+use pxf_core::{Algorithm, AttrMode, FilterBackend, FilterEngine};
 use pxf_indexfilter::IndexFilter;
 use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
+use pxf_xfilter::XFilter;
 use pxf_xml::Document;
 use pxf_xpath::XPathExpr;
 use pxf_yfilter::YFilter;
 use std::time::Instant;
+
+pub mod micro;
 
 /// A prepared workload: expressions plus serialized documents (documents
 /// are re-parsed inside the timed region — the paper's total filtering
@@ -101,6 +111,9 @@ pub enum EngineKind {
     YFilter,
     /// Index-Filter baseline.
     IndexFilter,
+    /// XFilter baseline (one FSM per expression; not part of the paper's
+    /// figure set, so excluded from [`EngineKind::ALL`]).
+    XFilter,
 }
 
 impl EngineKind {
@@ -112,6 +125,7 @@ impl EngineKind {
             EngineKind::BasicPcAp => "basic-pc-ap",
             EngineKind::YFilter => "yfilter",
             EngineKind::IndexFilter => "index-filter",
+            EngineKind::XFilter => "xfilter",
         }
     }
 
@@ -145,100 +159,55 @@ pub struct RunResult {
     pub breakdown_ms: (f64, f64, f64),
 }
 
-/// A boxed engine wrapper so the harness can drive all five uniformly.
-pub enum AnyEngine {
-    /// The predicate engine.
-    Pxf(Box<FilterEngine>),
-    /// YFilter.
-    Yf(Box<YFilter>),
-    /// Index-Filter.
-    Ixf(Box<IndexFilter>),
-}
-
-impl AnyEngine {
-    /// Builds an engine of the given kind over the workload expressions.
-    pub fn build(kind: EngineKind, attr_mode: AttrMode, exprs: &[XPathExpr]) -> AnyEngine {
-        match kind {
-            EngineKind::Basic | EngineKind::BasicPc | EngineKind::BasicPcAp => {
-                let algo = match kind {
-                    EngineKind::Basic => Algorithm::Basic,
-                    EngineKind::BasicPc => Algorithm::PrefixCovering,
-                    _ => Algorithm::AccessPredicate,
-                };
-                let mut engine = FilterEngine::new(algo, attr_mode);
-                for e in exprs {
-                    engine.add(e).expect("workload expressions are encodable");
-                }
-                AnyEngine::Pxf(Box::new(engine))
-            }
-            EngineKind::YFilter => {
-                let mut yf = YFilter::new();
-                for e in exprs {
-                    yf.add(e).expect("workload expressions are single-path");
-                }
-                AnyEngine::Yf(Box::new(yf))
-            }
-            EngineKind::IndexFilter => {
-                let mut ixf = IndexFilter::new();
-                for e in exprs {
-                    ixf.add(e).expect("workload expressions are single-path");
-                }
-                AnyEngine::Ixf(Box::new(ixf))
-            }
-        }
+/// Builds an engine of the given kind over the workload expressions,
+/// behind the unified [`FilterBackend`] interface.
+pub fn build_backend(
+    kind: EngineKind,
+    attr_mode: AttrMode,
+    exprs: &[XPathExpr],
+) -> Box<dyn FilterBackend> {
+    let mut backend: Box<dyn FilterBackend> = match kind {
+        EngineKind::Basic => Box::new(FilterEngine::new(Algorithm::Basic, attr_mode)),
+        EngineKind::BasicPc => Box::new(FilterEngine::new(Algorithm::PrefixCovering, attr_mode)),
+        EngineKind::BasicPcAp => Box::new(FilterEngine::new(Algorithm::AccessPredicate, attr_mode)),
+        EngineKind::YFilter => Box::new(YFilter::new()),
+        EngineKind::IndexFilter => Box::new(IndexFilter::new()),
+        EngineKind::XFilter => Box::new(XFilter::new()),
+    };
+    for e in exprs {
+        backend.add(e).expect("workload expressions are supported");
     }
-
-    /// Filters a document, returning the number of matches.
-    pub fn match_count(&mut self, doc: &Document) -> usize {
-        match self {
-            AnyEngine::Pxf(e) => e.match_document(doc).len(),
-            AnyEngine::Yf(e) => e.match_document(doc).len(),
-            AnyEngine::Ixf(e) => e.match_document(doc).len(),
-        }
-    }
-
-    /// Filters a document, returning matching ids (for agreement checks).
-    pub fn match_ids(&mut self, doc: &Document) -> Vec<u32> {
-        match self {
-            AnyEngine::Pxf(e) => e.match_document(doc).iter().map(|s| s.0).collect(),
-            AnyEngine::Yf(e) => e.match_document(doc),
-            AnyEngine::Ixf(e) => e.match_document(doc),
-        }
-    }
+    backend.prepare();
+    backend
 }
 
 /// Runs one engine over a workload, measuring the paper's total-filter-time
 /// metric (parse + match, averaged over documents).
 pub fn run_engine(kind: EngineKind, attr_mode: AttrMode, workload: &Workload) -> RunResult {
     let t0 = Instant::now();
-    let mut engine = AnyEngine::build(kind, attr_mode, &workload.exprs);
+    let mut engine = build_backend(kind, attr_mode, &workload.exprs);
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    if let AnyEngine::Pxf(e) = &mut engine {
-        e.reset_stats();
-    }
+    engine.reset_stats();
     let mut total_matches = 0usize;
     let t1 = Instant::now();
     for bytes in &workload.doc_bytes {
-        let doc = Document::parse(bytes).expect("generated documents are well-formed");
-        total_matches += engine.match_count(&doc);
+        total_matches += engine
+            .match_bytes(bytes)
+            .expect("generated documents are well-formed")
+            .len();
     }
     let elapsed = t1.elapsed().as_secs_f64() * 1e3;
     let n_docs = workload.doc_bytes.len().max(1) as f64;
 
-    let (distinct_preds, breakdown_ms) = match &engine {
-        AnyEngine::Pxf(e) => {
-            let stats = e.stats();
-            (
-                e.distinct_predicates(),
-                (
-                    stats.predicate_ns as f64 / 1e6 / n_docs,
-                    stats.expression_ns as f64 / 1e6 / n_docs,
-                    stats.other_ns as f64 / 1e6 / n_docs,
-                ),
-            )
-        }
-        _ => (0, (0.0, 0.0, 0.0)),
+    let distinct_preds = engine.distinct_predicates();
+    let breakdown_ms = match engine.stats() {
+        Some(stats) => (
+            stats.predicate_ns as f64 / 1e6 / n_docs,
+            stats.expression_ns as f64 / 1e6 / n_docs,
+            stats.other_ns as f64 / 1e6 / n_docs,
+        ),
+        None => (0.0, 0.0, 0.0),
     };
 
     let avg_matches = total_matches as f64 / n_docs;
@@ -260,6 +229,23 @@ pub fn measure_parse_us(workload: &Workload, repeats: usize) -> f64 {
     for _ in 0..repeats.max(1) {
         for bytes in &workload.doc_bytes {
             let doc = Document::parse(bytes).expect("well-formed");
+            sink += doc.len();
+        }
+    }
+    let total = t.elapsed().as_secs_f64() * 1e6;
+    std::hint::black_box(sink);
+    total / (repeats.max(1) * workload.doc_bytes.len().max(1)) as f64
+}
+
+/// Streaming counterpart of [`measure_parse_us`]: average time to parse a
+/// document straight into the flat [`pxf_xml::PathDoc`] store (the
+/// tree-free path used by `match_bytes`).
+pub fn measure_parse_paths_us(workload: &Workload, repeats: usize) -> f64 {
+    let t = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..repeats.max(1) {
+        for bytes in &workload.doc_bytes {
+            let doc = pxf_xml::PathDoc::parse(bytes).expect("well-formed");
             sink += doc.len();
         }
     }

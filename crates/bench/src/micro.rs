@@ -1,0 +1,153 @@
+//! Minimal plain-`std` micro-benchmark runner.
+//!
+//! The workspace builds fully offline, so the benches under `benches/`
+//! use this module instead of an external harness (every `[[bench]]`
+//! target sets `harness = false`). The API is deliberately small: a
+//! [`Group`] times closures over a fixed number of samples and prints
+//! min / median / mean wall-clock time per iteration. Results go to
+//! stdout; there is no statistical machinery beyond taking the median,
+//! which is what the paper's figures report anyway.
+
+use std::time::{Duration, Instant};
+
+/// A named group of related measurements (mirrors one figure or one
+/// configuration sweep).
+pub struct Group {
+    name: String,
+    samples: usize,
+    throughput_bytes: Option<u64>,
+}
+
+impl Group {
+    /// Creates a group with the default sample count (10).
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("\n== {name} ==");
+        Group {
+            name,
+            samples: 10,
+            throughput_bytes: None,
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares how many input bytes one iteration consumes, so results
+    /// also report throughput.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Times `f` (after one untimed warm-up call) and prints the result.
+    /// The closure's return value is passed through [`std::hint::black_box`]
+    /// so the measured work is not optimized away.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed());
+        }
+        self.report(label, &mut times);
+    }
+
+    /// Like [`Group::bench`] but re-creates the input with `setup` before
+    /// every timed call, excluding setup cost from the measurement (for
+    /// routines that consume or mutate their input).
+    pub fn bench_batched<T, R>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(T) -> R,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(t.elapsed());
+        }
+        self.report(label, &mut times);
+    }
+
+    fn report(&self, label: &str, times: &mut [Duration]) {
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let mut line = format!(
+            "{}/{label:<24} min {:>10}  median {:>10}  mean {:>10}",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+        if let Some(bytes) = self.throughput_bytes {
+            let mbps = bytes as f64 / 1e6 / median.as_secs_f64();
+            line.push_str(&format!("  ({mbps:.1} MB/s)"));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = Group::new("test-group");
+        g.sample_size(3).throughput_bytes(1024);
+        let mut calls = 0usize;
+        g.bench("counting", || {
+            calls += 1;
+            calls
+        });
+        // One warm-up + three timed samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_batched_reruns_setup() {
+        let mut g = Group::new("test-batched");
+        g.sample_size(2);
+        let mut setups = 0usize;
+        g.bench_batched(
+            "setup-count",
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+        );
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

@@ -1,8 +1,11 @@
 //! Smoke tests for the benchmark machinery: tiny versions of every
 //! experiment path, asserting engine agreement and sane outputs.
 
-use pxf_bench::{build_workload, measure_parse_us, run_engine, AnyEngine, EngineKind, WorkloadSpec};
-use pxf_core::AttrMode;
+use pxf_bench::{
+    build_backend, build_workload, measure_parse_paths_us, measure_parse_us, run_engine,
+    EngineKind, WorkloadSpec,
+};
+use pxf_core::{AttrMode, FilterBackend};
 use pxf_workload::Regime;
 use pxf_xml::Document;
 
@@ -28,25 +31,36 @@ fn all_engines_agree_on_bench_workloads() {
                 .iter()
                 .map(|b| Document::parse(b).unwrap())
                 .collect();
-            let mut engines: Vec<(String, AnyEngine)> = EngineKind::ALL
+            let mut engines: Vec<(String, Box<dyn FilterBackend>)> = EngineKind::ALL
                 .iter()
+                .chain([EngineKind::XFilter].iter())
                 .map(|&k| {
                     // Inline only exists for the predicate engine; the
                     // baselines always run selection postponed.
-                    (k.label().to_string(), AnyEngine::build(k, AttrMode::Inline, &w.exprs))
+                    (
+                        k.label().to_string(),
+                        build_backend(k, AttrMode::Inline, &w.exprs),
+                    )
                 })
                 .collect();
             engines.push((
                 "ap-postponed".into(),
-                AnyEngine::build(EngineKind::BasicPcAp, AttrMode::Postponed, &w.exprs),
+                build_backend(EngineKind::BasicPcAp, AttrMode::Postponed, &w.exprs),
             ));
-            for doc in &docs {
-                let reference = engines[0].1.match_ids(doc);
-                for (name, engine) in engines.iter_mut().skip(1) {
+            for (doc, bytes) in docs.iter().zip(&w.doc_bytes) {
+                let reference = engines[0].1.match_document(doc);
+                for (name, engine) in engines.iter_mut() {
                     assert_eq!(
-                        engine.match_ids(doc),
+                        engine.match_document(doc),
                         reference,
                         "{name} disagrees ({} filters, {})",
+                        attr_filters,
+                        regime.name
+                    );
+                    assert_eq!(
+                        engine.match_bytes(bytes).unwrap(),
+                        reference,
+                        "{name} streaming path disagrees ({} filters, {})",
                         attr_filters,
                         regime.name
                     );
@@ -93,6 +107,8 @@ fn parse_measurement_is_positive() {
     let w = build_workload(&regime, &tiny_spec());
     let us = measure_parse_us(&w, 2);
     assert!(us > 0.0 && us < 100_000.0);
+    let stream_us = measure_parse_paths_us(&w, 2);
+    assert!(stream_us > 0.0 && stream_us < 100_000.0);
 }
 
 #[test]

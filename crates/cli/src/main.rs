@@ -1,7 +1,8 @@
 //! `pxf` — command-line XML/XPath filtering.
 //!
 //! ```text
-//! pxf match  --subs FILE [--algorithm basic|pc|ap] [--attr-mode inline|sp]
+//! pxf match  --subs FILE [--engine pxf|yfilter|index-filter|xfilter]
+//!            [--algorithm basic|pc|ap] [--attr-mode inline|sp]
 //!            [--threads N] [--stats] [--quiet] DOC.xml [DOC.xml …]
 //! pxf match  --subs FILE --stream [-]          # concatenated docs on stdin
 //! pxf encode 'EXPR' ['EXPR' …]
@@ -11,9 +12,12 @@
 //!
 //! Subscription files contain one XPath expression per line; blank lines
 //! and lines starting with `#` are ignored. `pxf match` prints, for every
-//! document, the 1-based line numbers of the matching subscriptions.
+//! document, the 1-based line numbers of the matching subscriptions. All
+//! matching takes the streaming path (parse + match in one pass, no
+//! document tree); every engine is driven through the
+//! [`FilterBackend`] trait.
 
-use pxf_core::{parallel, Algorithm, AttrMode, FilterEngine, SubId};
+use pxf_core::{parallel, Algorithm, AttrMode, FilterBackend, FilterEngine, SubId};
 use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
 use pxf_xml::Document;
 use std::io::Write;
@@ -52,9 +56,10 @@ USAGE:
 
 MATCH OPTIONS:
   --subs FILE          subscription file (one XPath per line, # comments)
-  --algorithm KIND     basic | pc | ap            (default: ap)
-  --attr-mode MODE     inline | sp                (default: inline)
-  --threads N          parallel workers           (default: 1)
+  --engine NAME        pxf | yfilter | index-filter | xfilter (default: pxf)
+  --algorithm KIND     basic | pc | ap            (default: ap, pxf only)
+  --attr-mode MODE     inline | sp                (default: inline, pxf only)
+  --threads N          parallel workers           (default: 1; pxf only)
   --stream             read concatenated documents from stdin (or from one
                        file argument) instead of one document per file
   --stats              print matching statistics to stderr
@@ -74,6 +79,7 @@ fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, Stri
 
 fn cmd_match(args: &[String]) -> Result<(), String> {
     let mut subs_path: Option<PathBuf> = None;
+    let mut engine_name = "pxf".to_string();
     let mut algorithm = Algorithm::AccessPredicate;
     let mut attr_mode = AttrMode::Inline;
     let mut threads = 1usize;
@@ -85,6 +91,7 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         match args[i].as_str() {
             "--subs" => subs_path = Some(PathBuf::from(take_value(args, &mut i, "--subs")?)),
+            "--engine" => engine_name = take_value(args, &mut i, "--engine")?,
             "--algorithm" => {
                 algorithm = match take_value(args, &mut i, "--algorithm")?.as_str() {
                     "basic" => Algorithm::Basic,
@@ -118,10 +125,30 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         return Err("no documents given".into());
     }
 
+    // Build the requested engine behind the unified backend interface.
+    // `pxf` keeps its concrete type for the multi-threaded batch path.
+    let mut pxf_engine: Option<FilterEngine> = None;
+    let mut baseline: Option<Box<dyn FilterBackend>> = None;
+    match engine_name.as_str() {
+        "pxf" => pxf_engine = Some(FilterEngine::new(algorithm, attr_mode)),
+        "yfilter" => baseline = Some(Box::new(pxf_yfilter::YFilter::new())),
+        "index-filter" => baseline = Some(Box::new(pxf_indexfilter::IndexFilter::new())),
+        "xfilter" => baseline = Some(Box::new(pxf_xfilter::XFilter::new())),
+        other => {
+            return Err(format!(
+                "unknown engine '{other}' (pxf|yfilter|index-filter|xfilter)"
+            ))
+        }
+    }
+    if pxf_engine.is_none() && threads > 1 {
+        return Err(format!(
+            "--threads applies to the default pxf engine, not '{engine_name}'"
+        ));
+    }
+
     // Load subscriptions.
     let text = std::fs::read_to_string(&subs_path)
         .map_err(|e| format!("cannot read {}: {e}", subs_path.display()))?;
-    let mut engine = FilterEngine::new(algorithm, attr_mode);
     // SubId → 1-based line number.
     let mut lines_of: Vec<usize> = Vec::new();
     let mut skipped = 0usize;
@@ -130,31 +157,33 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        match pxf_xpath::parse(line) {
-            Ok(expr) => match engine.add(&expr) {
-                Ok(_) => lines_of.push(lineno + 1),
-                Err(e) => {
-                    eprintln!("pxf: line {}: {e} — skipped", lineno + 1);
-                    skipped += 1;
-                }
-            },
+        let backend: &mut dyn FilterBackend = match &mut pxf_engine {
+            Some(e) => e,
+            None => baseline.as_mut().expect("one engine is built").as_mut(),
+        };
+        match backend.add_str(line) {
+            Ok(_) => lines_of.push(lineno + 1),
             Err(e) => {
                 eprintln!("pxf: line {}: {e} — skipped", lineno + 1);
                 skipped += 1;
             }
         }
     }
-    engine.prepare();
+    let backend: &mut dyn FilterBackend = match &mut pxf_engine {
+        Some(e) => e,
+        None => baseline.as_mut().expect("one engine is built").as_mut(),
+    };
+    backend.prepare();
     if stats {
         eprintln!(
             "pxf: {} subscriptions ({skipped} skipped), {} distinct predicates",
-            engine.len(),
-            engine.distinct_predicates()
+            lines_of.len(),
+            backend.distinct_predicates()
         );
     }
 
     if stream {
-        return match_stream(&engine, &lines_of, &docs, quiet, stats);
+        return match_stream(backend, &lines_of, &docs, quiet, stats);
     }
 
     // Load documents.
@@ -164,7 +193,14 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     }
 
     let started = std::time::Instant::now();
-    let results = parallel::filter_batch_bytes(&engine, &doc_bytes, threads);
+    let results: Vec<parallel::ByteFilterResult> = match &pxf_engine {
+        // pxf: shared-engine fan-out (sequential fast path at threads=1).
+        Some(e) => parallel::filter_batch_bytes(e, &doc_bytes, threads),
+        None => {
+            let backend = baseline.as_mut().expect("one engine is built");
+            doc_bytes.iter().map(|b| backend.match_bytes(b)).collect()
+        }
+    };
     let elapsed = started.elapsed();
 
     let stdout = std::io::stdout();
@@ -179,8 +215,14 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
                         .iter()
                         .map(|s: &SubId| lines_of[s.0 as usize].to_string())
                         .collect();
-                    writeln!(out, "{}: {} [{}]", path.display(), lines.len(), lines.join(" "))
-                        .map_err(|e| e.to_string())?;
+                    writeln!(
+                        out,
+                        "{}: {} [{}]",
+                        path.display(),
+                        lines.len(),
+                        lines.join(" ")
+                    )
+                    .map_err(|e| e.to_string())?;
                 }
             }
             Err(e) => eprintln!("pxf: {}: {e}", path.display()),
@@ -198,8 +240,10 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
 }
 
 /// Streams concatenated documents (stdin, or one file) through the engine.
+/// Each document goes raw-bytes → match set in one pass
+/// ([`FilterBackend::match_bytes`]); no `Document` tree is built.
 fn match_stream(
-    engine: &FilterEngine,
+    backend: &mut dyn FilterBackend,
     lines_of: &[usize],
     inputs: &[PathBuf],
     quiet: bool,
@@ -214,16 +258,16 @@ fn match_stream(
         )),
         _ => return Err("--stream takes stdin or exactly one file".into()),
     };
-    let mut matcher = engine.matcher();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let started = std::time::Instant::now();
     let mut count = 0usize;
     let mut total = 0usize;
-    for (i, doc) in DocumentStream::new(reader).enumerate() {
-        match doc {
-            Ok(doc) => {
-                let matched = matcher.match_document(&doc);
+    let mut stream = DocumentStream::new(reader);
+    let mut i = 0usize;
+    while let Some(raw) = stream.next_raw() {
+        match raw.and_then(|bytes| backend.match_bytes(&bytes)) {
+            Ok(matched) => {
                 count += 1;
                 total += matched.len();
                 if !quiet {
@@ -237,6 +281,7 @@ fn match_stream(
             }
             Err(e) => eprintln!("pxf: stream document #{i}: {e}"),
         }
+        i += 1;
     }
     if stats {
         let elapsed = started.elapsed();
@@ -265,14 +310,16 @@ fn cmd_encode(args: &[String]) -> Result<(), String> {
                     pxf_core::AttrMode::Postponed,
                 )
                 .map_err(|e| e.to_string())?;
-                let rendered: Vec<String> = enc
-                    .preds
-                    .iter()
-                    .map(|p| p.to_notation(&interner))
-                    .collect();
+                let rendered: Vec<String> =
+                    enc.preds.iter().map(|p| p.to_notation(&interner)).collect();
                 let branch = comp
                     .parent
-                    .map(|p| format!(" [branches from #{p} at (pos, =, {})]", comp.parent_branch_step + 1))
+                    .map(|p| {
+                        format!(
+                            " [branches from #{p} at (pos, =, {})]",
+                            comp.parent_branch_step + 1
+                        )
+                    })
                     .unwrap_or_default();
                 println!("  #{ci} {}{branch}", comp.expr);
                 println!("      {}", rendered.join(" |-> "));
@@ -284,11 +331,8 @@ fn cmd_encode(args: &[String]) -> Result<(), String> {
                 pxf_core::AttrMode::Inline,
             )
             .map_err(|e| e.to_string())?;
-            let rendered: Vec<String> = enc
-                .preds
-                .iter()
-                .map(|p| p.to_notation(&interner))
-                .collect();
+            let rendered: Vec<String> =
+                enc.preds.iter().map(|p| p.to_notation(&interner)).collect();
             println!("{src}");
             println!("  {}", rendered.join(" |-> "));
         }

@@ -71,7 +71,11 @@ fn match_pipeline() {
         .arg(&doc2)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
     // Line 5 ("broken[") is reported skipped.
@@ -87,22 +91,34 @@ fn match_pipeline() {
 fn generate_then_match_roundtrip() {
     let dir = std::env::temp_dir().join(format!("pxf-cli-gen-{}", std::process::id()));
     let out = pxf()
-        .args(["generate", "--regime", "psd", "--exprs", "50", "--docs", "3", "--out"])
+        .args([
+            "generate", "--regime", "psd", "--exprs", "50", "--docs", "3", "--out",
+        ])
         .arg(&dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let subs = dir.join("subscriptions.xpath");
     assert!(subs.exists());
     let docs: Vec<_> = (0..3).map(|i| dir.join(format!("doc{i:04}.xml"))).collect();
     let mut cmd = pxf();
-    cmd.args(["match", "--subs"]).arg(&subs).args(["--threads", "2"]);
+    cmd.args(["match", "--subs"])
+        .arg(&subs)
+        .args(["--threads", "2"]);
     for d in &docs {
         assert!(d.exists());
         cmd.arg(d);
     }
     let out = cmd.output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.lines().count(), 3, "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
@@ -114,7 +130,10 @@ fn deterministic_generation() {
     let d2 = std::env::temp_dir().join(format!("pxf-det2-{}", std::process::id()));
     for d in [&d1, &d2] {
         let out = pxf()
-            .args(["generate", "--regime", "nitf", "--exprs", "30", "--docs", "1", "--seed", "9", "--out"])
+            .args([
+                "generate", "--regime", "nitf", "--exprs", "30", "--docs", "1", "--seed", "9",
+                "--out",
+            ])
             .arg(d)
             .output()
             .unwrap();
@@ -144,7 +163,11 @@ fn stream_mode_reads_concatenated_documents() {
         .arg(&wire)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("<stream#0>: 1 [1]"), "{stdout}");
     assert!(stdout.contains("<stream#1>: 1 [2]"), "{stdout}");

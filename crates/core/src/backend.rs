@@ -1,0 +1,144 @@
+//! The unified filtering-backend interface.
+//!
+//! Every matching engine in the workspace — the predicate engine
+//! ([`FilterEngine`]) and the baselines (YFilter, Index-Filter, XFilter) —
+//! follows the same lifecycle: register XPath subscriptions, prepare, then
+//! filter a stream of documents. [`FilterBackend`] captures that lifecycle
+//! so harnesses, the CLI, examples, and cross-engine tests can drive any
+//! engine through one object-safe interface instead of hand-rolled
+//! per-engine dispatch.
+//!
+//! [`FilterBackend::match_bytes`] is the streaming entry point: a backend
+//! goes from raw document bytes to a match set in a single parse pass
+//! (via [`pxf_xml::PathDoc`] or an equivalent event replay), with no
+//! [`pxf_xml::Document`] tree allocation. Implementations must return
+//! byte-identical match sets through both entry points.
+
+use crate::engine::{AddError, FilterEngine, SubId};
+use pxf_xml::{Document, XmlError};
+use pxf_xpath::XPathExpr;
+
+use crate::engine::EngineStats;
+
+/// Error adding a subscription to a backend (unsupported construct,
+/// capacity, …). Wraps the engine-specific error as a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError(pub String);
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<AddError> for BackendError {
+    fn from(e: AddError) -> Self {
+        BackendError(e.to_string())
+    }
+}
+
+/// A filtering engine behind a uniform, object-safe interface.
+///
+/// Lifecycle: [`add`](Self::add) subscriptions, optionally
+/// [`prepare`](Self::prepare) (also invoked implicitly by matching), then
+/// match documents — either pre-parsed trees via
+/// [`match_document`](Self::match_document) or raw bytes via the
+/// single-pass [`match_bytes`](Self::match_bytes). Subscription ids are
+/// assigned in registration order by every backend, so the same workload
+/// produces comparable id sets across engines.
+pub trait FilterBackend {
+    /// Registers a parsed XPath expression, returning its subscription id.
+    fn add(&mut self, expr: &XPathExpr) -> Result<SubId, BackendError>;
+
+    /// Finishes construction after a batch of adds. Optional: matching
+    /// entry points prepare implicitly.
+    fn prepare(&mut self) {}
+
+    /// Filters a parsed document: ids of all matching subscriptions,
+    /// ascending.
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId>;
+
+    /// Parses and filters raw document bytes in one streaming pass,
+    /// without building a [`Document`] tree. Match sets are identical to
+    /// [`Self::match_document`] on the parsed equivalent.
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError>;
+
+    /// Parses and registers an expression (convenience).
+    fn add_str(&mut self, src: &str) -> Result<SubId, BackendError> {
+        let expr = pxf_xpath::parse(src).map_err(|e| BackendError(e.to_string()))?;
+        self.add(&expr)
+    }
+
+    /// Resets matching statistics counters, where the backend keeps any.
+    fn reset_stats(&mut self) {}
+
+    /// Matching statistics since the last reset, for backends that track
+    /// the paper's stage breakdown. `None` for baselines that don't.
+    fn stats(&self) -> Option<EngineStats> {
+        None
+    }
+
+    /// Number of distinct predicates stored (the paper's Fig. 10 metric);
+    /// 0 for backends without a predicate index.
+    fn distinct_predicates(&self) -> usize {
+        0
+    }
+}
+
+impl FilterBackend for FilterEngine {
+    fn add(&mut self, expr: &XPathExpr) -> Result<SubId, BackendError> {
+        Ok(FilterEngine::add(self, expr)?)
+    }
+
+    fn prepare(&mut self) {
+        FilterEngine::prepare(self);
+    }
+
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        FilterEngine::match_document(self, doc)
+    }
+
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        FilterEngine::match_bytes(self, bytes)
+    }
+
+    fn reset_stats(&mut self) {
+        FilterEngine::reset_stats(self);
+    }
+
+    fn stats(&self) -> Option<EngineStats> {
+        Some(FilterEngine::stats(self))
+    }
+
+    fn distinct_predicates(&self) -> usize {
+        FilterEngine::distinct_predicates(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_object_dispatch() {
+        let mut backend: Box<dyn FilterBackend> = Box::<FilterEngine>::default();
+        let a = backend.add_str("/a/b").unwrap();
+        let b = backend.add_str("//c").unwrap();
+        backend.prepare();
+        let bytes = b"<a><b><c/></b></a>";
+        let doc = Document::parse(bytes).unwrap();
+        assert_eq!(backend.match_document(&doc), vec![a, b]);
+        assert_eq!(backend.match_bytes(bytes).unwrap(), vec![a, b]);
+        assert!(backend.match_bytes(b"<oops>").is_err());
+        assert!(backend.stats().is_some());
+        assert!(backend.distinct_predicates() > 0);
+    }
+
+    #[test]
+    fn add_errors_surface_as_backend_errors() {
+        let mut backend: Box<dyn FilterBackend> = Box::<FilterEngine>::default();
+        assert!(backend.add_str("not an xpath [[[").is_err());
+    }
+}

@@ -74,8 +74,11 @@ impl CoveringIndex {
             queue.push_back(c);
         }
         while let Some(u) = queue.pop_front() {
-            let transitions: Vec<(PredId, u32)> =
-                nodes[u as usize].goto_.iter().map(|(&k, &v)| (k, v)).collect();
+            let transitions: Vec<(PredId, u32)> = nodes[u as usize]
+                .goto_
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect();
             for (pid, v) in transitions {
                 // fail(v) = longest proper suffix state.
                 let mut f = nodes[u as usize].fail;
@@ -284,11 +287,7 @@ mod tests {
             let expected: Vec<u32> = chains
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| {
-                    probe
-                        .windows(c.len())
-                        .any(|w| w == c.as_slice())
-                })
+                .filter(|(_, c)| probe.windows(c.len()).any(|w| w == c.as_slice()))
                 .map(|(i, _)| i as u32)
                 .collect();
             assert_eq!(got, expected, "probe {probe:?}");
@@ -320,10 +319,9 @@ mod tests {
                     .collect()
             })
             .collect();
-        let publication =
-            Publication::from_tags(&["x", "a", "b", "c", "d"], &mut interner);
+        let publication = Publication::from_tags(&["x", "a", "b", "c", "d"], &mut interner);
         let mut ctx = MatchContext::new();
-        index.evaluate(&publication, None, &mut ctx);
+        index.evaluate(&publication, None::<&pxf_xml::Document>, &mut ctx);
         // The long chain matches…
         let lists: Vec<&[(u16, u16)]> = chains[0].iter().map(|&p| ctx.get(p)).collect();
         assert!(determine_match(&lists));

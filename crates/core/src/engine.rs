@@ -18,7 +18,7 @@ use crate::encode::{encode_single_path, AttrMode, EncodeError, EncodedPath};
 use crate::nested::{combine, decompose, NestedPlan};
 use crate::occurrence::determine_match;
 use pxf_predicate::{MatchContext, PredId, PredicateIndex, Publication};
-use pxf_xml::{Document, Interner, NodeId, Symbol};
+use pxf_xml::{DocAccess, Interner, NodeId, PathDoc, Symbol, XmlError};
 use pxf_xpath::{AttrFilter, XPathExpr};
 use std::collections::HashMap;
 use std::fmt;
@@ -107,7 +107,11 @@ struct LevelCheck {
 impl AttrCheck {
     /// Builds the check from an encoding; `None` when the expression has no
     /// attribute filters on any slot.
-    fn build(expr: &XPathExpr, enc: &EncodedPath, interner: &mut Interner) -> Option<Box<AttrCheck>> {
+    fn build(
+        expr: &XPathExpr,
+        enc: &EncodedPath,
+        interner: &mut Interner,
+    ) -> Option<Box<AttrCheck>> {
         let mut any = false;
         let levels: Vec<LevelCheck> = enc
             .preds
@@ -146,7 +150,13 @@ impl AttrCheck {
     }
 
     /// Is the occurrence pair admissible at `level` on this publication?
-    fn admit(&self, level: usize, pair: (u16, u16), publication: &Publication, doc: &Document) -> bool {
+    fn admit<D: DocAccess>(
+        &self,
+        level: usize,
+        pair: (u16, u16),
+        publication: &Publication,
+        doc: &D,
+    ) -> bool {
         let lc = &self.levels[level];
         let node_ok = |tag: Option<Symbol>, occ: u16, filters: &[AttrFilter]| -> bool {
             if filters.is_empty() {
@@ -156,7 +166,7 @@ impl AttrCheck {
             let Some(tuple) = publication.find_occurrence(tag, occ) else {
                 return false;
             };
-            let element = doc.node(tuple.node);
+            let element = doc.element(tuple.node);
             filters.iter().all(|f| f.matches(element.value_of(&f.name)))
         };
         node_ok(lc.first_tag, pair.0, &lc.first) && node_ok(lc.second_tag, pair.1, &lc.second)
@@ -286,8 +296,11 @@ impl Trie {
                 chain: chain.into_boxed_slice(),
             });
         }
-        self.terminals
-            .sort_by(|a, b| a.root_pid.cmp(&b.root_pid).then(b.chain.len().cmp(&a.chain.len())));
+        self.terminals.sort_by(|a, b| {
+            a.root_pid
+                .cmp(&b.root_pid)
+                .then(b.chain.len().cmp(&a.chain.len()))
+        });
         self.dirty = false;
     }
 }
@@ -387,8 +400,17 @@ pub struct Matcher<'e> {
 
 impl Matcher<'_> {
     /// Filters a document: ids of all matching subscriptions, ascending.
-    pub fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+    pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<SubId> {
         self.engine.match_document_with(doc, &mut self.scratch)
+    }
+
+    /// Parses and filters a document in a single streaming pass: the bytes
+    /// go through [`PathDoc::parse`] (no tree is built) and the match runs
+    /// over the flat path store. Results are identical to parsing with
+    /// [`pxf_xml::Document::parse`] and calling [`Self::match_document`].
+    pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        let doc = PathDoc::parse(bytes)?;
+        Ok(self.engine.match_document_with(&doc, &mut self.scratch))
     }
 
     /// Statistics accumulated by this matcher.
@@ -530,7 +552,8 @@ impl FilterEngine {
         let sub = SubId(self.n_subs);
         if expr.has_nested_paths() {
             self.add_nested(expr, sub)?;
-            self.locations.push(SubLocation::Nested(self.nested.len() as u32 - 1));
+            self.locations
+                .push(SubLocation::Nested(self.nested.len() as u32 - 1));
         } else {
             let enc = encode_single_path(expr, &mut self.interner, self.attr_mode)?;
             let attr_check = match self.attr_mode {
@@ -660,7 +683,7 @@ impl FilterEngine {
 
     /// Filters a document: returns the ids of all matching subscriptions,
     /// in ascending order.
-    pub fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+    pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<SubId> {
         self.prepare();
         let mut scratch = std::mem::take(&mut self.scratch);
         let results = self.match_document_with(doc, &mut scratch);
@@ -668,10 +691,23 @@ impl FilterEngine {
         results
     }
 
+    /// Parses and filters a document in one streaming pass over the raw
+    /// bytes: [`PathDoc::parse`] records leaf paths as elements close, with
+    /// no `Document` tree allocation, and matching runs over the flat
+    /// store. Match sets are byte-identical to the tree-based path.
+    pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        let doc = PathDoc::parse(bytes)?;
+        Ok(self.match_document(&doc))
+    }
+
     /// Filters a document using caller-provided scratch. The engine itself
     /// is not mutated, so any number of scratches may be used concurrently
     /// (see [`Self::matcher`]). Requires [`Self::prepare`].
-    pub fn match_document_with(&self, doc: &Document, scratch: &mut MatchScratch) -> Vec<SubId> {
+    pub fn match_document_with<D: DocAccess>(
+        &self,
+        doc: &D,
+        scratch: &mut MatchScratch,
+    ) -> Vec<SubId> {
         debug_assert!(!self.trie.dirty, "prepare() before match_document_with");
         let MatchScratch {
             publication,
@@ -763,11 +799,11 @@ impl FilterEngine {
 /// document are compacted out of the active list (stop-after-first-match,
 /// §3.1).
 #[allow(clippy::too_many_arguments)]
-fn stage2_flat(
+fn stage2_flat<D: DocAccess>(
     flat: &[FlatExpr],
     ctx: &MatchContext,
     publication: &Publication,
-    doc: &Document,
+    doc: &D,
     state: &mut DocState,
     stats: &mut EngineStats,
     path_idx: u32,
@@ -791,7 +827,16 @@ fn stage2_flat(
         if !any_empty {
             stats.occurrence_runs += 1;
             if determine_match(&lists) {
-                process_sink(&expr.sink, &lists, ctx, publication, doc, state, stats, path_idx);
+                process_sink(
+                    &expr.sink,
+                    &lists,
+                    ctx,
+                    publication,
+                    doc,
+                    state,
+                    stats,
+                    path_idx,
+                );
             }
         }
         let resolved = match &expr.sink {
@@ -812,11 +857,11 @@ fn stage2_flat(
 /// longest-first per cluster with Algorithm 1, plus prefix-covering
 /// propagation (a match marks every prefix expression matched).
 #[allow(clippy::too_many_arguments)]
-fn stage2_trie(
+fn stage2_trie<D: DocAccess>(
     trie: &Trie,
     ctx: &MatchContext,
     publication: &Publication,
-    doc: &Document,
+    doc: &D,
     state: &mut DocState,
     stats: &mut EngineStats,
     path_idx: u32,
@@ -915,11 +960,11 @@ fn stage2_trie(
 /// elements (which could alias bits) fall back to the `basic-pc`
 /// evaluation for that path.
 #[allow(clippy::too_many_arguments)]
-fn stage2_dfs(
+fn stage2_dfs<D: DocAccess>(
     trie: &Trie,
     ctx: &MatchContext,
     publication: &Publication,
-    doc: &Document,
+    doc: &D,
     state: &mut DocState,
     stats: &mut EngineStats,
     path_idx: u32,
@@ -952,13 +997,13 @@ fn stage2_dfs(
 /// chains on, and returns whether the whole subtree is now resolved for
 /// this document.
 #[allow(clippy::too_many_arguments)]
-fn dfs_node(
+fn dfs_node<D: DocAccess>(
     trie: &Trie,
     n: u32,
     f_in: u128,
     ctx: &MatchContext,
     publication: &Publication,
-    doc: &Document,
+    doc: &D,
     state: &mut DocState,
     stats: &mut EngineStats,
     path_idx: u32,
@@ -970,11 +1015,15 @@ fn dfs_node(
         // Selection-postponed attribute checks need the per-level match
         // lists of the chain; collect them only when some sink asks.
         let mut lists: Vec<&[(u16, u16)]> = Vec::new();
-        if node
-            .sinks
-            .iter()
-            .any(|s| matches!(s, Sink::Sub { attr_check: Some(_), .. }))
-        {
+        if node.sinks.iter().any(|s| {
+            matches!(
+                s,
+                Sink::Sub {
+                    attr_check: Some(_),
+                    ..
+                }
+            )
+        }) {
             let mut chain: Vec<PredId> = Vec::with_capacity(node.depth as usize);
             let mut cur = n;
             loop {
@@ -1012,7 +1061,17 @@ fn dfs_node(
             }
         }
         let done = if f != 0 {
-            dfs_node(trie, child, f, ctx, publication, doc, state, stats, path_idx)
+            dfs_node(
+                trie,
+                child,
+                f,
+                ctx,
+                publication,
+                doc,
+                state,
+                stats,
+                path_idx,
+            )
         } else {
             false
         };
@@ -1030,12 +1089,12 @@ fn dfs_node(
 /// subscription results or component path records, applying postponed
 /// attribute checks where present.
 #[allow(clippy::too_many_arguments)]
-fn process_sink(
+fn process_sink<D: DocAccess>(
     sink: &Sink,
     lists: &[&[(u16, u16)]],
     ctx: &MatchContext,
     publication: &Publication,
-    doc: &Document,
+    doc: &D,
     state: &mut DocState,
     stats: &mut EngineStats,
     path_idx: u32,
@@ -1094,6 +1153,7 @@ fn process_sink(
 mod tests {
     use super::*;
     use crate::reference::matches_document;
+    use pxf_xml::Document;
     use pxf_xpath::parse;
 
     const ALGOS: [Algorithm; 3] = [
@@ -1349,6 +1409,7 @@ mod tests {
 #[cfg(test)]
 mod removal_tests {
     use super::*;
+    use pxf_xml::Document;
     use pxf_xpath::parse;
 
     fn doc(xml: &str) -> Document {

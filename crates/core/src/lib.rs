@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod covering;
 pub mod encode;
 mod engine;
@@ -43,5 +44,6 @@ pub mod occurrence;
 pub mod parallel;
 pub mod reference;
 
+pub use backend::{BackendError, FilterBackend};
 pub use encode::{AttrMode, EncodeError, EncodedPath};
 pub use engine::{AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, SubId};

@@ -18,7 +18,7 @@
 //! comparison, O(1) instead of O(d).
 
 use crate::reference::{match_positions, DocPathView};
-use pxf_xml::{Document, NodeId};
+use pxf_xml::{DocAccess, NodeId};
 use pxf_xpath::{Axis, Step, StepFilter, XPathExpr};
 use std::collections::HashSet;
 
@@ -122,9 +122,9 @@ fn decompose_into(
 /// predicate engine). The combination re-derives exact step positions with
 /// [`match_positions`] (which also applies attribute filters) and checks
 /// branch-node agreement bottom-up.
-pub fn combine(
+pub fn combine<D: DocAccess>(
     plan: &NestedPlan,
-    doc: &Document,
+    doc: &D,
     paths: &[Vec<NodeId>],
     comp_paths: &[Vec<u32>],
 ) -> bool {
@@ -257,6 +257,7 @@ fn for_each_assignment(
 mod tests {
     use super::*;
     use crate::reference::matches_document;
+    use pxf_xml::Document;
     use pxf_xpath::parse;
 
     fn comp_strs(plan: &NestedPlan) -> Vec<String> {
@@ -312,7 +313,10 @@ mod tests {
                     .filter(|(_, p)| {
                         crate::reference::matches_path(
                             &skeleton,
-                            &DocPathView { doc: &doc, nodes: p },
+                            &DocPathView {
+                                doc: &doc,
+                                nodes: p,
+                            },
                         )
                     })
                     .map(|(i, _)| i as u32)
@@ -342,11 +346,7 @@ mod tests {
                 "<a><x><c><d/><e/></c></x><y><c><d/><e/></c></y></a>",
                 true,
             ),
-            (
-                "/a[*/c[d]/e]//c[d]/e",
-                "<a><y><c><e/></c></y></a>",
-                false,
-            ),
+            ("/a[*/c[d]/e]//c[d]/e", "<a><y><c><e/></c></y></a>", false),
             // Branch below a descendant step: anchor depth varies.
             ("//c[d]/e", "<r><q><c><d/><e/></c></q></r>", true),
             ("//c[d]/e", "<r><q><c><e/></c><c><d/></c></q></r>", false),
@@ -356,20 +356,18 @@ mod tests {
             // Cross-check the expectation against the tree oracle itself.
             let expr = parse(src).unwrap();
             let doc = Document::parse(xml.as_bytes()).unwrap();
-            assert_eq!(matches_document(&expr, &doc), expected, "oracle {src} over {xml}");
+            assert_eq!(
+                matches_document(&expr, &doc),
+                expected,
+                "oracle {src} over {xml}"
+            );
         }
     }
 
     #[test]
     fn combine_with_attr_filters_in_branches() {
-        assert!(full_match(
-            "/a[b[@x = 1]]/c",
-            r#"<a><b x="1"/><c/></a>"#
-        ));
-        assert!(!full_match(
-            "/a[b[@x = 1]]/c",
-            r#"<a><b x="2"/><c/></a>"#
-        ));
+        assert!(full_match("/a[b[@x = 1]]/c", r#"<a><b x="1"/><c/></a>"#));
+        assert!(!full_match("/a[b[@x = 1]]/c", r#"<a><b x="2"/><c/></a>"#));
     }
 }
 
@@ -384,10 +382,9 @@ mod structure_tuple_tests {
     /// first d+1 entries.
     #[test]
     fn node_identity_equals_structure_tuple_prefix() {
-        let doc = Document::parse(
-            b"<a><b><c/><c/><d><c/></d></b><b><c/><d/></b><e><b><c/></b></e></a>",
-        )
-        .unwrap();
+        let doc =
+            Document::parse(b"<a><b><c/><c/><d><c/></d></b><b><c/><d/></b><e><b><c/></b></e></a>")
+                .unwrap();
         let paths = doc.leaf_paths();
         let tuple = |p: &[pxf_xml::NodeId]| -> Vec<u32> {
             p.iter().map(|&n| doc.node(n).child_index).collect()
@@ -399,10 +396,7 @@ mod structure_tuple_tests {
                 for d in 0..a.len().min(b.len()) {
                     let same_node = a[d] == b[d];
                     let same_prefix = ta[..=d] == tb[..=d];
-                    assert_eq!(
-                        same_node, same_prefix,
-                        "paths {a:?} vs {b:?} at depth {d}"
-                    );
+                    assert_eq!(same_node, same_prefix, "paths {a:?} vs {b:?} at depth {d}");
                 }
             }
         }

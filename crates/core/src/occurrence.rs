@@ -253,9 +253,9 @@ mod tests {
                 if level == results.len() {
                     return true;
                 }
-                results[level]
-                    .iter()
-                    .any(|&(o1, o2)| prev.is_none_or(|p| p == o1) && rec(results, level + 1, Some(o2)))
+                results[level].iter().any(|&(o1, o2)| {
+                    prev.is_none_or(|p| p == o1) && rec(results, level + 1, Some(o2))
+                })
             }
             !results.is_empty() && rec(results, 0, None)
         }
@@ -276,8 +276,7 @@ mod tests {
                 let lists: Vec<MatchList<'_>> = vec![a.as_slice(), b.as_slice()];
                 assert_eq!(determine_match(&lists), brute(&lists), "{a:?} {b:?}");
                 for c in subsets.iter().step_by(3) {
-                    let lists: Vec<MatchList<'_>> =
-                        vec![a.as_slice(), b.as_slice(), c.as_slice()];
+                    let lists: Vec<MatchList<'_>> = vec![a.as_slice(), b.as_slice(), c.as_slice()];
                     assert_eq!(determine_match(&lists), brute(&lists));
                 }
             }

@@ -36,11 +36,7 @@ pub type ByteFilterResult = Result<Vec<SubId>, pxf_xml::XmlError>;
 /// let results = parallel::filter_batch(&engine, &docs, 4);
 /// assert_eq!(results, vec![vec![s], vec![]]);
 /// ```
-pub fn filter_batch(
-    engine: &FilterEngine,
-    docs: &[Document],
-    threads: usize,
-) -> Vec<Vec<SubId>> {
+pub fn filter_batch(engine: &FilterEngine, docs: &[Document], threads: usize) -> Vec<Vec<SubId>> {
     let threads = threads.max(1).min(docs.len().max(1));
     if threads == 1 {
         let mut matcher = engine.matcher();
@@ -82,12 +78,21 @@ pub fn filter_batch(
 
 /// Filters raw serialized documents (parse + match per document, the
 /// paper's total-filter-time unit of work) across worker threads.
+///
+/// Each document takes the streaming path ([`Matcher::match_bytes`]): one
+/// pass over the bytes into a flat path store, no `Document` tree. With
+/// `threads == 1` this degenerates to a sequential loop (no threads are
+/// spawned), mirroring [`filter_batch`].
 pub fn filter_batch_bytes(
     engine: &FilterEngine,
     docs: &[Vec<u8>],
     threads: usize,
 ) -> Vec<ByteFilterResult> {
     let threads = threads.max(1).min(docs.len().max(1));
+    if threads == 1 {
+        let mut matcher = engine.matcher();
+        return docs.iter().map(|d| matcher.match_bytes(d)).collect();
+    }
     let next = AtomicUsize::new(0);
     let mut per_worker: Vec<Vec<(usize, ByteFilterResult)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
@@ -102,9 +107,7 @@ pub fn filter_batch_bytes(
                     if i >= docs.len() {
                         return out;
                     }
-                    let result = Document::parse(&docs[i])
-                        .map(|doc| matcher.match_document(&doc));
-                    out.push((i, result));
+                    out.push((i, matcher.match_bytes(&docs[i])));
                 }
             }));
         }
@@ -165,6 +168,31 @@ mod tests {
         let results = filter_batch_bytes(&engine, &docs, 2);
         assert_eq!(results[0].as_ref().unwrap(), &vec![ids[0]]);
         assert!(results[1].is_err());
+    }
+
+    #[test]
+    fn bytes_variant_agrees_with_tree_path_across_thread_counts() {
+        let (engine, _) = sample_engine();
+        let sources = [
+            "<a><b/></a>",
+            "<a><x><c/></x></a>",
+            "<a><q><d/></q></a>",
+            "<z/>",
+            "<a><b><c/></b></a>",
+        ];
+        let bytes: Vec<Vec<u8>> = sources
+            .iter()
+            .cycle()
+            .take(50)
+            .map(|s| s.as_bytes().to_vec())
+            .collect();
+        let docs: Vec<Document> = bytes.iter().map(|b| Document::parse(b).unwrap()).collect();
+        let tree = filter_batch(&engine, &docs, 1);
+        for threads in [1, 2, 4] {
+            let streamed = filter_batch_bytes(&engine, &bytes, threads);
+            let streamed: Vec<Vec<SubId>> = streamed.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(streamed, tree, "threads={threads}");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! only for testing and for the nested-path combination stage, never on the
 //! hot filtering path.
 
-use pxf_xml::{Document, NodeId};
+use pxf_xml::{DocAccess, Document, NodeId};
 use pxf_xpath::{Axis, NodeTest, Step, XPathExpr};
 
 /// Read-only view of one document path for the path matcher.
@@ -42,23 +42,23 @@ impl PathView for TagsView<'_> {
     }
 }
 
-/// A path view over document nodes.
-pub struct DocPathView<'a> {
+/// A path view over document nodes (any [`DocAccess`] store).
+pub struct DocPathView<'a, D: DocAccess = Document> {
     /// The document the nodes belong to.
-    pub doc: &'a Document,
+    pub doc: &'a D,
     /// Root-to-leaf node ids.
     pub nodes: &'a [NodeId],
 }
 
-impl PathView for DocPathView<'_> {
+impl<D: DocAccess> PathView for DocPathView<'_, D> {
     fn len(&self) -> usize {
         self.nodes.len()
     }
     fn tag(&self, pos: usize) -> &str {
-        &self.doc.node(self.nodes[pos - 1]).tag
+        self.doc.tag(self.nodes[pos - 1])
     }
     fn attr(&self, pos: usize, name: &str) -> Option<&str> {
-        self.doc.node(self.nodes[pos - 1]).value_of(name)
+        self.doc.value_of(self.nodes[pos - 1], name)
     }
 }
 
@@ -381,10 +381,7 @@ mod tests {
         // Build a document satisfying both branches:
         // a → x → c(d, e)  satisfies the filter;
         // a → … → c(d, e)  satisfies the main path.
-        let doc = Document::parse(
-            b"<a><x><c><d/><e/></c></x><y><c><d/><e/></c></y></a>",
-        )
-        .unwrap();
+        let doc = Document::parse(b"<a><x><c><d/><e/></c></x><y><c><d/><e/></c></y></a>").unwrap();
         assert!(matches_document(&expr, &doc));
         // Remove the d under the main-path c: filter [d] on main c fails …
         let doc2 = Document::parse(b"<a><x><c><d/><e/></c></x><y><c><e/></c></y></a>").unwrap();

@@ -24,10 +24,7 @@ fn notation_covers_every_predicate_type() {
         notation("/a//b/*", AttrMode::Postponed),
         "(p_a, =, 1) -> (d(p_a, p_b), >=, 1) -> (p_b-|, >=, 1)"
     );
-    assert_eq!(
-        notation("*/x", AttrMode::Postponed),
-        "(p_x, >=, 2)"
-    );
+    assert_eq!(notation("*/x", AttrMode::Postponed), "(p_x, >=, 2)");
 }
 
 #[test]
@@ -36,10 +33,7 @@ fn notation_renders_attribute_constraints() {
         notation("/a[@k = \"v\"]", AttrMode::Inline),
         "(p_a([k, =, \"v\"]), =, 1)"
     );
-    assert_eq!(
-        notation("/a[@k]", AttrMode::Inline),
-        "(p_a([k]), =, 1)"
-    );
+    assert_eq!(notation("/a[@k]", AttrMode::Inline), "(p_a([k]), =, 1)");
     // Multiple constraints are rendered sorted by name.
     assert_eq!(
         notation("/a[@z = 1][@b >= 2]", AttrMode::Inline),

@@ -1,41 +1,40 @@
 //! Property: removing subscriptions is equivalent to never having added
 //! them, under random interleavings of adds, removals, and matches.
+//! Seeded randomized sweep (in-tree PRNG).
 
-use proptest::prelude::*;
 use pxf_core::{Algorithm, AttrMode, FilterEngine, SubId};
+use pxf_rng::Rng;
 use pxf_xml::{Document, DocumentBuilder};
 use pxf_xpath::{Axis, NodeTest, Step, XPathExpr};
 
 const TAGS: [&str; 4] = ["a", "b", "c", "d"];
 
-fn arb_expr() -> impl Strategy<Value = XPathExpr> {
-    (
-        any::<bool>(),
-        proptest::collection::vec(
-            (
-                prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
-                prop_oneof![
-                    3 => (0..TAGS.len()).prop_map(|i| NodeTest::Tag(TAGS[i].to_string())),
-                    1 => Just(NodeTest::Wildcard),
-                ],
-            ),
-            1..5,
-        ),
-    )
-        .prop_map(|(absolute, steps)| {
-            let mut steps: Vec<Step> = steps
-                .into_iter()
-                .map(|(axis, test)| Step {
-                    axis,
-                    test,
-                    filters: Vec::new(),
-                })
-                .collect();
-            if !absolute {
-                steps[0].axis = Axis::Child;
+fn arb_expr(rng: &mut Rng) -> XPathExpr {
+    let absolute = rng.gen_bool(0.5);
+    let n_steps = rng.gen_range(1..5usize);
+    let mut steps: Vec<Step> = (0..n_steps)
+        .map(|_| {
+            let axis = if rng.gen_bool(0.5) {
+                Axis::Child
+            } else {
+                Axis::Descendant
+            };
+            let test = if rng.gen_bool(0.25) {
+                NodeTest::Wildcard
+            } else {
+                NodeTest::Tag(TAGS[rng.gen_range(0..TAGS.len())].to_string())
+            };
+            Step {
+                axis,
+                test,
+                filters: Vec::new(),
             }
-            XPathExpr { absolute, steps }
         })
+        .collect();
+    if !absolute {
+        steps[0].axis = Axis::Child;
+    }
+    XPathExpr { absolute, steps }
 }
 
 #[derive(Debug, Clone)]
@@ -44,15 +43,16 @@ struct Tree {
     children: Vec<Tree>,
 }
 
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = (0..TAGS.len()).prop_map(|tag| Tree {
-        tag,
-        children: Vec::new(),
-    });
-    leaf.prop_recursive(4, 16, 3, |inner| {
-        (0..TAGS.len(), proptest::collection::vec(inner, 0..3))
-            .prop_map(|(tag, children)| Tree { tag, children })
-    })
+fn arb_tree(rng: &mut Rng, depth: usize) -> Tree {
+    let n_children = if depth == 0 {
+        0
+    } else {
+        rng.gen_range(0..3usize)
+    };
+    Tree {
+        tag: rng.gen_range(0..TAGS.len()),
+        children: (0..n_children).map(|_| arb_tree(rng, depth - 1)).collect(),
+    }
 }
 
 fn build_doc(tree: &Tree) -> Document {
@@ -68,17 +68,23 @@ fn build_doc(tree: &Tree) -> Document {
     b.finish().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn removal_is_equivalent_to_absence(
-        exprs in proptest::collection::vec(arb_expr(), 2..10),
-        remove_mask in proptest::collection::vec(any::<bool>(), 2..10),
-        trees in proptest::collection::vec(arb_tree(), 1..4),
-        match_between in any::<bool>(),
-    ) {
-        for algo in [Algorithm::Basic, Algorithm::PrefixCovering, Algorithm::AccessPredicate] {
+#[test]
+fn removal_is_equivalent_to_absence() {
+    let mut rng = Rng::seed_from_u64(0x4e40);
+    for _ in 0..256 {
+        let exprs: Vec<XPathExpr> = (0..rng.gen_range(2..10usize))
+            .map(|_| arb_expr(&mut rng))
+            .collect();
+        let remove_mask: Vec<bool> = (0..exprs.len()).map(|_| rng.gen_bool(0.5)).collect();
+        let trees: Vec<Tree> = (0..rng.gen_range(1..4usize))
+            .map(|_| arb_tree(&mut rng, 4))
+            .collect();
+        let match_between = rng.gen_bool(0.5);
+        for algo in [
+            Algorithm::Basic,
+            Algorithm::PrefixCovering,
+            Algorithm::AccessPredicate,
+        ] {
             let mut full = FilterEngine::new(algo, AttrMode::Inline);
             for e in &exprs {
                 full.add(e).unwrap();
@@ -92,9 +98,8 @@ proptest! {
             let mut kept_orig: Vec<u32> = Vec::new();
             let mut survivor = FilterEngine::new(algo, AttrMode::Inline);
             for (i, e) in exprs.iter().enumerate() {
-                let removed = remove_mask.get(i).copied().unwrap_or(false);
-                if removed {
-                    prop_assert!(full.remove(SubId(i as u32)));
+                if remove_mask[i] {
+                    assert!(full.remove(SubId(i as u32)));
                 } else {
                     survivor.add(e).unwrap();
                     kept_orig.push(i as u32);
@@ -108,18 +113,24 @@ proptest! {
                     .iter()
                     .map(|s| kept_orig[s.0 as usize])
                     .collect();
-                prop_assert_eq!(&got, &expected, "{:?}", algo);
+                assert_eq!(&got, &expected, "{algo:?}");
             }
         }
     }
+}
 
-    /// A prepared engine gives identical results through `&mut self`
-    /// matching and through any number of `Matcher` handles.
-    #[test]
-    fn matcher_handles_agree_with_mut_api(
-        exprs in proptest::collection::vec(arb_expr(), 1..8),
-        trees in proptest::collection::vec(arb_tree(), 1..4),
-    ) {
+/// A prepared engine gives identical results through `&mut self` matching
+/// and through any number of `Matcher` handles.
+#[test]
+fn matcher_handles_agree_with_mut_api() {
+    let mut rng = Rng::seed_from_u64(0x4e41);
+    for _ in 0..256 {
+        let exprs: Vec<XPathExpr> = (0..rng.gen_range(1..8usize))
+            .map(|_| arb_expr(&mut rng))
+            .collect();
+        let trees: Vec<Tree> = (0..rng.gen_range(1..4usize))
+            .map(|_| arb_tree(&mut rng, 4))
+            .collect();
         let mut engine = FilterEngine::default();
         for e in &exprs {
             engine.add(e).unwrap();
@@ -131,10 +142,10 @@ proptest! {
         let mut m2 = engine.matcher();
         // Interleave the two handles in opposite orders.
         for (d, expected) in docs.iter().zip(&sequential) {
-            prop_assert_eq!(&m1.match_document(d), expected);
+            assert_eq!(&m1.match_document(d), expected);
         }
         for (d, expected) in docs.iter().zip(&sequential).rev() {
-            prop_assert_eq!(&m2.match_document(d), expected);
+            assert_eq!(&m2.match_document(d), expected);
         }
     }
 }

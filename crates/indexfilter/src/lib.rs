@@ -38,7 +38,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pxf_xml::{Document, Interner, NodeId, Symbol, TreeEvent};
+use pxf_core::backend::{BackendError, FilterBackend};
+use pxf_core::SubId;
+use pxf_xml::{DocAccess, Document, Interner, NodeId, Symbol, TreeEvent, XmlError};
 use pxf_xpath::{Axis, NodeTest, XPathExpr};
 use std::collections::HashMap;
 use std::fmt;
@@ -224,7 +226,7 @@ impl IndexFilter {
     }
 
     /// Filters a document: ids of all matching queries, ascending.
-    pub fn match_document(&mut self, doc: &Document) -> Vec<u32> {
+    pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<u32> {
         self.finalize();
         self.doc_epoch += 1;
         let doc_epoch = self.doc_epoch;
@@ -237,7 +239,7 @@ impl IndexFilter {
 
         // Build the document element index: (start, end, level) intervals
         // in document order — the streams of the original algorithm.
-        let mut elements: Vec<(Symbol, Entry)> = Vec::with_capacity(doc.len());
+        let mut elements: Vec<(Symbol, Entry)> = Vec::with_capacity(doc.node_count());
         {
             let interner = &mut self.interner;
             let mut counter: u32 = 0;
@@ -348,6 +350,16 @@ impl IndexFilter {
         results
     }
 
+    /// Parses and filters raw document bytes in one streaming pass: the
+    /// element-interval index is built from events replayed off the flat
+    /// [`PathDoc`](pxf_xml::PathDoc) store, with no `Document` tree.
+    /// Replaying after the parse pass keeps postponed attribute and
+    /// `text()` re-checks exact on mixed content.
+    pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, XmlError> {
+        let doc = pxf_xml::PathDoc::parse(bytes)?;
+        Ok(self.match_document(&doc))
+    }
+
     /// Sorts the candidate lists by depth descending (lazy, after adds).
     fn finalize(&mut self) {
         if self.sorted {
@@ -363,12 +375,38 @@ impl IndexFilter {
     }
 }
 
+impl FilterBackend for IndexFilter {
+    fn add(&mut self, expr: &XPathExpr) -> Result<SubId, BackendError> {
+        IndexFilter::add(self, expr)
+            .map(SubId)
+            .map_err(|e| BackendError(e.to_string()))
+    }
+
+    fn prepare(&mut self) {
+        self.finalize();
+    }
+
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        IndexFilter::match_document(self, doc)
+            .into_iter()
+            .map(SubId)
+            .collect()
+    }
+
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        Ok(IndexFilter::match_bytes(self, bytes)?
+            .into_iter()
+            .map(SubId)
+            .collect())
+    }
+}
+
 /// Structural + attribute match over an ancestor chain (frontier DP, as in
 /// the YFilter baseline).
-fn matches_path_with_attrs(expr: &XPathExpr, doc: &Document, nodes: &[NodeId]) -> bool {
+fn matches_path_with_attrs<D: DocAccess>(expr: &XPathExpr, doc: &D, nodes: &[NodeId]) -> bool {
     let n = nodes.len();
     let step_ok = |step: &pxf_xpath::Step, pos: usize| -> bool {
-        let element = doc.node(nodes[pos - 1]);
+        let element = doc.element(nodes[pos - 1]);
         let tag_ok = match &step.test {
             NodeTest::Tag(t) => element.tag == *t,
             NodeTest::Wildcard => true,
@@ -460,7 +498,10 @@ mod tests {
     fn repeated_tag_chains() {
         let mut ixf = IndexFilter::new();
         let e = ixf.add_str("a//a/b").unwrap();
-        assert_eq!(ixf.match_document(&doc("<a><x><a><b/></a></x></a>")), vec![e]);
+        assert_eq!(
+            ixf.match_document(&doc("<a><x><a><b/></a></x></a>")),
+            vec![e]
+        );
         assert!(ixf.match_document(&doc("<a><b/></a>")).is_empty());
     }
 

@@ -99,9 +99,7 @@ impl<E> AttrBucket<E> {
         };
         let group = &mut self.groups[gi];
         match &first.constraint {
-            Some((CmpOp::Eq, AttrValue::Int(n))) => {
-                group.int_eq.entry(*n).or_default().push(entry)
-            }
+            Some((CmpOp::Eq, AttrValue::Int(n))) => group.int_eq.entry(*n).or_default().push(entry),
             Some((CmpOp::Eq, AttrValue::Str(s))) => group
                 .str_eq
                 .entry(s.as_str().into())
@@ -198,7 +196,9 @@ pub fn verify_tagvar<'a, A>(tag: &TagVar, mut attr_of: A) -> bool
 where
     A: FnMut(&str) -> Option<&'a str>,
 {
-    tag.attrs.iter().all(|c: &AttrConstraint| c.matches(attr_of(&c.name)))
+    tag.attrs
+        .iter()
+        .all(|c: &AttrConstraint| c.matches(attr_of(&c.name)))
 }
 
 #[cfg(test)]
@@ -282,7 +282,14 @@ mod tests {
         // Index soundness: every truly matching entry must be visited.
         let mut b: AttrBucket<u32> = AttrBucket::default();
         let mut vars = Vec::new();
-        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
         let mut k = 0;
         for op in ops {
             for c in [-2i64, 0, 3, 7] {

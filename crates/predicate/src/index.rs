@@ -16,8 +16,8 @@
 
 use crate::attr_index::{verify_tagvar, AttrBucket};
 use crate::publication::Publication;
-use crate::types::{PredId, Predicate, PosOp, TagVar};
-use pxf_xml::{Document, Symbol};
+use crate::types::{PosOp, PredId, Predicate, TagVar};
+use pxf_xml::{DocAccess, Symbol};
 use std::collections::HashMap;
 
 /// Per-operator arrays of predicate ids, indexed by predicate value.
@@ -231,9 +231,12 @@ impl PredicateIndex {
                     }
                 }
             }
-            Predicate::Relative { from, to, op, value }
-                if !from.has_attrs() && !to.has_attrs() =>
-            {
+            Predicate::Relative {
+                from,
+                to,
+                op,
+                value,
+            } if !from.has_attrs() && !to.has_attrs() => {
                 let slot = self
                     .relative
                     .get_mut(from.tag)
@@ -297,7 +300,12 @@ impl PredicateIndex {
                 );
                 pid
             }
-            Predicate::Relative { from, to, op, value } => {
+            Predicate::Relative {
+                from,
+                to,
+                op,
+                value,
+            } => {
                 self.has_attr_preds = true;
                 let slot = self
                     .relative_attr
@@ -346,9 +354,12 @@ impl PredicateIndex {
                 };
                 arr.get(*value as usize).copied().flatten()
             }
-            Predicate::Relative { from, to, op, value }
-                if !from.has_attrs() && !to.has_attrs() =>
-            {
+            Predicate::Relative {
+                from,
+                to,
+                op,
+                value,
+            } if !from.has_attrs() && !to.has_attrs() => {
                 let arrays = self.relative.get(from.tag)?.get(&to.tag)?;
                 let arr = match op {
                     PosOp::Eq => &arrays.eq,
@@ -362,9 +373,7 @@ impl PredicateIndex {
                 .get(*value as usize)
                 .copied()
                 .flatten(),
-            Predicate::Length { value } => {
-                self.length.get(*value as usize).copied().flatten()
-            }
+            Predicate::Length { value } => self.length.get(*value as usize).copied().flatten(),
             Predicate::Absolute { tag, op, value } => self
                 .absolute_attr
                 .get(tag.tag)?
@@ -372,7 +381,12 @@ impl PredicateIndex {
                 .iter()
                 .find(|e| e.tag == *tag)
                 .map(|e| e.pid),
-            Predicate::Relative { from, to, op, value } => self
+            Predicate::Relative {
+                from,
+                to,
+                op,
+                value,
+            } => self
                 .relative_attr
                 .get(from.tag)?
                 .get(&to.tag)?
@@ -391,7 +405,12 @@ impl PredicateIndex {
     /// Evaluates a publication against every predicate in the index
     /// (paper §4.1), recording matches in `ctx`. `doc` is required when
     /// attribute-constrained predicates are present (inline mode).
-    pub fn evaluate(&self, publication: &Publication, doc: Option<&Document>, ctx: &mut MatchContext) {
+    pub fn evaluate<D: DocAccess>(
+        &self,
+        publication: &Publication,
+        doc: Option<&D>,
+        ctx: &mut MatchContext,
+    ) {
         ctx.begin(self.preds.len());
         let len = publication.length;
 
@@ -470,10 +489,10 @@ impl PredicateIndex {
     /// Evaluates the attribute-constrained side lists (inline mode, §5): a
     /// predicate matches iff both the positional relation and every attached
     /// attribute filter hold.
-    fn evaluate_attr_preds(
+    fn evaluate_attr_preds<D: DocAccess>(
         &self,
         publication: &Publication,
-        doc: &Document,
+        doc: &D,
         ctx: &mut MatchContext,
     ) {
         let len = publication.length;
@@ -482,7 +501,7 @@ impl PredicateIndex {
                           node: pxf_xml::NodeId,
                           occ: u16,
                           ctx: &mut MatchContext| {
-            let element = doc.node(node);
+            let element = doc.element(node);
             let on_candidate = |e: &AttrUnary, ctx: &mut MatchContext| {
                 if verify_tagvar(&e.tag, |name| element.value_of(name)) {
                     ctx.push(e.pid, (occ, occ));
@@ -514,12 +533,12 @@ impl PredicateIndex {
             if map.is_empty() {
                 continue;
             }
-            let from_element = doc.node(from.node);
+            let from_element = doc.element(from.node);
             for to in &tuples[i + 1..] {
                 let Some(lists) = map.get(&to.tag) else {
                     continue;
                 };
-                let to_element = doc.node(to.node);
+                let to_element = doc.element(to.node);
                 let on_candidate = |e: &AttrBinary, ctx: &mut MatchContext| {
                     if verify_tagvar(&e.from, |name| from_element.value_of(name))
                         && verify_tagvar(&e.to, |name| to_element.value_of(name))
@@ -528,14 +547,14 @@ impl PredicateIndex {
                     }
                 };
                 let scan_slot = |slot: &RelSlot, ctx: &mut MatchContext| {
-                    slot.by_from
-                        .for_each_candidate(|name| from_element.value_of(name), |e| {
-                            on_candidate(e, ctx)
-                        });
-                    slot.by_to
-                        .for_each_candidate(|name| to_element.value_of(name), |e| {
-                            on_candidate(e, ctx)
-                        });
+                    slot.by_from.for_each_candidate(
+                        |name| from_element.value_of(name),
+                        |e| on_candidate(e, ctx),
+                    );
+                    slot.by_to.for_each_candidate(
+                        |name| to_element.value_of(name),
+                        |e| on_candidate(e, ctx),
+                    );
                 };
                 let diff = (to.pos - from.pos) as u32;
                 if let Some(slot) = lists.slot(PosOp::Eq, diff) {
@@ -552,11 +571,11 @@ impl PredicateIndex {
 
 /// Checks every attribute constraint of a tag variable against a document
 /// element.
-fn tagvar_attrs_match(tag: &TagVar, node: pxf_xml::NodeId, doc: &Document) -> bool {
+fn tagvar_attrs_match<D: DocAccess>(tag: &TagVar, node: pxf_xml::NodeId, doc: &D) -> bool {
     if tag.attrs.is_empty() {
         return true;
     }
-    let element = doc.node(node);
+    let element = doc.element(node);
     tag.attrs
         .iter()
         .all(|c| c.matches(element.value_of(&c.name)))
@@ -634,10 +653,10 @@ impl MatchContext {
 /// the tuples. Used as a test oracle for the index and as the
 /// no-predicate-sharing ablation baseline (each expression evaluating its
 /// own predicates).
-pub fn eval_direct(
+pub fn eval_direct<D: DocAccess>(
     pred: &Predicate,
     publication: &Publication,
-    doc: Option<&Document>,
+    doc: Option<&D>,
     out: &mut Vec<(u16, u16)>,
 ) {
     out.clear();
@@ -663,7 +682,12 @@ pub fn eval_direct(
                 }
             }
         }
-        Predicate::Relative { from, to, op, value } => {
+        Predicate::Relative {
+            from,
+            to,
+            op,
+            value,
+        } => {
             let tuples = &publication.tuples;
             for i in 0..tuples.len() {
                 if tuples[i].tag != from.tag {

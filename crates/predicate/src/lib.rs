@@ -25,7 +25,7 @@
 //!
 //! let publication = Publication::from_tags(&["a", "b", "c", "a", "b", "c"], &mut interner);
 //! let mut ctx = MatchContext::new();
-//! index.evaluate(&publication, None, &mut ctx);
+//! index.evaluate(&publication, None::<&pxf_xml::Document>, &mut ctx);
 //!
 //! assert_eq!(ctx.get(p1), &[(1, 1), (1, 2), (2, 2)]);
 //! assert_eq!(ctx.get(p2), &[(1, 1), (2, 2)]);
@@ -73,7 +73,7 @@ mod tests {
 
         let publication = Publication::from_tags(&["a", "b", "c", "a", "b", "c"], &mut interner);
         let mut ctx = MatchContext::new();
-        index.evaluate(&publication, None, &mut ctx);
+        index.evaluate(&publication, None::<&pxf_xml::Document>, &mut ctx);
 
         // Table 1 rows (occurrence-number pairs).
         assert_eq!(ctx.get(ab_ge), &[(1, 1), (1, 2), (2, 2)]);
@@ -122,13 +122,13 @@ mod tests {
         let mut ctx = MatchContext::new();
 
         let p = Publication::from_tags(&["x", "a", "y"], &mut interner);
-        index.evaluate(&p, None, &mut ctx);
+        index.evaluate(&p, None::<&pxf_xml::Document>, &mut ctx);
         assert_eq!(ctx.get(eq2), &[(1, 1)]);
         assert_eq!(ctx.get(ge2), &[(1, 1)]);
         assert!(ctx.get(ge3).is_empty());
 
         let p = Publication::from_tags(&["x", "y", "z", "a"], &mut interner);
-        index.evaluate(&p, None, &mut ctx);
+        index.evaluate(&p, None::<&pxf_xml::Document>, &mut ctx);
         assert!(ctx.get(eq2).is_empty());
         assert_eq!(ctx.get(ge2), &[(1, 1)]);
         assert_eq!(ctx.get(ge3), &[(1, 1)]);
@@ -146,7 +146,7 @@ mod tests {
         let mut ctx = MatchContext::new();
         // a at position 2, b at position 6: diff = 4.
         let p = Publication::from_tags(&["x", "a", "y", "z", "w", "b"], &mut interner);
-        index.evaluate(&p, None, &mut ctx);
+        index.evaluate(&p, None::<&pxf_xml::Document>, &mut ctx);
         assert!(ctx.get(eq2).is_empty());
         assert_eq!(ctx.get(ge2), &[(1, 1)]);
     }
@@ -160,7 +160,7 @@ mod tests {
         let mut ctx = MatchContext::new();
         // b never appears before a: no match.
         let p = Publication::from_tags(&["a", "b"], &mut interner);
-        index.evaluate(&p, None, &mut ctx);
+        index.evaluate(&p, None::<&pxf_xml::Document>, &mut ctx);
         assert!(ctx.get(ba).is_empty());
     }
 
@@ -174,11 +174,11 @@ mod tests {
         let e2 = index.insert(Predicate::end_of_path(a, 2));
         let mut ctx = MatchContext::new();
         let p = Publication::from_tags(&["a", "x", "y"], &mut interner); // l=3, pos=1
-        index.evaluate(&p, None, &mut ctx);
+        index.evaluate(&p, None::<&pxf_xml::Document>, &mut ctx);
         assert_eq!(ctx.get(e1), &[(1, 1)]);
         assert_eq!(ctx.get(e2), &[(1, 1)]);
         let p = Publication::from_tags(&["x", "y", "a"], &mut interner); // l−pos = 0
-        index.evaluate(&p, None, &mut ctx);
+        index.evaluate(&p, None::<&pxf_xml::Document>, &mut ctx);
         assert!(ctx.get(e1).is_empty());
         assert!(ctx.get(e2).is_empty());
     }
@@ -191,7 +191,7 @@ mod tests {
         let l4 = index.insert(Predicate::length(4));
         let mut ctx = MatchContext::new();
         let p = Publication::from_tags(&["x", "y", "z"], &mut interner);
-        index.evaluate(&p, None, &mut ctx);
+        index.evaluate(&p, None::<&pxf_xml::Document>, &mut ctx);
         assert!(ctx.is_matched(l3));
         assert!(!ctx.is_matched(l4));
     }
@@ -204,11 +204,11 @@ mod tests {
         let pid = index.insert(Predicate::absolute(a, PosOp::Eq, 1));
         let mut ctx = MatchContext::new();
         let p1 = Publication::from_tags(&["a"], &mut interner);
-        index.evaluate(&p1, None, &mut ctx);
+        index.evaluate(&p1, None::<&pxf_xml::Document>, &mut ctx);
         assert!(ctx.is_matched(pid));
         assert_eq!(ctx.matched(), &[pid]);
         let p2 = Publication::from_tags(&["b"], &mut interner);
-        index.evaluate(&p2, None, &mut ctx);
+        index.evaluate(&p2, None::<&pxf_xml::Document>, &mut ctx);
         assert!(!ctx.is_matched(pid));
         assert!(ctx.matched().is_empty());
     }
@@ -310,7 +310,7 @@ mod tests {
             .collect();
         let p = Publication::from_tags(&["a", "x", "y", "b"], &mut interner);
         let mut ctx = MatchContext::new();
-        index.evaluate(&p, None, &mut ctx);
+        index.evaluate(&p, None::<&pxf_xml::Document>, &mut ctx);
         assert!(ctx.is_matched(pids[0]));
         assert!(ctx.is_matched(pids[1]));
         assert!(ctx.is_matched(pids[2]));

@@ -6,7 +6,7 @@
 //! how many times that tag name has already appeared in the path (Example 1
 //! of the paper).
 
-use pxf_xml::{Document, Interner, NodeId, Symbol};
+use pxf_xml::{DocAccess, Interner, NodeId, Symbol};
 
 /// One `(tag, position)` tuple of a publication, with its occurrence number
 /// and the originating document node (for attribute lookups).
@@ -45,12 +45,12 @@ impl Publication {
     /// publication, reusing buffers. Tags are interned on the fly — per the
     /// paper this happens during document parsing and "does not require
     /// additional processing, except for collecting the occurrence numbers".
-    pub fn encode(&mut self, doc: &Document, path: &[NodeId], interner: &mut Interner) {
+    pub fn encode<D: DocAccess>(&mut self, doc: &D, path: &[NodeId], interner: &mut Interner) {
         self.length = path.len() as u16;
         self.tuples.clear();
         self.occ_scratch.clear();
         for (i, &node) in path.iter().enumerate() {
-            let tag = interner.intern(&doc.node(node).tag);
+            let tag = interner.intern(doc.tag(node));
             self.push_tuple(tag, (i + 1) as u16, node);
         }
     }
@@ -60,13 +60,13 @@ impl Publication {
     /// stored predicate (no predicate mentions them), so matching results
     /// are identical — this is what allows concurrent matching against a
     /// shared, immutable engine.
-    pub fn encode_readonly(&mut self, doc: &Document, path: &[NodeId], interner: &Interner) {
+    pub fn encode_readonly<D: DocAccess>(&mut self, doc: &D, path: &[NodeId], interner: &Interner) {
         self.length = path.len() as u16;
         self.tuples.clear();
         self.occ_scratch.clear();
         for (i, &node) in path.iter().enumerate() {
             let tag = interner
-                .get(&doc.node(node).tag)
+                .get(doc.tag(node))
                 .unwrap_or(pxf_xml::Symbol::UNKNOWN);
             self.push_tuple(tag, (i + 1) as u16, node);
         }
@@ -83,11 +83,16 @@ impl Publication {
                 1
             }
         };
-        self.tuples.push(PathTuple { tag, pos, occ, node });
+        self.tuples.push(PathTuple {
+            tag,
+            pos,
+            occ,
+            node,
+        });
     }
 
     /// Convenience constructor for a single path.
-    pub fn from_path(doc: &Document, path: &[NodeId], interner: &mut Interner) -> Self {
+    pub fn from_path<D: DocAccess>(doc: &D, path: &[NodeId], interner: &mut Interner) -> Self {
         let mut p = Publication::new();
         p.encode(doc, path, interner);
         p
@@ -134,6 +139,7 @@ impl Publication {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pxf_xml::Document;
 
     /// Paper Example 1: e = (a, b, c, a, b, c) annotated with occurrence
     /// numbers (a¹ b¹ c¹ a² b² c²).

@@ -224,9 +224,7 @@ impl Predicate {
                         s.push_str(", ");
                     }
                     match &c.constraint {
-                        Some((op, v)) => {
-                            s.push_str(&format!("[{}, {}, {}]", c.name, op, v))
-                        }
+                        Some((op, v)) => s.push_str(&format!("[{}, {}, {}]", c.name, op, v)),
                         None => s.push_str(&format!("[{}]", c.name)),
                     }
                 }
@@ -238,7 +236,12 @@ impl Predicate {
             Predicate::Absolute { tag, op, value } => {
                 format!("({}, {}, {})", tagvar(tag, interner), op, value)
             }
-            Predicate::Relative { from, to, op, value } => format!(
+            Predicate::Relative {
+                from,
+                to,
+                op,
+                value,
+            } => format!(
                 "(d({}, {}), {}, {})",
                 tagvar(from, interner),
                 tagvar(to, interner),

@@ -63,15 +63,12 @@ pub struct Dtd {
 impl Dtd {
     /// Builds a DTD from `(name, children, attrs)` rows. Children named but
     /// never declared become implicit leaf elements.
-    fn build(
-        name: &'static str,
-        rows: &[(&'static str, &[&'static str], &[AttrDecl])],
-    ) -> Dtd {
+    fn build(name: &'static str, rows: &[(&'static str, &[&'static str], &[AttrDecl])]) -> Dtd {
         let mut by_name: HashMap<&'static str, usize> = HashMap::new();
         let mut elements: Vec<ElementDecl> = Vec::new();
         let intern = |n: &'static str,
-                          elements: &mut Vec<ElementDecl>,
-                          by_name: &mut HashMap<&'static str, usize>| {
+                      elements: &mut Vec<ElementDecl>,
+                      by_name: &mut HashMap<&'static str, usize>| {
             *by_name.entry(n).or_insert_with(|| {
                 elements.push(ElementDecl {
                     name: n,
@@ -128,46 +125,235 @@ impl Dtd {
             )
         };
         let rows: &[(&'static str, &[&'static str], &[AttrDecl])] = &[
-            ("nitf", &["head", "body"], &[a("version", Int { max: 5 }), a("change.date", Int { max: 30 })]),
-            ("head", &["title", "meta", "tobject", "iim", "docdata", "pubdata", "revision-history"], MT),
+            (
+                "nitf",
+                &["head", "body"],
+                &[
+                    a("version", Int { max: 5 }),
+                    a("change.date", Int { max: 30 }),
+                ],
+            ),
+            (
+                "head",
+                &[
+                    "title",
+                    "meta",
+                    "tobject",
+                    "iim",
+                    "docdata",
+                    "pubdata",
+                    "revision-history",
+                ],
+                MT,
+            ),
             ("title", &[], MT),
-            ("meta", &[], &[a("name", Enum(&["author", "desk", "slug", "priority"])), a("content", Int { max: 100 })]),
-            ("tobject", &["tobject.property", "tobject.subject"], &[a("tobject.type", Enum(&["news", "analysis", "feature", "opinion"]))]),
+            (
+                "meta",
+                &[],
+                &[
+                    a("name", Enum(&["author", "desk", "slug", "priority"])),
+                    a("content", Int { max: 100 }),
+                ],
+            ),
+            (
+                "tobject",
+                &["tobject.property", "tobject.subject"],
+                &[a(
+                    "tobject.type",
+                    Enum(&["news", "analysis", "feature", "opinion"]),
+                )],
+            ),
             ("tobject.property", &[], MT),
-            ("tobject.subject", &[], &[a("tobject.subject.code", Int { max: 20000 }), a("tobject.subject.type", Enum(&["sports", "politics", "finance", "weather", "culture"]))]),
+            (
+                "tobject.subject",
+                &[],
+                &[
+                    a("tobject.subject.code", Int { max: 20000 }),
+                    a(
+                        "tobject.subject.type",
+                        Enum(&["sports", "politics", "finance", "weather", "culture"]),
+                    ),
+                ],
+            ),
             ("iim", &["ds"], &[a("ver", Int { max: 5 })]),
-            ("ds", &[], &[a("num", Int { max: 100 }), a("value", Int { max: 1000 })]),
-            ("docdata", &["doc-id", "urgency", "date.issue", "date.release", "date.expire", "doc-scope", "series", "ed-msg", "du-key", "doc.copyright", "doc.rights", "key-list", "identified-content"], MT),
-            ("doc-id", &[], &[a("id-string", Int { max: 100000 }), a("regsrc", Enum(&["AP", "Reuters", "AFP", "DPA"]))]),
+            (
+                "ds",
+                &[],
+                &[a("num", Int { max: 100 }), a("value", Int { max: 1000 })],
+            ),
+            (
+                "docdata",
+                &[
+                    "doc-id",
+                    "urgency",
+                    "date.issue",
+                    "date.release",
+                    "date.expire",
+                    "doc-scope",
+                    "series",
+                    "ed-msg",
+                    "du-key",
+                    "doc.copyright",
+                    "doc.rights",
+                    "key-list",
+                    "identified-content",
+                ],
+                MT,
+            ),
+            (
+                "doc-id",
+                &[],
+                &[
+                    a("id-string", Int { max: 100000 }),
+                    a("regsrc", Enum(&["AP", "Reuters", "AFP", "DPA"])),
+                ],
+            ),
             ("urgency", &[], &[a("ed-urg", Int { max: 9 })]),
             ("date.issue", &[], &[a("norm", Int { max: 20351231 })]),
             ("date.release", &[], &[a("norm", Int { max: 20351231 })]),
             ("date.expire", &[], &[a("norm", Int { max: 20351231 })]),
-            ("doc-scope", &[], &[a("scope", Enum(&["local", "regional", "national", "international"]))]),
-            ("series", &[], &[a("series.name", Int { max: 500 }), a("series.part", Int { max: 30 })]),
+            (
+                "doc-scope",
+                &[],
+                &[a(
+                    "scope",
+                    Enum(&["local", "regional", "national", "international"]),
+                )],
+            ),
+            (
+                "series",
+                &[],
+                &[
+                    a("series.name", Int { max: 500 }),
+                    a("series.part", Int { max: 30 }),
+                ],
+            ),
             ("ed-msg", &[], &[a("info", Int { max: 1000 })]),
-            ("du-key", &[], &[a("key", Int { max: 10000 }), a("generation", Int { max: 10 })]),
-            ("doc.copyright", &[], &[a("year", Int { max: 2035 }), a("holder", Enum(&["AP", "Reuters", "AFP", "NYT", "WSJ"]))]),
-            ("doc.rights", &[], &[a("owner", Enum(&["AP", "Reuters", "AFP", "NYT"])), a("startdate", Int { max: 20351231 })]),
+            (
+                "du-key",
+                &[],
+                &[
+                    a("key", Int { max: 10000 }),
+                    a("generation", Int { max: 10 }),
+                ],
+            ),
+            (
+                "doc.copyright",
+                &[],
+                &[
+                    a("year", Int { max: 2035 }),
+                    a("holder", Enum(&["AP", "Reuters", "AFP", "NYT", "WSJ"])),
+                ],
+            ),
+            (
+                "doc.rights",
+                &[],
+                &[
+                    a("owner", Enum(&["AP", "Reuters", "AFP", "NYT"])),
+                    a("startdate", Int { max: 20351231 }),
+                ],
+            ),
             ("key-list", &["keyword"], MT),
             ("keyword", &[], &[a("key", Int { max: 5000 })]),
-            ("identified-content", &["person", "org", "location", "event", "function", "object.title", "virtloc", "classifier"], MT),
-            ("classifier", &[], &[a("type", Enum(&["subject", "genre", "audience"])), a("value", Int { max: 300 })]),
-            ("pubdata", &[], &[a("type", Enum(&["print", "web", "broadcast"])), a("position.section", Enum(&["front", "sports", "business", "world"])), a("item-length", Int { max: 5000 })]),
-            ("revision-history", &[], &[a("name", Enum(&["editor-a", "editor-b", "editor-c"])), a("function", Enum(&["created", "edited", "reviewed"])), a("norm", Int { max: 20351231 })]),
+            (
+                "identified-content",
+                &[
+                    "person",
+                    "org",
+                    "location",
+                    "event",
+                    "function",
+                    "object.title",
+                    "virtloc",
+                    "classifier",
+                ],
+                MT,
+            ),
+            (
+                "classifier",
+                &[],
+                &[
+                    a("type", Enum(&["subject", "genre", "audience"])),
+                    a("value", Int { max: 300 }),
+                ],
+            ),
+            (
+                "pubdata",
+                &[],
+                &[
+                    a("type", Enum(&["print", "web", "broadcast"])),
+                    a(
+                        "position.section",
+                        Enum(&["front", "sports", "business", "world"]),
+                    ),
+                    a("item-length", Int { max: 5000 }),
+                ],
+            ),
+            (
+                "revision-history",
+                &[],
+                &[
+                    a("name", Enum(&["editor-a", "editor-b", "editor-c"])),
+                    a("function", Enum(&["created", "edited", "reviewed"])),
+                    a("norm", Int { max: 20351231 }),
+                ],
+            ),
             ("body", &["body.head", "body.content", "body.end"], MT),
-            ("body.head", &["hedline", "note", "rights", "byline", "distributor", "dateline", "abstract", "series"], MT),
+            (
+                "body.head",
+                &[
+                    "hedline",
+                    "note",
+                    "rights",
+                    "byline",
+                    "distributor",
+                    "dateline",
+                    "abstract",
+                    "series",
+                ],
+                MT,
+            ),
             ("hedline", &["hl1", "hl2"], MT),
             ("hl1", &[], &[id_attr()]),
             ("hl2", &[], &[id_attr()]),
-            ("note", &["body.content"], &[a("noteclass", Enum(&["editorsnote", "correction", "clarification"])), a("type", Enum(&["std", "pa", "npa"]))]),
-            ("rights", &["rights.owner", "rights.startdate", "rights.enddate", "rights.agent", "rights.geography", "rights.type", "rights.limitations"], MT),
+            (
+                "note",
+                &["body.content"],
+                &[
+                    a(
+                        "noteclass",
+                        Enum(&["editorsnote", "correction", "clarification"]),
+                    ),
+                    a("type", Enum(&["std", "pa", "npa"])),
+                ],
+            ),
+            (
+                "rights",
+                &[
+                    "rights.owner",
+                    "rights.startdate",
+                    "rights.enddate",
+                    "rights.agent",
+                    "rights.geography",
+                    "rights.type",
+                    "rights.limitations",
+                ],
+                MT,
+            ),
             ("rights.owner", &[], &[a("contact", Int { max: 1000 })]),
             ("rights.startdate", &[], &[a("norm", Int { max: 20351231 })]),
             ("rights.enddate", &[], &[a("norm", Int { max: 20351231 })]),
             ("rights.agent", &[], &[a("contact", Int { max: 1000 })]),
-            ("rights.geography", &[], &[a("location", Enum(&["us", "eu", "asia", "world"]))]),
-            ("rights.type", &[], &[a("type", Enum(&["reprint", "broadcast", "web"]))]),
+            (
+                "rights.geography",
+                &[],
+                &[a("location", Enum(&["us", "eu", "asia", "world"]))],
+            ),
+            (
+                "rights.type",
+                &[],
+                &[a("type", Enum(&["reprint", "broadcast", "web"]))],
+            ),
             ("rights.limitations", &[], MT),
             ("byline", &["person", "byttl", "location", "virtloc"], MT),
             ("byttl", &[], MT),
@@ -175,63 +361,276 @@ impl Dtd {
             ("dateline", &["location", "story.date"], MT),
             ("story.date", &[], &[a("norm", Int { max: 20351231 })]),
             ("abstract", &["p"], MT),
-            ("body.content", &["block", "p", "media", "table", "ol", "ul", "hr", "pre", "fn", "bq"], MT),
-            ("block", &["p", "media", "table", "ol", "ul", "hr", "note", "bq", "datasource", "copyrite"], &[id_attr(), class_attr()]),
-            ("p", &["em", "strong", "a", "br", "q", "person", "location", "org", "money", "num", "chron", "event", "function", "object.title", "virtloc", "copyrite", "pronounce", "alt-code"], &[a("lede", Enum(&["true", "false"])), a("summary", Enum(&["true", "false"])), a("optional-text", Enum(&["true", "false"]))]),
+            (
+                "body.content",
+                &[
+                    "block", "p", "media", "table", "ol", "ul", "hr", "pre", "fn", "bq",
+                ],
+                MT,
+            ),
+            (
+                "block",
+                &[
+                    "p",
+                    "media",
+                    "table",
+                    "ol",
+                    "ul",
+                    "hr",
+                    "note",
+                    "bq",
+                    "datasource",
+                    "copyrite",
+                ],
+                &[id_attr(), class_attr()],
+            ),
+            (
+                "p",
+                &[
+                    "em",
+                    "strong",
+                    "a",
+                    "br",
+                    "q",
+                    "person",
+                    "location",
+                    "org",
+                    "money",
+                    "num",
+                    "chron",
+                    "event",
+                    "function",
+                    "object.title",
+                    "virtloc",
+                    "copyrite",
+                    "pronounce",
+                    "alt-code",
+                ],
+                &[
+                    a("lede", Enum(&["true", "false"])),
+                    a("summary", Enum(&["true", "false"])),
+                    a("optional-text", Enum(&["true", "false"])),
+                ],
+            ),
             ("em", &[], MT),
             ("strong", &[], MT),
-            ("a", &[], &[a("href", Int { max: 100000 }), a("name", Int { max: 1000 })]),
+            (
+                "a",
+                &[],
+                &[a("href", Int { max: 100000 }), a("name", Int { max: 1000 })],
+            ),
             ("br", &[], MT),
-            ("q", &["person", "org"], &[a("quote-source", Int { max: 1000 })]),
-            ("person", &["name.given", "name.family", "function", "alt-code"], &[a("idsrc", Enum(&["local", "wiki", "iptc"])), a("value", Int { max: 100000 })]),
+            (
+                "q",
+                &["person", "org"],
+                &[a("quote-source", Int { max: 1000 })],
+            ),
+            (
+                "person",
+                &["name.given", "name.family", "function", "alt-code"],
+                &[
+                    a("idsrc", Enum(&["local", "wiki", "iptc"])),
+                    a("value", Int { max: 100000 }),
+                ],
+            ),
             ("name.given", &[], MT),
             ("name.family", &[], MT),
-            ("location", &["sublocation", "city", "state", "region", "country", "alt-code"], &[a("location-code", Int { max: 10000 }), a("code-source", Enum(&["iso", "iptc"]))]),
+            (
+                "location",
+                &[
+                    "sublocation",
+                    "city",
+                    "state",
+                    "region",
+                    "country",
+                    "alt-code",
+                ],
+                &[
+                    a("location-code", Int { max: 10000 }),
+                    a("code-source", Enum(&["iso", "iptc"])),
+                ],
+            ),
             ("sublocation", &[], MT),
             ("city", &[], MT),
             ("state", &[], MT),
             ("region", &[], MT),
-            ("country", &[], &[a("iso-cc", Enum(&["us", "gb", "de", "fr", "jp", "cn", "br", "in"]))]),
-            ("org", &["alt-code"], &[a("idsrc", Enum(&["nasdaq", "nyse", "local"])), a("value", Int { max: 100000 })]),
-            ("money", &[], &[a("unit", Enum(&["usd", "eur", "gbp", "jpy"]))]),
-            ("num", &[], &[a("units", Enum(&["percent", "absolute", "ratio"])), a("decimals", Int { max: 6 })]),
+            (
+                "country",
+                &[],
+                &[a(
+                    "iso-cc",
+                    Enum(&["us", "gb", "de", "fr", "jp", "cn", "br", "in"]),
+                )],
+            ),
+            (
+                "org",
+                &["alt-code"],
+                &[
+                    a("idsrc", Enum(&["nasdaq", "nyse", "local"])),
+                    a("value", Int { max: 100000 }),
+                ],
+            ),
+            (
+                "money",
+                &[],
+                &[a("unit", Enum(&["usd", "eur", "gbp", "jpy"]))],
+            ),
+            (
+                "num",
+                &[],
+                &[
+                    a("units", Enum(&["percent", "absolute", "ratio"])),
+                    a("decimals", Int { max: 6 }),
+                ],
+            ),
             ("chron", &[], &[a("norm", Int { max: 20351231 })]),
-            ("event", &["alt-code"], &[a("idsrc", Enum(&["local", "iptc"])), a("value", Int { max: 10000 })]),
-            ("function", &[], &[a("idsrc", Enum(&["local", "iptc"])), a("value", Int { max: 1000 })]),
+            (
+                "event",
+                &["alt-code"],
+                &[
+                    a("idsrc", Enum(&["local", "iptc"])),
+                    a("value", Int { max: 10000 }),
+                ],
+            ),
+            (
+                "function",
+                &[],
+                &[
+                    a("idsrc", Enum(&["local", "iptc"])),
+                    a("value", Int { max: 1000 }),
+                ],
+            ),
             ("object.title", &[], &[id_attr()]),
             ("virtloc", &[], &[id_attr(), class_attr()]),
             ("copyrite", &["copyrite.year", "copyrite.holder"], MT),
             ("copyrite.year", &[], MT),
             ("copyrite.holder", &[], MT),
-            ("pronounce", &[], &[a("guide", Int { max: 1000 }), a("phonetic", Int { max: 1000 })]),
-            ("alt-code", &[], &[a("idsrc", Enum(&["iptc", "local", "wiki"])), a("value", Int { max: 100000 })]),
-            ("media", &["media-reference", "media-metadata", "media-object", "media-caption", "media-producer"], &[a("media-type", Enum(&["image", "video", "audio", "graphic"])), class_attr()]),
-            ("media-reference", &[], &[a("source", Int { max: 100000 }), a("mime-type", Enum(&["image/jpeg", "image/png", "video/mp4", "audio/mp3"])), a("coding", Enum(&["base64", "binary"])), a("time", Int { max: 86400 }), a("height", Int { max: 4096 }), a("width", Int { max: 4096 })]),
-            ("media-metadata", &[], &[a("name", Enum(&["camera", "shutter", "iso", "gps"])), a("value", Int { max: 100000 })]),
-            ("media-object", &[], &[a("encoding", Enum(&["base64", "binary"]))]),
+            (
+                "pronounce",
+                &[],
+                &[
+                    a("guide", Int { max: 1000 }),
+                    a("phonetic", Int { max: 1000 }),
+                ],
+            ),
+            (
+                "alt-code",
+                &[],
+                &[
+                    a("idsrc", Enum(&["iptc", "local", "wiki"])),
+                    a("value", Int { max: 100000 }),
+                ],
+            ),
+            (
+                "media",
+                &[
+                    "media-reference",
+                    "media-metadata",
+                    "media-object",
+                    "media-caption",
+                    "media-producer",
+                ],
+                &[
+                    a("media-type", Enum(&["image", "video", "audio", "graphic"])),
+                    class_attr(),
+                ],
+            ),
+            (
+                "media-reference",
+                &[],
+                &[
+                    a("source", Int { max: 100000 }),
+                    a(
+                        "mime-type",
+                        Enum(&["image/jpeg", "image/png", "video/mp4", "audio/mp3"]),
+                    ),
+                    a("coding", Enum(&["base64", "binary"])),
+                    a("time", Int { max: 86400 }),
+                    a("height", Int { max: 4096 }),
+                    a("width", Int { max: 4096 }),
+                ],
+            ),
+            (
+                "media-metadata",
+                &[],
+                &[
+                    a("name", Enum(&["camera", "shutter", "iso", "gps"])),
+                    a("value", Int { max: 100000 }),
+                ],
+            ),
+            (
+                "media-object",
+                &[],
+                &[a("encoding", Enum(&["base64", "binary"]))],
+            ),
             ("media-caption", &["p"], MT),
             ("media-producer", &["person", "org"], MT),
-            ("table", &["caption", "tr", "col", "colgroup", "thead", "tbody", "tfoot"], &[a("frame", Enum(&["box", "void", "above", "below"])), a("cellpadding", Int { max: 20 }), a("cellspacing", Int { max: 20 }), a("width", Int { max: 1600 })]),
+            (
+                "table",
+                &[
+                    "caption", "tr", "col", "colgroup", "thead", "tbody", "tfoot",
+                ],
+                &[
+                    a("frame", Enum(&["box", "void", "above", "below"])),
+                    a("cellpadding", Int { max: 20 }),
+                    a("cellspacing", Int { max: 20 }),
+                    a("width", Int { max: 1600 }),
+                ],
+            ),
             ("caption", &["em", "strong"], MT),
-            ("col", &[], &[a("span", Int { max: 10 }), a("width", Int { max: 400 })]),
+            (
+                "col",
+                &[],
+                &[a("span", Int { max: 10 }), a("width", Int { max: 400 })],
+            ),
             ("colgroup", &["col"], &[a("span", Int { max: 10 })]),
             ("thead", &["tr"], MT),
             ("tbody", &["tr"], MT),
             ("tfoot", &["tr"], MT),
-            ("tr", &["td", "th"], &[a("align", Enum(&["left", "center", "right"]))]),
-            ("td", &["p", "em", "strong", "num", "money"], &[a("colspan", Int { max: 8 }), a("rowspan", Int { max: 8 }), a("align", Enum(&["left", "center", "right"]))]),
-            ("th", &["em", "strong"], &[a("colspan", Int { max: 8 }), a("align", Enum(&["left", "center", "right"]))]),
+            (
+                "tr",
+                &["td", "th"],
+                &[a("align", Enum(&["left", "center", "right"]))],
+            ),
+            (
+                "td",
+                &["p", "em", "strong", "num", "money"],
+                &[
+                    a("colspan", Int { max: 8 }),
+                    a("rowspan", Int { max: 8 }),
+                    a("align", Enum(&["left", "center", "right"])),
+                ],
+            ),
+            (
+                "th",
+                &["em", "strong"],
+                &[
+                    a("colspan", Int { max: 8 }),
+                    a("align", Enum(&["left", "center", "right"])),
+                ],
+            ),
             ("ol", &["li"], &[a("seqnum", Int { max: 100 })]),
             ("ul", &["li"], MT),
             ("li", &["p", "em", "strong", "a", "num", "money"], MT),
             ("hr", &[], MT),
             ("pre", &[], MT),
             ("fn", &["p"], MT),
-            ("bq", &["block", "credit"], &[a("nowrap", Enum(&["nowrap", "wrap"])), a("quote-source", Int { max: 1000 })]),
+            (
+                "bq",
+                &["block", "credit"],
+                &[
+                    a("nowrap", Enum(&["nowrap", "wrap"])),
+                    a("quote-source", Int { max: 1000 }),
+                ],
+            ),
             ("credit", &["person", "org"], MT),
             ("datasource", &[], MT),
             ("body.end", &["tagline", "bibliography"], MT),
-            ("tagline", &["person", "org", "a"], &[a("type", Enum(&["std", "pa"]))]),
+            (
+                "tagline",
+                &["person", "org", "a"],
+                &[a("type", Enum(&["std", "pa"]))],
+            ),
             ("bibliography", &[], MT),
         ];
         Dtd::build("nitf", rows)
@@ -246,29 +645,77 @@ impl Dtd {
         }
         let rows: &[(&'static str, &[&'static str], &[AttrDecl])] = &[
             ("ProteinDatabase", &["ProteinEntry"], MT),
-            ("ProteinEntry", &["header", "protein", "organism", "reference", "genetics", "complex", "function", "classification", "keywords", "feature", "summary", "sequence"], &[a("id", Int { max: 100000 })]),
-            ("header", &["uid", "accession", "created_date", "seq-rev_date", "txt-rev_date"], MT),
+            (
+                "ProteinEntry",
+                &[
+                    "header",
+                    "protein",
+                    "organism",
+                    "reference",
+                    "genetics",
+                    "complex",
+                    "function",
+                    "classification",
+                    "keywords",
+                    "feature",
+                    "summary",
+                    "sequence",
+                ],
+                &[a("id", Int { max: 100000 })],
+            ),
+            (
+                "header",
+                &[
+                    "uid",
+                    "accession",
+                    "created_date",
+                    "seq-rev_date",
+                    "txt-rev_date",
+                ],
+                MT,
+            ),
             ("uid", &[], MT),
             ("accession", &[], MT),
             ("created_date", &[], MT),
             ("seq-rev_date", &[], MT),
             ("txt-rev_date", &[], MT),
-            ("protein", &["name", "description", "superfamily", "contains"], MT),
+            (
+                "protein",
+                &["name", "description", "superfamily", "contains"],
+                MT,
+            ),
             ("name", &[], MT),
             ("description", &[], MT),
             ("superfamily", &[], MT),
             ("contains", &["name"], MT),
-            ("organism", &["source", "common", "formal_domain", "organelle", "variety"], MT),
+            (
+                "organism",
+                &["source", "common", "formal_domain", "organelle", "variety"],
+                MT,
+            ),
             ("source", &[], &[a("src", Enum(&["nat", "syn", "rec"]))]),
             ("common", &[], MT),
             ("formal_domain", &[], MT),
             ("organelle", &[], MT),
             ("variety", &[], MT),
             ("reference", &["refinfo", "accinfo"], MT),
-            ("refinfo", &["authors", "citation", "title", "volume", "year", "pages", "xrefs", "note"], &[a("refid", Int { max: 10000 })]),
+            (
+                "refinfo",
+                &[
+                    "authors", "citation", "title", "volume", "year", "pages", "xrefs", "note",
+                ],
+                &[a("refid", Int { max: 10000 })],
+            ),
             ("authors", &["author"], MT),
             ("author", &[], MT),
-            ("citation", &[], &[a("type", Enum(&["journal", "book", "submission", "patent"]))]),
+            (
+                "citation",
+                &[],
+                &[a(
+                    "type",
+                    Enum(&["journal", "book", "submission", "patent"]),
+                )],
+            ),
             ("title", &[], MT),
             ("volume", &[], MT),
             ("year", &[], &[a("value", Int { max: 2035 })]),
@@ -277,9 +724,17 @@ impl Dtd {
             ("xref", &["db", "uid"], MT),
             ("db", &[], MT),
             ("note", &[], MT),
-            ("accinfo", &["mol-type", "seq-spec"], &[a("acc", Int { max: 100000 })]),
+            (
+                "accinfo",
+                &["mol-type", "seq-spec"],
+                &[a("acc", Int { max: 100000 })],
+            ),
             ("mol-type", &[], MT),
-            ("genetics", &["gene", "gene-map", "genome", "codon_usage", "introns"], MT),
+            (
+                "genetics",
+                &["gene", "gene-map", "genome", "codon_usage", "introns"],
+                MT,
+            ),
             ("gene", &[], MT),
             ("gene-map", &[], MT),
             ("genome", &[], MT),
@@ -292,10 +747,35 @@ impl Dtd {
             ("family", &[], MT),
             ("keywords", &["keyword"], MT),
             ("keyword", &[], MT),
-            ("feature", &["feature-type", "description", "status", "seq-spec"], MT),
-            ("feature-type", &[], &[a("type", Enum(&["active-site", "binding-site", "modified-site", "domain", "disulfide"]))]),
-            ("status", &[], &[a("value", Enum(&["predicted", "experimental", "absent"]))]),
-            ("seq-spec", &[], &[a("from", Int { max: 5000 }), a("to", Int { max: 5000 })]),
+            (
+                "feature",
+                &["feature-type", "description", "status", "seq-spec"],
+                MT,
+            ),
+            (
+                "feature-type",
+                &[],
+                &[a(
+                    "type",
+                    Enum(&[
+                        "active-site",
+                        "binding-site",
+                        "modified-site",
+                        "domain",
+                        "disulfide",
+                    ]),
+                )],
+            ),
+            (
+                "status",
+                &[],
+                &[a("value", Enum(&["predicted", "experimental", "absent"]))],
+            ),
+            (
+                "seq-spec",
+                &[],
+                &[a("from", Int { max: 5000 }), a("to", Int { max: 5000 })],
+            ),
             ("summary", &["length", "type"], MT),
             ("length", &[], &[a("value", Int { max: 5000 })]),
             ("type", &[], MT),

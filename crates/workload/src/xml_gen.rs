@@ -4,9 +4,8 @@
 //! repeats per child slot, with random attribute values.
 
 use crate::dtd::{AttrKind, Dtd};
+use pxf_rng::Rng;
 use pxf_xml::{Document, DocumentBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the XML generator.
 #[derive(Debug, Clone)]
@@ -54,13 +53,13 @@ impl Default for XmlParams {
 pub struct XmlGenerator<'d> {
     dtd: &'d Dtd,
     params: XmlParams,
-    rng: SmallRng,
+    rng: Rng,
 }
 
 impl<'d> XmlGenerator<'d> {
     /// Creates a generator for a DTD.
     pub fn new(dtd: &'d Dtd, params: XmlParams) -> Self {
-        let rng = SmallRng::seed_from_u64(params.seed);
+        let rng = Rng::seed_from_u64(params.seed);
         XmlGenerator { dtd, params, rng }
     }
 
@@ -68,7 +67,9 @@ impl<'d> XmlGenerator<'d> {
     pub fn generate(&mut self) -> Document {
         let mut builder = DocumentBuilder::new();
         self.emit(self.dtd.root, 1, &mut builder);
-        builder.finish().expect("generator emits balanced documents")
+        builder
+            .finish()
+            .expect("generator emits balanced documents")
     }
 
     /// Generates a batch of documents (the paper uses 500 per DTD).
@@ -183,7 +184,10 @@ mod tests {
                 }
                 for a in &e.attrs {
                     assert!(
-                        dtd.elements[decl].attributes.iter().any(|d| d.name == a.name),
+                        dtd.elements[decl]
+                            .attributes
+                            .iter()
+                            .any(|d| d.name == a.name),
                         "{} has no attribute {}",
                         e.tag,
                         a.name
@@ -212,12 +216,8 @@ mod tests {
         let dtd = Dtd::nitf();
         let mut g = XmlGenerator::new(&dtd, XmlParams::default());
         let docs = g.generate_batch(50);
-        let avg_tags: f64 =
-            docs.iter().map(|d| d.len() as f64).sum::<f64>() / docs.len() as f64;
-        assert!(
-            (20.0..2000.0).contains(&avg_tags),
-            "avg tags = {avg_tags}"
-        );
+        let avg_tags: f64 = docs.iter().map(|d| d.len() as f64).sum::<f64>() / docs.len() as f64;
+        assert!((20.0..2000.0).contains(&avg_tags), "avg tags = {avg_tags}");
     }
 }
 
@@ -238,10 +238,7 @@ mod text_tests {
             },
         )
         .generate();
-        let with_text = on
-            .elements()
-            .filter(|(_, e)| !e.text.is_empty())
-            .count();
+        let with_text = on.elements().filter(|(_, e)| !e.text.is_empty()).count();
         assert!(with_text > 0);
         // Text only on leaves.
         for (_, e) in on.elements() {

@@ -6,11 +6,8 @@
 //! tree-pattern extension.
 
 use crate::dtd::{AttrKind, Dtd};
-use pxf_xpath::{
-    AttrFilter, AttrValue, Axis, CmpOp, NodeTest, Step, StepFilter, XPathExpr,
-};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pxf_rng::Rng;
+use pxf_xpath::{AttrFilter, AttrValue, Axis, CmpOp, NodeTest, Step, StepFilter, XPathExpr};
 use std::collections::HashSet;
 
 /// Parameters of the XPath generator.
@@ -68,13 +65,13 @@ impl Default for XPathParams {
 pub struct XPathGenerator<'d> {
     dtd: &'d Dtd,
     params: XPathParams,
-    rng: SmallRng,
+    rng: Rng,
 }
 
 impl<'d> XPathGenerator<'d> {
     /// Creates a generator for a DTD.
     pub fn new(dtd: &'d Dtd, params: XPathParams) -> Self {
-        let rng = SmallRng::seed_from_u64(params.seed);
+        let rng = Rng::seed_from_u64(params.seed);
         XPathGenerator { dtd, params, rng }
     }
 
@@ -258,7 +255,7 @@ impl<'d> XPathGenerator<'d> {
         let (step_idx, element) = candidates[self.rng.gen_range(0..candidates.len())];
         let children = &dtd.elements[element].children;
         let child = children[self.rng.gen_range(0..children.len())];
-        let len = self.rng.gen_range(1..=2);
+        let len = self.rng.gen_range(1..=2usize);
         let mut steps = vec![Step {
             axis: Axis::Child,
             test: NodeTest::Tag(dtd.elements[child].name.to_string()),

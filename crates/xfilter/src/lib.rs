@@ -35,7 +35,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pxf_xml::{Document, Interner, Symbol, TreeEvent};
+use pxf_core::backend::{BackendError, FilterBackend};
+use pxf_core::SubId;
+use pxf_xml::{DocAccess, Document, Interner, Symbol, TreeEvent, XmlError};
 use pxf_xpath::{Axis, NodeTest, Step, XPathExpr};
 use std::fmt;
 
@@ -217,7 +219,7 @@ impl XFilter {
     }
 
     /// Filters a document: ids of all matching queries, ascending.
-    pub fn match_document(&mut self, doc: &Document) -> Vec<u32> {
+    pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<u32> {
         self.doc_epoch += 1;
         let doc_epoch = self.doc_epoch;
         self.matched.resize(self.queries.len(), 0);
@@ -303,6 +305,36 @@ impl XFilter {
         results.sort_unstable();
         results
     }
+
+    /// Parses and filters raw document bytes in one streaming pass: the
+    /// per-expression machines consume events replayed off the flat
+    /// [`PathDoc`](pxf_xml::PathDoc) store — no `Document` tree is built.
+    pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, XmlError> {
+        let doc = pxf_xml::PathDoc::parse(bytes)?;
+        Ok(self.match_document(&doc))
+    }
+}
+
+impl FilterBackend for XFilter {
+    fn add(&mut self, expr: &XPathExpr) -> Result<SubId, BackendError> {
+        XFilter::add(self, expr)
+            .map(SubId)
+            .map_err(|e| BackendError(e.to_string()))
+    }
+
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        XFilter::match_document(self, doc)
+            .into_iter()
+            .map(SubId)
+            .collect()
+    }
+
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        Ok(XFilter::match_bytes(self, bytes)?
+            .into_iter()
+            .map(SubId)
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -351,7 +383,9 @@ mod tests {
         // The a→b chain must not survive into the sibling subtree.
         let mut xf = XFilter::new();
         let e = xf.add_str("/a/b/c").unwrap();
-        assert!(xf.match_document(&doc("<a><b><x/></b><q><c/></q></a>")).is_empty());
+        assert!(xf
+            .match_document(&doc("<a><b><x/></b><q><c/></q></a>"))
+            .is_empty());
         assert_eq!(
             xf.match_document(&doc("<a><b><x/></b><b><c/></b></a>")),
             vec![e]

@@ -1,0 +1,330 @@
+//! Uniform document access for the matching pipeline, plus the tree-free
+//! streaming document store.
+//!
+//! Every matching algorithm in the workspace consumes a parsed document
+//! through one of two lenses: root-to-leaf paths (the predicate engine and
+//! Index-Filter) or start/end element events (YFilter and XFilter). Both
+//! lenses are captured by [`DocAccess`], which [`Document`](crate::Document)
+//! implements over its pointer tree and [`PathDoc`] implements over a flat
+//! pre-order element arena built in a single SAX pass — no child vectors,
+//! no tree navigation, and the leaf paths recorded as they close.
+//!
+//! The streaming store retains, per element: tag, attributes, accumulated
+//! character data, 1-based child index (the paper's structure-tuple
+//! component `m_k`), and depth. That is exactly what publication encoding,
+//! inline and selection-postponed attribute checks, and nested-path
+//! combination need — attribute re-checks after occurrence determination
+//! look values up by `NodeId`, which stays valid because the arena is
+//! complete by the time matching starts. Matching runs after the parse
+//! pass finishes (not per-leaf-close) because mixed content can extend an
+//! *ancestor's* text after a leaf closes (`<a><b/>tail</a>`), and `text()`
+//! filters must observe the final value.
+
+use crate::reader::{Event, Reader, XmlError};
+use crate::tree::{Document, Element, NodeId, TreeEvent};
+
+/// Read access to a parsed document, independent of its storage layout.
+///
+/// Implementations expose the two traversals the filtering algorithms
+/// need — leaf paths and element events — plus by-id element access for
+/// attribute/text lookups during predicate evaluation and postponed
+/// checks. `NodeId`s are pre-order indices in both implementations, so
+/// node identity comparisons (nested-path branch agreement) behave the
+/// same through either.
+pub trait DocAccess {
+    /// True if the document has no elements.
+    fn is_empty(&self) -> bool;
+
+    /// Number of elements.
+    fn node_count(&self) -> usize;
+
+    /// Element record by id. For streaming stores the `children` vector is
+    /// always empty — consumers of this trait must not rely on it.
+    fn element(&self, id: NodeId) -> &Element;
+
+    /// Invokes `f` for each root-to-leaf path (node ids from the root down
+    /// to a leaf). The slice is only valid for the duration of the call.
+    fn for_each_leaf_path<F: FnMut(&[NodeId])>(&self, f: F);
+
+    /// Replays the document as start/end element events in document order.
+    fn for_each_event<'a, F: FnMut(TreeEvent<'a>)>(&'a self, f: F);
+
+    /// Element tag by id.
+    fn tag(&self, id: NodeId) -> &str {
+        &self.element(id).tag
+    }
+
+    /// The value an attribute/content filter named `name` tests on element
+    /// `id` (see [`Element::value_of`]).
+    fn value_of(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.element(id).value_of(name)
+    }
+}
+
+impl DocAccess for Document {
+    fn is_empty(&self) -> bool {
+        Document::is_empty(self)
+    }
+
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn element(&self, id: NodeId) -> &Element {
+        self.node(id)
+    }
+
+    fn for_each_leaf_path<F: FnMut(&[NodeId])>(&self, f: F) {
+        Document::for_each_leaf_path(self, f)
+    }
+
+    fn for_each_event<'a, F: FnMut(TreeEvent<'a>)>(&'a self, f: F) {
+        Document::for_each_event(self, f)
+    }
+}
+
+/// A document parsed for matching only: flat pre-order element arena plus
+/// the root-to-leaf path list, built in one SAX pass with no tree links.
+///
+/// `NodeId`s are pre-order indices (identical numbering to
+/// [`Document::parse`] on the same bytes), so match results and nested
+/// branch-node identities agree exactly with the tree path.
+///
+/// ```
+/// use pxf_xml::{DocAccess, PathDoc};
+///
+/// let doc = PathDoc::parse(b"<a><b><c/></b><b/></a>").unwrap();
+/// let mut paths = Vec::new();
+/// doc.for_each_leaf_path(|p| {
+///     paths.push(p.iter().map(|&n| doc.tag(n).to_string()).collect::<Vec<_>>());
+/// });
+/// assert_eq!(paths, vec![vec!["a", "b", "c"], vec!["a", "b"]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathDoc {
+    /// Elements in pre-order. `children` is left empty (an empty `Vec`
+    /// does not allocate); parent/child_index/depth are filled in.
+    nodes: Vec<Element>,
+    /// Flattened root-to-leaf paths, in document order.
+    paths: Vec<NodeId>,
+    /// End offset (exclusive) of each path within `paths`.
+    path_ends: Vec<u32>,
+}
+
+impl PathDoc {
+    /// Parses a document directly into path form — a single pass over the
+    /// SAX events, no `Document` tree allocation.
+    pub fn parse(bytes: &[u8]) -> Result<PathDoc, XmlError> {
+        let mut reader = Reader::new(bytes);
+        let mut nodes: Vec<Element> = Vec::new();
+        let mut paths: Vec<NodeId> = Vec::new();
+        let mut path_ends: Vec<u32> = Vec::new();
+        // Open elements (root-to-current), with each one's child count so
+        // far — the count both assigns 1-based child indices and marks
+        // leaves (count still 0 at close).
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut child_counts: Vec<u32> = Vec::new();
+        loop {
+            match reader.next_event()? {
+                Event::Start {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
+                    let id = nodes.len() as NodeId;
+                    let (parent, child_index) = match stack.last() {
+                        Some(&p) => {
+                            let count = child_counts.last_mut().expect("stack in sync");
+                            *count += 1;
+                            (Some(p), *count)
+                        }
+                        None => (None, 1),
+                    };
+                    nodes.push(Element {
+                        tag: name,
+                        attrs: attributes,
+                        text: String::new(),
+                        parent,
+                        children: Vec::new(),
+                        child_index,
+                        depth: stack.len() as u32 + 1,
+                    });
+                    if self_closing {
+                        paths.extend_from_slice(&stack);
+                        paths.push(id);
+                        path_ends.push(paths.len() as u32);
+                    } else {
+                        stack.push(id);
+                        child_counts.push(0);
+                    }
+                }
+                Event::End { .. } => {
+                    let id = stack.pop().expect("reader guarantees balance");
+                    let children = child_counts.pop().expect("stack in sync");
+                    if children == 0 {
+                        paths.extend_from_slice(&stack);
+                        paths.push(id);
+                        path_ends.push(paths.len() as u32);
+                    }
+                }
+                Event::Text(t) => {
+                    if let Some(&top) = stack.last() {
+                        nodes[top as usize].text.push_str(&t);
+                    }
+                }
+                Event::Eof => break,
+            }
+        }
+        if nodes.is_empty() {
+            return Err(XmlError {
+                pos: bytes.len(),
+                message: "empty document".to_string(),
+            });
+        }
+        Ok(PathDoc {
+            nodes,
+            paths,
+            path_ends,
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document has no elements (never produced by `parse`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Element record by pre-order id.
+    pub fn node(&self, id: NodeId) -> &Element {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of root-to-leaf paths.
+    pub fn leaf_count(&self) -> usize {
+        self.path_ends.len()
+    }
+}
+
+impl DocAccess for PathDoc {
+    fn is_empty(&self) -> bool {
+        PathDoc::is_empty(self)
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn element(&self, id: NodeId) -> &Element {
+        &self.nodes[id as usize]
+    }
+
+    fn for_each_leaf_path<F: FnMut(&[NodeId])>(&self, mut f: F) {
+        let mut start = 0usize;
+        for &end in &self.path_ends {
+            f(&self.paths[start..end as usize]);
+            start = end as usize;
+        }
+    }
+
+    fn for_each_event<'a, F: FnMut(TreeEvent<'a>)>(&'a self, mut f: F) {
+        // Reconstruct the event stream from pre-order + depth: before a
+        // node at depth d starts, every open node at depth ≥ d ends.
+        let mut open: Vec<NodeId> = Vec::new();
+        for (i, e) in self.nodes.iter().enumerate() {
+            while open.len() as u32 >= e.depth {
+                let id = open.pop().expect("non-empty");
+                f(TreeEvent::End(id, &self.nodes[id as usize]));
+            }
+            let id = i as NodeId;
+            f(TreeEvent::Start(id, e));
+            open.push(id);
+        }
+        while let Some(id) = open.pop() {
+            f(TreeEvent::End(id, &self.nodes[id as usize]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preorder_ids_match_document_parse() {
+        let src = br#"<a x="1"><b><c/><d/></b><b>text</b></a>"#;
+        let tree = Document::parse(src).unwrap();
+        let flat = PathDoc::parse(src).unwrap();
+        assert_eq!(tree.len(), flat.len());
+        for id in 0..tree.len() as NodeId {
+            let (t, f) = (tree.node(id), flat.node(id));
+            assert_eq!(t.tag, f.tag);
+            assert_eq!(t.attrs, f.attrs);
+            assert_eq!(t.text, f.text);
+            assert_eq!(t.parent, f.parent);
+            assert_eq!(t.child_index, f.child_index);
+            assert_eq!(t.depth, f.depth);
+        }
+    }
+
+    #[test]
+    fn leaf_paths_match_document_parse() {
+        for src in [
+            "<a/>",
+            "<a><b/></a>",
+            "<a><b><c/><d/></b><b><c/></b></a>",
+            "<a>leaf text only</a>",
+            "<a><b/>tail<c><d/></c></a>",
+        ] {
+            let tree = Document::parse(src.as_bytes()).unwrap();
+            let flat = PathDoc::parse(src.as_bytes()).unwrap();
+            let mut tree_paths = Vec::new();
+            tree.for_each_leaf_path(|p| tree_paths.push(p.to_vec()));
+            let mut flat_paths = Vec::new();
+            DocAccess::for_each_leaf_path(&flat, |p| flat_paths.push(p.to_vec()));
+            assert_eq!(tree_paths, flat_paths, "{src}");
+            assert_eq!(flat.leaf_count(), tree.leaf_count());
+        }
+    }
+
+    #[test]
+    fn events_match_document_parse() {
+        let src = b"<a><b><c/></b><d/>tail</a>";
+        let tree = Document::parse(src).unwrap();
+        let flat = PathDoc::parse(src).unwrap();
+        let mut tree_events = Vec::new();
+        tree.for_each_event(|ev| {
+            tree_events.push(match ev {
+                TreeEvent::Start(id, e) => (true, id, e.tag.clone()),
+                TreeEvent::End(id, e) => (false, id, e.tag.clone()),
+            })
+        });
+        let mut flat_events = Vec::new();
+        DocAccess::for_each_event(&flat, |ev| {
+            flat_events.push(match ev {
+                TreeEvent::Start(id, e) => (true, id, e.tag.clone()),
+                TreeEvent::End(id, e) => (false, id, e.tag.clone()),
+            })
+        });
+        assert_eq!(tree_events, flat_events);
+    }
+
+    #[test]
+    fn mixed_content_text_is_complete() {
+        // The ancestor's text finishes after its first leaf closes; the
+        // recorded element must still hold the full concatenation.
+        let flat = PathDoc::parse(b"<a>one<b/>two</a>").unwrap();
+        assert_eq!(flat.node(0).text, "onetwo");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(PathDoc::parse(b"<a><b></a>").is_err());
+        assert!(PathDoc::parse(b"").is_err());
+        assert!(PathDoc::parse(b"   ").is_err());
+        assert!(PathDoc::parse(b"<a/><b/>").is_err());
+    }
+}

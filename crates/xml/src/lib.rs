@@ -10,7 +10,9 @@
 //!   1-based child indices (the paper's *structure tuples*, §5) and depths,
 //! * root-to-leaf path extraction ([`Document::for_each_leaf_path`]) — the
 //!   paper decomposes every document into its set of document paths (§3.3),
-//! * [`Interner`] — name interning so engines work on integer [`Symbol`]s.
+//! * [`Interner`] — name interning so engines work on integer [`Symbol`]s,
+//! * [`DocAccess`] / [`PathDoc`] — layout-independent document access and a
+//!   tree-free store built in one SAX pass for the streaming match path.
 //!
 //! # Example
 //!
@@ -28,11 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod access;
 mod name;
 mod reader;
 mod stream;
 mod tree;
 
+pub use access::{DocAccess, PathDoc};
 pub use name::{Interner, Symbol};
 pub use reader::{Attribute, Event, Reader, XmlError};
 pub use stream::DocumentStream;

@@ -249,9 +249,9 @@ impl<'a> Reader<'a> {
                     let attr_name = self.parse_name()?;
                     self.skip_ws();
                     if self.peek() != Some(b'=') {
-                        return Err(self.error(format!(
-                            "expected '=' after attribute name '{attr_name}'"
-                        )));
+                        return Err(
+                            self.error(format!("expected '=' after attribute name '{attr_name}'"))
+                        );
                     }
                     self.pos += 1;
                     self.skip_ws();
@@ -466,8 +466,17 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         for bad in [
-            "<a", "<a x>", "<a x=>", "<a x=1>", "<a x=\"1>", "<1a/>", "<a>&bogus;</a>",
-            "<a>&#xZZ;</a>", "<a>&unterminated</a>", "<!-- never closed", "<a><![CDATA[x</a>",
+            "<a",
+            "<a x>",
+            "<a x=>",
+            "<a x=1>",
+            "<a x=\"1>",
+            "<1a/>",
+            "<a>&bogus;</a>",
+            "<a>&#xZZ;</a>",
+            "<a>&unterminated</a>",
+            "<!-- never closed",
+            "<a><![CDATA[x</a>",
         ] {
             assert!(events(bad).is_err(), "expected error for {bad:?}");
         }

@@ -175,10 +175,13 @@ impl<R: Read> DocumentStream<R> {
     }
 }
 
-impl<R: BufRead> Iterator for DocumentStream<R> {
-    type Item = Result<Document, XmlError>;
-
-    fn next(&mut self) -> Option<Self::Item> {
+impl<R: BufRead> DocumentStream<R> {
+    /// Yields the raw bytes of the next complete document on the stream
+    /// without parsing them — the boundary scanner alone decides where one
+    /// document ends. This is the broker ingest hook for the tree-free
+    /// match path: feed the returned bytes straight to a streaming matcher
+    /// (e.g. `Matcher::match_bytes`) and no `Document` is ever built.
+    pub fn next_raw(&mut self) -> Option<Result<Vec<u8>, XmlError>> {
         if self.done {
             return None;
         }
@@ -187,7 +190,7 @@ impl<R: BufRead> Iterator for DocumentStream<R> {
                 let doc_bytes: Vec<u8> = self.buffer.drain(..end).collect();
                 self.scanned = 0;
                 self.scanner = Scanner::default();
-                return Some(Document::parse(&doc_bytes));
+                return Some(Ok(doc_bytes));
             }
             // Need more input.
             let mut chunk = [0u8; 4096];
@@ -213,6 +216,15 @@ impl<R: BufRead> Iterator for DocumentStream<R> {
                 }
             }
         }
+    }
+}
+
+impl<R: BufRead> Iterator for DocumentStream<R> {
+    type Item = Result<Document, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_raw()
+            .map(|r| r.and_then(|bytes| Document::parse(&bytes)))
     }
 }
 

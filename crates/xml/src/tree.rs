@@ -124,10 +124,7 @@ impl Document {
 
     /// Iterates all elements in document (pre-)order.
     pub fn elements(&self) -> impl Iterator<Item = (NodeId, &Element)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (i as NodeId, e))
+        self.nodes.iter().enumerate().map(|(i, e)| (i as NodeId, e))
     }
 
     /// Maximum element depth (root = 1); 0 for an empty document.
@@ -317,7 +314,9 @@ impl DocumentBuilder {
 
     fn attr_owned(&mut self, name: String, value: String) -> &mut Self {
         let id = *self.stack.last().expect("attr() with no open element");
-        self.nodes[id as usize].attrs.push(Attribute { name, value });
+        self.nodes[id as usize]
+            .attrs
+            .push(Attribute { name, value });
         self
     }
 
@@ -396,9 +395,8 @@ mod tests {
     fn structure_tuples_from_child_indices() {
         let d = doc("<a><b><c/><d/></b><b><c/></b></a>");
         let paths = d.leaf_paths();
-        let tuple = |p: &Vec<NodeId>| -> Vec<u32> {
-            p.iter().map(|&n| d.node(n).child_index).collect()
-        };
+        let tuple =
+            |p: &Vec<NodeId>| -> Vec<u32> { p.iter().map(|&n| d.node(n).child_index).collect() };
         assert_eq!(tuple(&paths[0]), [1, 1, 1]);
         assert_eq!(tuple(&paths[1]), [1, 1, 2]);
         assert_eq!(tuple(&paths[2]), [1, 2, 1]);

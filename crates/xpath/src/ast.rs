@@ -288,7 +288,10 @@ impl XPathExpr {
     /// Creates an expression from parts. Panics if `steps` is empty; use the
     /// parser for untrusted input.
     pub fn new(absolute: bool, steps: Vec<Step>) -> Self {
-        assert!(!steps.is_empty(), "an XPath expression needs at least one step");
+        assert!(
+            !steps.is_empty(),
+            "an XPath expression needs at least one step"
+        );
         XPathExpr { absolute, steps }
     }
 
@@ -311,8 +314,7 @@ impl XPathExpr {
     /// True if any step (at any nesting depth) carries an attribute filter.
     pub fn has_attr_filters(&self) -> bool {
         self.steps.iter().any(|s| {
-            s.attr_filters().next().is_some()
-                || s.path_filters().any(|p| p.has_attr_filters())
+            s.attr_filters().next().is_some() || s.path_filters().any(|p| p.has_attr_filters())
         })
     }
 

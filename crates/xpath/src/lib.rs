@@ -25,5 +25,7 @@
 mod ast;
 mod parser;
 
-pub use ast::{AttrFilter, AttrValue, Axis, CmpOp, NodeTest, Step, StepFilter, XPathExpr, TEXT_FILTER};
+pub use ast::{
+    AttrFilter, AttrValue, Axis, CmpOp, NodeTest, Step, StepFilter, XPathExpr, TEXT_FILTER,
+};
 pub use parser::{parse, XPathError};

@@ -27,7 +27,11 @@ pub struct XPathError {
 
 impl fmt::Display for XPathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath parse error at byte {}: {}", self.pos, self.message)
+        write!(
+            f,
+            "XPath parse error at byte {}: {}",
+            self.pos, self.message
+        )
     }
 }
 
@@ -170,7 +174,11 @@ impl<'a> Parser<'a> {
             }
             filters.push(filter);
         }
-        Ok(Step { axis, test, filters })
+        Ok(Step {
+            axis,
+            test,
+            filters,
+        })
     }
 
     fn parse_attr_filter(&mut self) -> Result<AttrFilter, XPathError> {
@@ -240,9 +248,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         // XML NameStartChar (ASCII approximation plus any non-ASCII char).
         match self.peek() {
-            Some(b)
-                if b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80 =>
-            {
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80 => {
                 self.pos += 1;
             }
             _ => return Err(self.error("expected a name")),
@@ -324,10 +330,7 @@ mod tests {
         let filters: Vec<_> = e.steps[1].attr_filters().collect();
         assert_eq!(filters.len(), 1);
         assert_eq!(filters[0].name, "x");
-        assert_eq!(
-            filters[0].constraint,
-            Some((CmpOp::Eq, AttrValue::Int(3)))
-        );
+        assert_eq!(filters[0].constraint, Some((CmpOp::Eq, AttrValue::Int(3))));
     }
 
     #[test]
@@ -439,8 +442,21 @@ mod tests {
     #[test]
     fn errors() {
         for bad in [
-            "", "/", "//", "a/", "a//", "[a]", "a[", "a[]", "a[@]", "a[@x !]",
-            "a[@x = ]", "a[@x = \"unterminated]", "a]b", "a b", "/a[/b]",
+            "",
+            "/",
+            "//",
+            "a/",
+            "a//",
+            "[a]",
+            "a[",
+            "a[]",
+            "a[@]",
+            "a[@x !]",
+            "a[@x = ]",
+            "a[@x = \"unterminated]",
+            "a]b",
+            "a b",
+            "/a[/b]",
             "a[@x = 12x]",
         ] {
             assert!(parse(bad).is_err(), "expected error for {bad:?}");

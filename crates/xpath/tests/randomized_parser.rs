@@ -1,0 +1,72 @@
+//! Robustness: the parser must never panic, and accepted inputs must
+//! round-trip through Display. Seeded randomized sweeps (in-tree PRNG;
+//! no registry dependencies).
+
+use pxf_rng::Rng;
+use pxf_xpath::parse;
+
+/// Random string of `len` chars drawn from `alphabet`.
+fn random_string(rng: &mut Rng, alphabet: &[char], len: usize) -> String {
+    (0..len).map(|_| *rng.choose(alphabet)).collect()
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_unicode() {
+    let mut rng = Rng::seed_from_u64(0x1234);
+    for _ in 0..512 {
+        let len = rng.gen_range(0..80usize);
+        let input: String = (0..len)
+            .filter_map(|_| char::from_u32(rng.gen_range(0..0x11_0000u32)))
+            .collect();
+        let _ = parse(&input);
+    }
+}
+
+#[test]
+fn alphabet_inputs_roundtrip() {
+    let alphabet: Vec<char> = "abc/*@[]=<>!'\"0123456789 ".chars().collect();
+    let mut rng = Rng::seed_from_u64(0x5678);
+    for _ in 0..2048 {
+        let len = rng.gen_range(0..40usize);
+        let input = random_string(&mut rng, &alphabet, len);
+        if let Ok(expr) = parse(&input) {
+            let rendered = expr.to_string();
+            let reparsed = parse(&rendered).unwrap();
+            assert_eq!(expr, reparsed, "input {input:?} rendered {rendered:?}");
+        }
+    }
+}
+
+#[test]
+fn constructed_expressions_parse() {
+    let tags: Vec<char> = "abcde".chars().collect();
+    let mut rng = Rng::seed_from_u64(0x9abc);
+    for _ in 0..512 {
+        let absolute = rng.gen_bool(0.5);
+        let n_steps = rng.gen_range(1..7usize);
+        let mut src = String::new();
+        for i in 0..n_steps {
+            let desc = rng.gen_bool(0.5);
+            let wild = rng.gen_bool(0.5);
+            if i == 0 {
+                if absolute {
+                    src.push('/');
+                }
+            } else {
+                src.push('/');
+                if desc {
+                    src.push('/');
+                }
+            }
+            if wild {
+                src.push('*');
+            } else {
+                let tag_len = rng.gen_range(1..=3usize);
+                src.push_str(&random_string(&mut rng, &tags, tag_len));
+            }
+        }
+        let expr = parse(&src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        assert_eq!(expr.steps.len(), n_steps, "{src:?}");
+        assert_eq!(expr.absolute, absolute, "{src:?}");
+    }
+}

@@ -29,7 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pxf_xml::{Document, Interner, NodeId, Symbol, TreeEvent};
+use pxf_core::backend::{BackendError, FilterBackend};
+use pxf_core::SubId;
+use pxf_xml::{DocAccess, Document, Interner, NodeId, PathDoc, Symbol, TreeEvent, XmlError};
 use pxf_xpath::{Axis, NodeTest, XPathExpr};
 use std::collections::HashMap;
 use std::fmt;
@@ -204,7 +206,7 @@ impl YFilter {
     }
 
     /// Filters a document: ids of all matching expressions, ascending.
-    pub fn match_document(&mut self, doc: &Document) -> Vec<u32> {
+    pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<u32> {
         self.doc_epoch += 1;
         let doc_epoch = self.doc_epoch;
         self.matched.resize(self.n_subs as usize, 0);
@@ -270,6 +272,39 @@ impl YFilter {
         results.sort_unstable();
         results
     }
+
+    /// Parses and filters raw document bytes in one streaming pass: the
+    /// NFA consumes the same start/end element events replayed from the
+    /// flat [`PathDoc`] store — no `Document` tree is built. Events replay
+    /// after the parse pass so postponed attribute and `text()` re-checks
+    /// observe complete element content (mixed content can extend an
+    /// ancestor's text after a leaf closes).
+    pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, XmlError> {
+        let doc = PathDoc::parse(bytes)?;
+        Ok(self.match_document(&doc))
+    }
+}
+
+impl FilterBackend for YFilter {
+    fn add(&mut self, expr: &XPathExpr) -> Result<SubId, BackendError> {
+        YFilter::add(self, expr)
+            .map(SubId)
+            .map_err(|e| BackendError(e.to_string()))
+    }
+
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        YFilter::match_document(self, doc)
+            .into_iter()
+            .map(SubId)
+            .collect()
+    }
+
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        Ok(YFilter::match_bytes(self, bytes)?
+            .into_iter()
+            .map(SubId)
+            .collect())
+    }
 }
 
 /// Adds the ε-closure of the start state (the start state never accepts —
@@ -310,9 +345,9 @@ fn enter(
 
 /// Resolves an accept: postponed attribute check (if any) along the current
 /// path, then records the match once per document.
-fn fire(
+fn fire<D: DocAccess>(
     accept: &Accept,
-    doc: &Document,
+    doc: &D,
     path_nodes: &[NodeId],
     matched: &mut [u64],
     doc_epoch: u64,
@@ -335,10 +370,10 @@ fn fire(
 /// Structural + attribute match of an expression over a node chain (a
 /// frontier DP; kept local so this baseline stays independent of
 /// `pxf-core`).
-fn matches_path_with_attrs(expr: &XPathExpr, doc: &Document, nodes: &[NodeId]) -> bool {
+fn matches_path_with_attrs<D: DocAccess>(expr: &XPathExpr, doc: &D, nodes: &[NodeId]) -> bool {
     let n = nodes.len();
     let step_ok = |step: &pxf_xpath::Step, pos: usize| -> bool {
-        let element = doc.node(nodes[pos - 1]);
+        let element = doc.element(nodes[pos - 1]);
         let tag_ok = match &step.test {
             NodeTest::Tag(t) => element.tag == *t,
             NodeTest::Wildcard => true,

@@ -1,7 +1,9 @@
-//! Engine shootout: runs all five engines (basic, basic-pc, basic-pc-ap,
-//! YFilter, Index-Filter) over both workload regimes, verifies that they
-//! produce identical match sets, and prints a compact comparison — a
-//! miniature, self-checking version of the paper's Fig. 6.
+//! Engine shootout: runs all six engines (basic, basic-pc, basic-pc-ap,
+//! YFilter, Index-Filter, XFilter) over both workload regimes through the
+//! unified [`FilterBackend`] trait, verifies that they produce identical
+//! match sets on both the tree-based and the streaming path, and prints a
+//! compact comparison — a miniature, self-checking version of the paper's
+//! Fig. 6.
 //!
 //! Run with: `cargo run --release --example engine_shootout [n_exprs]`
 
@@ -31,14 +33,43 @@ fn main() {
             docs.len()
         );
 
-        let mut reference: Option<Vec<Vec<u32>>> = None;
-        let mut run = |name: &str, f: &mut dyn FnMut(&Document) -> Vec<u32>| {
+        let engines: Vec<(&str, Box<dyn FilterBackend>)> = vec![
+            (
+                "basic",
+                Box::new(FilterEngine::new(Algorithm::Basic, AttrMode::Inline)),
+            ),
+            (
+                "basic-pc",
+                Box::new(FilterEngine::new(
+                    Algorithm::PrefixCovering,
+                    AttrMode::Inline,
+                )),
+            ),
+            (
+                "basic-pc-ap",
+                Box::new(FilterEngine::new(
+                    Algorithm::AccessPredicate,
+                    AttrMode::Inline,
+                )),
+            ),
+            ("yfilter", Box::new(YFilter::new())),
+            ("index-filter", Box::new(IndexFilter::new())),
+            ("xfilter", Box::new(XFilter::new())),
+        ];
+
+        let mut reference: Option<Vec<Vec<SubId>>> = None;
+        for (name, mut engine) in engines {
+            for e in &exprs {
+                engine.add(e).unwrap();
+            }
+            engine.prepare();
+
+            // Streaming path: parse + match in one pass, no document tree.
             let t = Instant::now();
-            let mut all: Vec<Vec<u32>> = Vec::with_capacity(docs.len());
+            let mut all: Vec<Vec<SubId>> = Vec::with_capacity(docs.len());
             let mut matches = 0usize;
             for bytes in &docs {
-                let doc = Document::parse(bytes).unwrap();
-                let m = f(&doc);
+                let m = engine.match_bytes(bytes).unwrap();
                 matches += m.len();
                 all.push(m);
             }
@@ -47,39 +78,21 @@ fn main() {
                 "  {name:<14} {ms:>8.2} ms/doc   {:>7.1} matches/doc",
                 matches as f64 / docs.len() as f64
             );
+
+            // Tree path must agree with the streaming path, engine by engine.
+            for (bytes, streamed) in docs.iter().zip(&all) {
+                let doc = Document::parse(bytes).unwrap();
+                assert_eq!(
+                    &engine.match_document(&doc),
+                    streamed,
+                    "{name}: streaming and tree paths disagree!"
+                );
+            }
             match &reference {
                 None => reference = Some(all),
                 Some(r) => assert_eq!(r, &all, "{name} disagrees with the other engines!"),
             }
-        };
-
-        for (name, algo) in [
-            ("basic", Algorithm::Basic),
-            ("basic-pc", Algorithm::PrefixCovering),
-            ("basic-pc-ap", Algorithm::AccessPredicate),
-        ] {
-            let mut engine = FilterEngine::new(algo, AttrMode::Inline);
-            for e in &exprs {
-                engine.add(e).unwrap();
-            }
-            run(name, &mut |d| {
-                engine.match_document(d).iter().map(|s| s.0).collect()
-            });
         }
-        {
-            let mut yf = YFilter::new();
-            for e in &exprs {
-                yf.add(e).unwrap();
-            }
-            run("yfilter", &mut |d| yf.match_document(d));
-        }
-        {
-            let mut ixf = IndexFilter::new();
-            for e in &exprs {
-                ixf.add(e).unwrap();
-            }
-            run("index-filter", &mut |d| ixf.match_document(d));
-        }
-        println!("  all engines agree ✓\n");
+        println!("  all engines agree, streaming == tree ✓\n");
     }
 }

@@ -22,8 +22,14 @@ fn main() {
 
     // …plus named user profiles we want to watch.
     let profiles: &[(&str, &str)] = &[
-        ("sports-desk", "/nitf/head//tobject.subject[@tobject.subject.type = \"sports\"]"),
-        ("finance-desk", "/nitf/head//tobject.subject[@tobject.subject.type = \"finance\"]"),
+        (
+            "sports-desk",
+            "/nitf/head//tobject.subject[@tobject.subject.type = \"sports\"]",
+        ),
+        (
+            "finance-desk",
+            "/nitf/head//tobject.subject[@tobject.subject.type = \"finance\"]",
+        ),
         ("front-page", "//pubdata[@position.section = \"front\"]"),
         ("urgent", "/nitf/head/docdata/urgency[@ed-urg <= 2]"),
         ("media-team", "/nitf/body//media[@media-type = \"video\"]"),
@@ -47,7 +53,9 @@ fn main() {
 
     // Stream news items.
     let mut gen = XmlGenerator::new(&regime.dtd, regime.xml.clone());
-    let items: Vec<Vec<u8>> = (0..200).map(|_| gen.generate().to_xml().into_bytes()).collect();
+    let items: Vec<Vec<u8>> = (0..200)
+        .map(|_| gen.generate().to_xml().into_bytes())
+        .collect();
 
     let t = Instant::now();
     let mut total_matches = 0usize;
@@ -69,15 +77,28 @@ fn main() {
             println!(
                 "item {i:>3}: {:>5} subscribers, desks: {}",
                 matched.len(),
-                if hit_profiles.is_empty() { "-".to_string() } else { hit_profiles.join(", ") }
+                if hit_profiles.is_empty() {
+                    "-".to_string()
+                } else {
+                    hit_profiles.join(", ")
+                }
             );
         }
     }
     let elapsed = t.elapsed();
 
     println!("  …\n");
-    println!("routed {} items in {:.1} ms ({:.2} ms/item, incl. parsing)", items.len(), elapsed.as_secs_f64() * 1e3, elapsed.as_secs_f64() * 1e3 / items.len() as f64);
-    println!("average fan-out: {:.0} subscribers/item ({:.1}% of base)", total_matches as f64 / items.len() as f64, total_matches as f64 / items.len() as f64 / engine.len() as f64 * 100.0);
+    println!(
+        "routed {} items in {:.1} ms ({:.2} ms/item, incl. parsing)",
+        items.len(),
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e3 / items.len() as f64
+    );
+    println!(
+        "average fan-out: {:.0} subscribers/item ({:.1}% of base)",
+        total_matches as f64 / items.len() as f64,
+        total_matches as f64 / items.len() as f64 / engine.len() as f64 * 100.0
+    );
     println!("\ndesk delivery counts over {} items:", items.len());
     for ((name, _), hits) in profiles.iter().zip(&profile_hits) {
         println!("  {name:<16} {hits:>4}");

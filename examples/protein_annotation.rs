@@ -19,13 +19,28 @@ fn main() {
     // The last two are tree patterns (nested path filters) — supported by
     // the predicate engine, rejected by the baselines.
     let watchlists: &[(&str, &str)] = &[
-        ("membrane-lab", "/ProteinDatabase/ProteinEntry/protein/superfamily"),
-        ("citations", "//refinfo[@refid < 2000]/citation[@type = \"journal\"]"),
-        ("active-sites", "//feature/feature-type[@type = \"active-site\"]"),
+        (
+            "membrane-lab",
+            "/ProteinDatabase/ProteinEntry/protein/superfamily",
+        ),
+        (
+            "citations",
+            "//refinfo[@refid < 2000]/citation[@type = \"journal\"]",
+        ),
+        (
+            "active-sites",
+            "//feature/feature-type[@type = \"active-site\"]",
+        ),
         ("long-seqs", "//summary/length[@value >= 2500]"),
         ("cross-refs", "//xrefs/xref/db"),
-        ("annotated", "//feature[status[@value = \"experimental\"]]/seq-spec"),
-        ("full-entries", "/ProteinDatabase/ProteinEntry[header/accession][sequence]"),
+        (
+            "annotated",
+            "//feature[status[@value = \"experimental\"]]/seq-spec",
+        ),
+        (
+            "full-entries",
+            "/ProteinDatabase/ProteinEntry[header/accession][sequence]",
+        ),
     ];
 
     let mut generated = regime.xpath.clone();
@@ -55,7 +70,9 @@ fn main() {
     }
 
     let mut gen = XmlGenerator::new(&regime.dtd, regime.xml.clone());
-    let updates: Vec<Vec<u8>> = (0..100).map(|_| gen.generate().to_xml().into_bytes()).collect();
+    let updates: Vec<Vec<u8>> = (0..100)
+        .map(|_| gen.generate().to_xml().into_bytes())
+        .collect();
 
     // Run the predicate engine and report watchlist deliveries.
     let mut watch_hits = vec![0usize; watchlists.len()];

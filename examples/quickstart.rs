@@ -14,11 +14,11 @@ fn main() {
     let mut engine = FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline);
 
     let subscriptions = [
-        "/library/shelf/book",                  // absolute path
-        "book/title",                           // relative: matches anywhere
-        "/library//book[@year >= 2000]",        // descendant + attribute filter
-        "/library/*/book/*",                    // wildcards
-        "//book[author]/title",                 // nested path filter (tree pattern)
+        "/library/shelf/book",           // absolute path
+        "book/title",                    // relative: matches anywhere
+        "/library//book[@year >= 2000]", // descendant + attribute filter
+        "/library/*/book/*",             // wildcards
+        "//book[author]/title",          // nested path filter (tree pattern)
     ];
     let ids: Vec<SubId> = subscriptions
         .iter()
@@ -36,7 +36,11 @@ fn main() {
     .unwrap();
 
     let matched = engine.match_document(&doc);
-    println!("document matched {} of {} subscriptions:", matched.len(), engine.len());
+    println!(
+        "document matched {} of {} subscriptions:",
+        matched.len(),
+        engine.len()
+    );
     for (src, id) in subscriptions.iter().zip(&ids) {
         let mark = if matched.contains(id) { "✓" } else { "✗" };
         println!("  {mark} {src}");
@@ -66,14 +70,18 @@ fn main() {
     }
     let publication = Publication::from_tags(&["a", "b", "c", "a", "b", "c"], &mut interner);
     let mut ctx = MatchContext::new();
-    index.evaluate(&publication, None, &mut ctx);
+    index.evaluate(&publication, None::<&pxf::xml::Document>, &mut ctx);
     for (src, notation, pid) in rows {
         println!("  {src:<9} {notation:<24} {:?}", ctx.get(pid));
     }
 
     // ── 4. Engine statistics ───────────────────────────────────────────
     let stats = engine.stats();
-    println!("\nengine: {} subscriptions share {} distinct predicates", engine.len(), engine.distinct_predicates());
+    println!(
+        "\nengine: {} subscriptions share {} distinct predicates",
+        engine.len(),
+        engine.distinct_predicates()
+    );
     println!(
         "last run: {} occurrence determinations, {} access-predicate cluster skips",
         stats.occurrence_runs, stats.ap_cluster_skips

@@ -2,7 +2,10 @@
 //! input stream, workers filter them concurrently against a shared engine
 //! — the deployment shape of the paper's selective-information-
 //! dissemination scenario (§1), this time end to end: byte stream in,
-//! routing decisions out.
+//! routing decisions out. The reader thread only splits the wire into
+//! raw per-document byte slices ([`DocumentStream::next_raw`]); each
+//! worker goes bytes → match set in a single parse pass
+//! ([`Matcher::match_bytes`]), so no document tree is ever built.
 //!
 //! Run with: `cargo run --release --example stream_broker`
 
@@ -39,8 +42,9 @@ fn main() {
         engine.distinct_predicates()
     );
 
-    // One reader thread splits the stream into documents; N workers filter.
-    let queue: Mutex<Vec<Document>> = Mutex::new(Vec::new());
+    // One reader thread splits the stream into raw documents; N workers
+    // parse + filter in one pass.
+    let queue: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
     let produced = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let docs_routed = AtomicUsize::new(0);
@@ -56,9 +60,10 @@ fn main() {
         let matches_total = &matches_total;
 
         scope.spawn(move || {
-            for doc in DocumentStream::new(&wire[..]) {
-                let doc = doc.expect("well-formed stream");
-                queue.lock().unwrap().push(doc);
+            let mut stream = DocumentStream::new(&wire[..]);
+            while let Some(raw) = stream.next_raw() {
+                let bytes = raw.expect("well-formed stream");
+                queue.lock().unwrap().push(bytes);
                 produced.fetch_add(1, Ordering::SeqCst);
             }
             done.store(1, Ordering::SeqCst);
@@ -70,14 +75,13 @@ fn main() {
                 loop {
                     let doc = queue.lock().unwrap().pop();
                     match doc {
-                        Some(doc) => {
-                            let matched = matcher.match_document(&doc);
+                        Some(bytes) => {
+                            let matched = matcher.match_bytes(&bytes).expect("well-formed stream");
                             docs_routed.fetch_add(1, Ordering::SeqCst);
                             matches_total.fetch_add(matched.len(), Ordering::SeqCst);
                         }
                         None => {
-                            if done.load(Ordering::SeqCst) == 1
-                                && queue.lock().unwrap().is_empty()
+                            if done.load(Ordering::SeqCst) == 1 && queue.lock().unwrap().is_empty()
                             {
                                 return;
                             }

@@ -24,7 +24,14 @@ fn very_deep_documents() {
     }
     let doc = builder.finish().unwrap();
 
-    let exprs = ["a/a", "/a/a//leaf", "//leaf", "a/leaf", "/leaf", "a/a/a/a/a//a/leaf"];
+    let exprs = [
+        "a/a",
+        "/a/a//leaf",
+        "//leaf",
+        "a/leaf",
+        "/leaf",
+        "a/a/a/a/a//a/leaf",
+    ];
     for algo in ALGOS {
         let mut engine = FilterEngine::new(algo, AttrMode::Inline);
         let ids: Vec<SubId> = exprs
@@ -75,8 +82,15 @@ fn repeated_tags_deep() {
     let xml = "<a><a><b><a><b><a/></b></a></b></a></a>";
     let doc = Document::parse(xml.as_bytes()).unwrap();
     let exprs = [
-        "a/a/b", "a/b/a", "b/a/b", "a//a//a", "a/a/a", "/a/a/b/a/b/a", "b//b",
-        "a/b//b", "a/c/*/a//c",
+        "a/a/b",
+        "a/b/a",
+        "b/a/b",
+        "a//a//a",
+        "a/a/a",
+        "/a/a/b/a/b/a",
+        "b//b",
+        "a/b//b",
+        "a/c/*/a//c",
     ];
     for algo in ALGOS {
         let mut engine = FilterEngine::new(algo, AttrMode::Inline);
@@ -102,9 +116,7 @@ fn overlong_expressions() {
     let doc = Document::parse(b"<a><b/></a>").unwrap();
     for algo in ALGOS {
         let mut engine = FilterEngine::new(algo, AttrMode::Inline);
-        let long = engine
-            .add_str("/a/b/c/d/e/f/g/h/i/j/k/l/m/n/o/p")
-            .unwrap();
+        let long = engine.add_str("/a/b/c/d/e/f/g/h/i/j/k/l/m/n/o/p").unwrap();
         let wild = engine.add_str("*/*/*/*/*/*/*/*/*/*").unwrap();
         let short = engine.add_str("/a/b").unwrap();
         let m = engine.match_document(&doc);
@@ -156,7 +168,10 @@ fn numeric_attribute_edge_values() {
             let none = engine.add_str("/a/b[@x > 100]").unwrap();
             let m = engine.match_document(&doc);
             assert!(m.contains(&neg), "{algo:?}/{mode:?}");
-            assert!(m.contains(&seven), "{algo:?}/{mode:?} (whitespace-trimmed parse)");
+            assert!(
+                m.contains(&seven),
+                "{algo:?}/{mode:?} (whitespace-trimmed parse)"
+            );
             assert!(!m.contains(&none), "{algo:?}/{mode:?}");
         }
     }

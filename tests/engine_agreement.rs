@@ -1,11 +1,19 @@
 //! Cross-engine agreement: on any generated workload, the three predicate
-//! engine organizations, YFilter, Index-Filter, and the reference oracle
-//! must produce identical match sets.
+//! engine organizations, YFilter, Index-Filter, XFilter, and the
+//! reference oracle must produce identical match sets — through both
+//! entry points of the unified [`FilterBackend`] trait (tree-based
+//! `match_document` and streaming `match_bytes`).
 
 use pxf::engine::reference::matches_document;
 use pxf::prelude::*;
 
-fn workload(regime: &Regime, n_exprs: usize, n_docs: usize, attr_filters: usize, seed: u64) -> (Vec<XPathExpr>, Vec<Document>) {
+fn workload(
+    regime: &Regime,
+    n_exprs: usize,
+    n_docs: usize,
+    attr_filters: usize,
+    seed: u64,
+) -> (Vec<XPathExpr>, Vec<Vec<u8>>) {
     let mut xp = regime.xpath.clone();
     xp.count = n_exprs;
     xp.attr_filters = attr_filters;
@@ -13,7 +21,11 @@ fn workload(regime: &Regime, n_exprs: usize, n_docs: usize, attr_filters: usize,
     let exprs = XPathGenerator::new(&regime.dtd, xp).generate();
     let mut xm = regime.xml.clone();
     xm.seed = seed.wrapping_add(1);
-    let docs = XmlGenerator::new(&regime.dtd, xm).generate_batch(n_docs);
+    let docs = XmlGenerator::new(&regime.dtd, xm)
+        .generate_batch(n_docs)
+        .into_iter()
+        .map(|d| d.to_xml().into_bytes())
+        .collect();
     (exprs, docs)
 }
 
@@ -21,52 +33,51 @@ fn ids(v: Vec<SubId>) -> Vec<u32> {
     v.into_iter().map(|s| s.0).collect()
 }
 
-type EngineFn = Box<dyn FnMut(&Document) -> Vec<u32>>;
-
 fn check_all_engines(regime: &Regime, attr_filters: usize, seed: u64) {
     let (exprs, docs) = workload(regime, 300, 10, attr_filters, seed);
-    let mut engines: Vec<(String, EngineFn)> = Vec::new();
+    let mut engines: Vec<(String, Box<dyn FilterBackend>)> = Vec::new();
     for algo in [
         Algorithm::Basic,
         Algorithm::PrefixCovering,
         Algorithm::AccessPredicate,
     ] {
         for mode in [AttrMode::Inline, AttrMode::Postponed] {
-            let mut e = FilterEngine::new(algo, mode);
-            for x in &exprs {
-                e.add(x).unwrap();
-            }
             engines.push((
                 format!("{algo:?}/{mode:?}"),
-                Box::new(move |d: &Document| ids(e.match_document(d))),
+                Box::new(FilterEngine::new(algo, mode)),
             ));
         }
     }
-    let mut yf = YFilter::new();
-    let mut ixf = IndexFilter::new();
-    let mut xfl = XFilter::new();
-    for x in &exprs {
-        yf.add(x).unwrap();
-        ixf.add(x).unwrap();
-        xfl.add(x).unwrap();
+    engines.push(("yfilter".into(), Box::new(YFilter::new())));
+    engines.push(("index-filter".into(), Box::new(IndexFilter::new())));
+    engines.push(("xfilter".into(), Box::new(XFilter::new())));
+    for (_, engine) in engines.iter_mut() {
+        for x in &exprs {
+            engine.add(x).unwrap();
+        }
+        engine.prepare();
     }
-    engines.push(("yfilter".into(), Box::new(move |d| yf.match_document(d))));
-    engines.push(("index-filter".into(), Box::new(move |d| ixf.match_document(d))));
-    engines.push(("xfilter".into(), Box::new(move |d| xfl.match_document(d))));
 
-    for (di, doc) in docs.iter().enumerate() {
+    for (di, bytes) in docs.iter().enumerate() {
+        let doc = Document::parse(bytes).unwrap();
         // Reference oracle.
         let expected: Vec<u32> = exprs
             .iter()
             .enumerate()
-            .filter(|(_, e)| matches_document(e, doc))
+            .filter(|(_, e)| matches_document(e, &doc))
             .map(|(i, _)| i as u32)
             .collect();
-        for (name, run) in engines.iter_mut() {
-            let got = run(doc);
+        for (name, engine) in engines.iter_mut() {
+            let got = ids(engine.match_document(&doc));
             assert_eq!(
                 got, expected,
                 "{name} disagrees with oracle on {} doc #{di} (seed {seed})",
+                regime.name
+            );
+            let streamed = ids(engine.match_bytes(bytes).unwrap());
+            assert_eq!(
+                streamed, expected,
+                "{name} streaming path disagrees with oracle on {} doc #{di} (seed {seed})",
                 regime.name
             );
         }
@@ -125,6 +136,12 @@ fn predicate_engine_agrees_on_nested_workloads() {
                 assert_eq!(
                     got, expected,
                     "{algo:?} disagrees on nested workload, {} doc #{di}",
+                    regime.name
+                );
+                let streamed = ids(engine.match_bytes(&doc.to_xml().into_bytes()).unwrap());
+                assert_eq!(
+                    streamed, expected,
+                    "{algo:?} streaming path disagrees on nested workload, {} doc #{di}",
                     regime.name
                 );
             }

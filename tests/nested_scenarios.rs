@@ -23,11 +23,7 @@ fn check(engine_exprs: &[&str], xml: &str) {
         let matched = engine.match_document(&document);
         for (src, id) in engine_exprs.iter().zip(&ids) {
             let expected = matches_document(&parse(src).unwrap(), &document);
-            assert_eq!(
-                matched.contains(id),
-                expected,
-                "{algo:?}: {src} over {xml}"
-            );
+            assert_eq!(matched.contains(id), expected, "{algo:?}: {src} over {xml}");
         }
     }
 }
@@ -61,8 +57,14 @@ fn branch_node_identity_matters() {
     // requiring both on the SAME section must not match.
     let split = r#"<page><section><header/></section><section><footer/></section></page>"#;
     let joined = r#"<page><section><header/><footer/></section></page>"#;
-    check(&["//section[header][footer]", "//section[header]/footer"], split);
-    check(&["//section[header][footer]", "//section[header]/footer"], joined);
+    check(
+        &["//section[header][footer]", "//section[header]/footer"],
+        split,
+    );
+    check(
+        &["//section[header][footer]", "//section[header]/footer"],
+        joined,
+    );
 }
 
 #[test]
