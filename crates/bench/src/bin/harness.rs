@@ -62,7 +62,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse|insert|covering|xfilter] \
+        "usage: harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse|insert|covering|xfilter|hostile] \
          [--scale F] [--docs N]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
@@ -118,6 +118,10 @@ fn main() {
     }
     if run("xfilter") {
         xfilter_lineage(&opts);
+        ran = true;
+    }
+    if run("hostile") {
+        hostile(&opts);
         ran = true;
     }
     if !ran {
@@ -612,6 +616,51 @@ fn parse_times(opts: &Opts) {
             regime.name.to_uppercase(),
             bytes as f64 / docs as f64 / 1024.0
         );
+    }
+    println!();
+}
+
+/// Malformed-document throughput: 10% of each batch is damaged by the
+/// seeded fault injector; the batch must complete through the isolated
+/// parallel path with per-document errors and zero panics. Reports
+/// docs/s alongside the batch error breakdown.
+fn hostile(opts: &Opts) {
+    use pxf_core::{parallel, Algorithm, BatchReport, FilterEngine};
+    use pxf_workload::FaultInjector;
+    let docs = docs_or(opts, 1_000);
+    let scale = scale_or(opts, 0.1);
+    let n_exprs = (10_000.0 * scale) as usize;
+    println!("## Hostile-input throughput (10% of documents damaged, {n_exprs} exprs)");
+    for regime in [Regime::nitf(), Regime::psd()] {
+        let w = build_workload(
+            &regime,
+            &WorkloadSpec {
+                n_exprs,
+                n_docs: docs,
+                ..Default::default()
+            },
+        );
+        let mut engine = FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline);
+        for e in &w.exprs {
+            let _ = engine.add(e);
+        }
+        engine.prepare();
+        let mut bytes = w.doc_bytes.clone();
+        let mutated = FaultInjector::new(0xFEED).corrupt_fraction(&mut bytes, 0.10);
+        for threads in [1, 4] {
+            let started = std::time::Instant::now();
+            let results = parallel::filter_batch_bytes(&engine, &bytes, threads);
+            let elapsed = started.elapsed();
+            let report = BatchReport::from_results(&results);
+            assert_eq!(report.panics, 0, "hostile batch must not panic");
+            println!(
+                "{:<6} threads={threads}: {:>9.1} docs/s   ({} docs, {} mutated; {report})",
+                regime.name.to_uppercase(),
+                docs as f64 / elapsed.as_secs_f64(),
+                docs,
+                mutated.len(),
+            );
+        }
     }
     println!();
 }

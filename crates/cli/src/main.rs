@@ -17,27 +17,29 @@
 //! document tree); every engine is driven through the
 //! [`FilterBackend`] trait.
 
-use pxf_core::{parallel, Algorithm, AttrMode, FilterBackend, FilterEngine, SubId};
+use pxf_core::{parallel, Algorithm, AttrMode, BatchReport, FilterBackend, FilterEngine, SubId};
 use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
-use pxf_xml::Document;
+use pxf_xml::{Document, ParserLimits};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Exit codes: 0 all documents filtered cleanly, 1 some documents were
+    // rejected (malformed or over resource limits), 2 usage error.
     let result = match args.first().map(|s| s.as_str()) {
         Some("match") => cmd_match(&args[1..]),
-        Some("encode") => cmd_encode(&args[1..]),
-        Some("generate") => cmd_generate(&args[1..]),
+        Some("encode") => cmd_encode(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("generate") => cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("--help") | Some("-h") | None => {
             print_usage();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command '{other}' (see pxf --help)")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("pxf: {message}");
             ExitCode::from(2)
@@ -65,8 +67,19 @@ MATCH OPTIONS:
   --stats              print matching statistics to stderr
   --quiet              suppress per-document output (timing runs only)
 
+PARSER LIMIT OPTIONS (per document; hostile-input hardening):
+  --max-depth N        element nesting depth         (default: 256)
+  --max-doc-bytes N    document size in bytes        (default: 64 MiB)
+  --max-attrs N        attributes per element        (default: 256)
+  --max-attr-value N   attribute value length        (default: 1 MiB)
+  --max-name-len N     tag/attribute name length     (default: 4096)
+  --max-entities N     entity references per doc     (default: 1048576)
+  --max-failures N     consecutive bad stream documents before giving up
+                       (default: 64; --stream only)
+
 Output: one line per document: `<path>: <n> [line numbers…]`
-(`<stream#i>` in --stream mode)."
+(`<stream#i>` in --stream mode). Exit status: 0 if every document was
+filtered, 1 if any document was rejected, 2 on usage errors."
     );
 }
 
@@ -77,7 +90,14 @@ fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, Stri
         .ok_or_else(|| format!("{flag} needs a value"))
 }
 
-fn cmd_match(args: &[String]) -> Result<(), String> {
+/// Parses the value of a numeric flag.
+fn take_number(args: &[String], i: &mut usize, flag: &str) -> Result<usize, String> {
+    take_value(args, i, flag)?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))
+}
+
+fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
     let mut subs_path: Option<PathBuf> = None;
     let mut engine_name = "pxf".to_string();
     let mut algorithm = Algorithm::AccessPredicate;
@@ -86,6 +106,8 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     let mut stats = false;
     let mut quiet = false;
     let mut stream = false;
+    let mut limits = ParserLimits::default();
+    let mut max_failures = pxf_xml::DEFAULT_MAX_CONSECUTIVE_FAILURES;
     let mut docs: Vec<PathBuf> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -115,6 +137,19 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             "--stats" => stats = true,
             "--quiet" => quiet = true,
             "--stream" => stream = true,
+            "--max-depth" => limits.max_depth = take_number(args, &mut i, "--max-depth")?,
+            "--max-doc-bytes" => {
+                limits.max_document_bytes = take_number(args, &mut i, "--max-doc-bytes")?
+            }
+            "--max-attrs" => limits.max_attributes = take_number(args, &mut i, "--max-attrs")?,
+            "--max-attr-value" => {
+                limits.max_attribute_value_len = take_number(args, &mut i, "--max-attr-value")?
+            }
+            "--max-name-len" => limits.max_name_len = take_number(args, &mut i, "--max-name-len")?,
+            "--max-entities" => {
+                limits.max_entity_expansions = take_number(args, &mut i, "--max-entities")?
+            }
+            "--max-failures" => max_failures = take_number(args, &mut i, "--max-failures")?,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             doc => docs.push(PathBuf::from(doc)),
         }
@@ -173,6 +208,7 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         Some(e) => e,
         None => baseline.as_mut().expect("one engine is built").as_mut(),
     };
+    backend.set_parser_limits(limits);
     backend.prepare();
     if stats {
         eprintln!(
@@ -183,7 +219,15 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
     }
 
     if stream {
-        return match_stream(backend, &lines_of, &docs, quiet, stats);
+        return match_stream(
+            backend,
+            &lines_of,
+            &docs,
+            quiet,
+            stats,
+            limits,
+            max_failures,
+        );
     }
 
     // Load documents.
@@ -198,11 +242,15 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         Some(e) => parallel::filter_batch_bytes(e, &doc_bytes, threads),
         None => {
             let backend = baseline.as_mut().expect("one engine is built");
-            doc_bytes.iter().map(|b| backend.match_bytes(b)).collect()
+            doc_bytes
+                .iter()
+                .map(|b| backend.match_bytes(b).map_err(parallel::DocError::from))
+                .collect()
         }
     };
     let elapsed = started.elapsed();
 
+    let report = BatchReport::from_results(&results);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut total = 0usize;
@@ -236,19 +284,28 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             elapsed.as_secs_f64() * 1e3 / docs.len() as f64,
         );
     }
-    Ok(())
+    if report.recovered() > 0 {
+        eprintln!("pxf: {report}");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Streams concatenated documents (stdin, or one file) through the engine.
 /// Each document goes raw-bytes → match set in one pass
-/// ([`FilterBackend::match_bytes`]); no `Document` tree is built.
+/// ([`FilterBackend::match_bytes`]); no `Document` tree is built. A
+/// malformed document is reported (with its stream-absolute byte offset)
+/// and the stream resyncs to the next document; `max_failures` consecutive
+/// bad documents abort the stream.
 fn match_stream(
     backend: &mut dyn FilterBackend,
     lines_of: &[usize],
     inputs: &[PathBuf],
     quiet: bool,
     stats: bool,
-) -> Result<(), String> {
+    limits: ParserLimits,
+    max_failures: usize,
+) -> Result<ExitCode, String> {
     use pxf_xml::DocumentStream;
     let reader: Box<dyn std::io::BufRead> = match inputs {
         [] => Box::new(std::io::stdin().lock()),
@@ -263,23 +320,41 @@ fn match_stream(
     let started = std::time::Instant::now();
     let mut count = 0usize;
     let mut total = 0usize;
-    let mut stream = DocumentStream::new(reader);
+    let mut failed = 0usize;
+    let mut stream =
+        DocumentStream::with_limits(reader, limits).max_consecutive_failures(max_failures);
     let mut i = 0usize;
-    while let Some(raw) = stream.next_raw() {
-        match raw.and_then(|bytes| backend.match_bytes(&bytes)) {
-            Ok(matched) => {
-                count += 1;
-                total += matched.len();
-                if !quiet {
-                    let lines: Vec<String> = matched
-                        .iter()
-                        .map(|s| lines_of[s.0 as usize].to_string())
-                        .collect();
-                    writeln!(out, "<stream#{i}>: {} [{}]", lines.len(), lines.join(" "))
-                        .map_err(|e| e.to_string())?;
+    while let Some(raw) = stream.next_raw_at() {
+        match raw {
+            Ok((start, bytes)) => match backend.match_bytes(&bytes) {
+                Ok(matched) => {
+                    stream.note_success();
+                    count += 1;
+                    total += matched.len();
+                    if !quiet {
+                        let lines: Vec<String> = matched
+                            .iter()
+                            .map(|s| lines_of[s.0 as usize].to_string())
+                            .collect();
+                        writeln!(out, "<stream#{i}>: {} [{}]", lines.len(), lines.join(" "))
+                            .map_err(|e| e.to_string())?;
+                    }
                 }
+                Err(mut e) => {
+                    // Report the parse error at its stream-absolute offset.
+                    stream.note_failure();
+                    failed += 1;
+                    e.pos += start;
+                    eprintln!("pxf: stream document #{i}: {e}");
+                }
+            },
+            // Boundary-level failures (desync, truncation, oversized runs,
+            // the failure cap itself) already count toward the cap inside
+            // the stream.
+            Err(e) => {
+                failed += 1;
+                eprintln!("pxf: stream document #{i}: {e}");
             }
-            Err(e) => eprintln!("pxf: stream document #{i}: {e}"),
         }
         i += 1;
     }
@@ -290,7 +365,11 @@ fn match_stream(
             elapsed.as_secs_f64() * 1e3
         );
     }
-    Ok(())
+    if failed > 0 {
+        eprintln!("pxf: {count} documents ok, {failed} rejected");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_encode(args: &[String]) -> Result<(), String> {

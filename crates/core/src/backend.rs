@@ -15,7 +15,7 @@
 //! byte-identical match sets through both entry points.
 
 use crate::engine::{AddError, FilterEngine, SubId};
-use pxf_xml::{Document, XmlError};
+use pxf_xml::{Document, ParserLimits, XmlError};
 use pxf_xpath::XPathExpr;
 
 use crate::engine::EngineStats;
@@ -65,6 +65,11 @@ pub trait FilterBackend {
     /// [`Self::match_document`] on the parsed equivalent.
     fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError>;
 
+    /// Sets the per-document resource budget enforced by
+    /// [`match_bytes`](Self::match_bytes). The default implementation
+    /// ignores the limits; every in-workspace backend overrides it.
+    fn set_parser_limits(&mut self, _limits: ParserLimits) {}
+
     /// Parses and registers an expression (convenience).
     fn add_str(&mut self, src: &str) -> Result<SubId, BackendError> {
         let expr = pxf_xpath::parse(src).map_err(|e| BackendError(e.to_string()))?;
@@ -104,6 +109,10 @@ impl FilterBackend for FilterEngine {
         FilterEngine::match_bytes(self, bytes)
     }
 
+    fn set_parser_limits(&mut self, limits: ParserLimits) {
+        FilterEngine::set_parser_limits(self, limits);
+    }
+
     fn reset_stats(&mut self) {
         FilterEngine::reset_stats(self);
     }
@@ -134,6 +143,20 @@ mod tests {
         assert!(backend.match_bytes(b"<oops>").is_err());
         assert!(backend.stats().is_some());
         assert!(backend.distinct_predicates() > 0);
+    }
+
+    #[test]
+    fn limits_apply_through_the_trait() {
+        let mut backend: Box<dyn FilterBackend> = Box::<FilterEngine>::default();
+        backend.add_str("/a").unwrap();
+        backend.prepare();
+        backend.set_parser_limits(ParserLimits {
+            max_depth: 2,
+            ..ParserLimits::default()
+        });
+        assert!(backend.match_bytes(b"<a><b/></a>").is_ok());
+        let err = backend.match_bytes(b"<a><b><c/></b></a>").unwrap_err();
+        assert!(err.is_limit());
     }
 
     #[test]

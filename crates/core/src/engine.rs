@@ -18,7 +18,7 @@ use crate::encode::{encode_single_path, AttrMode, EncodeError, EncodedPath};
 use crate::nested::{combine, decompose, NestedPlan};
 use crate::occurrence::determine_match;
 use pxf_predicate::{MatchContext, PredId, PredicateIndex, Publication};
-use pxf_xml::{DocAccess, Interner, NodeId, PathDoc, Symbol, XmlError};
+use pxf_xml::{DocAccess, Interner, NodeId, ParserLimits, PathDoc, Symbol, XmlError};
 use pxf_xpath::{AttrFilter, XPathExpr};
 use std::collections::HashMap;
 use std::fmt;
@@ -349,6 +349,9 @@ pub struct FilterEngine {
     /// Scratch backing the convenient `&mut self` matching API; concurrent
     /// users create their own via [`FilterEngine::matcher`].
     scratch: MatchScratch,
+    /// Per-document resource budget enforced on the streaming parse path
+    /// (`match_bytes`); shared by every matcher created from this engine.
+    limits: ParserLimits,
 }
 
 /// Back-pointer from a subscription to its storage, enabling removal.
@@ -409,7 +412,7 @@ impl Matcher<'_> {
     /// over the flat path store. Results are identical to parsing with
     /// [`pxf_xml::Document::parse`] and calling [`Self::match_document`].
     pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
-        let doc = PathDoc::parse(bytes)?;
+        let doc = PathDoc::parse_with_limits(bytes, self.engine.limits)?;
         Ok(self.engine.match_document_with(&doc, &mut self.scratch))
     }
 
@@ -476,6 +479,7 @@ impl FilterEngine {
             locations: Vec::new(),
             removed: 0,
             scratch: MatchScratch::default(),
+            limits: ParserLimits::default(),
         }
     }
 
@@ -502,6 +506,17 @@ impl FilterEngine {
     /// Number of distinct predicates stored (Fig. 10 metric).
     pub fn distinct_predicates(&self) -> usize {
         self.index.len()
+    }
+
+    /// Sets the per-document resource budget enforced by the streaming
+    /// parse path (`match_bytes`), including matchers created afterwards.
+    pub fn set_parser_limits(&mut self, limits: ParserLimits) {
+        self.limits = limits;
+    }
+
+    /// The per-document resource budget of the streaming parse path.
+    pub fn parser_limits(&self) -> &ParserLimits {
+        &self.limits
     }
 
     /// Cumulative matching statistics of the internal (`&mut self`)
@@ -696,7 +711,7 @@ impl FilterEngine {
     /// no `Document` tree allocation, and matching runs over the flat
     /// store. Match sets are byte-identical to the tree-based path.
     pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
-        let doc = PathDoc::parse(bytes)?;
+        let doc = PathDoc::parse_with_limits(bytes, self.limits)?;
         Ok(self.match_document(&doc))
     }
 

@@ -47,3 +47,4 @@ pub mod reference;
 pub use backend::{BackendError, FilterBackend};
 pub use encode::{AttrMode, EncodeError, EncodedPath};
 pub use engine::{AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, SubId};
+pub use parallel::{BatchReport, ByteFilterResult, DocError, DocFilterResult};

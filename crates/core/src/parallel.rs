@@ -1,4 +1,5 @@
-//! Concurrent document filtering against a shared engine.
+//! Concurrent document filtering against a shared engine, with per-document
+//! fault isolation.
 //!
 //! A [`FilterEngine`] is immutable during matching
 //! (scratch state lives in per-matcher [`MatchScratch`](crate::MatchScratch)
@@ -6,21 +7,195 @@
 //! deployment shape of the paper's motivating scenario, where a broker
 //! filters a high-rate document stream against millions of standing
 //! subscriptions.
+//!
+//! Hostile or malformed documents must not take the batch down: each
+//! document's parse + match is isolated, so a parse error — or even a
+//! panic inside the matcher — becomes a per-document [`DocError`] entry in
+//! the result vector while every other document completes normally. A
+//! worker whose matcher panics discards that matcher (its scratch state
+//! may be mid-document) and continues with a fresh one.
 
 use crate::engine::{FilterEngine, SubId};
-use pxf_xml::Document;
+use pxf_xml::{Document, XmlError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Per-document outcome of [`filter_batch_bytes`]: the match set, or the
-/// parse error for that document.
-pub type ByteFilterResult = Result<Vec<SubId>, pxf_xml::XmlError>;
+/// Why one document of a batch produced no match set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocError {
+    /// The document failed to parse (syntax error or resource-limit
+    /// violation — see [`XmlError::is_limit`]).
+    Parse(XmlError),
+    /// Matching this document panicked; the worker recovered with a fresh
+    /// matcher and the rest of the batch was unaffected.
+    Panicked(String),
+}
 
-/// Filters a batch of documents across `threads` worker threads, returning
-/// per-document match sets in input order.
+impl std::fmt::Display for DocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DocError::Parse(e) => e.fmt(f),
+            DocError::Panicked(msg) => write!(f, "matcher panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+impl From<XmlError> for DocError {
+    fn from(e: XmlError) -> Self {
+        DocError::Parse(e)
+    }
+}
+
+/// Per-document outcome of a batch filter call: the match set, or what
+/// went wrong for that document alone.
+pub type DocFilterResult = Result<Vec<SubId>, DocError>;
+
+/// Per-document outcome of [`filter_batch_bytes`] (alias kept for the
+/// streaming entry point's historical name).
+pub type ByteFilterResult = DocFilterResult;
+
+/// Summary of a batch run: how many documents matched cleanly and how many
+/// were rejected or recovered from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Documents in the batch.
+    pub total: usize,
+    /// Documents that parsed and matched normally.
+    pub ok: usize,
+    /// Documents rejected with a parse error (malformed or over limits).
+    pub parse_errors: usize,
+    /// Documents whose matcher panicked.
+    pub panics: usize,
+}
+
+impl BatchReport {
+    /// Tallies a result vector.
+    pub fn from_results(results: &[DocFilterResult]) -> Self {
+        let mut report = BatchReport {
+            total: results.len(),
+            ..BatchReport::default()
+        };
+        for r in results {
+            match r {
+                Ok(_) => report.ok += 1,
+                Err(DocError::Parse(_)) => report.parse_errors += 1,
+                Err(DocError::Panicked(_)) => report.panics += 1,
+            }
+        }
+        report
+    }
+
+    /// Documents the batch recovered from (errored but did not stop the
+    /// batch): everything that is not `ok`.
+    pub fn recovered(&self) -> usize {
+        self.parse_errors + self.panics
+    }
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} documents: {} ok, {} parse errors, {} panics recovered",
+            self.total, self.ok, self.parse_errors, self.panics
+        )
+    }
+}
+
+/// Extracts a readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Runs `work` on worker threads over the documents `0..n`, isolating each
+/// document: a panic becomes a per-document [`DocError::Panicked`] entry
+/// and the worker continues with a fresh matcher.
+fn run_isolated<F>(engine: &FilterEngine, n: usize, threads: usize, work: F) -> Vec<DocFilterResult>
+where
+    F: Fn(&mut crate::engine::Matcher<'_>, usize) -> DocFilterResult + Sync,
+{
+    let one_doc = |matcher: &mut crate::engine::Matcher<'_>, i: usize| -> DocFilterResult {
+        // The matcher's scratch is left in an unspecified state if `work`
+        // panics mid-document, so the caller must discard it afterwards.
+        match catch_unwind(AssertUnwindSafe(|| work(matcher, i))) {
+            Ok(result) => result,
+            Err(payload) => Err(DocError::Panicked(panic_message(payload))),
+        }
+    };
+    if threads == 1 {
+        let mut matcher = engine.matcher();
+        return (0..n)
+            .map(|i| {
+                let r = one_doc(&mut matcher, i);
+                if matches!(r, Err(DocError::Panicked(_))) {
+                    matcher = engine.matcher();
+                }
+                r
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, DocFilterResult)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let one_doc = &one_doc;
+            handles.push(scope.spawn(move || {
+                let mut matcher = engine.matcher();
+                let mut out: Vec<(usize, DocFilterResult)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return out;
+                    }
+                    let r = one_doc(&mut matcher, i);
+                    if matches!(r, Err(DocError::Panicked(_))) {
+                        matcher = engine.matcher();
+                    }
+                    out.push((i, r));
+                }
+            }));
+        }
+        for h in handles {
+            // Workers catch per-document panics, so join only fails on a
+            // panic outside the isolated region; its claimed documents
+            // keep their "worker lost" placeholder below.
+            if let Ok(chunk) = h.join() {
+                per_worker.push(chunk);
+            }
+        }
+    });
+    let mut results: Vec<DocFilterResult> = (0..n)
+        .map(|_| {
+            Err(DocError::Panicked(
+                "worker terminated before reporting".into(),
+            ))
+        })
+        .collect();
+    for chunk in per_worker {
+        for (i, r) in chunk {
+            results[i] = r;
+        }
+    }
+    results
+}
+
+/// Filters a batch of parsed documents across `threads` worker threads,
+/// returning per-document outcomes in input order.
 ///
 /// The engine must be prepared ([`FilterEngine::prepare`]) — it is borrowed
 /// immutably. With `threads == 1` this degenerates to a sequential loop
-/// (no threads are spawned).
+/// (no threads are spawned). A panic while matching one document yields a
+/// [`DocError::Panicked`] entry for that document only.
 ///
 /// ```
 /// use pxf_core::{parallel, FilterEngine};
@@ -34,94 +209,40 @@ pub type ByteFilterResult = Result<Vec<SubId>, pxf_xml::XmlError>;
 ///     Document::parse(b"<x/>").unwrap(),
 /// ];
 /// let results = parallel::filter_batch(&engine, &docs, 4);
-/// assert_eq!(results, vec![vec![s], vec![]]);
+/// assert_eq!(results[0].as_ref().unwrap(), &vec![s]);
+/// assert!(results[1].as_ref().unwrap().is_empty());
 /// ```
-pub fn filter_batch(engine: &FilterEngine, docs: &[Document], threads: usize) -> Vec<Vec<SubId>> {
+pub fn filter_batch(
+    engine: &FilterEngine,
+    docs: &[Document],
+    threads: usize,
+) -> Vec<DocFilterResult> {
     let threads = threads.max(1).min(docs.len().max(1));
-    if threads == 1 {
-        let mut matcher = engine.matcher();
-        return docs.iter().map(|d| matcher.match_document(d)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut results: Vec<Vec<SubId>> = vec![Vec::new(); docs.len()];
-    // Hand each worker a disjoint set of result slots via raw indices:
-    // simplest safe formulation is collecting (index, result) pairs per
-    // worker and scattering afterwards.
-    let mut per_worker: Vec<Vec<(usize, Vec<SubId>)>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut matcher = engine.matcher();
-                let mut out: Vec<(usize, Vec<SubId>)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= docs.len() {
-                        return out;
-                    }
-                    out.push((i, matcher.match_document(&docs[i])));
-                }
-            }));
-        }
-        for h in handles {
-            per_worker.push(h.join().expect("worker panicked"));
-        }
-    });
-    for chunk in per_worker {
-        for (i, r) in chunk {
-            results[i] = r;
-        }
-    }
-    results
+    run_isolated(engine, docs.len(), threads, |matcher, i| {
+        Ok(matcher.match_document(&docs[i]))
+    })
 }
 
 /// Filters raw serialized documents (parse + match per document, the
 /// paper's total-filter-time unit of work) across worker threads.
 ///
 /// Each document takes the streaming path ([`Matcher::match_bytes`]): one
-/// pass over the bytes into a flat path store, no `Document` tree. With
-/// `threads == 1` this degenerates to a sequential loop (no threads are
-/// spawned), mirroring [`filter_batch`].
+/// pass over the bytes into a flat path store, no `Document` tree. Parse
+/// errors — including [`ParserLimits`](pxf_xml::ParserLimits) violations —
+/// and matcher panics are isolated per document. With `threads == 1` this
+/// degenerates to a sequential loop (no threads are spawned), mirroring
+/// [`filter_batch`].
+///
+/// [`Matcher::match_bytes`]: crate::Matcher::match_bytes
 pub fn filter_batch_bytes(
     engine: &FilterEngine,
     docs: &[Vec<u8>],
     threads: usize,
 ) -> Vec<ByteFilterResult> {
     let threads = threads.max(1).min(docs.len().max(1));
-    if threads == 1 {
-        let mut matcher = engine.matcher();
-        return docs.iter().map(|d| matcher.match_bytes(d)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(usize, ByteFilterResult)>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next;
-            handles.push(scope.spawn(move || {
-                let mut matcher = engine.matcher();
-                let mut out = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= docs.len() {
-                        return out;
-                    }
-                    out.push((i, matcher.match_bytes(&docs[i])));
-                }
-            }));
-        }
-        for h in handles {
-            per_worker.push(h.join().expect("worker panicked"));
-        }
-    });
-    let mut results: Vec<ByteFilterResult> = (0..docs.len()).map(|_| Ok(Vec::new())).collect();
-    for chunk in per_worker {
-        for (i, r) in chunk {
-            results[i] = r;
-        }
-    }
-    results
+    run_isolated(engine, docs.len(), threads, |matcher, i| {
+        matcher.match_bytes(&docs[i]).map_err(DocError::from)
+    })
 }
 
 #[cfg(test)]
@@ -156,6 +277,7 @@ mod tests {
         .map(|s| Document::parse(s.as_bytes()).unwrap())
         .collect();
         let sequential = filter_batch(&engine, &docs, 1);
+        assert!(sequential.iter().all(|r| r.is_ok()));
         for threads in [2, 4, 8] {
             assert_eq!(filter_batch(&engine, &docs, threads), sequential);
         }
@@ -167,7 +289,10 @@ mod tests {
         let docs = vec![b"<a><b/></a>".to_vec(), b"<broken".to_vec()];
         let results = filter_batch_bytes(&engine, &docs, 2);
         assert_eq!(results[0].as_ref().unwrap(), &vec![ids[0]]);
-        assert!(results[1].is_err());
+        assert!(matches!(results[1], Err(DocError::Parse(_))));
+        let report = BatchReport::from_results(&results);
+        assert_eq!((report.total, report.ok, report.parse_errors), (2, 1, 1));
+        assert_eq!(report.recovered(), 1);
     }
 
     #[test]
@@ -187,11 +312,35 @@ mod tests {
             .map(|s| s.as_bytes().to_vec())
             .collect();
         let docs: Vec<Document> = bytes.iter().map(|b| Document::parse(b).unwrap()).collect();
-        let tree = filter_batch(&engine, &docs, 1);
+        let tree: Vec<Vec<SubId>> = filter_batch(&engine, &docs, 1)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         for threads in [1, 2, 4] {
             let streamed = filter_batch_bytes(&engine, &bytes, threads);
             let streamed: Vec<Vec<SubId>> = streamed.into_iter().map(|r| r.unwrap()).collect();
             assert_eq!(streamed, tree, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn engine_limits_are_enforced_on_the_batch_path() {
+        let (mut engine, ids) = sample_engine();
+        engine.set_parser_limits(pxf_xml::ParserLimits {
+            max_depth: 3,
+            ..pxf_xml::ParserLimits::default()
+        });
+        let docs = vec![
+            b"<a><b/></a>".to_vec(),
+            b"<a><x><c><d/></c></x></a>".to_vec(), // depth 4: over budget
+        ];
+        for threads in [1, 2] {
+            let results = filter_batch_bytes(&engine, &docs, threads);
+            assert_eq!(results[0].as_ref().unwrap(), &vec![ids[0]]);
+            match &results[1] {
+                Err(DocError::Parse(e)) => assert!(e.is_limit()),
+                other => panic!("expected a limit error, got {other:?}"),
+            }
         }
     }
 

@@ -40,7 +40,7 @@
 
 use pxf_core::backend::{BackendError, FilterBackend};
 use pxf_core::SubId;
-use pxf_xml::{DocAccess, Document, Interner, NodeId, Symbol, TreeEvent, XmlError};
+use pxf_xml::{DocAccess, Document, Interner, NodeId, ParserLimits, Symbol, TreeEvent, XmlError};
 use pxf_xpath::{Axis, NodeTest, XPathExpr};
 use std::collections::HashMap;
 use std::fmt;
@@ -102,6 +102,7 @@ struct Entry {
 pub struct IndexFilter {
     interner: Interner,
     nodes: Vec<QNode>,
+    limits: ParserLimits,
     roots: HashMap<NodeKey, u32>,
     /// Tag → query nodes testing that tag, sorted by depth descending (so
     /// that within one element, deeper nodes inspect their parents' stacks
@@ -129,6 +130,7 @@ impl IndexFilter {
         IndexFilter {
             interner: Interner::new(),
             nodes: Vec::new(),
+            limits: ParserLimits::default(),
             roots: HashMap::new(),
             by_tag: HashMap::new(),
             wildcards: Vec::new(),
@@ -356,8 +358,14 @@ impl IndexFilter {
     /// Replaying after the parse pass keeps postponed attribute and
     /// `text()` re-checks exact on mixed content.
     pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, XmlError> {
-        let doc = pxf_xml::PathDoc::parse(bytes)?;
+        let doc = pxf_xml::PathDoc::parse_with_limits(bytes, self.limits)?;
         Ok(self.match_document(&doc))
+    }
+
+    /// Sets the per-document resource budget enforced by
+    /// [`match_bytes`](Self::match_bytes).
+    pub fn set_parser_limits(&mut self, limits: ParserLimits) {
+        self.limits = limits;
     }
 
     /// Sorts the candidate lists by depth descending (lazy, after adds).
@@ -398,6 +406,10 @@ impl FilterBackend for IndexFilter {
             .into_iter()
             .map(SubId)
             .collect())
+    }
+
+    fn set_parser_limits(&mut self, limits: ParserLimits) {
+        IndexFilter::set_parser_limits(self, limits);
     }
 }
 

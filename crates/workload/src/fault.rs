@@ -1,0 +1,322 @@
+//! Seeded fault injection over serialized XML documents.
+//!
+//! Hostile-input testing needs documents that are *plausibly* broken —
+//! structurally close to real traffic, damaged in the ways a buggy or
+//! adversarial publisher damages them — rather than uniformly random
+//! bytes, which any parser rejects in the first few bytes. A
+//! [`FaultInjector`] takes well-formed serialized documents (typically
+//! from [`XmlGenerator`](crate::XmlGenerator)) and applies one seeded
+//! [`Mutation`] per document: truncation mid-token, end-tag swaps,
+//! attribute corruption, nesting-depth amplification, or entity-reference
+//! injection. Everything is deterministic given the seed, so failures
+//! reproduce exactly.
+//!
+//! Mutations are *attempts*: a tag-swap on a single-element document or an
+//! entity injection into a text-free document may leave the bytes
+//! well-formed. Consumers that need guaranteed-broken documents should
+//! check with a parse, or use [`FaultInjector::corrupt_fraction`] which
+//! only counts a document as mutated when its bytes actually changed.
+
+use pxf_rng::Rng;
+
+/// The kinds of damage [`FaultInjector`] can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Cut the document off at a random interior byte (mid-tag, mid-text,
+    /// mid-attribute — wherever the cut lands).
+    Truncate,
+    /// Rewrite the name inside one end tag so it no longer matches its
+    /// start tag.
+    TagSwap,
+    /// Damage an attribute region: delete a quote, drop the `=`, or
+    /// duplicate the attribute name.
+    AttrCorrupt,
+    /// Wrap the document in a deep stack of synthetic elements to blow
+    /// nesting-depth budgets.
+    DepthBomb,
+    /// Splice entity references — undefined ones, or a run designed to
+    /// trip expansion budgets — into character data.
+    EntityInject,
+}
+
+impl Mutation {
+    /// All mutation kinds, in the order the injector cycles through them.
+    pub const ALL: [Mutation; 5] = [
+        Mutation::Truncate,
+        Mutation::TagSwap,
+        Mutation::AttrCorrupt,
+        Mutation::DepthBomb,
+        Mutation::EntityInject,
+    ];
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mutation::Truncate => "truncate",
+            Mutation::TagSwap => "tag-swap",
+            Mutation::AttrCorrupt => "attr-corrupt",
+            Mutation::DepthBomb => "depth-bomb",
+            Mutation::EntityInject => "entity-inject",
+        })
+    }
+}
+
+/// Applies seeded mutations to serialized documents.
+///
+/// ```
+/// use pxf_workload::{FaultInjector, Mutation};
+///
+/// let mut inj = FaultInjector::new(7);
+/// let (bytes, kind) = inj.mutate(b"<a><b x=\"1\">text</b></a>");
+/// assert!(Mutation::ALL.contains(&kind));
+/// // Same seed, same damage.
+/// assert_eq!(FaultInjector::new(7).mutate(b"<a><b x=\"1\">text</b></a>").0, bytes);
+/// ```
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: Rng,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Damages one document with a randomly chosen mutation kind.
+    /// Returns the mutated bytes and the kind applied.
+    pub fn mutate(&mut self, doc: &[u8]) -> (Vec<u8>, Mutation) {
+        let kind = *self.rng.choose(&Mutation::ALL);
+        (self.apply(doc, kind), kind)
+    }
+
+    /// Damages one document with a specific mutation kind.
+    pub fn mutate_with(&mut self, doc: &[u8], kind: Mutation) -> Vec<u8> {
+        self.apply(doc, kind)
+    }
+
+    /// Mutates roughly `fraction` of `docs` in place (each chosen document
+    /// gets one mutation), returning the indices whose bytes actually
+    /// changed. Selection is per-document Bernoulli, so the exact count
+    /// varies with the seed.
+    pub fn corrupt_fraction(&mut self, docs: &mut [Vec<u8>], fraction: f64) -> Vec<usize> {
+        let mut mutated = Vec::new();
+        for (i, doc) in docs.iter_mut().enumerate() {
+            if !self.rng.gen_bool(fraction) {
+                continue;
+            }
+            let (bytes, _) = self.mutate(doc);
+            if bytes != *doc {
+                *doc = bytes;
+                mutated.push(i);
+            }
+        }
+        mutated
+    }
+
+    fn apply(&mut self, doc: &[u8], kind: Mutation) -> Vec<u8> {
+        match kind {
+            Mutation::Truncate => self.truncate(doc),
+            Mutation::TagSwap => self.tag_swap(doc),
+            Mutation::AttrCorrupt => self.attr_corrupt(doc),
+            Mutation::DepthBomb => self.depth_bomb(doc),
+            Mutation::EntityInject => self.entity_inject(doc),
+        }
+    }
+
+    fn truncate(&mut self, doc: &[u8]) -> Vec<u8> {
+        if doc.len() < 2 {
+            return doc.to_vec();
+        }
+        // Cut strictly inside the document so something is always lost.
+        let cut = 1 + self.rng.gen_index(doc.len() - 1);
+        doc[..cut].to_vec()
+    }
+
+    fn tag_swap(&mut self, doc: &[u8]) -> Vec<u8> {
+        // Collect `</` positions and rename one end tag's first letter.
+        let ends: Vec<usize> = doc
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w == b"</")
+            .map(|(i, _)| i)
+            .collect();
+        if ends.is_empty() {
+            return doc.to_vec();
+        }
+        let pos = *self.rng.choose(&ends);
+        let mut out = doc.to_vec();
+        let name_at = pos + 2;
+        if let Some(b) = out.get_mut(name_at) {
+            // Rotate within a–z so the result is still a valid name char.
+            if b.is_ascii_alphabetic() {
+                *b = if *b == b'z' || *b == b'Z' {
+                    *b - 1
+                } else {
+                    *b + 1
+                };
+            } else {
+                *b = b'q';
+            }
+        }
+        out
+    }
+
+    fn attr_corrupt(&mut self, doc: &[u8]) -> Vec<u8> {
+        // Quote positions inside tags are where attribute syntax lives.
+        let quotes: Vec<usize> = doc
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'"')
+            .map(|(i, _)| i)
+            .collect();
+        if quotes.is_empty() {
+            return doc.to_vec();
+        }
+        let pos = *self.rng.choose(&quotes);
+        let mut out = doc.to_vec();
+        match self.rng.gen_index(3) {
+            // Delete the quote: unterminated / malformed value.
+            0 => {
+                out.remove(pos);
+            }
+            // Replace the quote with a space: value spills into the tag.
+            1 => out[pos] = b' ',
+            // Damage the `=` before an opening quote, if there is one.
+            _ => {
+                if pos > 0 && out[pos - 1] == b'=' {
+                    out[pos - 1] = b' ';
+                } else {
+                    out.remove(pos);
+                }
+            }
+        }
+        out
+    }
+
+    fn depth_bomb(&mut self, doc: &[u8]) -> Vec<u8> {
+        // Wrap in enough synthetic elements to exceed any plausible depth
+        // budget (default limit is 256; strict is 64).
+        let layers = 300 + self.rng.gen_index(200);
+        let mut out = Vec::with_capacity(doc.len() + layers * 7);
+        for _ in 0..layers {
+            out.extend_from_slice(b"<z>");
+        }
+        out.extend_from_slice(doc);
+        for _ in 0..layers {
+            out.extend_from_slice(b"</z>");
+        }
+        out
+    }
+
+    fn entity_inject(&mut self, doc: &[u8]) -> Vec<u8> {
+        // Splice after a `>` so we land in character data, not inside a
+        // tag; inject either an undefined entity or an expansion flood.
+        let spots: Vec<usize> = doc
+            .iter()
+            .enumerate()
+            .filter(|(i, &b)| b == b'>' && *i + 1 < doc.len())
+            .map(|(i, _)| i + 1)
+            .collect();
+        if spots.is_empty() {
+            return doc.to_vec();
+        }
+        let pos = *self.rng.choose(&spots);
+        let payload: Vec<u8> = if self.rng.gen_bool(0.5) {
+            b"&undefined;".to_vec()
+        } else {
+            b"&amp;".repeat(64)
+        };
+        let mut out = Vec::with_capacity(doc.len() + payload.len());
+        out.extend_from_slice(&doc[..pos]);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&doc[pos..]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Regime, XmlGenerator};
+
+    fn sample_docs(n: usize) -> Vec<Vec<u8>> {
+        let regime = Regime::nitf();
+        let mut gen = XmlGenerator::new(&regime.dtd, regime.xml.clone());
+        (0..n)
+            .map(|_| gen.generate().to_xml().into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let docs = sample_docs(20);
+        let run = |seed| -> Vec<(Vec<u8>, Mutation)> {
+            let mut inj = FaultInjector::new(seed);
+            docs.iter().map(|d| inj.mutate(d)).collect()
+        };
+        assert_eq!(run(1234), run(1234));
+        assert_ne!(run(1234), run(5678));
+    }
+
+    #[test]
+    fn every_mutation_kind_damages_a_typical_document() {
+        let doc = b"<a><b x=\"1\">text</b><c><d/></c></a>";
+        let mut inj = FaultInjector::new(9);
+        for kind in Mutation::ALL {
+            let out = inj.mutate_with(doc, kind);
+            assert_ne!(out, doc.to_vec(), "{kind} left the document untouched");
+        }
+    }
+
+    #[test]
+    fn depth_bomb_exceeds_default_depth_limit() {
+        let mut inj = FaultInjector::new(3);
+        let out = inj.mutate_with(b"<a/>", Mutation::DepthBomb);
+        let err = pxf_xml::Document::parse(&out).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            pxf_xml::XmlErrorKind::DepthLimitExceeded(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_fraction_reports_changed_indices() {
+        let mut docs = sample_docs(100);
+        let originals = docs.clone();
+        let mut inj = FaultInjector::new(77);
+        let mutated = inj.corrupt_fraction(&mut docs, 0.1);
+        // Bernoulli(0.1) over 100 docs: loose bounds, deterministic seed.
+        assert!(
+            !mutated.is_empty() && mutated.len() < 30,
+            "{}",
+            mutated.len()
+        );
+        for (i, (orig, now)) in originals.iter().zip(&docs).enumerate() {
+            if mutated.contains(&i) {
+                assert_ne!(orig, now, "doc {i} reported mutated but unchanged");
+            } else {
+                assert_eq!(orig, now, "doc {i} changed but not reported");
+            }
+        }
+    }
+
+    #[test]
+    fn most_mutations_break_parsing() {
+        // Not a hard guarantee per document, but across a corpus the
+        // injector must be overwhelmingly effective at breaking parses.
+        let docs = sample_docs(50);
+        let mut inj = FaultInjector::new(11);
+        let broken = docs
+            .iter()
+            .filter(|d| {
+                let (m, _) = inj.mutate(d);
+                pxf_xml::Document::parse(&m).is_err()
+            })
+            .count();
+        assert!(broken >= 35, "only {broken}/50 mutations broke the parse");
+    }
+}

@@ -5,7 +5,10 @@
 //! DTDs ([`Dtd::nitf`], [`Dtd::psd`]), a Diao-style XPath generator
 //! ([`XPathGenerator`], parameters D / L / W / DO / filters-per-path), and
 //! an IBM-style XML document generator ([`XmlGenerator`], max-levels and
-//! max-repeats). All generation is deterministic given a seed.
+//! max-repeats). [`FaultInjector`] damages generated documents in seeded,
+//! reproducible ways (truncation, tag swaps, attribute corruption, depth
+//! bombs, entity injection) for hostile-input testing. All generation is
+//! deterministic given a seed.
 //!
 //! # Example
 //!
@@ -23,11 +26,13 @@
 #![warn(missing_docs)]
 
 mod dtd;
+mod fault;
 mod presets;
 mod xml_gen;
 mod xpath_gen;
 
 pub use dtd::{AttrDecl, AttrKind, Dtd, ElementDecl};
+pub use fault::{FaultInjector, Mutation};
 pub use presets::Regime;
 pub use xml_gen::{XmlGenerator, XmlParams};
 pub use xpath_gen::{XPathGenerator, XPathParams};

@@ -37,7 +37,7 @@
 
 use pxf_core::backend::{BackendError, FilterBackend};
 use pxf_core::SubId;
-use pxf_xml::{DocAccess, Document, Interner, Symbol, TreeEvent, XmlError};
+use pxf_xml::{DocAccess, Document, Interner, ParserLimits, Symbol, TreeEvent, XmlError};
 use pxf_xpath::{Axis, NodeTest, Step, XPathExpr};
 use std::fmt;
 
@@ -102,6 +102,7 @@ struct Instance {
 pub struct XFilter {
     interner: Interner,
     queries: Vec<Query>,
+    limits: ParserLimits,
     // Per-document runtime state (reused across documents).
     /// Candidate lists: tag → waiting instances.
     candidates: Vec<Vec<Instance>>,
@@ -123,6 +124,7 @@ impl XFilter {
         XFilter {
             interner: Interner::new(),
             queries: Vec::new(),
+            limits: ParserLimits::default(),
             candidates: Vec::new(),
             wildcards: Vec::new(),
             matched: Vec::new(),
@@ -310,8 +312,14 @@ impl XFilter {
     /// per-expression machines consume events replayed off the flat
     /// [`PathDoc`](pxf_xml::PathDoc) store — no `Document` tree is built.
     pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, XmlError> {
-        let doc = pxf_xml::PathDoc::parse(bytes)?;
+        let doc = pxf_xml::PathDoc::parse_with_limits(bytes, self.limits)?;
         Ok(self.match_document(&doc))
+    }
+
+    /// Sets the per-document resource budget enforced by
+    /// [`match_bytes`](Self::match_bytes).
+    pub fn set_parser_limits(&mut self, limits: ParserLimits) {
+        self.limits = limits;
     }
 }
 
@@ -334,6 +342,10 @@ impl FilterBackend for XFilter {
             .into_iter()
             .map(SubId)
             .collect())
+    }
+
+    fn set_parser_limits(&mut self, limits: ParserLimits) {
+        XFilter::set_parser_limits(self, limits);
     }
 }
 

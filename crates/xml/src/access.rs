@@ -20,7 +20,8 @@
 //! *ancestor's* text after a leaf closes (`<a><b/>tail</a>`), and `text()`
 //! filters must observe the final value.
 
-use crate::reader::{Event, Reader, XmlError};
+use crate::limits::ParserLimits;
+use crate::reader::{Event, Reader, XmlError, XmlErrorKind};
 use crate::tree::{Document, Element, NodeId, TreeEvent};
 
 /// Read access to a parsed document, independent of its storage layout.
@@ -113,9 +114,15 @@ pub struct PathDoc {
 
 impl PathDoc {
     /// Parses a document directly into path form — a single pass over the
-    /// SAX events, no `Document` tree allocation.
+    /// SAX events, no `Document` tree allocation. Uses default
+    /// [`ParserLimits`].
     pub fn parse(bytes: &[u8]) -> Result<PathDoc, XmlError> {
-        let mut reader = Reader::new(bytes);
+        PathDoc::parse_with_limits(bytes, ParserLimits::default())
+    }
+
+    /// Parses into path form, enforcing a resource budget.
+    pub fn parse_with_limits(bytes: &[u8], limits: ParserLimits) -> Result<PathDoc, XmlError> {
+        let mut reader = Reader::with_limits(bytes, limits);
         let mut nodes: Vec<Element> = Vec::new();
         let mut paths: Vec<NodeId> = Vec::new();
         let mut path_ends: Vec<u32> = Vec::new();
@@ -176,10 +183,7 @@ impl PathDoc {
             }
         }
         if nodes.is_empty() {
-            return Err(XmlError {
-                pos: bytes.len(),
-                message: "empty document".to_string(),
-            });
+            return Err(XmlError::new(bytes.len(), XmlErrorKind::EmptyDocument));
         }
         Ok(PathDoc {
             nodes,

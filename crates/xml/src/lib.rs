@@ -12,7 +12,11 @@
 //!   paper decomposes every document into its set of document paths (§3.3),
 //! * [`Interner`] — name interning so engines work on integer [`Symbol`]s,
 //! * [`DocAccess`] / [`PathDoc`] — layout-independent document access and a
-//!   tree-free store built in one SAX pass for the streaming match path.
+//!   tree-free store built in one SAX pass for the streaming match path,
+//! * [`ParserLimits`] / [`XmlErrorKind`] — per-document resource budgets
+//!   and a structured error taxonomy for hostile-input hardening,
+//! * [`DocumentStream`] — boundary scanning over concatenated documents
+//!   with malformed-document resync and a consecutive-failure cap.
 //!
 //! # Example
 //!
@@ -31,13 +35,15 @@
 #![warn(missing_docs)]
 
 mod access;
+mod limits;
 mod name;
 mod reader;
 mod stream;
 mod tree;
 
 pub use access::{DocAccess, PathDoc};
+pub use limits::ParserLimits;
 pub use name::{Interner, Symbol};
-pub use reader::{Attribute, Event, Reader, XmlError};
-pub use stream::DocumentStream;
+pub use reader::{Attribute, Event, Reader, XmlError, XmlErrorKind};
+pub use stream::{DocumentStream, DEFAULT_MAX_CONSECUTIVE_FAILURES};
 pub use tree::{Document, DocumentBuilder, Element, NodeId, TreeEvent};

@@ -4,8 +4,12 @@
 //! structure, attributes, character data, CDATA sections, comments,
 //! processing instructions, the XML declaration, a DOCTYPE prolog (skipped),
 //! and the five predefined entities plus numeric character references. It
-//! reports errors with byte offsets and checks tag balance.
+//! reports errors as a structured [`XmlErrorKind`] with a byte offset,
+//! checks tag balance, and enforces per-document resource budgets
+//! ([`ParserLimits`]) so hostile inputs (depth bombs, entity floods,
+//! megabyte attribute values) fail fast instead of exhausting the process.
 
+use crate::limits::ParserLimits;
 use std::fmt;
 
 /// An attribute on a start tag.
@@ -42,18 +46,168 @@ pub enum Event {
     Eof,
 }
 
-/// Error produced while parsing an XML document.
+/// What went wrong while parsing a document — the structured half of
+/// [`XmlError`].
+///
+/// Syntax violations and resource-limit violations are distinct variants
+/// so the ingest pipeline can distinguish a malformed publisher from a
+/// hostile one (see [`XmlError::is_limit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended inside the named construct (comment, CDATA section,
+    /// DOCTYPE declaration, processing instruction, attribute value, …).
+    Unterminated(&'static str),
+    /// Input ended while the named element was still open.
+    UnexpectedEof(String),
+    /// `</found>` closed an element opened as `<expected>`.
+    MismatchedEndTag {
+        /// The open element that should have been closed.
+        expected: String,
+        /// The name actually found in the end tag.
+        found: String,
+    },
+    /// An end tag with no open element.
+    UnmatchedEndTag(String),
+    /// A second root element.
+    MultipleRoots,
+    /// The named content (character data, CDATA) appeared outside the root.
+    ContentOutsideRoot(&'static str),
+    /// A name was required (element, attribute) but not found.
+    InvalidName,
+    /// A static syntax violation (expected `>`, quote, …).
+    Syntax(&'static str),
+    /// Missing `=` after the named attribute.
+    ExpectedEquals(String),
+    /// The named attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// Non-UTF-8 bytes in the named context.
+    InvalidUtf8(&'static str),
+    /// Reference to an entity the parser does not define.
+    UnknownEntity(String),
+    /// A numeric character reference that is not a valid scalar value.
+    InvalidCharRef(String),
+    /// A document with no elements.
+    EmptyDocument,
+    /// Element nesting exceeded [`ParserLimits::max_depth`].
+    DepthLimitExceeded(usize),
+    /// Document exceeded [`ParserLimits::max_document_bytes`].
+    DocumentTooLarge(usize),
+    /// One element carried more than [`ParserLimits::max_attributes`].
+    TooManyAttributes(usize),
+    /// An attribute value exceeded
+    /// [`ParserLimits::max_attribute_value_len`].
+    AttributeValueTooLong(usize),
+    /// A name exceeded [`ParserLimits::max_name_len`].
+    NameTooLong(usize),
+    /// More references decoded than
+    /// [`ParserLimits::max_entity_expansions`].
+    EntityExpansionLimit(usize),
+    /// A byte stream ended in the middle of a document.
+    StreamTruncated,
+    /// Unparseable content between documents on a stream (stray end tags,
+    /// leftovers of an oversized document).
+    StreamDesync,
+    /// A document stream gave up after this many consecutive failures.
+    TooManyFailures(usize),
+    /// An I/O error while reading a stream.
+    Io(String),
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::Unterminated(what) => write!(f, "unterminated {what}"),
+            XmlErrorKind::UnexpectedEof(open) => {
+                write!(f, "unexpected end of input: <{open}> not closed")
+            }
+            XmlErrorKind::MismatchedEndTag { expected, found } => write!(
+                f,
+                "mismatched end tag: expected </{expected}>, found </{found}>"
+            ),
+            XmlErrorKind::UnmatchedEndTag(name) => {
+                write!(f, "end tag </{name}> with no open element")
+            }
+            XmlErrorKind::MultipleRoots => f.write_str("document has more than one root element"),
+            XmlErrorKind::ContentOutsideRoot(what) => {
+                write!(f, "{what} outside of root element")
+            }
+            XmlErrorKind::InvalidName => f.write_str("expected a name"),
+            XmlErrorKind::Syntax(msg) => f.write_str(msg),
+            XmlErrorKind::ExpectedEquals(attr) => {
+                write!(f, "expected '=' after attribute name '{attr}'")
+            }
+            XmlErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute '{name}'"),
+            XmlErrorKind::InvalidUtf8(what) => write!(f, "invalid UTF-8 in {what}"),
+            XmlErrorKind::UnknownEntity(ent) => write!(f, "unknown entity '&{ent};'"),
+            XmlErrorKind::InvalidCharRef(ent) => {
+                write!(f, "invalid character reference '&{ent};'")
+            }
+            XmlErrorKind::EmptyDocument => f.write_str("empty document"),
+            XmlErrorKind::DepthLimitExceeded(limit) => {
+                write!(f, "element nesting deeper than the limit of {limit}")
+            }
+            XmlErrorKind::DocumentTooLarge(limit) => {
+                write!(f, "document exceeds the limit of {limit} bytes")
+            }
+            XmlErrorKind::TooManyAttributes(limit) => {
+                write!(f, "element has more than {limit} attributes")
+            }
+            XmlErrorKind::AttributeValueTooLong(limit) => {
+                write!(f, "attribute value exceeds the limit of {limit} bytes")
+            }
+            XmlErrorKind::NameTooLong(limit) => {
+                write!(f, "name exceeds the limit of {limit} bytes")
+            }
+            XmlErrorKind::EntityExpansionLimit(limit) => {
+                write!(f, "more than {limit} entity references in one document")
+            }
+            XmlErrorKind::StreamTruncated => f.write_str("stream ended inside a document"),
+            XmlErrorKind::StreamDesync => f.write_str("unparseable content between documents"),
+            XmlErrorKind::TooManyFailures(n) => {
+                write!(f, "{n} consecutive malformed documents on the stream")
+            }
+            XmlErrorKind::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+/// Error produced while parsing an XML document: a structured kind plus
+/// the byte offset at which it was detected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XmlError {
-    /// Byte offset at which the error occurred.
+    /// Byte offset at which the error occurred. For errors yielded by a
+    /// [`DocumentStream`](crate::DocumentStream) the offset is
+    /// stream-absolute (relative to the first byte ever read), otherwise
+    /// it is relative to the document's own first byte.
     pub pos: usize,
-    /// Human-readable description.
-    pub message: String,
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+}
+
+impl XmlError {
+    /// Creates an error at a byte offset.
+    pub fn new(pos: usize, kind: XmlErrorKind) -> Self {
+        XmlError { pos, kind }
+    }
+
+    /// True if the error is a resource-limit violation ([`ParserLimits`])
+    /// rather than a syntax error.
+    pub fn is_limit(&self) -> bool {
+        matches!(
+            self.kind,
+            XmlErrorKind::DepthLimitExceeded(_)
+                | XmlErrorKind::DocumentTooLarge(_)
+                | XmlErrorKind::TooManyAttributes(_)
+                | XmlErrorKind::AttributeValueTooLong(_)
+                | XmlErrorKind::NameTooLong(_)
+                | XmlErrorKind::EntityExpansionLimit(_)
+        )
+    }
 }
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.pos, self.message)
+        write!(f, "XML parse error at byte {}: {}", self.pos, self.kind)
     }
 }
 
@@ -77,24 +231,42 @@ pub struct Reader<'a> {
     stack: Vec<String>,
     done: bool,
     seen_root: bool,
+    limits: ParserLimits,
+    /// Entity/character references decoded so far (budgeted).
+    expansions: usize,
+    /// Whole-document size checked on the first `next_event` call.
+    size_checked: bool,
 }
 
 impl<'a> Reader<'a> {
-    /// Creates a reader over raw document bytes.
+    /// Creates a reader over raw document bytes with default limits.
     pub fn new(input: &'a [u8]) -> Self {
+        Reader::with_limits(input, ParserLimits::default())
+    }
+
+    /// Creates a reader enforcing the given resource budget.
+    pub fn with_limits(input: &'a [u8], limits: ParserLimits) -> Self {
         Reader {
             input,
             pos: 0,
             stack: Vec::with_capacity(16),
             done: false,
             seen_root: false,
+            limits,
+            expansions: 0,
+            size_checked: false,
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> XmlError {
+    /// The resource budget this reader enforces.
+    pub fn limits(&self) -> &ParserLimits {
+        &self.limits
+    }
+
+    fn error(&self, kind: XmlErrorKind) -> XmlError {
         XmlError {
             pos: self.pos,
-            message: message.into(),
+            kind,
         }
     }
 
@@ -113,7 +285,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Advances past `needle`, erroring if the input ends first.
-    fn skip_until(&mut self, needle: &[u8], what: &str) -> Result<(), XmlError> {
+    fn skip_until(&mut self, needle: &[u8], what: &'static str) -> Result<(), XmlError> {
         while self.pos < self.input.len() {
             if self.starts_with(needle) {
                 self.pos += needle.len();
@@ -121,18 +293,27 @@ impl<'a> Reader<'a> {
             }
             self.pos += 1;
         }
-        Err(self.error(format!("unterminated {what}")))
+        Err(self.error(XmlErrorKind::Unterminated(what)))
     }
 
     /// Returns the next event, or an error on malformed input.
     pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        if !self.size_checked {
+            self.size_checked = true;
+            if self.input.len() > self.limits.max_document_bytes {
+                return Err(XmlError::new(
+                    self.limits.max_document_bytes,
+                    XmlErrorKind::DocumentTooLarge(self.limits.max_document_bytes),
+                ));
+            }
+        }
         loop {
             if self.done {
                 return Ok(Event::Eof);
             }
             if self.pos >= self.input.len() {
                 if let Some(open) = self.stack.last() {
-                    return Err(self.error(format!("unexpected end of input: <{open}> not closed")));
+                    return Err(self.error(XmlErrorKind::UnexpectedEof(open.clone())));
                 }
                 self.done = true;
                 return Ok(Event::Eof);
@@ -149,11 +330,11 @@ impl<'a> Reader<'a> {
                     self.skip_until(b"]]>", "CDATA section")?;
                     let text = &self.input[start..self.pos - 3];
                     if self.stack.is_empty() {
-                        return Err(self.error("CDATA outside of root element"));
+                        return Err(self.error(XmlErrorKind::ContentOutsideRoot("CDATA")));
                     }
                     if !text.iter().all(u8::is_ascii_whitespace) {
                         let s = std::str::from_utf8(text)
-                            .map_err(|_| self.error("invalid UTF-8 in CDATA"))?;
+                            .map_err(|_| self.error(XmlErrorKind::InvalidUtf8("CDATA")))?;
                         return Ok(Event::Text(s.to_string()));
                     }
                     continue;
@@ -182,12 +363,12 @@ impl<'a> Reader<'a> {
                 continue;
             }
             if self.stack.is_empty() {
-                return Err(XmlError {
-                    pos: start,
-                    message: "character data outside of root element".into(),
-                });
+                return Err(XmlError::new(
+                    start,
+                    XmlErrorKind::ContentOutsideRoot("character data"),
+                ));
             }
-            let decoded = decode_entities(raw, start)?;
+            let decoded = decode_entities(raw, start, &mut self.expansions, &self.limits)?;
             return Ok(Event::Text(decoded));
         }
     }
@@ -208,14 +389,17 @@ impl<'a> Reader<'a> {
             }
             self.pos += 1;
         }
-        Err(self.error("unterminated DOCTYPE declaration"))
+        Err(self.error(XmlErrorKind::Unterminated("DOCTYPE declaration")))
     }
 
     fn parse_start_tag(&mut self) -> Result<Event, XmlError> {
         debug_assert_eq!(self.peek(), Some(b'<'));
         self.pos += 1;
         if self.seen_root && self.stack.is_empty() {
-            return Err(self.error("document has more than one root element"));
+            return Err(self.error(XmlErrorKind::MultipleRoots));
+        }
+        if self.stack.len() >= self.limits.max_depth {
+            return Err(self.error(XmlErrorKind::DepthLimitExceeded(self.limits.max_depth)));
         }
         let name = self.parse_name()?;
         let mut attributes = Vec::new();
@@ -235,7 +419,9 @@ impl<'a> Reader<'a> {
                 Some(b'/') => {
                     self.pos += 1;
                     if self.peek() != Some(b'>') {
-                        return Err(self.error("expected '>' after '/' in empty-element tag"));
+                        return Err(self.error(XmlErrorKind::Syntax(
+                            "expected '>' after '/' in empty-element tag",
+                        )));
                     }
                     self.pos += 1;
                     self.seen_root = true;
@@ -246,18 +432,25 @@ impl<'a> Reader<'a> {
                     });
                 }
                 Some(_) => {
+                    if attributes.len() >= self.limits.max_attributes {
+                        return Err(
+                            self.error(XmlErrorKind::TooManyAttributes(self.limits.max_attributes))
+                        );
+                    }
                     let attr_name = self.parse_name()?;
                     self.skip_ws();
                     if self.peek() != Some(b'=') {
-                        return Err(
-                            self.error(format!("expected '=' after attribute name '{attr_name}'"))
-                        );
+                        return Err(self.error(XmlErrorKind::ExpectedEquals(attr_name)));
                     }
                     self.pos += 1;
                     self.skip_ws();
                     let quote = match self.peek() {
                         Some(q @ (b'"' | b'\'')) => q,
-                        _ => return Err(self.error("expected quoted attribute value")),
+                        _ => {
+                            return Err(
+                                self.error(XmlErrorKind::Syntax("expected quoted attribute value"))
+                            )
+                        }
                     };
                     self.pos += 1;
                     let vstart = self.pos;
@@ -265,19 +458,28 @@ impl<'a> Reader<'a> {
                         self.pos += 1;
                     }
                     if self.pos >= self.input.len() {
-                        return Err(self.error("unterminated attribute value"));
+                        return Err(self.error(XmlErrorKind::Unterminated("attribute value")));
                     }
-                    let value = decode_entities(&self.input[vstart..self.pos], vstart)?;
+                    if self.pos - vstart > self.limits.max_attribute_value_len {
+                        return Err(XmlError::new(
+                            vstart,
+                            XmlErrorKind::AttributeValueTooLong(
+                                self.limits.max_attribute_value_len,
+                            ),
+                        ));
+                    }
+                    let raw = &self.input[vstart..self.pos];
+                    let value = decode_entities(raw, vstart, &mut self.expansions, &self.limits)?;
                     self.pos += 1;
                     if attributes.iter().any(|a: &Attribute| a.name == attr_name) {
-                        return Err(self.error(format!("duplicate attribute '{attr_name}'")));
+                        return Err(self.error(XmlErrorKind::DuplicateAttribute(attr_name)));
                     }
                     attributes.push(Attribute {
                         name: attr_name,
                         value,
                     });
                 }
-                None => return Err(self.error("unterminated start tag")),
+                None => return Err(self.error(XmlErrorKind::Unterminated("start tag"))),
             }
         }
     }
@@ -287,15 +489,16 @@ impl<'a> Reader<'a> {
         let name = self.parse_name()?;
         self.skip_ws();
         if self.peek() != Some(b'>') {
-            return Err(self.error("expected '>' in end tag"));
+            return Err(self.error(XmlErrorKind::Syntax("expected '>' in end tag")));
         }
         self.pos += 1;
         match self.stack.pop() {
             Some(open) if open == name => Ok(Event::End { name }),
-            Some(open) => Err(self.error(format!(
-                "mismatched end tag: expected </{open}>, found </{name}>"
-            ))),
-            None => Err(self.error(format!("end tag </{name}> with no open element"))),
+            Some(open) => Err(self.error(XmlErrorKind::MismatchedEndTag {
+                expected: open,
+                found: name,
+            })),
+            None => Err(self.error(XmlErrorKind::UnmatchedEndTag(name))),
         }
     }
 
@@ -303,14 +506,20 @@ impl<'a> Reader<'a> {
         let start = self.pos;
         match self.peek() {
             Some(b) if is_name_start(b) => self.pos += 1,
-            _ => return Err(self.error("expected a name")),
+            _ => return Err(self.error(XmlErrorKind::InvalidName)),
         }
         while matches!(self.peek(), Some(b) if is_name_char(b)) {
             self.pos += 1;
         }
+        if self.pos - start > self.limits.max_name_len {
+            return Err(XmlError::new(
+                start,
+                XmlErrorKind::NameTooLong(self.limits.max_name_len),
+            ));
+        }
         std::str::from_utf8(&self.input[start..self.pos])
             .map(|s| s.to_string())
-            .map_err(|_| self.error("invalid UTF-8 in name"))
+            .map_err(|_| self.error(XmlErrorKind::InvalidUtf8("name")))
     }
 }
 
@@ -322,11 +531,17 @@ fn is_name_char(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.') || b >= 0x80
 }
 
-/// Decodes the five predefined entities and numeric character references.
-fn decode_entities(raw: &[u8], base: usize) -> Result<String, XmlError> {
+/// Decodes the five predefined entities and numeric character references,
+/// charging each reference against the document's expansion budget.
+fn decode_entities(
+    raw: &[u8],
+    base: usize,
+    expansions: &mut usize,
+    limits: &ParserLimits,
+) -> Result<String, XmlError> {
     let s = std::str::from_utf8(raw).map_err(|_| XmlError {
         pos: base,
-        message: "invalid UTF-8 in character data".into(),
+        kind: XmlErrorKind::InvalidUtf8("character data"),
     })?;
     if !s.contains('&') {
         return Ok(s.to_string());
@@ -338,8 +553,15 @@ fn decode_entities(raw: &[u8], base: usize) -> Result<String, XmlError> {
         let after = &rest[amp + 1..];
         let semi = after.find(';').ok_or_else(|| XmlError {
             pos: base + amp,
-            message: "unterminated entity reference".into(),
+            kind: XmlErrorKind::Unterminated("entity reference"),
         })?;
+        *expansions += 1;
+        if *expansions > limits.max_entity_expansions {
+            return Err(XmlError::new(
+                base + amp,
+                XmlErrorKind::EntityExpansionLimit(limits.max_entity_expansions),
+            ));
+        }
         let ent = &after[..semi];
         match ent {
             "amp" => out.push('&'),
@@ -355,14 +577,14 @@ fn decode_entities(raw: &[u8], base: usize) -> Result<String, XmlError> {
                 };
                 let c = code.and_then(char::from_u32).ok_or_else(|| XmlError {
                     pos: base + amp,
-                    message: format!("invalid character reference '&{ent};'"),
+                    kind: XmlErrorKind::InvalidCharRef(ent.to_string()),
                 })?;
                 out.push(c);
             }
             _ => {
                 return Err(XmlError {
                     pos: base + amp,
-                    message: format!("unknown entity '&{ent};'"),
+                    kind: XmlErrorKind::UnknownEntity(ent.to_string()),
                 })
             }
         }
@@ -377,7 +599,11 @@ mod tests {
     use super::*;
 
     fn events(input: &str) -> Result<Vec<Event>, XmlError> {
-        let mut r = Reader::new(input.as_bytes());
+        events_limited(input, ParserLimits::default())
+    }
+
+    fn events_limited(input: &str, limits: ParserLimits) -> Result<Vec<Event>, XmlError> {
+        let mut r = Reader::with_limits(input.as_bytes(), limits);
         let mut out = Vec::new();
         loop {
             let e = r.next_event()?;
@@ -442,14 +668,26 @@ mod tests {
 
     #[test]
     fn mismatched_tags_rejected() {
-        assert!(events("<a><b></a></b>").is_err());
-        assert!(events("<a>").is_err());
-        assert!(events("</a>").is_err());
+        assert!(matches!(
+            events("<a><b></a></b>").unwrap_err().kind,
+            XmlErrorKind::MismatchedEndTag { .. }
+        ));
+        assert!(matches!(
+            events("<a>").unwrap_err().kind,
+            XmlErrorKind::UnexpectedEof(_)
+        ));
+        assert!(matches!(
+            events("</a>").unwrap_err().kind,
+            XmlErrorKind::UnmatchedEndTag(_)
+        ));
     }
 
     #[test]
     fn multiple_roots_rejected() {
-        assert!(events("<a/><b/>").is_err());
+        assert_eq!(
+            events("<a/><b/>").unwrap_err().kind,
+            XmlErrorKind::MultipleRoots
+        );
     }
 
     #[test]
@@ -460,7 +698,10 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        assert!(events(r#"<a x="1" x="2"/>"#).is_err());
+        assert_eq!(
+            events(r#"<a x="1" x="2"/>"#).unwrap_err().kind,
+            XmlErrorKind::DuplicateAttribute("x".into())
+        );
     }
 
     #[test]
@@ -493,5 +734,89 @@ mod tests {
     fn namespaced_names_pass_through() {
         let ev = events("<ns:a ns:x=\"1\"><ns:b/></ns:a>").unwrap();
         assert!(matches!(&ev[0], Event::Start { name, .. } if name == "ns:a"));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let limits = ParserLimits {
+            max_depth: 4,
+            ..ParserLimits::default()
+        };
+        let ok = "<a><a><a><a/></a></a></a>";
+        assert!(events_limited(ok, limits).is_ok());
+        let deep = "<a><a><a><a><a/></a></a></a></a>";
+        let err = events_limited(deep, limits).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::DepthLimitExceeded(4));
+        assert!(err.is_limit());
+    }
+
+    #[test]
+    fn document_size_limit_enforced() {
+        let limits = ParserLimits {
+            max_document_bytes: 16,
+            ..ParserLimits::default()
+        };
+        assert!(events_limited("<a/>", limits).is_ok());
+        let err = events_limited("<a>0123456789012345</a>", limits).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::DocumentTooLarge(16));
+    }
+
+    #[test]
+    fn attribute_limits_enforced() {
+        let limits = ParserLimits {
+            max_attributes: 2,
+            max_attribute_value_len: 4,
+            ..ParserLimits::default()
+        };
+        assert!(events_limited(r#"<a x="1" y="2"/>"#, limits).is_ok());
+        assert_eq!(
+            events_limited(r#"<a x="1" y="2" z="3"/>"#, limits)
+                .unwrap_err()
+                .kind,
+            XmlErrorKind::TooManyAttributes(2)
+        );
+        assert_eq!(
+            events_limited(r#"<a x="12345"/>"#, limits)
+                .unwrap_err()
+                .kind,
+            XmlErrorKind::AttributeValueTooLong(4)
+        );
+    }
+
+    #[test]
+    fn name_length_limit_enforced() {
+        let limits = ParserLimits {
+            max_name_len: 8,
+            ..ParserLimits::default()
+        };
+        assert!(events_limited("<abcdefgh/>", limits).is_ok());
+        assert_eq!(
+            events_limited("<abcdefghi/>", limits).unwrap_err().kind,
+            XmlErrorKind::NameTooLong(8)
+        );
+    }
+
+    #[test]
+    fn entity_expansion_budget_enforced() {
+        let limits = ParserLimits {
+            max_entity_expansions: 3,
+            ..ParserLimits::default()
+        };
+        assert!(events_limited("<a>&amp;&lt;&gt;</a>", limits).is_ok());
+        // Budget is per document, across text runs and attribute values.
+        let err = events_limited(r#"<a v="&amp;&amp;">&amp;&amp;</a>"#, limits).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::EntityExpansionLimit(3));
+    }
+
+    #[test]
+    fn limit_errors_carry_in_bounds_positions() {
+        let limits = ParserLimits::strict();
+        let mut deep = String::new();
+        for _ in 0..100 {
+            deep.push_str("<d>");
+        }
+        let err = events_limited(&deep, limits).unwrap_err();
+        assert!(err.pos <= deep.len());
+        assert!(err.is_limit());
     }
 }

@@ -1,15 +1,27 @@
-//! Streaming over concatenated XML documents.
+//! Streaming over concatenated XML documents, with malformed-input
+//! recovery.
 //!
 //! A filtering broker ingests an unbounded stream of documents — often
-//! concatenated back-to-back or separated by whitespace on one connection.
-//! [`DocumentStream`] incrementally scans such a byte stream, finds
-//! document boundaries (tracking element depth through comments, CDATA,
-//! processing instructions, DOCTYPE declarations, and quoted attribute
-//! values), and yields each complete document parsed.
+//! concatenated back-to-back or separated by whitespace on one connection,
+//! and not always well-formed. [`DocumentStream`] incrementally scans such
+//! a byte stream, finds document boundaries (tracking element depth
+//! through comments, CDATA, processing instructions, DOCTYPE declarations,
+//! and quoted attribute values), and yields each complete document parsed.
+//!
+//! A malformed document does **not** terminate the stream: the error is
+//! reported with its stream-absolute byte offset and the scanner resyncs
+//! to the next top-level document. Stray top-level end tags and documents
+//! that exceed [`ParserLimits::max_document_bytes`] are reported once per
+//! garbage run and skipped. A configurable consecutive-failure cap fuses
+//! the stream when a peer sends nothing but garbage.
 
-use crate::reader::XmlError;
+use crate::limits::ParserLimits;
+use crate::reader::{XmlError, XmlErrorKind};
 use crate::tree::Document;
 use std::io::{BufRead, Read};
+
+/// Default consecutive-failure cap for [`DocumentStream`].
+pub const DEFAULT_MAX_CONSECUTIVE_FAILURES: usize = 64;
 
 /// Iterator over the documents in a byte stream.
 ///
@@ -22,6 +34,18 @@ use std::io::{BufRead, Read};
 /// assert_eq!(docs[0].node(0).tag, "a");
 /// assert_eq!(docs[2].node(0).tag, "d");
 /// ```
+///
+/// Malformed documents yield `Err` items but the iteration continues —
+/// collect into a `Result` to stop at the first error, or keep calling
+/// `next()` to resync past it:
+///
+/// ```
+/// use pxf_xml::DocumentStream;
+/// let stream = b"<a></b> <ok/>";
+/// let items: Vec<_> = DocumentStream::new(&stream[..]).collect();
+/// assert!(items[0].is_err());
+/// assert_eq!(items[1].as_ref().unwrap().node(0).tag, "ok");
+/// ```
 pub struct DocumentStream<R: Read> {
     input: R,
     buffer: Vec<u8>,
@@ -29,6 +53,18 @@ pub struct DocumentStream<R: Read> {
     scanned: usize,
     scanner: Scanner,
     done: bool,
+    limits: ParserLimits,
+    max_consecutive_failures: usize,
+    consecutive_failures: usize,
+    /// Failure cap hit: yield one final error, then fuse.
+    exhausted: bool,
+    /// Stream-absolute offset of `buffer[0]` (bytes consumed so far).
+    base: usize,
+    /// True while skipping the tail of a desynced or oversized document;
+    /// suppresses repeated errors for one garbage run.
+    in_garbage: bool,
+    /// Malformed documents and garbage runs resynced past so far.
+    recovered: usize,
 }
 
 /// Boundary scanner state.
@@ -37,7 +73,18 @@ struct Scanner {
     depth: i64,
     /// Have we seen the first start tag of the current document?
     started: bool,
+    /// An end tag took `depth` negative: the stream is desynced and the
+    /// current tag (once it closes) must be reported, not yielded.
+    stray: bool,
     mode: Mode,
+}
+
+/// What the boundary scanner found.
+enum ScanHit {
+    /// Offset one past the end of a complete document.
+    Doc(usize),
+    /// Offset one past a stray top-level end tag (desync point).
+    Stray(usize),
 }
 
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -60,20 +107,72 @@ enum Mode {
 }
 
 impl<R: Read> DocumentStream<R> {
-    /// Creates a stream over a reader.
+    /// Creates a stream over a reader with default [`ParserLimits`].
     pub fn new(input: R) -> Self {
+        DocumentStream::with_limits(input, ParserLimits::default())
+    }
+
+    /// Creates a stream enforcing the given per-document resource budget.
+    pub fn with_limits(input: R, limits: ParserLimits) -> Self {
         DocumentStream {
             input,
             buffer: Vec::with_capacity(8 * 1024),
             scanned: 0,
             scanner: Scanner::default(),
             done: false,
+            limits,
+            max_consecutive_failures: DEFAULT_MAX_CONSECUTIVE_FAILURES,
+            consecutive_failures: 0,
+            exhausted: false,
+            base: 0,
+            in_garbage: false,
+            recovered: 0,
+        }
+    }
+
+    /// Sets the consecutive-failure cap: after this many failures with no
+    /// successfully parsed document in between, the stream yields one
+    /// [`XmlErrorKind::TooManyFailures`] error and then terminates.
+    pub fn max_consecutive_failures(mut self, cap: usize) -> Self {
+        self.max_consecutive_failures = cap.max(1);
+        self
+    }
+
+    /// Number of malformed documents and garbage runs resynced past.
+    pub fn recovered(&self) -> usize {
+        self.recovered
+    }
+
+    /// Stream-absolute offset of the next unconsumed byte.
+    pub fn stream_position(&self) -> usize {
+        self.base
+    }
+
+    /// Records a successful document against the consecutive-failure cap.
+    ///
+    /// The `Iterator` implementation calls this after each successful
+    /// parse. Callers that consume raw bytes via
+    /// [`next_raw`](Self::next_raw) and parse or match them externally
+    /// should call this (and [`note_failure`](Self::note_failure)) so the
+    /// cap stays *consecutive*; otherwise scanner-level failures count
+    /// cumulatively over the stream's whole lifetime.
+    pub fn note_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a document-level failure (parse or downstream) against the
+    /// consecutive-failure cap.
+    pub fn note_failure(&mut self) {
+        self.consecutive_failures += 1;
+        self.recovered += 1;
+        if self.consecutive_failures >= self.max_consecutive_failures {
+            self.exhausted = true;
         }
     }
 
     /// Scans newly buffered bytes; returns the byte offset one past the end
-    /// of a complete document, if one is now present.
-    fn scan(&mut self) -> Option<usize> {
+    /// of a complete document or stray end tag, if one is now present.
+    fn scan(&mut self) -> Option<ScanHit> {
         let s = &mut self.scanner;
         while self.scanned < self.buffer.len() {
             let b = self.buffer[self.scanned];
@@ -90,6 +189,12 @@ impl<R: Read> DocumentStream<R> {
                     b'/' => {
                         // End tag.
                         s.depth -= 1;
+                        if s.depth < 0 {
+                            // More closes than opens: desynced. Swallow
+                            // this tag and report the desync point.
+                            s.depth = 0;
+                            s.stray = true;
+                        }
                         s.mode = Mode::Tag(None);
                     }
                     _ => {
@@ -150,8 +255,12 @@ impl<R: Read> DocumentStream<R> {
                     b'/' => s.mode = Mode::TagSlash,
                     b'>' => {
                         s.mode = Mode::Text;
+                        if s.stray {
+                            s.stray = false;
+                            return Some(ScanHit::Stray(self.scanned));
+                        }
                         if s.started && s.depth == 0 {
-                            return Some(self.scanned);
+                            return Some(ScanHit::Doc(self.scanned));
                         }
                     }
                     _ => {}
@@ -161,8 +270,12 @@ impl<R: Read> DocumentStream<R> {
                         // Self-closing tag: undo the depth increment.
                         s.depth -= 1;
                         s.mode = Mode::Text;
+                        if s.stray {
+                            s.stray = false;
+                            return Some(ScanHit::Stray(self.scanned));
+                        }
                         if s.started && s.depth == 0 {
-                            return Some(self.scanned);
+                            return Some(ScanHit::Doc(self.scanned));
                         }
                     }
                     b'"' | b'\'' => s.mode = Mode::Tag(Some(b)),
@@ -173,6 +286,15 @@ impl<R: Read> DocumentStream<R> {
         }
         None
     }
+
+    /// Drains `n` scanned bytes and resets the boundary scanner.
+    fn consume(&mut self, n: usize) -> Vec<u8> {
+        let bytes: Vec<u8> = self.buffer.drain(..n).collect();
+        self.base += n;
+        self.scanned = 0;
+        self.scanner = Scanner::default();
+        bytes
+    }
 }
 
 impl<R: BufRead> DocumentStream<R> {
@@ -182,15 +304,61 @@ impl<R: BufRead> DocumentStream<R> {
     /// match path: feed the returned bytes straight to a streaming matcher
     /// (e.g. `Matcher::match_bytes`) and no `Document` is ever built.
     pub fn next_raw(&mut self) -> Option<Result<Vec<u8>, XmlError>> {
+        self.next_raw_at().map(|r| r.map(|(_, bytes)| bytes))
+    }
+
+    /// Like [`next_raw`](Self::next_raw), but also returns the
+    /// stream-absolute byte offset at which the document starts, so
+    /// per-document parse errors can be reported relative to the whole
+    /// stream.
+    pub fn next_raw_at(&mut self) -> Option<Result<(usize, Vec<u8>), XmlError>> {
         if self.done {
             return None;
         }
+        if self.exhausted {
+            self.done = true;
+            return Some(Err(XmlError::new(
+                self.base,
+                XmlErrorKind::TooManyFailures(self.max_consecutive_failures),
+            )));
+        }
         loop {
-            if let Some(end) = self.scan() {
-                let doc_bytes: Vec<u8> = self.buffer.drain(..end).collect();
-                self.scanned = 0;
-                self.scanner = Scanner::default();
-                return Some(Ok(doc_bytes));
+            match self.scan() {
+                Some(ScanHit::Doc(end)) => {
+                    let start = self.base;
+                    let bytes = self.consume(end);
+                    self.in_garbage = false;
+                    return Some(Ok((start, bytes)));
+                }
+                Some(ScanHit::Stray(end)) => {
+                    let pos = self.base;
+                    self.consume(end);
+                    if self.in_garbage {
+                        // Tail of an already-reported bad run: skip quietly.
+                        continue;
+                    }
+                    self.in_garbage = true;
+                    self.note_failure();
+                    return Some(Err(XmlError::new(pos, XmlErrorKind::StreamDesync)));
+                }
+                None => {}
+            }
+            // No boundary in the buffered bytes yet. A well-formed document
+            // must fit the byte budget — otherwise drop the run and resync.
+            if self.buffer.len() > self.limits.max_document_bytes {
+                let pos = self.base;
+                let len = self.buffer.len();
+                self.consume(len);
+                let already = self.in_garbage;
+                self.in_garbage = true;
+                if already {
+                    continue;
+                }
+                self.note_failure();
+                return Some(Err(XmlError::new(
+                    pos,
+                    XmlErrorKind::DocumentTooLarge(self.limits.max_document_bytes),
+                )));
             }
             // Need more input.
             let mut chunk = [0u8; 4096];
@@ -198,21 +366,21 @@ impl<R: BufRead> DocumentStream<R> {
                 Ok(0) => {
                     self.done = true;
                     // Trailing garbage or an incomplete document?
-                    if self.buffer.iter().any(|b| !b.is_ascii_whitespace()) {
-                        return Some(Err(XmlError {
-                            pos: self.buffer.len(),
-                            message: "stream ended inside a document".into(),
-                        }));
+                    if !self.in_garbage && self.buffer.iter().any(|b| !b.is_ascii_whitespace()) {
+                        return Some(Err(XmlError::new(
+                            self.base + self.buffer.len(),
+                            XmlErrorKind::StreamTruncated,
+                        )));
                     }
                     return None;
                 }
                 Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
                 Err(e) => {
                     self.done = true;
-                    return Some(Err(XmlError {
-                        pos: 0,
-                        message: format!("I/O error: {e}"),
-                    }));
+                    return Some(Err(XmlError::new(
+                        self.base,
+                        XmlErrorKind::Io(e.to_string()),
+                    )));
                 }
             }
         }
@@ -223,8 +391,23 @@ impl<R: BufRead> Iterator for DocumentStream<R> {
     type Item = Result<Document, XmlError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.next_raw()
-            .map(|r| r.and_then(|bytes| Document::parse(&bytes)))
+        let limits = self.limits;
+        match self.next_raw_at()? {
+            Err(e) => Some(Err(e)),
+            Ok((start, bytes)) => match Document::parse_with_limits(&bytes, limits) {
+                Ok(doc) => {
+                    self.note_success();
+                    Some(Ok(doc))
+                }
+                Err(mut e) => {
+                    self.note_failure();
+                    // Report the error relative to the whole stream, not
+                    // the drained document buffer.
+                    e.pos += start;
+                    Some(Err(e))
+                }
+            },
+        }
     }
 }
 
@@ -289,7 +472,8 @@ mod tests {
     #[test]
     fn incomplete_document_is_an_error() {
         let result: Result<Vec<Document>, XmlError> = collect("<a><b/>");
-        assert!(result.is_err());
+        let err = result.unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::StreamTruncated);
     }
 
     #[test]
@@ -299,6 +483,96 @@ mod tests {
         // then rejects the mismatch.
         let first = stream.next().unwrap();
         assert!(first.is_err());
+    }
+
+    #[test]
+    fn stream_resyncs_past_malformed_documents() {
+        let input = "<a></b> <ok/> <broken x=></broken> <fine><y/></fine>";
+        let items: Vec<_> = DocumentStream::new(input.as_bytes()).collect();
+        assert_eq!(items.len(), 4);
+        assert!(items[0].is_err());
+        assert_eq!(items[1].as_ref().unwrap().node(0).tag, "ok");
+        assert!(items[2].is_err());
+        assert_eq!(items[3].as_ref().unwrap().node(0).tag, "fine");
+    }
+
+    #[test]
+    fn stray_end_tags_are_reported_once_and_skipped() {
+        let input = "<a/> </x></y></z> <b/>";
+        let mut stream = DocumentStream::new(input.as_bytes());
+        assert_eq!(stream.next().unwrap().unwrap().node(0).tag, "a");
+        // One desync error for the whole </x></y></z> run.
+        let err = stream.next().unwrap().unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::StreamDesync);
+        assert_eq!(stream.next().unwrap().unwrap().node(0).tag, "b");
+        assert!(stream.next().is_none());
+        assert_eq!(stream.recovered(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_stream_absolute_offsets() {
+        // The second document is malformed; its error position must point
+        // into the stream, past the first document, not into a private
+        // per-document buffer.
+        let input = "<first/><second></first></second>";
+        let mut stream = DocumentStream::new(input.as_bytes());
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        let expected_at = input.find("</first>").unwrap() + "</first".len();
+        assert!(
+            err.pos > "<first/>".len(),
+            "offset {} not stream-absolute",
+            err.pos
+        );
+        assert_eq!(err.pos, expected_at + 1);
+    }
+
+    #[test]
+    fn oversized_document_is_dropped_and_stream_recovers() {
+        let limits = ParserLimits {
+            max_document_bytes: 64,
+            ..ParserLimits::default()
+        };
+        let mut input = String::from("<a>");
+        for _ in 0..50 {
+            input.push_str("<x>");
+        }
+        input.push_str("<b/> <after/>");
+        let items: Vec<_> = DocumentStream::with_limits(input.as_bytes(), limits).collect();
+        // One DocumentTooLarge error for the bomb, then the stream either
+        // resyncs (if a clean boundary follows) or ends quietly.
+        assert!(items
+            .iter()
+            .any(|r| matches!(r, Err(e) if e.kind == XmlErrorKind::DocumentTooLarge(64))));
+        assert!(items
+            .iter()
+            .all(|r| r.is_err() || !r.as_ref().unwrap().is_empty()));
+    }
+
+    #[test]
+    fn consecutive_failure_cap_fuses_the_stream() {
+        // Ten malformed documents with a cap of 3: three per-document
+        // errors, one TooManyFailures, then the stream ends.
+        let input = "<a x=></a>".repeat(10);
+        let items: Vec<_> = DocumentStream::new(input.as_bytes())
+            .max_consecutive_failures(3)
+            .collect();
+        assert_eq!(items.len(), 4);
+        assert!(items[..3].iter().all(|r| r.is_err()));
+        assert_eq!(
+            items[3].as_ref().unwrap_err().kind,
+            XmlErrorKind::TooManyFailures(3)
+        );
+    }
+
+    #[test]
+    fn successes_reset_the_failure_cap() {
+        let input = "<a x=></a><ok/>".repeat(10);
+        let items: Vec<_> = DocumentStream::new(input.as_bytes())
+            .max_consecutive_failures(3)
+            .collect();
+        assert_eq!(items.len(), 20);
+        assert_eq!(items.iter().filter(|r| r.is_ok()).count(), 10);
     }
 
     #[test]
@@ -325,5 +599,19 @@ mod tests {
         let docs: Result<Vec<_>, _> = DocumentStream::new(OneByte(input)).collect();
         let docs = docs.unwrap();
         assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn next_raw_at_reports_document_offsets() {
+        let mut stream = DocumentStream::new(&b"<a/> <b/>"[..]);
+        let (at_a, bytes_a) = stream.next_raw_at().unwrap().unwrap();
+        assert_eq!(at_a, 0);
+        assert_eq!(bytes_a, b"<a/>");
+        // The second chunk starts right after the first document's last
+        // byte; the separating whitespace belongs to it.
+        let (at_b, bytes_b) = stream.next_raw_at().unwrap().unwrap();
+        assert_eq!(at_b, 4);
+        assert_eq!(bytes_b, b" <b/>");
+        assert!(stream.next_raw_at().is_none());
     }
 }

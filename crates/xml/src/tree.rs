@@ -5,7 +5,8 @@
 //! start/end events. Elements record their 1-based child index, which forms
 //! the *structure tuples* used for nested-path matching (paper §5, Fig. 4).
 
-use crate::reader::{Attribute, Event, Reader, XmlError};
+use crate::limits::ParserLimits;
+use crate::reader::{Attribute, Event, Reader, XmlError, XmlErrorKind};
 
 /// Identifier of an element within its [`Document`] (index into the arena).
 pub type NodeId = u32;
@@ -68,9 +69,14 @@ pub enum TreeEvent<'a> {
 }
 
 impl Document {
-    /// Parses a document from raw bytes.
+    /// Parses a document from raw bytes with default [`ParserLimits`].
     pub fn parse(bytes: &[u8]) -> Result<Document, XmlError> {
-        let mut reader = Reader::new(bytes);
+        Document::parse_with_limits(bytes, ParserLimits::default())
+    }
+
+    /// Parses a document from raw bytes, enforcing a resource budget.
+    pub fn parse_with_limits(bytes: &[u8], limits: ParserLimits) -> Result<Document, XmlError> {
+        let mut reader = Reader::with_limits(bytes, limits);
         let mut builder = DocumentBuilder::new();
         loop {
             match reader.next_event()? {
@@ -96,10 +102,11 @@ impl Document {
                 Event::Eof => break,
             }
         }
-        builder.finish().map_err(|message| XmlError {
-            pos: bytes.len(),
-            message,
-        })
+        // The reader enforces tag balance, so the only way `finish` can
+        // fail here is a document with no elements at all.
+        builder
+            .finish()
+            .map_err(|_| XmlError::new(bytes.len(), XmlErrorKind::EmptyDocument))
     }
 
     /// The root element id (always 0).

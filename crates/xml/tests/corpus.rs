@@ -1,0 +1,174 @@
+//! Regression corpus of pathological inputs.
+//!
+//! Every file under `tests/corpus/` is a checked-in hostile document with
+//! a pinned verdict: either the exact [`XmlErrorKind`] it must be rejected
+//! with (under stated limits), or proof that a hostile-*looking* document
+//! still parses (`ok_` prefix). The corpus freezes past parser behavior so
+//! hardening work can't silently regress — new pathological cases found in
+//! the wild get a file and a manifest row here.
+
+use pxf_xml::{Document, ParserLimits, PathDoc, XmlErrorKind};
+
+/// Which limit profile a corpus entry is checked under.
+#[derive(Clone, Copy)]
+enum Profile {
+    Default,
+    Strict,
+}
+
+impl Profile {
+    fn limits(self) -> ParserLimits {
+        match self {
+            Profile::Default => ParserLimits::default(),
+            Profile::Strict => ParserLimits::strict(),
+        }
+    }
+}
+
+/// Expected rejection for each malformed corpus file.
+fn manifest() -> Vec<(&'static str, Profile, XmlErrorKind)> {
+    use XmlErrorKind::*;
+    vec![
+        (
+            "depth_bomb.xml",
+            Profile::Default,
+            DepthLimitExceeded(ParserLimits::default().max_depth),
+        ),
+        (
+            "depth_bomb_strict.xml",
+            Profile::Strict,
+            DepthLimitExceeded(ParserLimits::strict().max_depth),
+        ),
+        (
+            "entity_bomb.xml",
+            Profile::Strict,
+            EntityExpansionLimit(ParserLimits::strict().max_entity_expansions),
+        ),
+        (
+            "unterminated_cdata.xml",
+            Profile::Default,
+            Unterminated("CDATA section"),
+        ),
+        (
+            "unterminated_comment.xml",
+            Profile::Default,
+            Unterminated("comment"),
+        ),
+        (
+            "unterminated_doctype.xml",
+            Profile::Default,
+            Unterminated("DOCTYPE declaration"),
+        ),
+        (
+            "unterminated_start_tag.xml",
+            Profile::Default,
+            Unterminated("start tag"),
+        ),
+        (
+            "unterminated_attr_value.xml",
+            Profile::Default,
+            Unterminated("attribute value"),
+        ),
+        (
+            "attr_flood.xml",
+            Profile::Strict,
+            TooManyAttributes(ParserLimits::strict().max_attributes),
+        ),
+        (
+            "long_name.xml",
+            Profile::Strict,
+            NameTooLong(ParserLimits::strict().max_name_len),
+        ),
+        ("multiple_roots.xml", Profile::Default, MultipleRoots),
+        (
+            "mismatched_end.xml",
+            Profile::Default,
+            MismatchedEndTag {
+                expected: "b".into(),
+                found: "a".into(),
+            },
+        ),
+        (
+            "truncated_tree.xml",
+            Profile::Default,
+            UnexpectedEof("c".into()),
+        ),
+        (
+            "unknown_entity.xml",
+            Profile::Default,
+            UnknownEntity("nosuch".into()),
+        ),
+    ]
+}
+
+fn read(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn malformed_corpus_is_rejected_with_the_pinned_kind() {
+    for (name, profile, expected) in manifest() {
+        let bytes = read(name);
+        let err = Document::parse_with_limits(&bytes, profile.limits())
+            .err()
+            .unwrap_or_else(|| panic!("{name}: expected a parse error"));
+        assert_eq!(err.kind, expected, "{name}");
+        assert!(
+            err.pos <= bytes.len(),
+            "{name}: error position {} outside the {}-byte document",
+            err.pos,
+            bytes.len()
+        );
+        // The streaming store must reject identically.
+        let flat = PathDoc::parse_with_limits(&bytes, profile.limits())
+            .err()
+            .unwrap_or_else(|| panic!("{name}: PathDoc accepted what Document rejected"));
+        assert_eq!(flat.kind, err.kind, "{name}: tree/streaming disagree");
+        assert_eq!(flat.pos, err.pos, "{name}: tree/streaming positions differ");
+    }
+}
+
+#[test]
+fn hostile_looking_but_wellformed_corpus_parses() {
+    for name in [
+        "ok_mixed_tail.xml",
+        "ok_nasty_text.xml",
+        "ok_deep_but_legal.xml",
+    ] {
+        let bytes = read(name);
+        for profile in [Profile::Default, Profile::Strict] {
+            let doc = Document::parse_with_limits(&bytes, profile.limits());
+            assert!(doc.is_ok(), "{name}: {:?}", doc.err());
+        }
+    }
+}
+
+#[test]
+fn every_corpus_file_is_in_a_manifest() {
+    // A corpus file nobody asserts on is dead weight — fail fast when one
+    // is added without a manifest row.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let known: Vec<String> = manifest()
+        .iter()
+        .map(|(n, _, _)| n.to_string())
+        .chain(
+            [
+                "ok_mixed_tail.xml",
+                "ok_nasty_text.xml",
+                "ok_deep_but_legal.xml",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .collect();
+    for entry in std::fs::read_dir(dir).expect("corpus dir") {
+        let name = entry.expect("dir entry").file_name().into_string().unwrap();
+        assert!(
+            known.contains(&name),
+            "corpus file {name} has no manifest row"
+        );
+    }
+}

@@ -31,7 +31,9 @@
 
 use pxf_core::backend::{BackendError, FilterBackend};
 use pxf_core::SubId;
-use pxf_xml::{DocAccess, Document, Interner, NodeId, PathDoc, Symbol, TreeEvent, XmlError};
+use pxf_xml::{
+    DocAccess, Document, Interner, NodeId, ParserLimits, PathDoc, Symbol, TreeEvent, XmlError,
+};
 use pxf_xpath::{Axis, NodeTest, XPathExpr};
 use std::collections::HashMap;
 use std::fmt;
@@ -87,6 +89,7 @@ pub struct YFilter {
     interner: Interner,
     states: Vec<State>,
     n_subs: u32,
+    limits: ParserLimits,
     // reusable per-document scratch
     visited: Vec<u64>,
     visit_epoch: u64,
@@ -107,6 +110,7 @@ impl YFilter {
             interner: Interner::new(),
             states: vec![State::default()],
             n_subs: 0,
+            limits: ParserLimits::default(),
             visited: Vec::new(),
             visit_epoch: 0,
             matched: Vec::new(),
@@ -280,8 +284,14 @@ impl YFilter {
     /// observe complete element content (mixed content can extend an
     /// ancestor's text after a leaf closes).
     pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<u32>, XmlError> {
-        let doc = PathDoc::parse(bytes)?;
+        let doc = PathDoc::parse_with_limits(bytes, self.limits)?;
         Ok(self.match_document(&doc))
+    }
+
+    /// Sets the per-document resource budget enforced by
+    /// [`match_bytes`](Self::match_bytes).
+    pub fn set_parser_limits(&mut self, limits: ParserLimits) {
+        self.limits = limits;
     }
 }
 
@@ -304,6 +314,10 @@ impl FilterBackend for YFilter {
             .into_iter()
             .map(SubId)
             .collect())
+    }
+
+    fn set_parser_limits(&mut self, limits: ParserLimits) {
+        YFilter::set_parser_limits(self, limits);
     }
 }
 

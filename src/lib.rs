@@ -61,12 +61,17 @@ pub use pxf_yfilter as yfilter;
 /// Convenient single-import surface for the common types.
 pub mod prelude {
     pub use pxf_core::{
-        parallel, Algorithm, AttrMode, BackendError, FilterBackend, FilterEngine, Matcher, SubId,
+        parallel, Algorithm, AttrMode, BackendError, BatchReport, DocError, FilterBackend,
+        FilterEngine, Matcher, SubId,
     };
     pub use pxf_indexfilter::IndexFilter;
-    pub use pxf_workload::{Dtd, Regime, XPathGenerator, XPathParams, XmlGenerator, XmlParams};
+    pub use pxf_workload::{
+        Dtd, FaultInjector, Mutation, Regime, XPathGenerator, XPathParams, XmlGenerator, XmlParams,
+    };
     pub use pxf_xfilter::XFilter;
-    pub use pxf_xml::{DocAccess, Document, DocumentBuilder, DocumentStream, PathDoc};
+    pub use pxf_xml::{
+        DocAccess, Document, DocumentBuilder, DocumentStream, ParserLimits, PathDoc, XmlErrorKind,
+    };
     pub use pxf_xpath::{parse, XPathExpr};
     pub use pxf_yfilter::YFilter;
 }
