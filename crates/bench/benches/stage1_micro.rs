@@ -1,0 +1,130 @@
+//! Stage-1 micro-benchmark: isolates predicate matching (no stage 2) and
+//! compares the per-path formulation — encode and evaluate every
+//! root-to-leaf path from scratch — against the incremental evaluator —
+//! one enter/leave traversal with context marks. Run on deep documents
+//! (NITF defaults, where leaf paths share long prefixes) and shallow ones
+//! (3 levels, minimal sharing — the incremental path must not regress).
+
+use pxf_bench::{build_workload, micro, WorkloadSpec};
+use pxf_predicate::{CtxMark, MatchContext, PredicateIndex, Publication};
+use pxf_workload::Regime;
+use pxf_xml::{DocAccess, Document, ElementVisitor, Interner, NodeId, Symbol};
+
+/// Bare incremental stage-1 driver (no stage 2): push/evaluate on enter,
+/// length predicates at leaves, roll back on leave.
+struct Stage1Driver<'a> {
+    doc: &'a Document,
+    interner: &'a Interner,
+    index: &'a PredicateIndex,
+    publication: &'a mut Publication,
+    ctx: &'a mut MatchContext,
+    marks: Vec<CtxMark>,
+    matched: usize,
+}
+
+impl ElementVisitor for Stage1Driver<'_> {
+    fn enter(&mut self, id: NodeId, is_leaf: bool) {
+        let tag = self
+            .interner
+            .get(self.doc.tag(id))
+            .unwrap_or(Symbol::UNKNOWN);
+        self.marks.push(self.ctx.push_mark());
+        self.publication.push_path_element(tag, id);
+        self.index
+            .eval_enter(self.publication, Some(self.doc), self.ctx);
+        if is_leaf {
+            let mark = self.ctx.push_mark();
+            self.index
+                .eval_leaf(self.publication, Some(self.doc), self.ctx);
+            self.matched += self.ctx.matched().len();
+            self.ctx.pop_to_mark(mark);
+        }
+    }
+
+    fn leave(&mut self, _id: NodeId) {
+        self.publication.pop_path_element();
+        self.ctx.pop_to_mark(self.marks.pop().expect("mark stack"));
+    }
+}
+
+fn bench_regime(group_name: &str, regime: &Regime, n_exprs: usize) {
+    let w = build_workload(
+        regime,
+        &WorkloadSpec {
+            n_exprs,
+            distinct: true,
+            n_docs: 10,
+            ..Default::default()
+        },
+    );
+    let docs: Vec<Document> = w
+        .doc_bytes
+        .iter()
+        .map(|b| Document::parse(b).unwrap())
+        .collect();
+
+    let mut interner = Interner::new();
+    let mut index = PredicateIndex::new();
+    for e in &w.exprs {
+        let enc = pxf_core::encode::encode_single_path(
+            &e.structural_skeleton(),
+            &mut interner,
+            pxf_core::AttrMode::Postponed,
+        )
+        .unwrap();
+        for p in enc.preds {
+            index.insert(p);
+        }
+    }
+
+    let mut group = micro::Group::new(group_name);
+    group.sample_size(10);
+
+    let mut ctx = MatchContext::new();
+    let mut publication = Publication::new();
+    group.bench("per-path", || {
+        let mut matched = 0usize;
+        for d in &docs {
+            d.for_each_leaf_path(|path| {
+                publication.encode_readonly(d, path, &interner);
+                index.evaluate(&publication, Some(d), &mut ctx);
+                matched += ctx.matched().len();
+            });
+        }
+        matched
+    });
+
+    group.bench("incremental", || {
+        let mut matched = 0usize;
+        for d in &docs {
+            publication.begin_incremental();
+            ctx.begin(index.len());
+            let mut driver = Stage1Driver {
+                doc: d,
+                interner: &interner,
+                index: &index,
+                publication: &mut publication,
+                ctx: &mut ctx,
+                marks: Vec::new(),
+                matched: 0,
+            };
+            d.for_each_element(&mut driver);
+            matched += driver.matched;
+        }
+        matched
+    });
+}
+
+fn main() {
+    // Deep documents: NITF defaults (up to 9 levels — long shared
+    // prefixes, where incremental evaluation pays off).
+    bench_regime("stage1/nitf-deep", &Regime::nitf(), 20_000);
+
+    // Shallow documents: 3 levels, shallow expressions — little prefix
+    // sharing; the incremental evaluator must hold its ground.
+    let mut shallow = Regime::nitf();
+    shallow.xml.max_levels = 3;
+    shallow.xpath.min_depth = 2;
+    shallow.xpath.max_depth = 3;
+    bench_regime("stage1/nitf-shallow", &shallow, 20_000);
+}

@@ -12,22 +12,24 @@
 //! number of documents per data point (the paper averages over 500).
 
 use pxf_bench::{
-    build_workload, measure_parse_paths_us, measure_parse_us, run_engine, EngineKind, RunResult,
-    WorkloadSpec,
+    build_workload, measure_parse_paths_us, measure_parse_us, run_engine, run_engine_stage1,
+    EngineKind, RunResult, WorkloadSpec,
 };
-use pxf_core::AttrMode;
+use pxf_core::{AttrMode, Stage1};
 use pxf_workload::Regime;
 
 struct Opts {
     experiment: String,
     scale: f64,
     docs: usize,
+    out: Option<String>,
 }
 
 fn parse_args() -> Opts {
     let mut experiment = "all".to_string();
     let mut scale = 0.0; // 0 = per-experiment default
     let mut docs = 0;
+    let mut out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -43,6 +45,7 @@ fn parse_args() -> Opts {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--docs needs a number"))
             }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage("--out needs a path"))),
             "--help" | "-h" => {
                 usage("");
             }
@@ -54,6 +57,7 @@ fn parse_args() -> Opts {
         experiment,
         scale,
         docs,
+        out,
     }
 }
 
@@ -62,8 +66,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse|insert|covering|xfilter|hostile] \
-         [--scale F] [--docs N]"
+        "usage: harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse|insert|covering|xfilter|hostile|benchjson] \
+         [--scale F] [--docs N] [--out PATH]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -122,6 +126,11 @@ fn main() {
     }
     if run("hostile") {
         hostile(&opts);
+        ran = true;
+    }
+    // Not part of "all": writes a machine-readable comparison file.
+    if opts.experiment == "benchjson" {
+        benchjson(&opts);
         ran = true;
     }
     if !ran {
@@ -618,6 +627,96 @@ fn parse_times(opts: &Opts) {
         );
     }
     println!();
+}
+
+/// Machine-readable stage-1 comparison: per-path (the paper's
+/// formulation, "before") vs incremental (the default, "after") for the
+/// three predicate-engine organizations over NITF, PSD, and a shallow
+/// NITF variant (max 3 levels — the worst case for prefix sharing, where
+/// the incremental evaluator must not regress). Writes JSON to `--out`
+/// (default `BENCH_pr4.json`).
+fn benchjson(opts: &Opts) {
+    let scale = scale_or(opts, 0.2);
+    let docs = docs_or(opts, 50);
+    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr4.json".into());
+
+    let mut shallow = Regime::nitf();
+    shallow.name = "nitf-shallow";
+    shallow.xml.max_levels = 3;
+    shallow.xpath.min_depth = 2;
+    shallow.xpath.max_depth = 3;
+    let workloads = [
+        (Regime::nitf(), scaled(25_000, scale)),
+        (Regime::psd(), scaled(5_000, scale)),
+        (shallow, scaled(25_000, scale)),
+    ];
+
+    let kinds = [
+        EngineKind::Basic,
+        EngineKind::BasicPc,
+        EngineKind::BasicPcAp,
+    ];
+    let stages = [
+        (Stage1::PerPath, "per_path"),
+        (Stage1::Incremental, "incremental"),
+    ];
+    let mut entries: Vec<String> = Vec::new();
+    println!("## benchjson — stage-1 per-path vs incremental (scale {scale}, {docs} docs)");
+    print_header(&[
+        "workload", "engine", "stage1", "ms/doc", "pred-ms", "expr-ms",
+    ]);
+    for (regime, n_exprs) in &workloads {
+        let w = build_workload(
+            regime,
+            &WorkloadSpec {
+                n_exprs: *n_exprs,
+                distinct: true,
+                n_docs: docs,
+                ..Default::default()
+            },
+        );
+        for &kind in &kinds {
+            for (stage1, stage_label) in stages {
+                let r = run_engine_stage1(kind, AttrMode::Inline, stage1, &w);
+                let (pred_ms, expr_ms, other_ms) = r.breakdown_ms;
+                println!(
+                    "{:<10} {:>13} {:>13} {:>13.3} {:>13.3} {:>13.3}",
+                    regime.name,
+                    kind.label(),
+                    stage_label,
+                    r.ms_per_doc,
+                    pred_ms,
+                    expr_ms
+                );
+                entries.push(format!(
+                    concat!(
+                        "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"stage1\": \"{}\", ",
+                        "\"n_exprs\": {}, \"n_docs\": {}, ",
+                        "\"ms_per_doc\": {:.6}, \"docs_per_sec\": {:.3}, ",
+                        "\"matched_fraction\": {:.6}, ",
+                        "\"predicate_ns_per_doc\": {:.0}, \"expression_ns_per_doc\": {:.0}, ",
+                        "\"other_ns_per_doc\": {:.0}}}"
+                    ),
+                    regime.name,
+                    kind.label(),
+                    stage_label,
+                    w.exprs.len(),
+                    docs,
+                    r.ms_per_doc,
+                    1e3 / r.ms_per_doc.max(1e-9),
+                    r.match_pct / 100.0,
+                    pred_ms * 1e6,
+                    expr_ms * 1e6,
+                    other_ms * 1e6,
+                ));
+            }
+        }
+    }
+    let json = format!
+        ("{{\n  \"bench\": \"pr4_stage1\",\n  \"scale\": {scale},\n  \"docs\": {docs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"));
+    std::fs::write(&out_path, json).expect("write benchjson output");
+    println!("\nwrote {out_path}");
 }
 
 /// Malformed-document throughput: 10% of each batch is damaged by the

@@ -12,7 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pxf_core::{Algorithm, AttrMode, FilterBackend, FilterEngine};
+use pxf_core::{Algorithm, AttrMode, FilterBackend, FilterEngine, Stage1};
 use pxf_indexfilter::IndexFilter;
 use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
 use pxf_xfilter::XFilter;
@@ -218,6 +218,63 @@ pub fn run_engine(kind: EngineKind, attr_mode: AttrMode, workload: &Workload) ->
         build_ms,
         distinct_preds,
         breakdown_ms,
+    }
+}
+
+/// The [`Algorithm`] behind a predicate-engine [`EngineKind`]; panics for
+/// the baselines.
+pub fn engine_algorithm(kind: EngineKind) -> Algorithm {
+    match kind {
+        EngineKind::Basic => Algorithm::Basic,
+        EngineKind::BasicPc => Algorithm::PrefixCovering,
+        EngineKind::BasicPcAp => Algorithm::AccessPredicate,
+        other => panic!("{other:?} is not a predicate-engine organization"),
+    }
+}
+
+/// Like [`run_engine`] but pins the stage-1 evaluator, for old-vs-new
+/// comparisons of the predicate engine (per-path re-evaluation vs the
+/// incremental single-traversal default). Predicate-engine kinds only.
+pub fn run_engine_stage1(
+    kind: EngineKind,
+    attr_mode: AttrMode,
+    stage1: Stage1,
+    workload: &Workload,
+) -> RunResult {
+    let t0 = Instant::now();
+    let mut engine = FilterEngine::new(engine_algorithm(kind), attr_mode);
+    engine.set_stage1(stage1);
+    for e in &workload.exprs {
+        engine.add(e).expect("workload expressions are supported");
+    }
+    engine.prepare();
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    engine.reset_stats();
+    let mut total_matches = 0usize;
+    let t1 = Instant::now();
+    for bytes in &workload.doc_bytes {
+        total_matches += engine
+            .match_bytes(bytes)
+            .expect("generated documents are well-formed")
+            .len();
+    }
+    let elapsed = t1.elapsed().as_secs_f64() * 1e3;
+    let n_docs = workload.doc_bytes.len().max(1) as f64;
+
+    let stats = engine.stats();
+    let avg_matches = total_matches as f64 / n_docs;
+    RunResult {
+        ms_per_doc: elapsed / n_docs,
+        avg_matches,
+        match_pct: avg_matches / workload.exprs.len().max(1) as f64 * 100.0,
+        build_ms,
+        distinct_preds: engine.distinct_predicates(),
+        breakdown_ms: (
+            stats.predicate_ns as f64 / 1e6 / n_docs,
+            stats.expression_ns as f64 / 1e6 / n_docs,
+            stats.other_ns as f64 / 1e6 / n_docs,
+        ),
     }
 }
 

@@ -16,9 +16,11 @@
 
 use crate::encode::{encode_single_path, AttrMode, EncodeError, EncodedPath};
 use crate::nested::{combine, decompose, NestedPlan};
-use crate::occurrence::determine_match;
-use pxf_predicate::{MatchContext, PredId, PredicateIndex, Publication};
-use pxf_xml::{DocAccess, Interner, NodeId, ParserLimits, PathDoc, Symbol, XmlError};
+use crate::occurrence::determine_match_by;
+use pxf_predicate::{CtxMark, MatchContext, PredId, PredicateIndex, Publication};
+use pxf_xml::{
+    DocAccess, ElementVisitor, Interner, NodeId, ParserLimits, PathDoc, Symbol, XmlError,
+};
 use pxf_xpath::{AttrFilter, XPathExpr};
 use std::collections::HashMap;
 use std::fmt;
@@ -38,6 +40,24 @@ pub enum Algorithm {
     /// `basic-pc-ap` — prefix covering plus access-predicate clustering.
     #[default]
     AccessPredicate,
+}
+
+/// Stage-1 (predicate matching) evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stage1 {
+    /// One pre-order traversal of the document: each element's predicate
+    /// contributions are evaluated exactly once and shared — via the
+    /// [`MatchContext`] undo log — by every leaf path through it. Only the
+    /// path-length-dependent predicates (length, end-of-path) run per
+    /// leaf. Duplicate tag-sequence paths additionally skip stage 2 when
+    /// no attribute predicate or nested plan makes equal tag paths
+    /// non-equivalent.
+    #[default]
+    Incremental,
+    /// The paper's formulation: re-evaluate the full predicate index for
+    /// every root-to-leaf path (O(Σ path lengths) element visits).
+    /// Retained as the equivalence oracle for the incremental path.
+    PerPath,
 }
 
 /// Error returned when a subscription cannot be added.
@@ -84,6 +104,10 @@ pub struct EngineStats {
     /// Whole clusters skipped because their access predicate was
     /// unmatched.
     pub ap_cluster_skips: u64,
+    /// Leaf paths whose stage 2 was skipped because an identical
+    /// tag-sequence path was already processed in the same document
+    /// (incremental stage 1 only).
+    pub memo_path_skips: u64,
     /// Total subscription matches reported.
     pub matches: u64,
 }
@@ -334,6 +358,11 @@ struct NestedSub {
 pub struct FilterEngine {
     algorithm: Algorithm,
     attr_mode: AttrMode,
+    stage1: Stage1,
+    /// True once any subscription carries a selection-postponed attribute
+    /// re-check: such checks consult document nodes, so equal tag-sequence
+    /// paths stop being equivalent and path memoization must stay off.
+    has_attr_checks: bool,
     interner: Interner,
     index: PredicateIndex,
     n_subs: u32,
@@ -454,6 +483,56 @@ struct DocState {
     /// pair lists.
     sp_bufs: Vec<Vec<(u16, u16)>>,
     results: Vec<SubId>,
+    /// Leaf paths of the current document (node ids), recorded for nested
+    /// plans only. The outer vector and every inner vector are reused
+    /// across documents; `n_paths` is the live prefix.
+    paths: Vec<Vec<NodeId>>,
+    n_paths: usize,
+    /// Incremental stage 1: one context mark per open element.
+    ctx_marks: Vec<CtxMark>,
+    /// Scratch predicate chain for `dfs_node` sink processing.
+    chain_buf: Vec<PredId>,
+    /// Per-document path memo: hash of the tag-symbol sequence → span into
+    /// `memo_syms` holding the sequence (verified on hit — a hash
+    /// collision falls back to running stage 2).
+    memo: HashMap<u64, (u32, u32)>,
+    memo_syms: Vec<Symbol>,
+}
+
+impl DocState {
+    /// Bumps the document epoch. On u32 wrap the stamped arrays are
+    /// hard-cleared and the epoch restarts at 1 — otherwise a slot last
+    /// stamped 2³² documents ago would read as current.
+    fn advance_doc_epoch(&mut self) {
+        self.doc_epoch = self.doc_epoch.wrapping_add(1);
+        if self.doc_epoch == 0 {
+            self.sub_matched.fill(0);
+            self.node_done.fill(0);
+            self.node_sinks_done.fill(0);
+            self.doc_epoch = 1;
+        }
+    }
+
+    /// Bumps the path epoch, with the same wrap handling for the arrays
+    /// stamped per path.
+    fn advance_path_epoch(&mut self) {
+        self.path_epoch = self.path_epoch.wrapping_add(1);
+        if self.path_epoch == 0 {
+            self.node_matched.fill(0);
+            self.path_epoch = 1;
+        }
+    }
+
+    /// Appends a leaf path to the reused path buffer.
+    fn record_path(&mut self, path: impl IntoIterator<Item = NodeId>) {
+        if self.paths.len() <= self.n_paths {
+            self.paths.push(Vec::new());
+        }
+        let slot = &mut self.paths[self.n_paths];
+        slot.clear();
+        slot.extend(path);
+        self.n_paths += 1;
+    }
 }
 
 impl Default for FilterEngine {
@@ -469,6 +548,8 @@ impl FilterEngine {
         FilterEngine {
             algorithm,
             attr_mode,
+            stage1: Stage1::default(),
+            has_attr_checks: false,
             interner: Interner::new(),
             index: PredicateIndex::new(),
             n_subs: 0,
@@ -491,6 +572,18 @@ impl FilterEngine {
     /// The configured attribute-filter mode.
     pub fn attr_mode(&self) -> AttrMode {
         self.attr_mode
+    }
+
+    /// The configured stage-1 strategy.
+    pub fn stage1(&self) -> Stage1 {
+        self.stage1
+    }
+
+    /// Selects the stage-1 strategy. [`Stage1::Incremental`] is the
+    /// default; [`Stage1::PerPath`] reproduces the paper's per-path
+    /// evaluation (match sets are identical either way).
+    pub fn set_stage1(&mut self, stage1: Stage1) {
+        self.stage1 = stage1;
     }
 
     /// Number of live subscriptions (registered minus removed).
@@ -575,6 +668,7 @@ impl FilterEngine {
                 AttrMode::Inline => None,
                 AttrMode::Postponed => AttrCheck::build(expr, &enc, &mut self.interner),
             };
+            self.has_attr_checks |= attr_check.is_some();
             let preds: Box<[PredId]> = enc
                 .preds
                 .iter()
@@ -730,7 +824,7 @@ impl FilterEngine {
             state,
             stats,
         } = scratch;
-        state.doc_epoch = state.doc_epoch.wrapping_add(1);
+        state.advance_doc_epoch();
         state.results.clear();
         state.sub_matched.resize(self.n_subs as usize, 0);
         state.node_matched.resize(self.trie.nodes.len(), 0);
@@ -749,44 +843,20 @@ impl FilterEngine {
             _ => self.trie.terminals.len(),
         };
         state.active.extend(0..n_entries as u32);
-        let mut paths: Vec<Vec<NodeId>> = Vec::new();
+        state.n_paths = 0;
 
         stats.docs += 1;
-        let mut path_idx: u32 = 0;
-        {
-            let interner = &self.interner;
-            let index = &self.index;
-            let trie = &self.trie;
-            let flat = &self.flat;
-            let algorithm = self.algorithm;
-            doc.for_each_leaf_path(|path| {
-                let t0 = Instant::now();
-                publication.encode_readonly(doc, path, interner);
-                index.evaluate(publication, Some(doc), ctx);
-                let t1 = Instant::now();
-                stats.predicate_ns += (t1 - t0).as_nanos() as u64;
-
-                state.path_epoch = state.path_epoch.wrapping_add(1);
-                match algorithm {
-                    Algorithm::Basic => {
-                        stage2_flat(flat, ctx, publication, doc, state, stats, path_idx)
-                    }
-                    Algorithm::PrefixCovering => {
-                        stage2_trie(trie, ctx, publication, doc, state, stats, path_idx)
-                    }
-                    Algorithm::AccessPredicate => {
-                        stage2_dfs(trie, ctx, publication, doc, state, stats, path_idx)
-                    }
-                }
-                stats.expression_ns += t1.elapsed().as_nanos() as u64;
-                if has_nested {
-                    paths.push(path.to_vec());
-                }
-                path_idx += 1;
-            });
+        match self.stage1 {
+            Stage1::PerPath => {
+                self.stage1_per_path(doc, publication, ctx, state, stats, has_nested)
+            }
+            Stage1::Incremental => {
+                self.stage1_incremental(doc, publication, ctx, state, stats, has_nested)
+            }
         }
 
         let t2 = Instant::now();
+        let mut results = std::mem::take(&mut state.results);
         for ns in &self.nested {
             if !ns.live {
                 continue;
@@ -797,15 +867,211 @@ impl FilterEngine {
             if comp_paths.iter().any(|c| c.is_empty()) {
                 continue;
             }
-            if combine(&ns.plan, doc, &paths, comp_paths) {
-                state.results.push(ns.sub);
+            if combine(&ns.plan, doc, &state.paths[..state.n_paths], comp_paths) {
+                results.push(ns.sub);
             }
         }
-        let mut results = std::mem::take(&mut state.results);
         results.sort_unstable();
         stats.matches += results.len() as u64;
         stats.other_ns += t2.elapsed().as_nanos() as u64;
         results
+    }
+
+    /// Stage 1 as the paper formulates it: encode and evaluate every
+    /// root-to-leaf path independently.
+    fn stage1_per_path<D: DocAccess>(
+        &self,
+        doc: &D,
+        publication: &mut Publication,
+        ctx: &mut MatchContext,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        record_paths: bool,
+    ) {
+        let mut path_idx: u32 = 0;
+        doc.for_each_leaf_path(|path| {
+            let t0 = Instant::now();
+            publication.encode_readonly(doc, path, &self.interner);
+            self.index.evaluate(publication, Some(doc), ctx);
+            let t1 = Instant::now();
+            stats.predicate_ns += (t1 - t0).as_nanos() as u64;
+
+            state.advance_path_epoch();
+            self.run_stage2(ctx, publication, doc, state, stats, path_idx);
+            stats.expression_ns += t1.elapsed().as_nanos() as u64;
+            if record_paths {
+                state.record_path(path.iter().copied());
+            }
+            path_idx += 1;
+        });
+    }
+
+    /// Incremental stage 1: one enter/leave traversal of the document.
+    /// Each element's predicate contributions are computed once on enter
+    /// (under a [`MatchContext`] mark) and rolled back on leave, so shared
+    /// path prefixes are never re-evaluated; at a leaf only the
+    /// length-dependent predicates run before stage 2.
+    fn stage1_incremental<D: DocAccess>(
+        &self,
+        doc: &D,
+        publication: &mut Publication,
+        ctx: &mut MatchContext,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        record_paths: bool,
+    ) {
+        let t0 = Instant::now();
+        publication.begin_incremental();
+        ctx.begin(self.index.len());
+        state.ctx_marks.clear();
+        // Skipping stage 2 for a duplicate tag-sequence path is sound only
+        // when the match outcome is a function of the tag sequence alone:
+        // no inline attribute predicates (stage-1 pairs would differ), no
+        // postponed attribute re-checks (stage 2 consults document nodes),
+        // and no nested plans (component sinks must record every path
+        // index, including duplicates).
+        let memo_on =
+            self.nested.is_empty() && !self.has_attr_checks && !self.index.has_attr_predicates();
+        state.memo.clear();
+        state.memo_syms.clear();
+        let mut driver = IncrementalDriver {
+            engine: self,
+            doc,
+            publication,
+            ctx,
+            state,
+            stats,
+            record_paths,
+            memo_on,
+            path_idx: 0,
+            expr_ns: 0,
+        };
+        doc.for_each_element(&mut driver);
+        let expr_ns = driver.expr_ns;
+        stats.expression_ns += expr_ns;
+        stats.predicate_ns += (t0.elapsed().as_nanos() as u64).saturating_sub(expr_ns);
+    }
+
+    fn run_stage2<D: DocAccess>(
+        &self,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        match self.algorithm {
+            Algorithm::Basic => {
+                stage2_flat(&self.flat, ctx, publication, doc, state, stats, path_idx)
+            }
+            Algorithm::PrefixCovering => {
+                stage2_trie(&self.trie, ctx, publication, doc, state, stats, path_idx)
+            }
+            Algorithm::AccessPredicate => {
+                stage2_dfs(&self.trie, ctx, publication, doc, state, stats, path_idx)
+            }
+        }
+    }
+}
+
+/// The visitor driving incremental stage 1 (see
+/// [`FilterEngine::stage1_incremental`]). Invariant: between any `enter`
+/// and the matching `leave`, `publication` is exactly the encoding of the
+/// root-to-element path and `ctx` holds exactly the contributions of the
+/// elements on that path (plus nothing else) — `ctx_marks` carries one
+/// rollback point per open element.
+struct IncrementalDriver<'a, 'd, D: DocAccess> {
+    engine: &'a FilterEngine,
+    doc: &'d D,
+    publication: &'a mut Publication,
+    ctx: &'a mut MatchContext,
+    state: &'a mut DocState,
+    stats: &'a mut EngineStats,
+    record_paths: bool,
+    memo_on: bool,
+    path_idx: u32,
+    /// Stage-2 time accumulated at leaves; subtracted from the traversal
+    /// total to attribute the remainder to stage 1.
+    expr_ns: u64,
+}
+
+impl<D: DocAccess> IncrementalDriver<'_, '_, D> {
+    /// Handles a leaf: length-dependent predicates under a nested mark,
+    /// stage 2 (or a memoized skip), rollback.
+    fn leaf(&mut self) {
+        let path_idx = self.path_idx;
+        self.path_idx += 1;
+        if self.memo_on && self.probe_memo() {
+            self.stats.memo_path_skips += 1;
+        } else {
+            let mark = self.ctx.push_mark();
+            self.engine
+                .index
+                .eval_leaf(self.publication, Some(self.doc), self.ctx);
+            let t1 = Instant::now();
+            self.state.advance_path_epoch();
+            self.engine.run_stage2(
+                self.ctx,
+                self.publication,
+                self.doc,
+                self.state,
+                self.stats,
+                path_idx,
+            );
+            self.expr_ns += t1.elapsed().as_nanos() as u64;
+            self.ctx.pop_to_mark(mark);
+        }
+        if self.record_paths {
+            self.state
+                .record_path(self.publication.tuples.iter().map(|t| t.node));
+        }
+    }
+
+    /// True if an identical tag-sequence path was already processed in
+    /// this document. Unknown paths are registered. Hash collisions are
+    /// detected by comparing the stored symbol sequence and fall back to
+    /// running stage 2.
+    fn probe_memo(&mut self) -> bool {
+        let tuples = &self.publication.tuples;
+        // FNV-1a over the tag symbols.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in tuples {
+            h ^= t.tag.index() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Some(&(start, len)) = self.state.memo.get(&h) {
+            let seen = &self.state.memo_syms[start as usize..(start + len) as usize];
+            return seen.len() == tuples.len() && seen.iter().zip(tuples).all(|(s, t)| *s == t.tag);
+        }
+        let start = self.state.memo_syms.len() as u32;
+        self.state.memo_syms.extend(tuples.iter().map(|t| t.tag));
+        self.state.memo.insert(h, (start, tuples.len() as u32));
+        false
+    }
+}
+
+impl<D: DocAccess> ElementVisitor for IncrementalDriver<'_, '_, D> {
+    fn enter(&mut self, id: NodeId, is_leaf: bool) {
+        let tag = self
+            .engine
+            .interner
+            .get(self.doc.tag(id))
+            .unwrap_or(Symbol::UNKNOWN);
+        self.state.ctx_marks.push(self.ctx.push_mark());
+        self.publication.push_path_element(tag, id);
+        self.engine
+            .index
+            .eval_enter(self.publication, Some(self.doc), self.ctx);
+        if is_leaf {
+            self.leaf();
+        }
+    }
+
+    fn leave(&mut self, _id: NodeId) {
+        self.publication.pop_path_element();
+        let mark = self.state.ctx_marks.pop().expect("mark stack in sync");
+        self.ctx.pop_to_mark(mark);
     }
 }
 
@@ -823,28 +1089,18 @@ fn stage2_flat<D: DocAccess>(
     stats: &mut EngineStats,
     path_idx: u32,
 ) {
-    let mut lists: Vec<&[(u16, u16)]> = Vec::with_capacity(16);
     let mut active = std::mem::take(&mut state.active);
     let mut write = 0;
     for read in 0..active.len() {
         let ei = active[read];
         let expr = &flat[ei as usize];
-        lists.clear();
-        let mut any_empty = false;
-        for &pid in expr.preds.iter() {
-            let l = ctx.get(pid);
-            if l.is_empty() {
-                any_empty = true;
-                break;
-            }
-            lists.push(l);
-        }
+        let any_empty = expr.preds.iter().any(|&pid| ctx.get(pid).is_empty());
         if !any_empty {
             stats.occurrence_runs += 1;
-            if determine_match(&lists) {
+            if determine_match_by(expr.preds.len(), |i| ctx.get(expr.preds[i])) {
                 process_sink(
                     &expr.sink,
-                    &lists,
+                    &expr.preds,
                     ctx,
                     publication,
                     doc,
@@ -881,7 +1137,6 @@ fn stage2_trie<D: DocAccess>(
     stats: &mut EngineStats,
     path_idx: u32,
 ) {
-    let mut lists: Vec<&[(u16, u16)]> = Vec::with_capacity(16);
     let mut active = std::mem::take(&mut state.active);
     let mut write = 0;
     let mut read = 0;
@@ -890,28 +1145,13 @@ fn stage2_trie<D: DocAccess>(
         let terminal = &trie.terminals[ti as usize];
         read += 1;
         let node = terminal.node as usize;
-        let mut evaluate = state.node_matched[node] != state.path_epoch;
+        let evaluate = state.node_matched[node] != state.path_epoch;
         // Already known matched on this path via covering propagation?
         // Then its sinks were already processed; only resolution below.
         let mut matched_here = !evaluate;
-        if evaluate {
-            lists.clear();
-            let mut any_empty = false;
-            for &pid in terminal.chain.iter() {
-                let l = ctx.get(pid);
-                if l.is_empty() {
-                    any_empty = true;
-                    break;
-                }
-                lists.push(l);
-            }
-            if any_empty {
-                evaluate = false;
-            }
-            if evaluate {
-                stats.occurrence_runs += 1;
-                matched_here = determine_match(&lists);
-            }
+        if evaluate && !terminal.chain.iter().any(|&pid| ctx.get(pid).is_empty()) {
+            stats.occurrence_runs += 1;
+            matched_here = determine_match_by(terminal.chain.len(), |i| ctx.get(terminal.chain[i]));
         }
         if matched_here && state.node_matched[node] != state.path_epoch {
             // Mark this node and every ancestor (prefix expressions) as
@@ -928,7 +1168,7 @@ fn stage2_trie<D: DocAccess>(
                     for sink in &n.sinks {
                         process_sink(
                             sink,
-                            &lists[..depth],
+                            &terminal.chain[..depth],
                             ctx,
                             publication,
                             doc,
@@ -1027,9 +1267,11 @@ fn dfs_node<D: DocAccess>(
     stats.occurrence_runs += 1;
     let node = &trie.nodes[n as usize];
     if !node.sinks.is_empty() && state.node_sinks_done[n as usize] != state.doc_epoch {
-        // Selection-postponed attribute checks need the per-level match
-        // lists of the chain; collect them only when some sink asks.
-        let mut lists: Vec<&[(u16, u16)]> = Vec::new();
+        // Selection-postponed attribute checks need the predicate chain of
+        // this node; collect it (into a reused buffer) only when some sink
+        // asks.
+        let mut chain = std::mem::take(&mut state.chain_buf);
+        chain.clear();
         if node.sinks.iter().any(|s| {
             matches!(
                 s,
@@ -1039,7 +1281,6 @@ fn dfs_node<D: DocAccess>(
                 }
             )
         }) {
-            let mut chain: Vec<PredId> = Vec::with_capacity(node.depth as usize);
             let mut cur = n;
             loop {
                 let nd = &trie.nodes[cur as usize];
@@ -1050,11 +1291,11 @@ fn dfs_node<D: DocAccess>(
                 cur = nd.parent;
             }
             chain.reverse();
-            lists.extend(chain.iter().map(|&p| ctx.get(p)));
         }
         for sink in &node.sinks {
-            process_sink(sink, &lists, ctx, publication, doc, state, stats, path_idx);
+            process_sink(sink, &chain, ctx, publication, doc, state, stats, path_idx);
         }
+        state.chain_buf = chain;
         if node.sinks.iter().all(|s| match s {
             Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
             Sink::Component { .. } => false,
@@ -1106,7 +1347,7 @@ fn dfs_node<D: DocAccess>(
 #[allow(clippy::too_many_arguments)]
 fn process_sink<D: DocAccess>(
     sink: &Sink,
-    lists: &[&[(u16, u16)]],
+    preds: &[PredId],
     ctx: &MatchContext,
     publication: &Publication,
     doc: &D,
@@ -1114,7 +1355,6 @@ fn process_sink<D: DocAccess>(
     stats: &mut EngineStats,
     path_idx: u32,
 ) {
-    let _ = ctx;
     match sink {
         Sink::Sub { sub, attr_check } => {
             if state.sub_matched[sub.0 as usize] == state.doc_epoch {
@@ -1128,13 +1368,13 @@ fn process_sink<D: DocAccess>(
                 // state), then the plain determination runs on the
                 // filtered lists.
                 stats.occurrence_runs += 1;
-                if state.sp_bufs.len() < lists.len() {
-                    state.sp_bufs.resize_with(lists.len(), Vec::new);
+                if state.sp_bufs.len() < preds.len() {
+                    state.sp_bufs.resize_with(preds.len(), Vec::new);
                 }
-                for (level, pairs) in lists.iter().enumerate() {
+                for (level, &pid) in preds.iter().enumerate() {
                     let buf = &mut state.sp_bufs[level];
                     buf.clear();
-                    for &pair in *pairs {
+                    for &pair in ctx.get(pid) {
                         if check.admit(level, pair, publication, doc) {
                             buf.push(pair);
                         }
@@ -1143,11 +1383,8 @@ fn process_sink<D: DocAccess>(
                         return;
                     }
                 }
-                let filtered: Vec<&[(u16, u16)]> = state.sp_bufs[..lists.len()]
-                    .iter()
-                    .map(|b| b.as_slice())
-                    .collect();
-                if !determine_match(&filtered) {
+                let bufs = &state.sp_bufs;
+                if !determine_match_by(preds.len(), |i| bufs[i].as_slice()) {
                     return;
                 }
             }

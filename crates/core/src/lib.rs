@@ -46,5 +46,7 @@ pub mod reference;
 
 pub use backend::{BackendError, FilterBackend};
 pub use encode::{AttrMode, EncodeError, EncodedPath};
-pub use engine::{AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, SubId};
+pub use engine::{
+    AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, Stage1, SubId,
+};
 pub use parallel::{BatchReport, ByteFilterResult, DocError, DocFilterResult};

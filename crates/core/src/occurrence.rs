@@ -12,6 +12,11 @@
 /// One predicate's matching occurrence pairs (stage-one output).
 pub type MatchList<'a> = &'a [(u16, u16)];
 
+/// Expressions at most this deep search with stack-allocated state; the
+/// (rare) deeper ones fall back to two heap vectors. Matches the paper's
+/// workloads, whose expression lengths top out well below 16.
+const STACK_LEVELS: usize = 16;
+
 /// Runs Algorithm 1: returns true iff a chained combination exists across
 /// the ordered `results` lists.
 ///
@@ -20,6 +25,36 @@ pub type MatchList<'a> = &'a [(u16, u16)];
 /// with backtracking, returning `match` on the first complete one.
 pub fn determine_match(results: &[MatchList<'_>]) -> bool {
     determine_match_filtered(results, |_, _| true)
+}
+
+/// Algorithm 1 driven through a per-level list accessor instead of a
+/// pre-collected slice of lists — stage 2 calls this with
+/// `|i| ctx.get(preds[i])` so no `Vec<&[(u16, u16)]>` is built per
+/// expression per path. Returns false when `n == 0` or any level's list
+/// is empty.
+pub fn determine_match_by<'a, G>(n: usize, mut get: G) -> bool
+where
+    G: FnMut(usize) -> &'a [(u16, u16)],
+{
+    if n == 0 {
+        return false;
+    }
+    // Lines 2–6: any predicate without matches ⇒ noMatch.
+    for i in 0..n {
+        if get(i).is_empty() {
+            return false;
+        }
+    }
+    let mut admit = |_: usize, _: (u16, u16)| true;
+    if n <= STACK_LEVELS {
+        let mut pos = [0usize; STACK_LEVELS];
+        let mut chosen = [(0u16, 0u16); STACK_LEVELS];
+        search(n, &mut get, &mut admit, &mut pos, &mut chosen)
+    } else {
+        let mut pos = vec![0usize; n];
+        let mut chosen = vec![(0u16, 0u16); n];
+        search(n, &mut get, &mut admit, &mut pos, &mut chosen)
+    }
 }
 
 /// Algorithm 1 with an extra admissibility test per selected pair.
@@ -40,17 +75,39 @@ where
     if n == 0 {
         return false;
     }
-    // Lines 2–6: any predicate without matches ⇒ noMatch.
     if results.iter().any(|r| r.is_empty()) {
         return false;
     }
-    // `pos[i]`: next candidate index to try at level i.
-    // `chosen[i]`: pair currently selected at level i.
-    let mut pos = vec![0usize; n];
-    let mut chosen = vec![(0u16, 0u16); n];
+    let mut get = |i: usize| results[i];
+    if n <= STACK_LEVELS {
+        let mut pos = [0usize; STACK_LEVELS];
+        let mut chosen = [(0u16, 0u16); STACK_LEVELS];
+        search(n, &mut get, &mut admit, &mut pos, &mut chosen)
+    } else {
+        let mut pos = vec![0usize; n];
+        let mut chosen = vec![(0u16, 0u16); n];
+        search(n, &mut get, &mut admit, &mut pos, &mut chosen)
+    }
+}
+
+/// The backtracking core of Algorithm 1 over caller-provided search state
+/// (`pos[i]`: next candidate index at level i; `chosen[i]`: pair currently
+/// selected there). Levels must be non-empty — callers check first.
+fn search<'a, G, F>(
+    n: usize,
+    get: &mut G,
+    admit: &mut F,
+    pos: &mut [usize],
+    chosen: &mut [(u16, u16)],
+) -> bool
+where
+    G: FnMut(usize) -> &'a [(u16, u16)],
+    F: FnMut(usize, (u16, u16)) -> bool,
+{
     let mut level = 0usize;
+    pos[0] = 0;
     loop {
-        let list = results[level];
+        let list = get(level);
         let need = if level == 0 {
             None
         } else {
@@ -243,6 +300,36 @@ mod tests {
             false
         });
         assert_eq!(count, 1);
+    }
+
+    /// The accessor-driven variant must accept exactly the same inputs as
+    /// the slice-driven one.
+    #[test]
+    fn by_accessor_matches_slice_form() {
+        let cases: Vec<Vec<Vec<(u16, u16)>>> = vec![
+            vec![vec![(1, 1), (1, 2), (2, 2)], vec![(1, 1), (2, 2)]],
+            vec![vec![(1, 2)], vec![(1, 2)]],
+            vec![vec![(1, 1)], vec![]],
+            vec![vec![(3, 3)]],
+            vec![vec![(1, 1), (1, 2)], vec![(2, 3)], vec![(3, 1)]],
+            vec![],
+        ];
+        for lists in &cases {
+            let slices: Vec<MatchList<'_>> = lists.iter().map(|l| l.as_slice()).collect();
+            assert_eq!(
+                determine_match_by(slices.len(), |i| slices[i]),
+                determine_match(&slices),
+                "{lists:?}"
+            );
+        }
+        // Past the stack-allocated level bound: a long chain of singletons.
+        let long: Vec<Vec<(u16, u16)>> = (0..20).map(|_| vec![(1, 1)]).collect();
+        let slices: Vec<MatchList<'_>> = long.iter().map(|l| l.as_slice()).collect();
+        assert!(determine_match_by(slices.len(), |i| slices[i]));
+        let mut broken = long.clone();
+        broken[10] = vec![(2, 1)];
+        let slices: Vec<MatchList<'_>> = broken.iter().map(|l| l.as_slice()).collect();
+        assert!(!determine_match_by(slices.len(), |i| slices[i]));
     }
 
     /// Exhaustive cross-check against a brute-force product on small inputs.

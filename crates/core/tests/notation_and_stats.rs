@@ -2,7 +2,7 @@
 //! surface (the instrumentation behind Fig. 10).
 
 use pxf_core::encode::{encode_single_path, AttrMode};
-use pxf_core::{Algorithm, FilterEngine};
+use pxf_core::{Algorithm, FilterEngine, Stage1};
 use pxf_xml::{Document, Interner};
 use pxf_xpath::parse;
 
@@ -88,14 +88,20 @@ fn distinct_predicates_is_fig10_metric() {
 
 #[test]
 fn ap_skip_counter_reflects_ruled_out_clusters() {
-    let mut engine = FilterEngine::new(Algorithm::AccessPredicate, pxf_core::AttrMode::Inline);
-    // Three clusters: two can never match the document below.
-    engine.add(&parse("/nope1/x").unwrap()).unwrap();
-    engine.add(&parse("/nope2/y").unwrap()).unwrap();
-    engine.add(&parse("/a/b").unwrap()).unwrap();
-    let doc = Document::parse(b"<a><b/><b/></a>").unwrap();
-    engine.match_document(&doc);
-    let s = engine.stats();
-    // Two clusters skipped on every path (two paths here).
-    assert_eq!(s.ap_cluster_skips, 4, "{s:?}");
+    // The document has two identical leaf paths (a/b). The incremental
+    // default memoizes the duplicate, so the dead clusters are ruled out
+    // on one evaluated path; the per-path oracle rules them out on both.
+    for (stage1, skips, memo) in [(Stage1::Incremental, 2, 1), (Stage1::PerPath, 4, 0)] {
+        let mut engine = FilterEngine::new(Algorithm::AccessPredicate, pxf_core::AttrMode::Inline);
+        engine.set_stage1(stage1);
+        // Three clusters: two can never match the document below.
+        engine.add(&parse("/nope1/x").unwrap()).unwrap();
+        engine.add(&parse("/nope2/y").unwrap()).unwrap();
+        engine.add(&parse("/a/b").unwrap()).unwrap();
+        let doc = Document::parse(b"<a><b/><b/></a>").unwrap();
+        engine.match_document(&doc);
+        let s = engine.stats();
+        assert_eq!(s.ap_cluster_skips, skips, "{stage1:?}: {s:?}");
+        assert_eq!(s.memo_path_skips, memo, "{stage1:?}: {s:?}");
+    }
 }

@@ -15,7 +15,7 @@
 //! lists scanned during evaluation.
 
 use crate::attr_index::{verify_tagvar, AttrBucket};
-use crate::publication::Publication;
+use crate::publication::{PathTuple, Publication};
 use crate::types::{PosOp, PredId, Predicate, TagVar};
 use pxf_xml::{DocAccess, Symbol};
 use std::collections::HashMap;
@@ -169,6 +169,14 @@ pub struct PredicateIndex {
     /// Whether any attribute-constrained predicate exists (skips side-list
     /// scans entirely otherwise).
     has_attr_preds: bool,
+    /// Tags that appear as the *second* tag of some plain relative
+    /// predicate, indexed by [`Symbol::index`]. Incremental evaluation
+    /// pairs a newly entered element against every ancestor on the path
+    /// stack; this bitmap skips that O(depth) loop for the (common) tags
+    /// that no relative predicate ends on.
+    rel_to: Vec<bool>,
+    /// Same, for attribute-constrained relative predicates.
+    rel_attr_to: Vec<bool>,
     /// PredId → predicate.
     preds: Vec<Predicate>,
 }
@@ -191,8 +199,25 @@ impl PredicateIndex {
             relative_attr: SymTable::new(),
             end_attr: SymTable::new(),
             has_attr_preds: false,
+            rel_to: Vec::new(),
+            rel_attr_to: Vec::new(),
             preds: Vec::new(),
         }
+    }
+
+    /// True if any attribute-constrained (inline-mode) predicate is stored.
+    /// Equal tag sequences are then *not* guaranteed to produce equal match
+    /// results, which disables per-document path memoization upstream.
+    pub fn has_attr_predicates(&self) -> bool {
+        self.has_attr_preds
+    }
+
+    fn mark_to_tag(bits: &mut Vec<bool>, sym: Symbol) {
+        let idx = sym.index();
+        if bits.len() <= idx {
+            bits.resize(idx + 1, false);
+        }
+        bits[idx] = true;
     }
 
     /// Number of distinct predicates stored (the paper's Fig. 10 metric).
@@ -237,6 +262,7 @@ impl PredicateIndex {
                 op,
                 value,
             } if !from.has_attrs() && !to.has_attrs() => {
+                Self::mark_to_tag(&mut self.rel_to, to.tag);
                 let slot = self
                     .relative
                     .get_mut(from.tag)
@@ -307,6 +333,7 @@ impl PredicateIndex {
                 value,
             } => {
                 self.has_attr_preds = true;
+                Self::mark_to_tag(&mut self.rel_attr_to, to.tag);
                 let slot = self
                     .relative_attr
                     .get_mut(from.tag)
@@ -496,32 +523,12 @@ impl PredicateIndex {
         ctx: &mut MatchContext,
     ) {
         let len = publication.length;
-        let scan_unary = |lists: &AttrOpLists<AttrBucket<AttrUnary>>,
-                          value: u16,
-                          node: pxf_xml::NodeId,
-                          occ: u16,
-                          ctx: &mut MatchContext| {
-            let element = doc.element(node);
-            let on_candidate = |e: &AttrUnary, ctx: &mut MatchContext| {
-                if verify_tagvar(&e.tag, |name| element.value_of(name)) {
-                    ctx.push(e.pid, (occ, occ));
-                }
-            };
-            if let Some(bucket) = lists.slot(PosOp::Eq, value as u32) {
-                bucket.for_each_candidate(|name| element.value_of(name), |e| on_candidate(e, ctx));
-            }
-            let max = (lists.ge.len().saturating_sub(1) as u16).min(value);
-            for v in 1..=max {
-                lists.ge[v as usize]
-                    .for_each_candidate(|name| element.value_of(name), |e| on_candidate(e, ctx));
-            }
-        };
         for tuple in &publication.tuples {
             if let Some(lists) = self.absolute_attr.get(tuple.tag) {
-                scan_unary(lists, tuple.pos, tuple.node, tuple.occ, ctx);
+                self.scan_unary(lists, tuple.pos, tuple.node, tuple.occ, doc, ctx);
             }
             if let Some(lists) = self.end_attr.get(tuple.tag) {
-                scan_unary(lists, len - tuple.pos, tuple.node, tuple.occ, ctx);
+                self.scan_unary(lists, len - tuple.pos, tuple.node, tuple.occ, doc, ctx);
             }
         }
         let tuples = &publication.tuples;
@@ -533,36 +540,196 @@ impl PredicateIndex {
             if map.is_empty() {
                 continue;
             }
-            let from_element = doc.element(from.node);
             for to in &tuples[i + 1..] {
                 let Some(lists) = map.get(&to.tag) else {
                     continue;
                 };
-                let to_element = doc.element(to.node);
-                let on_candidate = |e: &AttrBinary, ctx: &mut MatchContext| {
-                    if verify_tagvar(&e.from, |name| from_element.value_of(name))
-                        && verify_tagvar(&e.to, |name| to_element.value_of(name))
-                    {
-                        ctx.push(e.pid, (from.occ, to.occ));
-                    }
-                };
-                let scan_slot = |slot: &RelSlot, ctx: &mut MatchContext| {
-                    slot.by_from.for_each_candidate(
-                        |name| from_element.value_of(name),
-                        |e| on_candidate(e, ctx),
-                    );
-                    slot.by_to.for_each_candidate(
-                        |name| to_element.value_of(name),
-                        |e| on_candidate(e, ctx),
-                    );
-                };
-                let diff = (to.pos - from.pos) as u32;
-                if let Some(slot) = lists.slot(PosOp::Eq, diff) {
-                    scan_slot(slot, ctx);
+                self.scan_binary(lists, from, to, doc, ctx);
+            }
+        }
+    }
+
+    /// Scans one unary attribute-predicate slot family (absolute or
+    /// end-of-path side list) for a single tuple whose positional value is
+    /// `value`, pushing matches as `(occ, occ)` pairs.
+    fn scan_unary<D: DocAccess>(
+        &self,
+        lists: &AttrOpLists<AttrBucket<AttrUnary>>,
+        value: u16,
+        node: pxf_xml::NodeId,
+        occ: u16,
+        doc: &D,
+        ctx: &mut MatchContext,
+    ) {
+        let element = doc.element(node);
+        let on_candidate = |e: &AttrUnary, ctx: &mut MatchContext| {
+            if verify_tagvar(&e.tag, |name| element.value_of(name)) {
+                ctx.push(e.pid, (occ, occ));
+            }
+        };
+        if let Some(bucket) = lists.slot(PosOp::Eq, value as u32) {
+            bucket.for_each_candidate(|name| element.value_of(name), |e| on_candidate(e, ctx));
+        }
+        let max = (lists.ge.len().saturating_sub(1) as u16).min(value);
+        for v in 1..=max {
+            lists.ge[v as usize]
+                .for_each_candidate(|name| element.value_of(name), |e| on_candidate(e, ctx));
+        }
+    }
+
+    /// Scans the attribute-constrained relative slots for one ordered tuple
+    /// pair, pushing matches as `(from.occ, to.occ)` pairs.
+    fn scan_binary<D: DocAccess>(
+        &self,
+        lists: &AttrOpLists<RelSlot>,
+        from: &PathTuple,
+        to: &PathTuple,
+        doc: &D,
+        ctx: &mut MatchContext,
+    ) {
+        let from_element = doc.element(from.node);
+        let to_element = doc.element(to.node);
+        let on_candidate = |e: &AttrBinary, ctx: &mut MatchContext| {
+            if verify_tagvar(&e.from, |name| from_element.value_of(name))
+                && verify_tagvar(&e.to, |name| to_element.value_of(name))
+            {
+                ctx.push(e.pid, (from.occ, to.occ));
+            }
+        };
+        let scan_slot = |slot: &RelSlot, ctx: &mut MatchContext| {
+            slot.by_from
+                .for_each_candidate(|name| from_element.value_of(name), |e| on_candidate(e, ctx));
+            slot.by_to
+                .for_each_candidate(|name| to_element.value_of(name), |e| on_candidate(e, ctx));
+        };
+        let diff = (to.pos - from.pos) as u32;
+        if let Some(slot) = lists.slot(PosOp::Eq, diff) {
+            scan_slot(slot, ctx);
+        }
+        let max = (lists.ge.len().saturating_sub(1) as u32).min(diff);
+        for v in 1..=max {
+            scan_slot(&lists.ge[v as usize], ctx);
+        }
+    }
+
+    /// Incremental stage-1, element *enter*: evaluates only the
+    /// contributions of the last tuple of `publication` (the element just
+    /// pushed onto the path stack) — its absolute-predicate slots, its
+    /// relative-predicate pairs against every ancestor tuple, and its
+    /// attribute side lists. Length and end-of-path predicates depend on
+    /// the final path length and are deferred to [`Self::eval_leaf`].
+    ///
+    /// Calling this once per [`Publication::push_path_element`] (with
+    /// rollback of the pushed pairs on leave) accumulates, at any stack
+    /// state, exactly the pairs [`Self::evaluate`] minus `eval_leaf` would
+    /// produce for the current root-to-element path — relative pairs arrive
+    /// in to-major instead of from-major order, which occurrence
+    /// determination is insensitive to.
+    pub fn eval_enter<D: DocAccess>(
+        &self,
+        publication: &Publication,
+        doc: Option<&D>,
+        ctx: &mut MatchContext,
+    ) {
+        let Some(tuple) = publication.tuples.last().copied() else {
+            return;
+        };
+        if let Some(arrays) = self.absolute.get(tuple.tag) {
+            if let Some(Some(pid)) = arrays.eq.get(tuple.pos as usize) {
+                ctx.push(*pid, (tuple.occ, tuple.occ));
+            }
+            let max = (arrays.ge.len().saturating_sub(1) as u16).min(tuple.pos);
+            for v in 1..=max {
+                if let Some(pid) = arrays.ge[v as usize] {
+                    ctx.push(pid, (tuple.occ, tuple.occ));
                 }
-                let max = (lists.ge.len().saturating_sub(1) as u32).min(diff);
+            }
+        }
+        let ancestors = &publication.tuples[..publication.tuples.len() - 1];
+        if self.rel_to.get(tuple.tag.index()).copied().unwrap_or(false) {
+            for from in ancestors {
+                let Some(arrays) = self.relative.get(from.tag).and_then(|m| m.get(&tuple.tag))
+                else {
+                    continue;
+                };
+                let diff = tuple.pos - from.pos;
+                if let Some(Some(pid)) = arrays.eq.get(diff as usize) {
+                    ctx.push(*pid, (from.occ, tuple.occ));
+                }
+                let max = (arrays.ge.len().saturating_sub(1) as u16).min(diff);
                 for v in 1..=max {
-                    scan_slot(&lists.ge[v as usize], ctx);
+                    if let Some(pid) = arrays.ge[v as usize] {
+                        ctx.push(pid, (from.occ, tuple.occ));
+                    }
+                }
+            }
+        }
+        if self.has_attr_preds {
+            let doc = doc.expect(
+                "PredicateIndex::eval_enter: a document is required when \
+                 attribute-constrained predicates are present",
+            );
+            if let Some(lists) = self.absolute_attr.get(tuple.tag) {
+                self.scan_unary(lists, tuple.pos, tuple.node, tuple.occ, doc, ctx);
+            }
+            if self
+                .rel_attr_to
+                .get(tuple.tag.index())
+                .copied()
+                .unwrap_or(false)
+            {
+                for from in ancestors {
+                    let Some(lists) = self
+                        .relative_attr
+                        .get(from.tag)
+                        .and_then(|m| m.get(&tuple.tag))
+                    else {
+                        continue;
+                    };
+                    self.scan_binary(lists, from, &tuple, doc, ctx);
+                }
+            }
+        }
+    }
+
+    /// Incremental stage-1, *leaf* step: evaluates the predicates that
+    /// depend on the final path length `n` — length-of-expression and
+    /// end-of-path (plain and attribute-constrained) — for the current
+    /// path-stack publication. Push a [`MatchContext`] mark first and pop
+    /// it after stage 2 so these per-leaf pairs roll back before the
+    /// traversal continues.
+    pub fn eval_leaf<D: DocAccess>(
+        &self,
+        publication: &Publication,
+        doc: Option<&D>,
+        ctx: &mut MatchContext,
+    ) {
+        let len = publication.length;
+        let max_l = (self.length.len().saturating_sub(1) as u16).min(len);
+        for v in 1..=max_l {
+            if let Some(pid) = self.length[v as usize] {
+                ctx.push(pid, (0, 0));
+            }
+        }
+        for tuple in &publication.tuples {
+            if let Some(arr) = self.end_of_path.get(tuple.tag) {
+                let rem = len - tuple.pos;
+                let max = (arr.len().saturating_sub(1) as u16).min(rem);
+                for v in 1..=max {
+                    if let Some(pid) = arr[v as usize] {
+                        ctx.push(pid, (tuple.occ, tuple.occ));
+                    }
+                }
+            }
+        }
+        if self.has_attr_preds {
+            let doc = doc.expect(
+                "PredicateIndex::eval_leaf: a document is required when \
+                 attribute-constrained predicates are present",
+            );
+            for tuple in &publication.tuples {
+                if let Some(lists) = self.end_attr.get(tuple.tag) {
+                    self.scan_unary(lists, len - tuple.pos, tuple.node, tuple.occ, doc, ctx);
                 }
             }
         }
@@ -585,18 +752,36 @@ fn tagvar_attrs_match<D: DocAccess>(tag: &TagVar, node: pxf_xml::NodeId, doc: &D
 /// the list of matching occurrence-number pairs (paper Table 1).
 ///
 /// The context is reused across publications via an epoch counter — no
-/// clearing or reallocation between documents.
+/// clearing or reallocation between documents. Epoch 0 is reserved as a
+/// never-current sentinel: [`Self::begin`] skips it on wrap (hard-clearing
+/// all stamps so a 2³²-stale list can never read as current), and
+/// [`Self::pop_to_mark`] uses it to invalidate rolled-back lists.
+///
+/// For incremental stage-1 evaluation the context doubles as an undo
+/// stack: every [`Self::push`] is journaled, and [`Self::push_mark`] /
+/// [`Self::pop_to_mark`] snapshot and restore the exact set of recorded
+/// pairs — so one element's contributions can be rolled back when the
+/// document traversal leaves it.
 #[derive(Debug, Default)]
 pub struct MatchContext {
     epoch: u32,
     lists: Vec<MatchList>,
     touched: Vec<PredId>,
+    /// Journal of every `push` since `begin`, one entry per pair pushed.
+    undo: Vec<PredId>,
 }
 
 #[derive(Debug, Default, Clone)]
 struct MatchList {
     epoch: u32,
     pairs: Vec<(u16, u16)>,
+}
+
+/// A rollback point in a [`MatchContext`] (see [`MatchContext::push_mark`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CtxMark {
+    undo: usize,
+    touched: usize,
 }
 
 impl MatchContext {
@@ -608,10 +793,21 @@ impl MatchContext {
     /// Starts a new publication evaluation (invalidates previous results).
     pub fn begin(&mut self, npreds: usize) {
         self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stamps from 2³² evaluations ago would otherwise
+            // collide with re-used epoch values. Hard-clear every list and
+            // restart at 1, keeping 0 as the never-current sentinel.
+            for list in &mut self.lists {
+                list.epoch = 0;
+                list.pairs.clear();
+            }
+            self.epoch = 1;
+        }
         if self.lists.len() < npreds {
             self.lists.resize_with(npreds, MatchList::default);
         }
         self.touched.clear();
+        self.undo.clear();
     }
 
     /// Records a matching occurrence pair for a predicate.
@@ -624,6 +820,37 @@ impl MatchContext {
             self.touched.push(pid);
         }
         list.pairs.push(pair);
+        self.undo.push(pid);
+    }
+
+    /// Returns a mark capturing the current contents; a later
+    /// [`Self::pop_to_mark`] restores exactly this state. Marks nest like a
+    /// stack (pop in reverse order of push) and are invalidated by
+    /// [`Self::begin`].
+    #[inline]
+    pub fn push_mark(&self) -> CtxMark {
+        CtxMark {
+            undo: self.undo.len(),
+            touched: self.touched.len(),
+        }
+    }
+
+    /// Rolls back every pair pushed since `mark` was taken. Predicates
+    /// first touched after the mark read as unmatched again (their list
+    /// epochs drop to the reserved sentinel 0); predicates touched before
+    /// it keep exactly their pre-mark pairs.
+    pub fn pop_to_mark(&mut self, mark: CtxMark) {
+        for i in mark.undo..self.undo.len() {
+            let pid = self.undo[i];
+            self.lists[pid.index()].pairs.pop();
+        }
+        self.undo.truncate(mark.undo);
+        for &pid in &self.touched[mark.touched..] {
+            let list = &mut self.lists[pid.index()];
+            debug_assert!(list.pairs.is_empty(), "undo log out of sync");
+            list.epoch = 0;
+        }
+        self.touched.truncate(mark.touched);
     }
 
     /// The matching occurrence pairs for a predicate in the current
@@ -723,5 +950,122 @@ pub fn eval_direct<D: DocAccess>(
                 out.push((0, 0));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxf_xml::Interner;
+
+    #[test]
+    fn marks_roll_back_to_exact_prior_state() {
+        let mut ctx = MatchContext::new();
+        ctx.begin(3);
+        let (p0, p1, p2) = (PredId(0), PredId(1), PredId(2));
+        ctx.push(p0, (1, 1));
+        ctx.push(p1, (1, 2));
+        let outer = ctx.push_mark();
+        ctx.push(p0, (2, 2)); // existing pred gains a pair
+        ctx.push(p2, (3, 3)); // new pred first touched after the mark
+        let inner = ctx.push_mark();
+        ctx.push(p2, (4, 4));
+        assert_eq!(ctx.get(p0), &[(1, 1), (2, 2)]);
+        assert_eq!(ctx.get(p2), &[(3, 3), (4, 4)]);
+
+        ctx.pop_to_mark(inner);
+        assert_eq!(ctx.get(p2), &[(3, 3)]);
+        ctx.pop_to_mark(outer);
+        assert_eq!(ctx.get(p0), &[(1, 1)]);
+        assert_eq!(ctx.get(p1), &[(1, 2)]);
+        assert!(ctx.get(p2).is_empty());
+        assert!(!ctx.is_matched(p2));
+        assert_eq!(ctx.matched(), &[p0, p1]);
+
+        // A rolled-back pred can be pushed again and re-enters `touched`.
+        ctx.push(p2, (5, 5));
+        assert_eq!(ctx.get(p2), &[(5, 5)]);
+        assert_eq!(ctx.matched(), &[p0, p1, p2]);
+    }
+
+    #[test]
+    fn epoch_wrap_hard_clears_stale_stamps() {
+        let mut ctx = MatchContext::new();
+        ctx.begin(1); // epoch 1
+        ctx.push(PredId(0), (7, 7));
+        assert!(ctx.is_matched(PredId(0)));
+        // Fast-forward to the wrap point: the next begin would re-issue
+        // epoch values already stamped on the list above.
+        ctx.epoch = u32::MAX;
+        ctx.begin(1);
+        assert_eq!(ctx.epoch, 1, "wrap skips the reserved sentinel 0");
+        assert!(
+            !ctx.is_matched(PredId(0)),
+            "stamp from 2^32 evaluations ago must not read as current"
+        );
+        ctx.begin(1);
+        assert!(!ctx.is_matched(PredId(0)));
+    }
+
+    #[test]
+    fn incremental_enter_leaf_equals_batch_evaluate() {
+        // Drive push_path_element/eval_enter down the path (a, b, a, c) and
+        // compare the accumulated context against a one-shot evaluate().
+        let mut interner = Interner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let c = interner.intern("c");
+        let mut index = PredicateIndex::new();
+        let pids = vec![
+            index.insert(Predicate::absolute(a, PosOp::Eq, 1)),
+            index.insert(Predicate::absolute(a, PosOp::Ge, 2)),
+            index.insert(Predicate::relative(a, b, PosOp::Ge, 1)),
+            index.insert(Predicate::relative(a, c, PosOp::Eq, 1)),
+            index.insert(Predicate::relative(b, a, PosOp::Eq, 1)),
+            index.insert(Predicate::end_of_path(b, 1)),
+            index.insert(Predicate::end_of_path(c, 1)),
+            index.insert(Predicate::length(3)),
+            index.insert(Predicate::length(5)),
+        ];
+
+        let tags = [a, b, a, c];
+        let mut publication = Publication::new();
+        publication.begin_incremental();
+        let mut inc = MatchContext::new();
+        inc.begin(index.len());
+        for (i, &t) in tags.iter().enumerate() {
+            publication.push_path_element(t, i as pxf_xml::NodeId);
+            index.eval_enter(&publication, None::<&pxf_xml::Document>, &mut inc);
+        }
+        index.eval_leaf(&publication, None::<&pxf_xml::Document>, &mut inc);
+
+        let batch_pub = Publication::from_tags(&["a", "b", "a", "c"], &mut interner);
+        let mut batch = MatchContext::new();
+        index.evaluate(&batch_pub, None::<&pxf_xml::Document>, &mut batch);
+
+        for pid in pids {
+            let mut got: Vec<_> = inc.get(pid).to_vec();
+            let mut want: Vec<_> = batch.get(pid).to_vec();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "pid {pid:?}");
+        }
+        let mut got: Vec<_> = inc.matched().to_vec();
+        let mut want: Vec<_> = batch.matched().to_vec();
+        got.sort_unstable_by_key(|p| p.index());
+        want.sort_unstable_by_key(|p| p.index());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rel_to_bitmap_tracks_second_tags() {
+        let mut interner = Interner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let mut index = PredicateIndex::new();
+        index.insert(Predicate::relative(a, b, PosOp::Ge, 1));
+        assert!(index.rel_to[b.index()]);
+        assert!(!index.rel_to.get(a.index()).copied().unwrap_or(false));
+        assert!(index.rel_attr_to.is_empty());
     }
 }

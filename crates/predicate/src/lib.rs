@@ -39,7 +39,7 @@ mod index;
 mod publication;
 mod types;
 
-pub use index::{eval_direct, MatchContext, PredicateIndex};
+pub use index::{eval_direct, CtxMark, MatchContext, PredicateIndex};
 pub use publication::{PathTuple, Publication};
 pub use types::{AttrConstraint, PosOp, PredId, Predicate, TagVar};
 

@@ -72,6 +72,38 @@ impl Publication {
         }
     }
 
+    /// Resets the publication for incremental path-stack encoding of a new
+    /// document (see [`Self::push_path_element`]).
+    pub fn begin_incremental(&mut self) {
+        self.length = 0;
+        self.tuples.clear();
+        self.occ_scratch.clear();
+    }
+
+    /// Pushes one element onto the path stack: afterwards the publication
+    /// is exactly [`Self::encode`] of the current root-to-element path.
+    /// Occurrence numbers are maintained incrementally — one counter probe
+    /// per push instead of a full re-count per path.
+    pub fn push_path_element(&mut self, tag: Symbol, node: NodeId) {
+        let pos = (self.tuples.len() + 1) as u16;
+        self.push_tuple(tag, pos, node);
+        self.length = pos;
+    }
+
+    /// Pops the most recent element, undoing [`Self::push_path_element`].
+    /// A counter reaching zero stays recorded so a re-push of the same tag
+    /// restores it to one.
+    pub fn pop_path_element(&mut self) {
+        let t = self.tuples.pop().expect("pop from empty path stack");
+        let slot = self
+            .occ_scratch
+            .iter_mut()
+            .find(|(s, _)| *s == t.tag)
+            .expect("occurrence scratch in sync with tuples");
+        slot.1 -= 1;
+        self.length = self.tuples.len() as u16;
+    }
+
     fn push_tuple(&mut self, tag: pxf_xml::Symbol, pos: u16, node: NodeId) {
         let occ = match self.occ_scratch.iter_mut().find(|(t, _)| *t == tag) {
             Some((_, n)) => {
@@ -180,6 +212,49 @@ mod tests {
         assert_eq!(p.tuples[0].occ, 1);
         assert_eq!(p.tuples[2].occ, 2);
         assert_eq!(p.tuples[2].node, 2);
+    }
+
+    #[test]
+    fn path_stack_push_pop_tracks_encode() {
+        // Walking a tree with push/pop must leave the publication equal to
+        // a fresh encode of each root-to-element path, occurrences included.
+        let mut interner = Interner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let mut p = Publication::new();
+        p.begin_incremental();
+        p.push_path_element(a, 0);
+        p.push_path_element(a, 1);
+        assert_eq!(p.length, 2);
+        assert_eq!(p.tuples[1].occ, 2);
+        p.pop_path_element();
+        p.push_path_element(b, 2);
+        p.push_path_element(a, 3);
+        let fresh = Publication::from_tags(&["a", "b", "a"], &mut interner);
+        assert_eq!(p.length, fresh.length);
+        for (got, want) in p.tuples.iter().zip(&fresh.tuples) {
+            assert_eq!((got.tag, got.pos, got.occ), (want.tag, want.pos, want.occ));
+        }
+        // Drain fully, then reuse: counters must restart at one.
+        p.pop_path_element();
+        p.pop_path_element();
+        p.pop_path_element();
+        assert_eq!(p.length, 0);
+        p.push_path_element(a, 7);
+        assert_eq!(p.tuples[0].occ, 1);
+        assert_eq!(p.tuples[0].node, 7);
+    }
+
+    #[test]
+    fn begin_incremental_resets_after_encode() {
+        let mut interner = Interner::new();
+        let mut p = Publication::from_tags(&["x", "x"], &mut interner);
+        p.begin_incremental();
+        assert_eq!(p.length, 0);
+        assert!(p.tuples.is_empty());
+        let x = interner.get("x").unwrap();
+        p.push_path_element(x, 0);
+        assert_eq!(p.tuples[0].occ, 1);
     }
 
     #[test]

@@ -24,6 +24,24 @@ use crate::limits::ParserLimits;
 use crate::reader::{Event, Reader, XmlError, XmlErrorKind};
 use crate::tree::{Document, Element, NodeId, TreeEvent};
 
+/// Enter/leave callbacks for a single pre-order traversal of a document.
+///
+/// This is the traversal shape behind incremental (prefix-sharing)
+/// stage-1 evaluation: `enter` is invoked exactly once per element in
+/// document order — with `is_leaf` precomputed so leaf-only work (e.g.
+/// path-length predicates) can run inside the same pass — and `leave` is
+/// invoked when the element closes, in reverse order of the open stack.
+/// Between an element's `enter` and its `leave`, the elements entered but
+/// not yet left form exactly the root-to-element path.
+pub trait ElementVisitor {
+    /// Called when an element opens. `is_leaf` is true iff the element has
+    /// no child elements (its `enter` is immediately followed by its
+    /// `leave`).
+    fn enter(&mut self, id: NodeId, is_leaf: bool);
+    /// Called when an element closes (all descendants already left).
+    fn leave(&mut self, id: NodeId);
+}
+
 /// Read access to a parsed document, independent of its storage layout.
 ///
 /// Implementations expose the two traversals the filtering algorithms
@@ -49,6 +67,29 @@ pub trait DocAccess {
 
     /// Replays the document as start/end element events in document order.
     fn for_each_event<'a, F: FnMut(TreeEvent<'a>)>(&'a self, f: F);
+
+    /// Drives one pre-order enter/leave traversal (see [`ElementVisitor`]).
+    ///
+    /// The default derives leaf-ness from the event stream by holding each
+    /// start until the next event: a start immediately followed by its own
+    /// end is a leaf. Both stores override this with a direct walk.
+    fn for_each_element<V: ElementVisitor>(&self, visitor: &mut V) {
+        let mut pending: Option<NodeId> = None;
+        self.for_each_event(|ev| match ev {
+            TreeEvent::Start(id, _) => {
+                if let Some(p) = pending.take() {
+                    visitor.enter(p, false);
+                }
+                pending = Some(id);
+            }
+            TreeEvent::End(id, _) => {
+                if pending.take() == Some(id) {
+                    visitor.enter(id, true);
+                }
+                visitor.leave(id);
+            }
+        });
+    }
 
     /// Element tag by id.
     fn tag(&self, id: NodeId) -> &str {
@@ -81,6 +122,28 @@ impl DocAccess for Document {
 
     fn for_each_event<'a, F: FnMut(TreeEvent<'a>)>(&'a self, f: F) {
         Document::for_each_event(self, f)
+    }
+
+    fn for_each_element<V: ElementVisitor>(&self, visitor: &mut V) {
+        if Document::is_empty(self) {
+            return;
+        }
+        // Iterative DFS over the child vectors: (node, next child index).
+        let root = self.root();
+        visitor.enter(root, self.node(root).children.is_empty());
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+            let children = &self.node(id).children;
+            if *next < children.len() {
+                let child = children[*next];
+                *next += 1;
+                visitor.enter(child, self.node(child).children.is_empty());
+                stack.push((child, 0));
+            } else {
+                stack.pop();
+                visitor.leave(id);
+            }
+        }
     }
 }
 
@@ -251,6 +314,28 @@ impl DocAccess for PathDoc {
             f(TreeEvent::End(id, &self.nodes[id as usize]));
         }
     }
+
+    fn for_each_element<V: ElementVisitor>(&self, visitor: &mut V) {
+        // One linear scan of the pre-order arena: depth transitions mark
+        // leaves (next element not deeper) and closings (next element not
+        // deeper than an open ancestor).
+        let mut open: Vec<NodeId> = Vec::new();
+        for (i, e) in self.nodes.iter().enumerate() {
+            while open.len() as u32 >= e.depth {
+                visitor.leave(open.pop().expect("non-empty"));
+            }
+            let is_leaf = self
+                .nodes
+                .get(i + 1)
+                .is_none_or(|next| next.depth <= e.depth);
+            let id = i as NodeId;
+            visitor.enter(id, is_leaf);
+            open.push(id);
+        }
+        while let Some(id) = open.pop() {
+            visitor.leave(id);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -322,6 +407,100 @@ mod tests {
         // recorded element must still hold the full concatenation.
         let flat = PathDoc::parse(b"<a>one<b/>two</a>").unwrap();
         assert_eq!(flat.node(0).text, "onetwo");
+    }
+
+    /// Records enter/leave calls: (true, id, is_leaf) / (false, id, false).
+    #[derive(Default)]
+    struct Recorder(Vec<(bool, NodeId, bool)>);
+
+    impl ElementVisitor for Recorder {
+        fn enter(&mut self, id: NodeId, is_leaf: bool) {
+            self.0.push((true, id, is_leaf));
+        }
+        fn leave(&mut self, id: NodeId) {
+            self.0.push((false, id, false));
+        }
+    }
+
+    /// Runs the default event-derived traversal for comparison against the
+    /// store-specific overrides.
+    fn default_traversal<D: DocAccess>(doc: &D) -> Vec<(bool, NodeId, bool)> {
+        struct Shim<'d, D>(&'d D);
+        impl<D: DocAccess> DocAccess for Shim<'_, D> {
+            fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+            fn node_count(&self) -> usize {
+                self.0.node_count()
+            }
+            fn element(&self, id: NodeId) -> &Element {
+                self.0.element(id)
+            }
+            fn for_each_leaf_path<F: FnMut(&[NodeId])>(&self, f: F) {
+                self.0.for_each_leaf_path(f)
+            }
+            fn for_each_event<'a, F: FnMut(TreeEvent<'a>)>(&'a self, f: F) {
+                self.0.for_each_event(f)
+            }
+            // No for_each_element override: uses the trait default.
+        }
+        let mut rec = Recorder::default();
+        Shim(doc).for_each_element(&mut rec);
+        rec.0
+    }
+
+    #[test]
+    fn element_traversal_agrees_across_stores_and_default() {
+        for src in [
+            "<a/>",
+            "<a><b/></a>",
+            "<a><b><c/><d/></b><b><c/></b></a>",
+            "<a>leaf text only</a>",
+            "<a><b/>tail<c><d/></c></a>",
+            "<r><x><y><z/></y></x><x/><w><w><w/></w></w></r>",
+        ] {
+            let tree = Document::parse(src.as_bytes()).unwrap();
+            let flat = PathDoc::parse(src.as_bytes()).unwrap();
+            let mut via_tree = Recorder::default();
+            DocAccess::for_each_element(&tree, &mut via_tree);
+            let mut via_flat = Recorder::default();
+            DocAccess::for_each_element(&flat, &mut via_flat);
+            assert_eq!(via_tree.0, via_flat.0, "{src}");
+            assert_eq!(via_tree.0, default_traversal(&tree), "{src}");
+            assert_eq!(via_flat.0, default_traversal(&flat), "{src}");
+        }
+    }
+
+    #[test]
+    fn element_traversal_matches_leaf_paths() {
+        // The stack of entered-not-left elements at each leaf `enter` must
+        // be exactly the root-to-leaf path, in document order.
+        struct PathCollector {
+            stack: Vec<NodeId>,
+            paths: Vec<Vec<NodeId>>,
+        }
+        impl ElementVisitor for PathCollector {
+            fn enter(&mut self, id: NodeId, is_leaf: bool) {
+                self.stack.push(id);
+                if is_leaf {
+                    self.paths.push(self.stack.clone());
+                }
+            }
+            fn leave(&mut self, id: NodeId) {
+                assert_eq!(self.stack.pop(), Some(id));
+            }
+        }
+        let src = b"<a><b><c/><d/></b><b><c/></b><e/></a>";
+        let doc = Document::parse(src).unwrap();
+        let mut v = PathCollector {
+            stack: Vec::new(),
+            paths: Vec::new(),
+        };
+        DocAccess::for_each_element(&doc, &mut v);
+        assert!(v.stack.is_empty());
+        let mut expected = Vec::new();
+        doc.for_each_leaf_path(|p| expected.push(p.to_vec()));
+        assert_eq!(v.paths, expected);
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod reader;
 mod stream;
 mod tree;
 
-pub use access::{DocAccess, PathDoc};
+pub use access::{DocAccess, ElementVisitor, PathDoc};
 pub use limits::ParserLimits;
 pub use name::{Interner, Symbol};
 pub use reader::{Attribute, Event, Reader, XmlError, XmlErrorKind};
