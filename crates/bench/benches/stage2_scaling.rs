@@ -1,0 +1,71 @@
+//! Stage-2 scaling: per-document filtering time as the registered
+//! expression count sweeps 10k → 1M at a *fixed* match fraction
+//! (`Regime::scaling`: i.i.d. NITF expressions, duplicates allowed, so
+//! selectivity does not drift with the count). The posting-driven stage 2
+//! derives per-path candidates from the satisfied predicates, so its
+//! per-document cost tracks the matched expressions — not the registered
+//! count — while the scan formulation pays a per-document pass over every
+//! registered entry.
+//!
+//! `--max-exprs N` caps the sweep (CI smoke runs only the smallest size).
+
+use pxf_bench::{build_workload, micro, WorkloadSpec};
+use pxf_core::{Algorithm, AttrMode, FilterEngine, Stage2};
+use pxf_workload::Regime;
+
+const SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+fn build_engine(
+    algorithm: Algorithm,
+    stage2: Stage2,
+    exprs: &[pxf_xpath::XPathExpr],
+) -> FilterEngine {
+    let mut engine = FilterEngine::new(algorithm, AttrMode::Inline);
+    engine.set_stage2(stage2);
+    for e in exprs {
+        engine.add(e).expect("workload expressions encode");
+    }
+    engine.prepare();
+    engine
+}
+
+fn run(engine: &FilterEngine, doc_bytes: &[Vec<u8>]) -> usize {
+    let mut matcher = engine.matcher();
+    let mut total = 0usize;
+    for bytes in doc_bytes {
+        total += matcher.match_bytes(bytes).expect("well-formed").len();
+    }
+    total
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_exprs: usize = args
+        .iter()
+        .position(|a| a == "--max-exprs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(*SIZES.last().unwrap());
+
+    let regime = Regime::scaling();
+    for n_exprs in SIZES.into_iter().filter(|&n| n <= max_exprs) {
+        let w = build_workload(
+            &regime,
+            &WorkloadSpec {
+                n_exprs,
+                distinct: false,
+                n_docs: 10,
+                ..Default::default()
+            },
+        );
+        let mut group = micro::Group::new(format!("stage2-scaling/n={n_exprs}"));
+        group.sample_size(5);
+
+        let posting = build_engine(Algorithm::AccessPredicate, Stage2::Posting, &w.exprs);
+        group.bench("ap-posting", || run(&posting, &w.doc_bytes));
+        drop(posting);
+
+        let scan = build_engine(Algorithm::AccessPredicate, Stage2::Scan, &w.exprs);
+        group.bench("ap-scan", || run(&scan, &w.doc_bytes));
+    }
+}

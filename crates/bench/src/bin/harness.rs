@@ -12,10 +12,10 @@
 //! number of documents per data point (the paper averages over 500).
 
 use pxf_bench::{
-    build_workload, measure_parse_paths_us, measure_parse_us, run_engine, run_engine_stage1,
+    build_workload, measure_parse_paths_us, measure_parse_us, run_engine, run_engine_configured,
     EngineKind, RunResult, WorkloadSpec,
 };
-use pxf_core::{AttrMode, Stage1};
+use pxf_core::{AttrMode, Stage1, Stage2};
 use pxf_workload::Regime;
 
 struct Opts {
@@ -629,17 +629,71 @@ fn parse_times(opts: &Opts) {
     println!();
 }
 
-/// Machine-readable stage-1 comparison: per-path (the paper's
-/// formulation, "before") vs incremental (the default, "after") for the
-/// three predicate-engine organizations over NITF, PSD, and a shallow
-/// NITF variant (max 3 levels — the worst case for prefix sharing, where
-/// the incremental evaluator must not regress). Writes JSON to `--out`
-/// (default `BENCH_pr4.json`).
+/// Machine-readable stage-2 comparison and scaling sweep.
+///
+/// Part 1 — scan (the previous formulation, "before") vs posting-driven
+/// (the default, "after") stage 2 for the three predicate-engine
+/// organizations over NITF, PSD, and a shallow NITF variant, with the
+/// incremental stage 1 pinned. The NITF row at the default scale is the
+/// 5k-XPE configuration of BENCH_pr4.json (no-regression reference).
+///
+/// Part 2 — expression-count scaling at fixed match fraction
+/// (`Regime::scaling`, duplicates allowed): 10k → 1M XPEs for
+/// `basic-pc-ap` with the posting-driven stage 2. Per-document time must
+/// grow sublinearly in the registered count.
+///
+/// Writes JSON to `--out` (default `BENCH_pr5.json`).
 fn benchjson(opts: &Opts) {
     let scale = scale_or(opts, 0.2);
     let docs = docs_or(opts, 50);
-    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr4.json".into());
+    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr5.json".into());
 
+    let mut entries: Vec<String> = Vec::new();
+    let fmt_entry = |section: &str,
+                     workload: &str,
+                     kind: EngineKind,
+                     stage2_label: &str,
+                     n_exprs: usize,
+                     n_docs: usize,
+                     r: &RunResult|
+     -> String {
+        let (pred_ms, expr_ms, other_ms) = r.breakdown_ms;
+        let stats = r.stats.unwrap_or_default();
+        format!(
+            concat!(
+                "    {{\"section\": \"{}\", \"workload\": \"{}\", \"engine\": \"{}\", ",
+                "\"stage1\": \"incremental\", \"stage2\": \"{}\", ",
+                "\"n_exprs\": {}, \"n_docs\": {}, ",
+                "\"ms_per_doc\": {:.6}, \"docs_per_sec\": {:.3}, ",
+                "\"matched_fraction\": {:.6}, ",
+                "\"predicate_ns_per_doc\": {:.0}, \"expression_ns_per_doc\": {:.0}, ",
+                "\"other_ns_per_doc\": {:.0}, ",
+                "\"occurrence_runs\": {}, \"stage2_candidates\": {}, ",
+                "\"posting_bumps\": {}, \"ap_root_probes\": {}, ",
+                "\"pc_propagations\": {}, \"memo_path_skips\": {}}}"
+            ),
+            section,
+            workload,
+            kind.label(),
+            stage2_label,
+            n_exprs,
+            n_docs,
+            r.ms_per_doc,
+            1e3 / r.ms_per_doc.max(1e-9),
+            r.match_pct / 100.0,
+            pred_ms * 1e6,
+            expr_ms * 1e6,
+            other_ms * 1e6,
+            stats.occurrence_runs,
+            stats.stage2_candidates,
+            stats.posting_bumps,
+            stats.ap_root_probes,
+            stats.pc_propagations,
+            stats.memo_path_skips,
+        )
+    };
+
+    // Part 1: scan vs posting at the PR4 configurations.
     let mut shallow = Regime::nitf();
     shallow.name = "nitf-shallow";
     shallow.xml.max_levels = 3;
@@ -650,20 +704,15 @@ fn benchjson(opts: &Opts) {
         (Regime::psd(), scaled(5_000, scale)),
         (shallow, scaled(25_000, scale)),
     ];
-
     let kinds = [
         EngineKind::Basic,
         EngineKind::BasicPc,
         EngineKind::BasicPcAp,
     ];
-    let stages = [
-        (Stage1::PerPath, "per_path"),
-        (Stage1::Incremental, "incremental"),
-    ];
-    let mut entries: Vec<String> = Vec::new();
-    println!("## benchjson — stage-1 per-path vs incremental (scale {scale}, {docs} docs)");
+    let stages = [(Stage2::Scan, "scan"), (Stage2::Posting, "posting")];
+    println!("## benchjson — stage-2 scan vs posting (scale {scale}, {docs} docs)");
     print_header(&[
-        "workload", "engine", "stage1", "ms/doc", "pred-ms", "expr-ms",
+        "workload", "engine", "stage2", "ms/doc", "pred-ms", "expr-ms",
     ]);
     for (regime, n_exprs) in &workloads {
         let w = build_workload(
@@ -676,11 +725,12 @@ fn benchjson(opts: &Opts) {
             },
         );
         for &kind in &kinds {
-            for (stage1, stage_label) in stages {
-                let r = run_engine_stage1(kind, AttrMode::Inline, stage1, &w);
-                let (pred_ms, expr_ms, other_ms) = r.breakdown_ms;
+            for (stage2, stage_label) in stages {
+                let r =
+                    run_engine_configured(kind, AttrMode::Inline, Stage1::Incremental, stage2, &w);
+                let (pred_ms, expr_ms, _) = r.breakdown_ms;
                 println!(
-                    "{:<10} {:>13} {:>13} {:>13.3} {:>13.3} {:>13.3}",
+                    "{:<12} {:>13} {:>9} {:>11.3} {:>11.3} {:>11.3}",
                     regime.name,
                     kind.label(),
                     stage_label,
@@ -688,32 +738,65 @@ fn benchjson(opts: &Opts) {
                     pred_ms,
                     expr_ms
                 );
-                entries.push(format!(
-                    concat!(
-                        "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"stage1\": \"{}\", ",
-                        "\"n_exprs\": {}, \"n_docs\": {}, ",
-                        "\"ms_per_doc\": {:.6}, \"docs_per_sec\": {:.3}, ",
-                        "\"matched_fraction\": {:.6}, ",
-                        "\"predicate_ns_per_doc\": {:.0}, \"expression_ns_per_doc\": {:.0}, ",
-                        "\"other_ns_per_doc\": {:.0}}}"
-                    ),
+                entries.push(fmt_entry(
+                    "stage2_compare",
                     regime.name,
-                    kind.label(),
+                    kind,
                     stage_label,
                     w.exprs.len(),
                     docs,
-                    r.ms_per_doc,
-                    1e3 / r.ms_per_doc.max(1e-9),
-                    r.match_pct / 100.0,
-                    pred_ms * 1e6,
-                    expr_ms * 1e6,
-                    other_ms * 1e6,
+                    &r,
                 ));
             }
         }
     }
+
+    // Part 2: expression-count scaling at fixed match fraction.
+    let sweep_docs = docs.min(20);
+    let regime = Regime::scaling();
+    println!(
+        "\n## benchjson — stage-2 scaling sweep ({}, {sweep_docs} docs)",
+        regime.name
+    );
+    print_header(&["n_exprs", "engine", "stage2", "ms/doc", "match-frac"]);
+    for n_exprs in [10_000usize, 100_000, 1_000_000] {
+        let w = build_workload(
+            &regime,
+            &WorkloadSpec {
+                n_exprs,
+                distinct: false,
+                n_docs: sweep_docs,
+                ..Default::default()
+            },
+        );
+        let r = run_engine_configured(
+            EngineKind::BasicPcAp,
+            AttrMode::Inline,
+            Stage1::Incremental,
+            Stage2::Posting,
+            &w,
+        );
+        println!(
+            "{:<12} {:>13} {:>9} {:>11.3} {:>11.4}",
+            n_exprs,
+            EngineKind::BasicPcAp.label(),
+            "posting",
+            r.ms_per_doc,
+            r.match_pct / 100.0
+        );
+        entries.push(fmt_entry(
+            "scaling",
+            regime.name,
+            EngineKind::BasicPcAp,
+            "posting",
+            w.exprs.len(),
+            sweep_docs,
+            &r,
+        ));
+    }
+
     let json = format!
-        ("{{\n  \"bench\": \"pr4_stage1\",\n  \"scale\": {scale},\n  \"docs\": {docs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        ("{{\n  \"bench\": \"pr5_stage2\",\n  \"scale\": {scale},\n  \"docs\": {docs},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"));
     std::fs::write(&out_path, json).expect("write benchjson output");
     println!("\nwrote {out_path}");

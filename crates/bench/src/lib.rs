@@ -12,7 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pxf_core::{Algorithm, AttrMode, FilterBackend, FilterEngine, Stage1};
+use pxf_core::{Algorithm, AttrMode, EngineStats, FilterBackend, FilterEngine, Stage1, Stage2};
 use pxf_indexfilter::IndexFilter;
 use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
 use pxf_xfilter::XFilter;
@@ -157,6 +157,8 @@ pub struct RunResult {
     /// milliseconds: (predicate matching, expression matching, other).
     /// Zero for the baselines.
     pub breakdown_ms: (f64, f64, f64),
+    /// Raw engine counters of the run (predicate engines only).
+    pub stats: Option<EngineStats>,
 }
 
 /// Builds an engine of the given kind over the workload expressions,
@@ -201,7 +203,8 @@ pub fn run_engine(kind: EngineKind, attr_mode: AttrMode, workload: &Workload) ->
     let n_docs = workload.doc_bytes.len().max(1) as f64;
 
     let distinct_preds = engine.distinct_predicates();
-    let breakdown_ms = match engine.stats() {
+    let stats = engine.stats();
+    let breakdown_ms = match &stats {
         Some(stats) => (
             stats.predicate_ns as f64 / 1e6 / n_docs,
             stats.expression_ns as f64 / 1e6 / n_docs,
@@ -218,6 +221,7 @@ pub fn run_engine(kind: EngineKind, attr_mode: AttrMode, workload: &Workload) ->
         build_ms,
         distinct_preds,
         breakdown_ms,
+        stats,
     }
 }
 
@@ -232,18 +236,21 @@ pub fn engine_algorithm(kind: EngineKind) -> Algorithm {
     }
 }
 
-/// Like [`run_engine`] but pins the stage-1 evaluator, for old-vs-new
-/// comparisons of the predicate engine (per-path re-evaluation vs the
-/// incremental single-traversal default). Predicate-engine kinds only.
-pub fn run_engine_stage1(
+/// Like [`run_engine`] but pins both evaluator strategies, for
+/// old-vs-new comparisons of the predicate engine (per-path vs
+/// incremental stage 1; scan vs posting-driven stage 2).
+/// Predicate-engine kinds only.
+pub fn run_engine_configured(
     kind: EngineKind,
     attr_mode: AttrMode,
     stage1: Stage1,
+    stage2: Stage2,
     workload: &Workload,
 ) -> RunResult {
     let t0 = Instant::now();
     let mut engine = FilterEngine::new(engine_algorithm(kind), attr_mode);
     engine.set_stage1(stage1);
+    engine.set_stage2(stage2);
     for e in &workload.exprs {
         engine.add(e).expect("workload expressions are supported");
     }
@@ -275,7 +282,18 @@ pub fn run_engine_stage1(
             stats.expression_ns as f64 / 1e6 / n_docs,
             stats.other_ns as f64 / 1e6 / n_docs,
         ),
+        stats: Some(stats),
     }
+}
+
+/// [`run_engine_configured`] with the default (posting-driven) stage 2.
+pub fn run_engine_stage1(
+    kind: EngineKind,
+    attr_mode: AttrMode,
+    stage1: Stage1,
+    workload: &Workload,
+) -> RunResult {
+    run_engine_configured(kind, attr_mode, stage1, Stage2::default(), workload)
 }
 
 /// Measures average document parse time in microseconds (the paper §6.5

@@ -61,7 +61,7 @@ MATCH OPTIONS:
   --engine NAME        pxf | yfilter | index-filter | xfilter (default: pxf)
   --algorithm KIND     basic | pc | ap            (default: ap, pxf only)
   --attr-mode MODE     inline | sp                (default: inline, pxf only)
-  --threads N          parallel workers           (default: 1; pxf only)
+  --threads N          parallel workers; 0 = all cores (default: 1; pxf only)
   --stream             read concatenated documents from stdin (or from one
                        file argument) instead of one document per file
   --stats              print matching statistics to stderr
@@ -175,7 +175,7 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
             ))
         }
     }
-    if pxf_engine.is_none() && threads > 1 {
+    if pxf_engine.is_none() && threads != 1 {
         return Err(format!(
             "--threads applies to the default pxf engine, not '{engine_name}'"
         ));

@@ -60,6 +60,25 @@ pub enum Stage1 {
     PerPath,
 }
 
+/// Stage-2 (expression matching) candidate-generation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stage2 {
+    /// Output-sensitive: per-path candidate expressions are derived from
+    /// the *satisfied* predicates via prepare-time posting lists
+    /// (predicate → expression/terminal) intersected by counting —
+    /// an expression is visited only when every distinct predicate in its
+    /// chain matched the path. The access-predicate organization instead
+    /// probes a dense `pid → cluster root` map per satisfied predicate.
+    /// Per-path cost is proportional to the satisfied predicates' posting
+    /// lists, independent of how many expressions are registered.
+    #[default]
+    Posting,
+    /// Scan every registered entry still active in this document (the
+    /// formulation of earlier revisions). Retained as the equivalence
+    /// oracle for the posting-driven path.
+    Scan,
+}
+
 /// Error returned when a subscription cannot be added.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AddError {
@@ -101,9 +120,19 @@ pub struct EngineStats {
     /// Expressions resolved by prefix-covering propagation instead of an
     /// occurrence determination run.
     pub pc_propagations: u64,
-    /// Whole clusters skipped because their access predicate was
-    /// unmatched.
-    pub ap_cluster_skips: u64,
+    /// Stage-2 candidate entries produced by posting-list counting (flat
+    /// expressions or trie terminals whose full distinct predicate set
+    /// was satisfied on a path). Posting mode only.
+    pub stage2_candidates: u64,
+    /// Per-path posting-list counter bumps (one per entry occurrence in a
+    /// satisfied predicate's posting list). Posting mode only; this is
+    /// the whole candidate-generation cost.
+    pub posting_bumps: u64,
+    /// Access-predicate cluster roots probed because their access
+    /// predicate matched (posting mode; replaces the retired
+    /// `ap_cluster_skips` — unmatched clusters are no longer even
+    /// looked at, so there is nothing left to count skipping).
+    pub ap_root_probes: u64,
     /// Leaf paths whose stage 2 was skipped because an identical
     /// tag-sequence path was already processed in the same document
     /// (incremental stage 1 only).
@@ -329,6 +358,32 @@ impl Trie {
     }
 }
 
+/// Prepare-time posting lists driving the output-sensitive stage 2
+/// ([`Stage2::Posting`]): for every distinct predicate, the entries (flat
+/// expression indices or trie terminal indices) whose predicate chain
+/// contains it, plus the distinct-predicate count each entry needs before
+/// it becomes a candidate. Rebuilt by [`FilterEngine::prepare`] whenever
+/// subscriptions changed.
+#[derive(Debug, Default)]
+struct Postings {
+    /// Predicate index → entry ids (deduplicated: an entry appears once
+    /// per *distinct* predicate in its chain).
+    by_pred: Vec<Vec<u32>>,
+    /// Entry id → number of distinct predicates in its chain; a per-path
+    /// counter reaching this value makes the entry a candidate.
+    /// `u32::MAX` marks entries that can never match (removed flat
+    /// entries).
+    required: Vec<u32>,
+    /// Predicate index → access-predicate cluster root node
+    /// (`u32::MAX` when the predicate roots no cluster). Lets `basic-
+    /// pc-ap` probe only the clusters whose access predicate matched
+    /// instead of iterating every root.
+    root_of: Vec<u32>,
+}
+
+const NO_ROOT: u32 = u32::MAX;
+const NEVER_CANDIDATE: u32 = u32::MAX;
+
 /// A registered nested-path subscription.
 #[derive(Debug)]
 struct NestedSub {
@@ -359,6 +414,7 @@ pub struct FilterEngine {
     algorithm: Algorithm,
     attr_mode: AttrMode,
     stage1: Stage1,
+    stage2: Stage2,
     /// True once any subscription carries a selection-postponed attribute
     /// re-check: such checks consult document nodes, so equal tag-sequence
     /// paths stop being equivalent and path memoization must stay off.
@@ -368,6 +424,10 @@ pub struct FilterEngine {
     n_subs: u32,
     flat: Vec<FlatExpr>,
     trie: Trie,
+    /// Posting lists for [`Stage2::Posting`]; rebuilt by
+    /// [`Self::prepare`] when `postings_dirty`.
+    postings: Postings,
+    postings_dirty: bool,
     nested: Vec<NestedSub>,
     n_components: u32,
     /// Where each subscription's sinks live (for O(depth) removal).
@@ -488,6 +548,13 @@ struct DocState {
     /// across documents; `n_paths` is the live prefix.
     paths: Vec<Vec<NodeId>>,
     n_paths: usize,
+    /// Posting-driven stage 2: per-entry satisfied-predicate counters,
+    /// epoch-stamped per path (an entry becomes a candidate when its
+    /// counter reaches the entry's distinct-predicate count).
+    cand_count: Vec<u32>,
+    cand_epoch: Vec<u32>,
+    /// Candidate entries of the current path.
+    cand_buf: Vec<u32>,
     /// Incremental stage 1: one context mark per open element.
     ctx_marks: Vec<CtxMark>,
     /// Scratch predicate chain for `dfs_node` sink processing.
@@ -519,6 +586,7 @@ impl DocState {
         self.path_epoch = self.path_epoch.wrapping_add(1);
         if self.path_epoch == 0 {
             self.node_matched.fill(0);
+            self.cand_epoch.fill(0);
             self.path_epoch = 1;
         }
     }
@@ -549,12 +617,15 @@ impl FilterEngine {
             algorithm,
             attr_mode,
             stage1: Stage1::default(),
+            stage2: Stage2::default(),
             has_attr_checks: false,
             interner: Interner::new(),
             index: PredicateIndex::new(),
             n_subs: 0,
             flat: Vec::new(),
             trie: Trie::default(),
+            postings: Postings::default(),
+            postings_dirty: true,
             nested: Vec::new(),
             n_components: 0,
             locations: Vec::new(),
@@ -584,6 +655,18 @@ impl FilterEngine {
     /// evaluation (match sets are identical either way).
     pub fn set_stage1(&mut self, stage1: Stage1) {
         self.stage1 = stage1;
+    }
+
+    /// The configured stage-2 strategy.
+    pub fn stage2(&self) -> Stage2 {
+        self.stage2
+    }
+
+    /// Selects the stage-2 strategy. [`Stage2::Posting`] is the default;
+    /// [`Stage2::Scan`] reproduces the scan-every-entry evaluation (match
+    /// sets are identical either way).
+    pub fn set_stage2(&mut self, stage2: Stage2) {
+        self.stage2 = stage2;
     }
 
     /// Number of live subscriptions (registered minus removed).
@@ -629,6 +712,59 @@ impl FilterEngine {
     /// [`Self::matcher`] handles can be created.
     pub fn prepare(&mut self) {
         self.trie.finalize();
+        if self.postings_dirty {
+            self.build_postings();
+            self.postings_dirty = false;
+        }
+    }
+
+    /// Rebuilds the posting lists from the current flat entries /
+    /// trie terminals. O(total predicate occurrences over all entries).
+    fn build_postings(&mut self) {
+        let npreds = self.index.len();
+        let p = &mut self.postings;
+        for list in &mut p.by_pred {
+            list.clear();
+        }
+        p.by_pred.resize_with(npreds, Vec::new);
+        p.required.clear();
+        // A chain may hold the same predicate at two levels (e.g. `b/c`
+        // twice in one expression): posting entries are deduplicated so
+        // one satisfied predicate bumps each entry's counter at most
+        // once, and `required` counts *distinct* predicates.
+        let mut distinct: Vec<PredId> = Vec::new();
+        let mut push_entry = |p: &mut Postings, ei: u32, preds: &[PredId]| {
+            distinct.clear();
+            distinct.extend_from_slice(preds);
+            distinct.sort_unstable();
+            distinct.dedup();
+            debug_assert!(!distinct.is_empty(), "entries always carry predicates");
+            for &pid in distinct.iter() {
+                p.by_pred[pid.index()].push(ei);
+            }
+            p.required.push(distinct.len() as u32);
+        };
+        match self.algorithm {
+            Algorithm::Basic => {
+                for (ei, expr) in self.flat.iter().enumerate() {
+                    if matches!(expr.sink, Sink::Removed) {
+                        p.required.push(NEVER_CANDIDATE);
+                    } else {
+                        push_entry(p, ei as u32, &expr.preds);
+                    }
+                }
+            }
+            Algorithm::PrefixCovering | Algorithm::AccessPredicate => {
+                for (ti, t) in self.trie.terminals.iter().enumerate() {
+                    push_entry(p, ti as u32, &t.chain);
+                }
+            }
+        }
+        p.root_of.clear();
+        p.root_of.resize(npreds, NO_ROOT);
+        for (&pid, &root) in &self.trie.roots {
+            p.root_of[pid.index()] = root;
+        }
     }
 
     /// Creates a concurrent matching handle over this engine. Panics if
@@ -636,8 +772,8 @@ impl FilterEngine {
     /// `&mut self` match) — prepare first.
     pub fn matcher(&self) -> Matcher<'_> {
         assert!(
-            !self.trie.dirty,
-            "FilterEngine::matcher: call prepare() after adding subscriptions"
+            !self.trie.dirty && !self.postings_dirty,
+            "FilterEngine::matcher: call prepare() after adding or removing subscriptions"
         );
         Matcher {
             engine: self,
@@ -678,6 +814,7 @@ impl FilterEngine {
             self.locations.push(location);
         }
         self.n_subs += 1;
+        self.postings_dirty = true;
         debug_assert_eq!(self.locations.len(), self.n_subs as usize);
         Ok(sub)
     }
@@ -735,6 +872,7 @@ impl FilterEngine {
         if removed {
             self.locations[sub.0 as usize] = SubLocation::Gone;
             self.removed += 1;
+            self.postings_dirty = true;
         }
         removed
     }
@@ -817,7 +955,10 @@ impl FilterEngine {
         doc: &D,
         scratch: &mut MatchScratch,
     ) -> Vec<SubId> {
-        debug_assert!(!self.trie.dirty, "prepare() before match_document_with");
+        debug_assert!(
+            !self.trie.dirty && !self.postings_dirty,
+            "prepare() before match_document_with"
+        );
         let MatchScratch {
             publication,
             ctx,
@@ -842,7 +983,15 @@ impl FilterEngine {
             Algorithm::Basic => self.flat.len(),
             _ => self.trie.terminals.len(),
         };
-        state.active.extend(0..n_entries as u32);
+        match self.stage2 {
+            // Posting mode derives per-path candidates from satisfied
+            // predicates: no per-document O(registered entries) pass.
+            Stage2::Posting => {
+                state.cand_count.resize(n_entries, 0);
+                state.cand_epoch.resize(n_entries, 0);
+            }
+            Stage2::Scan => state.active.extend(0..n_entries as u32),
+        }
         state.n_paths = 0;
 
         stats.docs += 1;
@@ -961,16 +1110,46 @@ impl FilterEngine {
         stats: &mut EngineStats,
         path_idx: u32,
     ) {
-        match self.algorithm {
-            Algorithm::Basic => {
+        match (self.algorithm, self.stage2) {
+            (Algorithm::Basic, Stage2::Scan) => {
                 stage2_flat(&self.flat, ctx, publication, doc, state, stats, path_idx)
             }
-            Algorithm::PrefixCovering => {
+            (Algorithm::Basic, Stage2::Posting) => stage2_flat_posting(
+                &self.flat,
+                &self.postings,
+                ctx,
+                publication,
+                doc,
+                state,
+                stats,
+                path_idx,
+            ),
+            (Algorithm::PrefixCovering, Stage2::Scan) => {
                 stage2_trie(&self.trie, ctx, publication, doc, state, stats, path_idx)
             }
-            Algorithm::AccessPredicate => {
+            (Algorithm::PrefixCovering, Stage2::Posting) => stage2_trie_posting(
+                &self.trie,
+                &self.postings,
+                ctx,
+                publication,
+                doc,
+                state,
+                stats,
+                path_idx,
+            ),
+            (Algorithm::AccessPredicate, Stage2::Scan) => {
                 stage2_dfs(&self.trie, ctx, publication, doc, state, stats, path_idx)
             }
+            (Algorithm::AccessPredicate, Stage2::Posting) => stage2_dfs_posting(
+                &self.trie,
+                &self.postings,
+                ctx,
+                publication,
+                doc,
+                state,
+                stats,
+                path_idx,
+            ),
         }
     }
 }
@@ -1144,61 +1323,98 @@ fn stage2_trie<D: DocAccess>(
         let ti = active[read];
         let terminal = &trie.terminals[ti as usize];
         read += 1;
-        let node = terminal.node as usize;
-        let evaluate = state.node_matched[node] != state.path_epoch;
-        // Already known matched on this path via covering propagation?
-        // Then its sinks were already processed; only resolution below.
-        let mut matched_here = !evaluate;
-        if evaluate && !terminal.chain.iter().any(|&pid| ctx.get(pid).is_empty()) {
-            stats.occurrence_runs += 1;
-            matched_here = determine_match_by(terminal.chain.len(), |i| ctx.get(terminal.chain[i]));
-        }
-        if matched_here && state.node_matched[node] != state.path_epoch {
-            // Mark this node and every ancestor (prefix expressions) as
-            // structurally matched on this path, resolving their sinks.
-            let mut cur = terminal.node;
-            let mut depth = terminal.chain.len();
-            loop {
-                let n = &trie.nodes[cur as usize];
-                if state.node_matched[cur as usize] != state.path_epoch {
-                    state.node_matched[cur as usize] = state.path_epoch;
-                    if cur != terminal.node && !n.sinks.is_empty() {
-                        stats.pc_propagations += 1;
-                    }
-                    for sink in &n.sinks {
-                        process_sink(
-                            sink,
-                            &terminal.chain[..depth],
-                            ctx,
-                            publication,
-                            doc,
-                            state,
-                            stats,
-                            path_idx,
-                        );
-                    }
-                }
-                if n.parent == NO_PARENT {
-                    break;
-                }
-                cur = n.parent;
-                depth -= 1;
-            }
-        }
+        eval_terminal(
+            trie,
+            terminal,
+            ctx,
+            publication,
+            doc,
+            state,
+            stats,
+            path_idx,
+        );
         // Stop-after-first-match: drop the terminal from the active list
         // once every subscription it resolves has matched this document.
-        let resolved = trie.nodes[node].sinks.iter().all(|s| match s {
-            Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
-            Sink::Component { .. } => false,
-            Sink::Removed => true,
-        });
-        if !resolved {
+        if !terminal_resolved(trie, terminal, state) {
             active[write] = ti;
             write += 1;
         }
     }
     active.truncate(write);
     state.active = active;
+}
+
+/// Evaluates one trie terminal on the current path: occurrence
+/// determination over its full predicate chain (skipped when covering
+/// propagation already marked the node matched), then the propagation
+/// walk marking this node and every ancestor matched and resolving their
+/// sinks (§4.2).
+#[allow(clippy::too_many_arguments)]
+fn eval_terminal<D: DocAccess>(
+    trie: &Trie,
+    terminal: &Terminal,
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &D,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) {
+    let node = terminal.node as usize;
+    let evaluate = state.node_matched[node] != state.path_epoch;
+    // Already known matched on this path via covering propagation?
+    // Then its sinks were already processed.
+    let mut matched_here = !evaluate;
+    if evaluate && !terminal.chain.iter().any(|&pid| ctx.get(pid).is_empty()) {
+        stats.occurrence_runs += 1;
+        matched_here = determine_match_by(terminal.chain.len(), |i| ctx.get(terminal.chain[i]));
+    }
+    if matched_here && state.node_matched[node] != state.path_epoch {
+        // Mark this node and every ancestor (prefix expressions) as
+        // structurally matched on this path, resolving their sinks.
+        let mut cur = terminal.node;
+        let mut depth = terminal.chain.len();
+        loop {
+            let n = &trie.nodes[cur as usize];
+            if state.node_matched[cur as usize] != state.path_epoch {
+                state.node_matched[cur as usize] = state.path_epoch;
+                if cur != terminal.node && !n.sinks.is_empty() {
+                    stats.pc_propagations += 1;
+                }
+                for sink in &n.sinks {
+                    process_sink(
+                        sink,
+                        &terminal.chain[..depth],
+                        ctx,
+                        publication,
+                        doc,
+                        state,
+                        stats,
+                        path_idx,
+                    );
+                }
+            }
+            if n.parent == NO_PARENT {
+                break;
+            }
+            cur = n.parent;
+            depth -= 1;
+        }
+    }
+}
+
+/// True when every subscription sink of the terminal's node has matched
+/// the current document (component sinks never resolve: they must record
+/// every path).
+fn terminal_resolved(trie: &Trie, terminal: &Terminal, state: &DocState) -> bool {
+    trie.nodes[terminal.node as usize]
+        .sinks
+        .iter()
+        .all(|s| match s {
+            Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
+            Sink::Component { .. } => false,
+            Sink::Removed => true,
+        })
 }
 
 /// Stage 2 for the `basic-pc-ap` organization: clusters are ruled out
@@ -1236,7 +1452,6 @@ fn stage2_dfs<D: DocAccess>(
         if pairs.is_empty() {
             // Access predicate unsatisfied: the entire cluster is ruled
             // out without touching its expressions.
-            stats.ap_cluster_skips += 1;
             continue;
         }
         let mut f: u128 = 0;
@@ -1339,6 +1554,207 @@ fn dfs_node<D: DocAccess>(
         state.node_done[n as usize] = state.doc_epoch;
     }
     all_done
+}
+
+/// Builds the current path's stage-2 candidate list from the satisfied
+/// predicates' posting lists by counting: each satisfied predicate bumps
+/// the per-entry counter of every entry in its posting list; an entry
+/// whose counter reaches its distinct-predicate count has its *entire*
+/// chain satisfied and enters `cand_buf`. Counters are path-epoch-stamped
+/// (no per-path clearing), so the whole pass costs exactly the sum of the
+/// satisfied predicates' posting-list lengths — independent of how many
+/// expressions are registered.
+fn build_candidates(
+    postings: &Postings,
+    ctx: &MatchContext,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+) {
+    state.cand_buf.clear();
+    let epoch = state.path_epoch;
+    for &pid in ctx.matched() {
+        for &ei in &postings.by_pred[pid.index()] {
+            let e = ei as usize;
+            if state.cand_epoch[e] != epoch {
+                state.cand_epoch[e] = epoch;
+                state.cand_count[e] = 1;
+            } else {
+                state.cand_count[e] += 1;
+            }
+            if state.cand_count[e] == postings.required[e] {
+                state.cand_buf.push(ei);
+            }
+        }
+        stats.posting_bumps += postings.by_pred[pid.index()].len() as u64;
+    }
+    stats.stage2_candidates += state.cand_buf.len() as u64;
+}
+
+/// Posting-driven stage 2 for the Basic organization: only expressions
+/// whose full predicate set matched this path are visited; no scan over
+/// the registered list.
+#[allow(clippy::too_many_arguments)]
+fn stage2_flat_posting<D: DocAccess>(
+    flat: &[FlatExpr],
+    postings: &Postings,
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &D,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) {
+    build_candidates(postings, ctx, state, stats);
+    let cand = std::mem::take(&mut state.cand_buf);
+    for &ei in &cand {
+        let expr = &flat[ei as usize];
+        // Stop-after-first-match (§3.1): a subscription that already
+        // matched this document is skipped without re-determination
+        // (the scan formulation compacts it out of the active list).
+        if let Sink::Sub { sub, .. } = &expr.sink {
+            if state.sub_matched[sub.0 as usize] == state.doc_epoch {
+                continue;
+            }
+        }
+        // Candidates have every predicate list non-empty by construction.
+        stats.occurrence_runs += 1;
+        if determine_match_by(expr.preds.len(), |i| ctx.get(expr.preds[i])) {
+            process_sink(
+                &expr.sink,
+                &expr.preds,
+                ctx,
+                publication,
+                doc,
+                state,
+                stats,
+                path_idx,
+            );
+        }
+    }
+    state.cand_buf = cand;
+}
+
+/// Posting-driven stage 2 for the `basic-pc` organization: candidate
+/// terminals (full chain satisfied) evaluated in terminal order — which
+/// [`Trie::finalize`] sorted longest-first per cluster — so covering
+/// propagation fires exactly as in the scan formulation.
+#[allow(clippy::too_many_arguments)]
+fn stage2_trie_posting<D: DocAccess>(
+    trie: &Trie,
+    postings: &Postings,
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &D,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) {
+    build_candidates(postings, ctx, state, stats);
+    let mut cand = std::mem::take(&mut state.cand_buf);
+    // Candidates surface in satisfied-predicate order; restore the
+    // terminal-list order (ascending index) for longest-first evaluation.
+    cand.sort_unstable();
+    for &ti in &cand {
+        let terminal = &trie.terminals[ti as usize];
+        let node = terminal.node as usize;
+        // Stop-after-first-match: once every sink of this node matched
+        // the document, a doc-epoch stamp turns all later visits into an
+        // O(1) skip (the scan formulation drops it from the active list).
+        if state.node_sinks_done[node] == state.doc_epoch {
+            continue;
+        }
+        eval_terminal(
+            trie,
+            terminal,
+            ctx,
+            publication,
+            doc,
+            state,
+            stats,
+            path_idx,
+        );
+        if terminal_resolved(trie, terminal, state) {
+            state.node_sinks_done[node] = state.doc_epoch;
+        }
+    }
+    state.cand_buf = cand;
+}
+
+/// Posting-driven stage 2 for the `basic-pc-ap` organization: instead of
+/// iterating every cluster root to find the ones whose access predicate
+/// matched, probe the dense `pid → root` map once per *satisfied*
+/// predicate — unmatched clusters are never even looked at. The per-path
+/// cost is one array probe per satisfied predicate plus the DFS over the
+/// reachable (satisfied-access-predicate) clusters.
+#[allow(clippy::too_many_arguments)]
+fn stage2_dfs_posting<D: DocAccess>(
+    trie: &Trie,
+    postings: &Postings,
+    ctx: &MatchContext,
+    publication: &Publication,
+    doc: &D,
+    state: &mut DocState,
+    stats: &mut EngineStats,
+    path_idx: u32,
+) {
+    if publication.length >= 128 {
+        stage2_trie_posting(
+            trie,
+            postings,
+            ctx,
+            publication,
+            doc,
+            state,
+            stats,
+            path_idx,
+        );
+        return;
+    }
+    // Probe in whichever direction is cheaper for this path: the satisfied
+    // predicates (output-sensitive — wins when few predicates hold against
+    // a large registered alphabet) or the root table (bounded by the
+    // distinct first components, wins on deep paths that satisfy many
+    // predicates). Both visit exactly the clusters whose access predicate
+    // holds, in an order that cannot affect results (clusters are
+    // disjoint), and `ap_root_probes` counts those clusters either way.
+    if trie.roots.len() <= ctx.matched().len() {
+        for (&pid, &root) in &trie.roots {
+            let pairs = ctx.get(pid);
+            if pairs.is_empty() {
+                continue;
+            }
+            stats.ap_root_probes += 1;
+            if state.node_done[root as usize] == state.doc_epoch {
+                continue;
+            }
+            let mut f: u128 = 0;
+            for &(_, o2) in pairs {
+                f |= 1u128 << o2;
+            }
+            dfs_node(trie, root, f, ctx, publication, doc, state, stats, path_idx);
+        }
+        return;
+    }
+    for &pid in ctx.matched() {
+        let root = postings.root_of[pid.index()];
+        if root == NO_ROOT {
+            continue;
+        }
+        stats.ap_root_probes += 1;
+        if state.node_done[root as usize] == state.doc_epoch {
+            continue;
+        }
+        let pairs = ctx.get(pid);
+        debug_assert!(
+            !pairs.is_empty(),
+            "matched() lists only satisfied predicates"
+        );
+        let mut f: u128 = 0;
+        for &(_, o2) in pairs {
+            f |= 1u128 << o2;
+        }
+        dfs_node(trie, root, f, ctx, publication, doc, state, stats, path_idx);
+    }
 }
 
 /// Resolves a structural match of an expression (on the current path) into
@@ -1548,7 +1964,7 @@ mod tests {
     }
 
     #[test]
-    fn access_predicate_skips_clusters() {
+    fn access_predicate_probes_only_satisfied_clusters() {
         let mut engine = FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline);
         engine.add(&parse("/zzz/yyy").unwrap()).unwrap();
         engine.add(&parse("/zzz/xxx").unwrap()).unwrap();
@@ -1556,7 +1972,41 @@ mod tests {
         let matched = engine.match_document(&doc("<a><b/></a>"));
         assert_eq!(matched, vec![SubId(2)]);
         let stats = engine.stats();
-        assert!(stats.ap_cluster_skips >= 1, "stats: {stats:?}");
+        // The two /zzz expressions share one cluster whose access
+        // predicate never matches: only the /a cluster is probed.
+        assert_eq!(stats.ap_root_probes, 1, "stats: {stats:?}");
+    }
+
+    /// The posting-driven stage 2 (default) and the scan formulation
+    /// produce identical match sets over the engines_agree catalog.
+    #[test]
+    fn stage2_modes_agree() {
+        let exprs = ["/a/b/b", "a/a/b/c", "/a//b/c", "a//b/c", "//b", "b/c"];
+        let docs = [
+            "<a><b><b/></b></a>",
+            "<a><b><c><a><b><c/></b></a></c></b></a>",
+            "<a><b/><b><c/></b><d><e><f/></e></d></a>",
+        ];
+        for algo in ALGOS {
+            for mode in [AttrMode::Inline, AttrMode::Postponed] {
+                let mut posting = FilterEngine::new(algo, mode);
+                let mut scan = FilterEngine::new(algo, mode);
+                scan.set_stage2(Stage2::Scan);
+                assert_eq!(posting.stage2(), Stage2::Posting);
+                for e in exprs {
+                    posting.add(&parse(e).unwrap()).unwrap();
+                    scan.add(&parse(e).unwrap()).unwrap();
+                }
+                for d in docs {
+                    let document = doc(d);
+                    assert_eq!(
+                        posting.match_document(&document),
+                        scan.match_document(&document),
+                        "{algo:?}/{mode:?} over {d}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub mod reference;
 pub use backend::{BackendError, FilterBackend};
 pub use encode::{AttrMode, EncodeError, EncodedPath};
 pub use engine::{
-    AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, Stage1, SubId,
+    AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, Stage1, Stage2, SubId,
 };
 pub use parallel::{BatchReport, ByteFilterResult, DocError, DocFilterResult};

@@ -189,13 +189,30 @@ where
     results
 }
 
+/// Resolves a user-facing thread count: `0` means one worker per
+/// available core ([`std::thread::available_parallelism`], falling back
+/// to 1 if the parallelism cannot be queried); any count is capped at the
+/// number of documents (spawning idle workers is pointless).
+fn effective_threads(threads: usize, n_docs: usize) -> usize {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    threads.min(n_docs.max(1))
+}
+
 /// Filters a batch of parsed documents across `threads` worker threads,
 /// returning per-document outcomes in input order.
 ///
 /// The engine must be prepared ([`FilterEngine::prepare`]) — it is borrowed
 /// immutably. With `threads == 1` this degenerates to a sequential loop
-/// (no threads are spawned). A panic while matching one document yields a
-/// [`DocError::Panicked`] entry for that document only.
+/// (no threads are spawned); `threads == 0` means "use every available
+/// core" ([`std::thread::available_parallelism`]). A panic while matching
+/// one document yields a [`DocError::Panicked`] entry for that document
+/// only.
 ///
 /// ```
 /// use pxf_core::{parallel, FilterEngine};
@@ -217,7 +234,7 @@ pub fn filter_batch(
     docs: &[Document],
     threads: usize,
 ) -> Vec<DocFilterResult> {
-    let threads = threads.max(1).min(docs.len().max(1));
+    let threads = effective_threads(threads, docs.len());
     run_isolated(engine, docs.len(), threads, |matcher, i| {
         Ok(matcher.match_document(&docs[i]))
     })
@@ -230,8 +247,8 @@ pub fn filter_batch(
 /// pass over the bytes into a flat path store, no `Document` tree. Parse
 /// errors — including [`ParserLimits`](pxf_xml::ParserLimits) violations —
 /// and matcher panics are isolated per document. With `threads == 1` this
-/// degenerates to a sequential loop (no threads are spawned), mirroring
-/// [`filter_batch`].
+/// degenerates to a sequential loop (no threads are spawned), and
+/// `threads == 0` uses every available core, mirroring [`filter_batch`].
 ///
 /// [`Matcher::match_bytes`]: crate::Matcher::match_bytes
 pub fn filter_batch_bytes(
@@ -239,7 +256,7 @@ pub fn filter_batch_bytes(
     docs: &[Vec<u8>],
     threads: usize,
 ) -> Vec<ByteFilterResult> {
-    let threads = threads.max(1).min(docs.len().max(1));
+    let threads = effective_threads(threads, docs.len());
     run_isolated(engine, docs.len(), threads, |matcher, i| {
         matcher.match_bytes(&docs[i]).map_err(DocError::from)
     })
@@ -281,6 +298,19 @@ mod tests {
         for threads in [2, 4, 8] {
             assert_eq!(filter_batch(&engine, &docs, threads), sequential);
         }
+        // 0 = one worker per available core.
+        assert_eq!(filter_batch(&engine, &docs, 0), sequential);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(effective_threads(0, 1000), cores.min(1000));
+        assert_eq!(effective_threads(0, 1), 1); // capped at the doc count
+        assert_eq!(effective_threads(3, 2), 2);
+        assert_eq!(effective_threads(3, 0), 1); // empty batch still needs 1
     }
 
     #[test]

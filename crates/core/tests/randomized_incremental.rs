@@ -5,9 +5,12 @@
 //!    exactly what a from-scratch [`PredicateIndex::evaluate`] of that
 //!    root-to-leaf path produces — same matched predicates, same
 //!    occurrence-pair lists.
-//! 2. The engine's match sets are identical under `Stage1::Incremental`
-//!    and `Stage1::PerPath`, for every algorithm × attribute mode ×
-//!    document store, and agree with the reference oracle.
+//! 2. The engine's match sets are identical under every
+//!    `Stage1::{Incremental,PerPath}` × `Stage2::{Posting,Scan}`
+//!    combination — in particular the posting-driven stage 2 (default)
+//!    against the `PerPath` + flat-scan formulation the paper describes —
+//!    for every algorithm × attribute mode × document store, and agree
+//!    with the reference oracle.
 //!
 //! Workloads include repeated-tag documents (exercising occurrence
 //! numbers and the duplicate-path memo), mixed content, and attribute
@@ -15,7 +18,7 @@
 
 use pxf_core::encode::encode_single_path;
 use pxf_core::reference::matches_document;
-use pxf_core::{Algorithm, AttrMode, FilterEngine, Stage1};
+use pxf_core::{Algorithm, AttrMode, FilterEngine, Stage1, Stage2};
 use pxf_predicate::{CtxMark, MatchContext, PredicateIndex, Publication};
 use pxf_rng::Rng;
 use pxf_xml::{
@@ -245,9 +248,11 @@ fn incremental_ctx_equals_per_path_evaluate() {
     assert!(total_leaves > 256, "sweep exercised real documents");
 }
 
-/// Property 2: identical match sets for both stage-1 evaluators across
-/// every algorithm × attribute mode × document store, agreeing with the
-/// reference oracle.
+/// Property 2: identical match sets for both stage-1 evaluators × both
+/// stage-2 strategies across every algorithm × attribute mode × document
+/// store, agreeing with the reference oracle. `PerPath` + `Scan` is the
+/// paper's formulation (the oracle the posting-driven default must
+/// match).
 #[test]
 fn stage1_modes_agree_everywhere() {
     let mut rng = Rng::seed_from_u64(0x1c52);
@@ -275,18 +280,22 @@ fn stage1_modes_agree_everywhere() {
             ] {
                 for mode in [AttrMode::Inline, AttrMode::Postponed] {
                     for stage1 in [Stage1::Incremental, Stage1::PerPath] {
-                        let mut engine = FilterEngine::new(algo, mode);
-                        engine.set_stage1(stage1);
-                        for e in &exprs {
-                            engine.add(e).unwrap();
+                        for stage2 in [Stage2::Posting, Stage2::Scan] {
+                            let mut engine = FilterEngine::new(algo, mode);
+                            engine.set_stage1(stage1);
+                            engine.set_stage2(stage2);
+                            for e in &exprs {
+                                engine.add(e).unwrap();
+                            }
+                            let ctx =
+                                format!("round {round} {algo:?} {mode:?} {stage1:?} {stage2:?}");
+                            let got: Vec<u32> =
+                                engine.match_document(&doc).iter().map(|s| s.0).collect();
+                            assert_eq!(got, oracle, "{ctx} vs oracle on {}", doc.to_xml());
+                            let via_flat: Vec<u32> =
+                                engine.match_document(&flat).iter().map(|s| s.0).collect();
+                            assert_eq!(via_flat, oracle, "{ctx} streaming store");
                         }
-                        let ctx = format!("round {round} {algo:?} {mode:?} {stage1:?}");
-                        let got: Vec<u32> =
-                            engine.match_document(&doc).iter().map(|s| s.0).collect();
-                        assert_eq!(got, oracle, "{ctx} vs oracle on {}", doc.to_xml());
-                        let via_flat: Vec<u32> =
-                            engine.match_document(&flat).iter().map(|s| s.0).collect();
-                        assert_eq!(via_flat, oracle, "{ctx} streaming store");
                     }
                 }
             }

@@ -873,6 +873,22 @@ impl MatchContext {
     pub fn matched(&self) -> &[PredId] {
         &self.touched
     }
+
+    /// The predicates first satisfied inside the mark window opened by
+    /// `mark` — i.e. those whose lists became non-empty after
+    /// [`Self::push_mark`] returned `mark` (predicates already matched at
+    /// the mark are excluded; they keep their earlier `touched` slot).
+    ///
+    /// Because [`Self::pop_to_mark`] truncates `touched` back to the mark
+    /// and pushes only ever append, the invariant holds that `matched()`
+    /// (and any `matched_since` suffix of it) lists exactly the
+    /// predicates with non-empty pair lists right now. Stage 2 uses this
+    /// to drive posting-list candidate generation from satisfied
+    /// predicates instead of scanning registered expressions.
+    #[inline]
+    pub fn matched_since(&self, mark: CtxMark) -> &[PredId] {
+        &self.touched[mark.touched.min(self.touched.len())..]
+    }
 }
 
 /// Evaluates a single predicate directly against a publication, without

@@ -50,6 +50,20 @@ impl Regime {
         }
     }
 
+    /// The expression-count scaling regime (stage-2 scaling experiments):
+    /// the NITF low-match shape with duplicate expressions allowed, so
+    /// the per-document match *fraction* stays fixed while the expression
+    /// count sweeps from thousands to millions — expressions are sampled
+    /// i.i.d. from the same distribution at every count (the
+    /// distinct-expression retry of the other regimes shifts selectivity
+    /// as the pool is exhausted at large counts).
+    pub fn scaling() -> Regime {
+        let mut regime = Regime::nitf();
+        regime.name = "nitf-scaling";
+        regime.xpath.distinct = false;
+        regime
+    }
+
     /// The high-match regime (the paper's PSD workload): narrow DTD,
     /// broad-coverage documents.
     pub fn psd() -> Regime {
@@ -86,5 +100,9 @@ mod tests {
         let p = Regime::psd();
         assert_eq!(p.dtd.name, "psd");
         assert_eq!(p.xml.child_skew, 0.0);
+        let s = Regime::scaling();
+        assert_eq!(s.name, "nitf-scaling");
+        assert_eq!(s.dtd.name, "nitf");
+        assert!(!s.xpath.distinct, "scaling sweeps sample i.i.d.");
     }
 }

@@ -5,6 +5,7 @@
 //! name.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An interned name. Symbols are dense (`0..interner.len()`), so they can
 /// index side tables directly.
@@ -31,10 +32,14 @@ impl Symbol {
 }
 
 /// Bidirectional name ↔ [`Symbol`] table.
+///
+/// Each distinct name is stored once: the map key and the resolve table
+/// share one `Arc<str>` (a previous revision cloned a `Box<str>` into
+/// both, duplicating every name's bytes).
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    map: HashMap<Box<str>, Symbol>,
-    names: Vec<Box<str>>,
+    map: HashMap<Arc<str>, Symbol>,
+    names: Vec<Arc<str>>,
 }
 
 impl Interner {
@@ -49,9 +54,9 @@ impl Interner {
             return sym;
         }
         let sym = Symbol(self.names.len() as u32);
-        let boxed: Box<str> = name.into();
-        self.names.push(boxed.clone());
-        self.map.insert(boxed, sym);
+        let shared: Arc<str> = name.into();
+        self.names.push(Arc::clone(&shared));
+        self.map.insert(shared, sym);
         sym
     }
 
@@ -95,6 +100,35 @@ mod tests {
         let mut i = Interner::new();
         for (n, name) in ["x", "y", "z"].iter().enumerate() {
             assert_eq!(i.intern(name).index(), n);
+        }
+    }
+
+    #[test]
+    fn heavy_interning_keeps_len_and_resolve_in_agreement() {
+        let mut i = Interner::new();
+        let mut syms = Vec::new();
+        // Many distinct names, each re-interned several times.
+        for round in 0..3 {
+            for n in 0..2000 {
+                let name = format!("tag-{n}");
+                let sym = i.intern(&name);
+                if round == 0 {
+                    syms.push(sym);
+                } else {
+                    assert_eq!(sym, syms[n]);
+                }
+            }
+        }
+        assert_eq!(i.len(), 2000);
+        for (n, &sym) in syms.iter().enumerate() {
+            assert_eq!(i.resolve(sym), format!("tag-{n}"));
+            assert_eq!(i.get(&format!("tag-{n}")), Some(sym));
+        }
+        // Map and resolve table share storage: one string allocation per
+        // distinct name.
+        for (name, &sym) in [("tag-0", &syms[0]), ("tag-1999", &syms[1999])] {
+            let resolved = i.resolve(sym);
+            assert_eq!(resolved, name);
         }
     }
 

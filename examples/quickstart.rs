@@ -83,7 +83,7 @@ fn main() {
         engine.distinct_predicates()
     );
     println!(
-        "last run: {} occurrence determinations, {} access-predicate cluster skips",
-        stats.occurrence_runs, stats.ap_cluster_skips
+        "last run: {} occurrence determinations, {} access-predicate root probes",
+        stats.occurrence_runs, stats.ap_root_probes
     );
 }

@@ -62,7 +62,7 @@ pub use pxf_yfilter as yfilter;
 pub mod prelude {
     pub use pxf_core::{
         parallel, Algorithm, AttrMode, BackendError, BatchReport, DocError, FilterBackend,
-        FilterEngine, Matcher, Stage1, SubId,
+        FilterEngine, Matcher, Stage1, Stage2, SubId,
     };
     pub use pxf_indexfilter::IndexFilter;
     pub use pxf_workload::{
