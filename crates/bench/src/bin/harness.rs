@@ -4,16 +4,23 @@
 //! ```text
 //! harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse]
 //!         [--scale F] [--docs N]
+//! harness compare OLD.json NEW.json [--max-regress PCT]
 //! ```
 //!
 //! `--scale` multiplies the expression counts of each experiment (1.0 =
 //! the paper's sizes; the default for the heavyweight experiments is
 //! smaller — each section prints the scale it ran at). `--docs` sets the
 //! number of documents per data point (the paper averages over 500).
+//!
+//! `compare` diffs two `benchjson` output files row by row (keyed on
+//! section, workload, engine, stage 1/2, and expression count) and exits
+//! nonzero if any row's `ms_per_doc` regressed by more than
+//! `--max-regress` percent (default 5) — the CI gate over the checked-in
+//! benchmark files.
 
 use pxf_bench::{
     build_workload, measure_parse_paths_us, measure_parse_us, run_engine, run_engine_configured,
-    EngineKind, RunResult, WorkloadSpec,
+    run_sharded, EngineKind, RunResult, WorkloadSpec,
 };
 use pxf_core::{AttrMode, Stage1, Stage2};
 use pxf_workload::Regime;
@@ -22,6 +29,7 @@ struct Opts {
     experiment: String,
     scale: f64,
     docs: usize,
+    reps: usize,
     out: Option<String>,
 }
 
@@ -29,6 +37,7 @@ fn parse_args() -> Opts {
     let mut experiment = "all".to_string();
     let mut scale = 0.0; // 0 = per-experiment default
     let mut docs = 0;
+    let mut reps = 0; // 0 = per-experiment default
     let mut out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,6 +54,12 @@ fn parse_args() -> Opts {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--docs needs a number"))
             }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs a number"))
+            }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage("--out needs a path"))),
             "--help" | "-h" => {
                 usage("");
@@ -57,8 +72,24 @@ fn parse_args() -> Opts {
         experiment,
         scale,
         docs,
+        reps,
         out,
     }
+}
+
+/// Runs a measurement `reps` times and keeps the fastest run — the
+/// standard defense against scheduler noise when each configuration is
+/// measured once (the minimum is the run least disturbed by the rest of
+/// the system).
+fn best_of<F: FnMut() -> RunResult>(reps: usize, mut run: F) -> RunResult {
+    let mut best = run();
+    for _ in 1..reps {
+        let r = run();
+        if r.ms_per_doc < best.ms_per_doc {
+            best = r;
+        }
+    }
+    best
 }
 
 fn usage(msg: &str) -> ! {
@@ -67,12 +98,18 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse|insert|covering|xfilter|hostile|benchjson] \
-         [--scale F] [--docs N] [--out PATH]"
+         [--scale F] [--docs N] [--reps N] [--out PATH]\n\
+         \x20      harness compare OLD.json NEW.json [--max-regress PCT]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("compare") {
+        compare_cmd(&argv[1..]);
+        return;
+    }
     let opts = parse_args();
     let run = |name: &str| opts.experiment == "all" || opts.experiment == name;
     let mut ran = false;
@@ -135,6 +172,106 @@ fn main() {
     }
     if !ran {
         usage(&format!("unknown experiment '{}'", opts.experiment));
+    }
+}
+
+/// Extracts the value of `"key": value` from one benchjson row line
+/// (quoted strings are unquoted; numbers returned as text).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses a benchjson file into `(row key, ms_per_doc)` pairs. Rows are
+/// keyed on section, workload, engine, both stages, and the expression
+/// count — everything that identifies a configuration; document counts
+/// and timings are free to differ between the two files.
+fn parse_bench_rows(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(section) = json_field(line, "section") else {
+            continue;
+        };
+        let key = format!(
+            "{section}/{}/{}/{}/{}/{}",
+            json_field(line, "workload").unwrap_or("?"),
+            json_field(line, "engine").unwrap_or("?"),
+            json_field(line, "stage1").unwrap_or("?"),
+            json_field(line, "stage2").unwrap_or("?"),
+            json_field(line, "n_exprs").unwrap_or("?"),
+        );
+        let Some(ms) = json_field(line, "ms_per_doc").and_then(|v| v.parse::<f64>().ok()) else {
+            continue;
+        };
+        rows.push((key, ms));
+    }
+    if rows.is_empty() {
+        eprintln!("error: no benchjson rows found in {path}");
+        std::process::exit(2);
+    }
+    rows
+}
+
+/// `harness compare OLD.json NEW.json [--max-regress PCT]`: row-by-row
+/// `ms_per_doc` diff; exits 1 if any configuration present in both files
+/// regressed beyond the threshold.
+fn compare_cmd(args: &[String]) {
+    let mut files: Vec<&String> = Vec::new();
+    let mut max_regress = 5.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-regress" => {
+                max_regress = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-regress needs a number"))
+            }
+            other if !other.starts_with('-') => files.push(a),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if files.len() != 2 {
+        usage("compare needs exactly two benchjson files");
+    }
+    let old_rows = parse_bench_rows(files[0]);
+    let new_rows: std::collections::HashMap<String, f64> =
+        parse_bench_rows(files[1]).into_iter().collect();
+    println!(
+        "## compare {} -> {} (max regress {max_regress}%)",
+        files[0], files[1]
+    );
+    println!(
+        "{:<64} {:>10} {:>10} {:>8}",
+        "configuration", "old ms", "new ms", "delta%"
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, old_ms) in &old_rows {
+        let Some(&new_ms) = new_rows.get(key) else {
+            println!("{key:<64} {old_ms:>10.4} {:>10} {:>8}", "-", "gone");
+            continue;
+        };
+        compared += 1;
+        let delta = (new_ms - old_ms) / old_ms.max(1e-12) * 100.0;
+        let flag = if delta > max_regress {
+            regressions += 1;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!("{key:<64} {old_ms:>10.4} {new_ms:>10.4} {delta:>+7.1}%{flag}");
+    }
+    println!("\n{compared} configurations compared, {regressions} regressed beyond {max_regress}%");
+    if regressions > 0 {
+        std::process::exit(1);
     }
 }
 
@@ -642,16 +779,21 @@ fn parse_times(opts: &Opts) {
 /// `basic-pc-ap` with the posting-driven stage 2. Per-document time must
 /// grow sublinearly in the registered count.
 ///
-/// Writes JSON to `--out` (default `BENCH_pr5.json`).
+/// Writes JSON to `--out` (default `BENCH_pr6.json`). Each row is the
+/// best of `--reps` runs (default 3).
 fn benchjson(opts: &Opts) {
     let scale = scale_or(opts, 0.2);
     let docs = docs_or(opts, 50);
-    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr5.json".into());
+    // Best-of-3 per row by default: single-run rows at these sizes
+    // measure a few milliseconds and gate CI at 5%, so one scheduler
+    // hiccup would fail the build.
+    let reps = if opts.reps == 0 { 3 } else { opts.reps };
+    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr6.json".into());
 
     let mut entries: Vec<String> = Vec::new();
     let fmt_entry = |section: &str,
                      workload: &str,
-                     kind: EngineKind,
+                     engine_label: &str,
                      stage2_label: &str,
                      n_exprs: usize,
                      n_docs: usize,
@@ -666,21 +808,25 @@ fn benchjson(opts: &Opts) {
                 "\"n_exprs\": {}, \"n_docs\": {}, ",
                 "\"ms_per_doc\": {:.6}, \"docs_per_sec\": {:.3}, ",
                 "\"matched_fraction\": {:.6}, ",
+                "\"index_bytes\": {}, \"bytes_per_expr\": {:.1}, ",
                 "\"predicate_ns_per_doc\": {:.0}, \"expression_ns_per_doc\": {:.0}, ",
                 "\"other_ns_per_doc\": {:.0}, ",
                 "\"occurrence_runs\": {}, \"stage2_candidates\": {}, ",
                 "\"posting_bumps\": {}, \"ap_root_probes\": {}, ",
-                "\"pc_propagations\": {}, \"memo_path_skips\": {}}}"
+                "\"pc_propagations\": {}, \"memo_path_skips\": {}, ",
+                "\"shard_imbalance_ns\": {}}}"
             ),
             section,
             workload,
-            kind.label(),
+            engine_label,
             stage2_label,
             n_exprs,
             n_docs,
             r.ms_per_doc,
             1e3 / r.ms_per_doc.max(1e-9),
             r.match_pct / 100.0,
+            r.index_bytes,
+            r.bytes_per_expr(n_exprs),
             pred_ms * 1e6,
             expr_ms * 1e6,
             other_ms * 1e6,
@@ -690,6 +836,7 @@ fn benchjson(opts: &Opts) {
             stats.ap_root_probes,
             stats.pc_propagations,
             stats.memo_path_skips,
+            stats.shard_imbalance_ns,
         )
     };
 
@@ -710,7 +857,7 @@ fn benchjson(opts: &Opts) {
         EngineKind::BasicPcAp,
     ];
     let stages = [(Stage2::Scan, "scan"), (Stage2::Posting, "posting")];
-    println!("## benchjson — stage-2 scan vs posting (scale {scale}, {docs} docs)");
+    println!("## benchjson — stage-2 scan vs posting (scale {scale}, {docs} docs, best of {reps})");
     print_header(&[
         "workload", "engine", "stage2", "ms/doc", "pred-ms", "expr-ms",
     ]);
@@ -726,8 +873,9 @@ fn benchjson(opts: &Opts) {
         );
         for &kind in &kinds {
             for (stage2, stage_label) in stages {
-                let r =
-                    run_engine_configured(kind, AttrMode::Inline, Stage1::Incremental, stage2, &w);
+                let r = best_of(reps, || {
+                    run_engine_configured(kind, AttrMode::Inline, Stage1::Incremental, stage2, &w)
+                });
                 let (pred_ms, expr_ms, _) = r.breakdown_ms;
                 println!(
                     "{:<12} {:>13} {:>9} {:>11.3} {:>11.3} {:>11.3}",
@@ -741,7 +889,7 @@ fn benchjson(opts: &Opts) {
                 entries.push(fmt_entry(
                     "stage2_compare",
                     regime.name,
-                    kind,
+                    kind.label(),
                     stage_label,
                     w.exprs.len(),
                     docs,
@@ -755,10 +903,17 @@ fn benchjson(opts: &Opts) {
     let sweep_docs = docs.min(20);
     let regime = Regime::scaling();
     println!(
-        "\n## benchjson — stage-2 scaling sweep ({}, {sweep_docs} docs)",
+        "\n## benchjson — stage-2 scaling sweep ({}, {sweep_docs} docs, best of {reps})",
         regime.name
     );
-    print_header(&["n_exprs", "engine", "stage2", "ms/doc", "match-frac"]);
+    print_header(&[
+        "n_exprs",
+        "engine",
+        "stage2",
+        "ms/doc",
+        "B/expr",
+        "match-frac",
+    ]);
     for n_exprs in [10_000usize, 100_000, 1_000_000] {
         let w = build_workload(
             &regime,
@@ -769,34 +924,60 @@ fn benchjson(opts: &Opts) {
                 ..Default::default()
             },
         );
-        let r = run_engine_configured(
-            EngineKind::BasicPcAp,
-            AttrMode::Inline,
-            Stage1::Incremental,
-            Stage2::Posting,
-            &w,
-        );
+        let r = best_of(reps, || {
+            run_engine_configured(
+                EngineKind::BasicPcAp,
+                AttrMode::Inline,
+                Stage1::Incremental,
+                Stage2::Posting,
+                &w,
+            )
+        });
         println!(
-            "{:<12} {:>13} {:>9} {:>11.3} {:>11.4}",
+            "{:<12} {:>13} {:>9} {:>11.3} {:>11.1} {:>11.4}",
             n_exprs,
             EngineKind::BasicPcAp.label(),
             "posting",
             r.ms_per_doc,
+            r.bytes_per_expr(w.exprs.len()),
             r.match_pct / 100.0
         );
         entries.push(fmt_entry(
             "scaling",
             regime.name,
-            EngineKind::BasicPcAp,
+            EngineKind::BasicPcAp.label(),
             "posting",
             w.exprs.len(),
             sweep_docs,
             &r,
         ));
+        // The expression-sharded axis at the same sizes: 4 round-robin
+        // shards, same subscriptions, merged results.
+        let rs = best_of(reps, || {
+            run_sharded(4, EngineKind::BasicPcAp, AttrMode::Inline, &w)
+        });
+        println!(
+            "{:<12} {:>13} {:>9} {:>11.3} {:>11.1} {:>11.4}",
+            n_exprs,
+            "…-x4shard",
+            "posting",
+            rs.ms_per_doc,
+            rs.bytes_per_expr(w.exprs.len()),
+            rs.match_pct / 100.0
+        );
+        entries.push(fmt_entry(
+            "scaling",
+            regime.name,
+            "basic-pc-ap-x4shard",
+            "posting",
+            w.exprs.len(),
+            sweep_docs,
+            &rs,
+        ));
     }
 
     let json = format!
-        ("{{\n  \"bench\": \"pr5_stage2\",\n  \"scale\": {scale},\n  \"docs\": {docs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        ("{{\n  \"bench\": \"pr6_compact_sharded\",\n  \"scale\": {scale},\n  \"docs\": {docs},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"));
     std::fs::write(&out_path, json).expect("write benchjson output");
     println!("\nwrote {out_path}");

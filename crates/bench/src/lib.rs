@@ -157,8 +157,20 @@ pub struct RunResult {
     /// milliseconds: (predicate matching, expression matching, other).
     /// Zero for the baselines.
     pub breakdown_ms: (f64, f64, f64),
+    /// Approximate index footprint in bytes (arena/slab accounting via
+    /// [`FilterBackend::index_bytes`]); 0 for backends that don't report
+    /// it.
+    pub index_bytes: usize,
     /// Raw engine counters of the run (predicate engines only).
     pub stats: Option<EngineStats>,
+}
+
+impl RunResult {
+    /// Index bytes per registered expression (the compact-layout metric);
+    /// 0.0 when the backend doesn't report a footprint.
+    pub fn bytes_per_expr(&self, n_exprs: usize) -> f64 {
+        self.index_bytes as f64 / n_exprs.max(1) as f64
+    }
 }
 
 /// Builds an engine of the given kind over the workload expressions,
@@ -221,6 +233,7 @@ pub fn run_engine(kind: EngineKind, attr_mode: AttrMode, workload: &Workload) ->
         build_ms,
         distinct_preds,
         breakdown_ms,
+        index_bytes: engine.index_bytes(),
         stats,
     }
 }
@@ -282,6 +295,55 @@ pub fn run_engine_configured(
             stats.expression_ns as f64 / 1e6 / n_docs,
             stats.other_ns as f64 / 1e6 / n_docs,
         ),
+        index_bytes: engine.index_bytes(),
+        stats: Some(stats),
+    }
+}
+
+/// Runs an expression-sharded engine ([`pxf_core::ShardedEngine`]) over a
+/// workload with the default evaluator strategies: one parse per
+/// document, all shards matched, results merged. Mirrors
+/// [`run_engine_configured`] for the sharded axis.
+pub fn run_sharded(
+    n_shards: usize,
+    kind: EngineKind,
+    attr_mode: AttrMode,
+    workload: &Workload,
+) -> RunResult {
+    let t0 = Instant::now();
+    let mut engine = pxf_core::ShardedEngine::new(n_shards, engine_algorithm(kind), attr_mode);
+    for e in &workload.exprs {
+        engine.add(e).expect("workload expressions are supported");
+    }
+    engine.prepare();
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    engine.reset_stats();
+    let mut total_matches = 0usize;
+    let t1 = Instant::now();
+    for bytes in &workload.doc_bytes {
+        total_matches += engine
+            .match_bytes(bytes)
+            .expect("generated documents are well-formed")
+            .len();
+    }
+    let elapsed = t1.elapsed().as_secs_f64() * 1e3;
+    let n_docs = workload.doc_bytes.len().max(1) as f64;
+
+    let stats = engine.stats();
+    let avg_matches = total_matches as f64 / n_docs;
+    RunResult {
+        ms_per_doc: elapsed / n_docs,
+        avg_matches,
+        match_pct: avg_matches / workload.exprs.len().max(1) as f64 * 100.0,
+        build_ms,
+        distinct_preds: engine.distinct_predicates(),
+        breakdown_ms: (
+            stats.predicate_ns as f64 / 1e6 / n_docs,
+            stats.expression_ns as f64 / 1e6 / n_docs,
+            stats.other_ns as f64 / 1e6 / n_docs,
+        ),
+        index_bytes: engine.index_bytes(),
         stats: Some(stats),
     }
 }

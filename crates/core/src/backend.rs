@@ -90,6 +90,13 @@ pub trait FilterBackend {
     fn distinct_predicates(&self) -> usize {
         0
     }
+
+    /// Approximate heap footprint of the backend's index structures in
+    /// bytes (arenas, slabs, posting lists — not per-document scratch);
+    /// 0 for backends that don't account for it.
+    fn index_bytes(&self) -> usize {
+        0
+    }
 }
 
 impl FilterBackend for FilterEngine {
@@ -123,6 +130,10 @@ impl FilterBackend for FilterEngine {
 
     fn distinct_predicates(&self) -> usize {
         FilterEngine::distinct_predicates(self)
+    }
+
+    fn index_bytes(&self) -> usize {
+        FilterEngine::index_bytes(self)
     }
 }
 

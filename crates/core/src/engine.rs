@@ -137,6 +137,11 @@ pub struct EngineStats {
     /// tag-sequence path was already processed in the same document
     /// (incremental stage 1 only).
     pub memo_path_skips: u64,
+    /// Expression-sharded matching only: cumulative per-document
+    /// imbalance (slowest shard minus fastest shard, in nanoseconds)
+    /// across the shards of a `ShardedEngine`. Zero for unsharded
+    /// engines.
+    pub shard_imbalance_ns: u64,
     /// Total subscription matches reported.
     pub matches: u64,
 }
@@ -247,13 +252,16 @@ struct FlatExpr {
     sink: Sink,
 }
 
-/// A trie node (PrefixCovering / AccessPredicate organizations).
+/// A trie node in the *builder* representation (PrefixCovering /
+/// AccessPredicate organizations): insertion-time state plus the sink
+/// lists, which stay here (cold) while the hot matching walk runs over
+/// the arena-packed [`PackedTrie`] columns compiled by
+/// [`Trie::finalize`].
 #[derive(Debug)]
 struct TrieNode {
     pid: PredId,
     parent: u32, // u32::MAX = no parent (root-level node)
     depth: u16,
-    children: HashMap<PredId, u32>,
     sinks: Vec<Sink>,
 }
 
@@ -262,50 +270,125 @@ const NO_PARENT: u32 = u32::MAX;
 #[derive(Debug, Default)]
 struct Trie {
     nodes: Vec<TrieNode>,
-    roots: HashMap<PredId, u32>,
-    /// Terminals (nodes with sinks) with their full predicate chains,
-    /// sorted for evaluation; rebuilt lazily.
-    terminals: Vec<Terminal>,
+    /// Insert-time edge lookup: `(parent, pid) → child` (parent
+    /// `NO_PARENT` keys the root level). Matching never touches this —
+    /// it walks the packed CSR ranges instead.
+    edges: HashMap<(u32, PredId), u32>,
+    /// Arena-packed read-only layout; rebuilt lazily.
+    packed: PackedTrie,
     dirty: bool,
 }
 
-#[derive(Debug)]
-struct Terminal {
-    node: u32,
-    root_pid: PredId,
-    chain: Box<[PredId]>,
+/// Arena-packed structure-of-arrays trie layout: per-node columns, child
+/// edges as CSR ranges sorted by predicate, roots as sorted parallel
+/// arrays, and terminal chains packed end-to-end in one arena. The hot
+/// stage-2 walks touch only these dense columns (plus the builder sink
+/// lists when a node actually resolves subscriptions).
+#[derive(Debug, Default)]
+struct PackedTrie {
+    /// Node → its predicate.
+    pid: Vec<PredId>,
+    /// Node → parent node (`NO_PARENT` at roots).
+    parent: Vec<u32>,
+    /// Node → number of sinks (hot presence check; the sinks themselves
+    /// stay on the builder nodes).
+    sink_len: Vec<u32>,
+    /// Plain-subscription sink CSR: node `n`'s sinks that are
+    /// `Sink::Sub` with no attribute check, as bare subscription ids —
+    /// `plain_subs[plain_start[n]..plain_start[n+1]]`. When the span
+    /// covers all `sink_len[n]` sinks, resolving the node is a tight
+    /// bitmap-marking sweep over this column (4 bytes per sink instead
+    /// of a 16-byte enum match), the duplicate-heavy common case.
+    plain_start: Vec<u32>,
+    plain_subs: Vec<u32>,
+    /// Children CSR: node `n`'s edges are
+    /// `child_pid/child_node[child_start[n]..child_start[n+1]]`, sorted
+    /// by predicate.
+    child_start: Vec<u32>,
+    child_pid: Vec<PredId>,
+    child_node: Vec<u32>,
+    /// Root clusters as parallel arrays sorted by predicate.
+    root_pid: Vec<PredId>,
+    root_node: Vec<u32>,
+    /// Terminals (nodes with sinks): node ids plus chain spans into
+    /// `chain_arena`, sorted (root pid asc, chain length desc) — per
+    /// cluster, longest chain first (the paper's longest-expression-first
+    /// strategy) with clusters contiguous for access-predicate skipping.
+    term_node: Vec<u32>,
+    term_chain_start: Vec<u32>,
+    chain_arena: Vec<PredId>,
+}
+
+impl PackedTrie {
+    fn n_terminals(&self) -> usize {
+        self.term_node.len()
+    }
+
+    /// Terminal → its full predicate chain (root first).
+    #[inline]
+    fn chain(&self, ti: u32) -> &[PredId] {
+        let s = self.term_chain_start[ti as usize] as usize;
+        let e = self.term_chain_start[ti as usize + 1] as usize;
+        &self.chain_arena[s..e]
+    }
+
+    /// Node → its plain-subscription sinks (no attribute check).
+    #[inline]
+    fn plain_subs(&self, n: u32) -> &[u32] {
+        let s = self.plain_start[n as usize] as usize;
+        let e = self.plain_start[n as usize + 1] as usize;
+        &self.plain_subs[s..e]
+    }
+
+    /// Node → its child edges as parallel `(pid, node)` slices.
+    #[inline]
+    fn children(&self, n: u32) -> (&[PredId], &[u32]) {
+        let s = self.child_start[n as usize] as usize;
+        let e = self.child_start[n as usize + 1] as usize;
+        (&self.child_pid[s..e], &self.child_node[s..e])
+    }
+
+    /// Heap footprint of the packed columns, in bytes.
+    fn arena_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pid.capacity() * size_of::<PredId>()
+            + self.parent.capacity() * size_of::<u32>()
+            + self.sink_len.capacity() * size_of::<u32>()
+            + self.plain_start.capacity() * size_of::<u32>()
+            + self.plain_subs.capacity() * size_of::<u32>()
+            + self.child_start.capacity() * size_of::<u32>()
+            + self.child_pid.capacity() * size_of::<PredId>()
+            + self.child_node.capacity() * size_of::<u32>()
+            + self.root_pid.capacity() * size_of::<PredId>()
+            + self.root_node.capacity() * size_of::<u32>()
+            + self.term_node.capacity() * size_of::<u32>()
+            + self.term_chain_start.capacity() * size_of::<u32>()
+            + self.chain_arena.capacity() * size_of::<PredId>()
+    }
 }
 
 impl Trie {
     fn insert(&mut self, preds: &[PredId], sink: Sink) -> u32 {
         debug_assert!(!preds.is_empty());
-        let mut current: Option<u32> = None;
+        let mut current: u32 = NO_PARENT;
         for &pid in preds {
-            let next = match current {
-                None => match self.roots.get(&pid) {
-                    Some(&n) => n,
-                    None => {
-                        let n = self.alloc(pid, NO_PARENT, 1);
-                        self.roots.insert(pid, n);
-                        n
-                    }
-                },
-                Some(cur) => match self.nodes[cur as usize].children.get(&pid) {
-                    Some(&n) => n,
-                    None => {
-                        let depth = self.nodes[cur as usize].depth + 1;
-                        let n = self.alloc(pid, cur, depth);
-                        self.nodes[cur as usize].children.insert(pid, n);
-                        n
-                    }
-                },
+            current = match self.edges.get(&(current, pid)) {
+                Some(&n) => n,
+                None => {
+                    let depth = if current == NO_PARENT {
+                        1
+                    } else {
+                        self.nodes[current as usize].depth + 1
+                    };
+                    let n = self.alloc(pid, current, depth);
+                    self.edges.insert((current, pid), n);
+                    n
+                }
             };
-            current = Some(next);
         }
-        let node = current.unwrap();
-        self.nodes[node as usize].sinks.push(sink);
+        self.nodes[current as usize].sinks.push(sink);
         self.dirty = true;
-        node
+        current
     }
 
     fn alloc(&mut self, pid: PredId, parent: u32, depth: u16) -> u32 {
@@ -314,46 +397,105 @@ impl Trie {
             pid,
             parent,
             depth,
-            children: HashMap::new(),
             sinks: Vec::new(),
         });
         id
     }
 
-    /// Rebuilds the terminal list: per root cluster, longest chain first
-    /// (the paper's longest-expression-first strategy); clusters contiguous
-    /// for access-predicate skipping.
+    /// Compiles the packed layout from the builder nodes: child CSR
+    /// (counting sort by `(parent, pid)`), sorted root arrays, and the
+    /// terminal chain arena.
     fn finalize(&mut self) {
         if !self.dirty {
             return;
         }
-        self.terminals.clear();
-        for (ni, node) in self.nodes.iter().enumerate() {
-            if node.sinks.is_empty() {
+        let n = self.nodes.len();
+        let p = &mut self.packed;
+        p.pid.clear();
+        p.parent.clear();
+        p.sink_len.clear();
+        p.pid.extend(self.nodes.iter().map(|nd| nd.pid));
+        p.parent.extend(self.nodes.iter().map(|nd| nd.parent));
+        p.sink_len
+            .extend(self.nodes.iter().map(|nd| nd.sinks.len() as u32));
+        p.plain_start.clear();
+        p.plain_subs.clear();
+        p.plain_start.push(0);
+        for nd in &self.nodes {
+            for s in &nd.sinks {
+                if let Sink::Sub {
+                    sub,
+                    attr_check: None,
+                } = s
+                {
+                    p.plain_subs.push(sub.0);
+                }
+            }
+            p.plain_start.push(p.plain_subs.len() as u32);
+        }
+
+        // Every non-root node contributes exactly one child edge.
+        let mut edges: Vec<(u32, PredId, u32)> = Vec::new();
+        let mut roots: Vec<(PredId, u32)> = Vec::new();
+        for (i, nd) in self.nodes.iter().enumerate() {
+            if nd.parent == NO_PARENT {
+                roots.push((nd.pid, i as u32));
+            } else {
+                edges.push((nd.parent, nd.pid, i as u32));
+            }
+        }
+        edges.sort_unstable();
+        roots.sort_unstable();
+        p.child_start.clear();
+        p.child_start.resize(n + 1, 0);
+        for &(parent, _, _) in &edges {
+            p.child_start[parent as usize + 1] += 1;
+        }
+        for i in 0..n {
+            p.child_start[i + 1] += p.child_start[i];
+        }
+        p.child_pid.clear();
+        p.child_node.clear();
+        p.child_pid.extend(edges.iter().map(|e| e.1));
+        p.child_node.extend(edges.iter().map(|e| e.2));
+        p.root_pid.clear();
+        p.root_node.clear();
+        p.root_pid.extend(roots.iter().map(|r| r.0));
+        p.root_node.extend(roots.iter().map(|r| r.1));
+
+        // Terminal chains: walk parents into a temporary arena, then emit
+        // in (root pid asc, length desc) order.
+        let mut tmp_arena: Vec<PredId> = Vec::new();
+        let mut terms: Vec<(PredId, u32, u32, u32)> = Vec::new();
+        for (ni, nd) in self.nodes.iter().enumerate() {
+            if nd.sinks.is_empty() {
                 continue;
             }
-            let mut chain = Vec::with_capacity(node.depth as usize);
+            let start = tmp_arena.len() as u32;
             let mut cur = ni as u32;
             loop {
-                let n = &self.nodes[cur as usize];
-                chain.push(n.pid);
-                if n.parent == NO_PARENT {
+                let nd2 = &self.nodes[cur as usize];
+                tmp_arena.push(nd2.pid);
+                if nd2.parent == NO_PARENT {
                     break;
                 }
-                cur = n.parent;
+                cur = nd2.parent;
             }
-            chain.reverse();
-            self.terminals.push(Terminal {
-                node: ni as u32,
-                root_pid: chain[0],
-                chain: chain.into_boxed_slice(),
-            });
+            tmp_arena[start as usize..].reverse();
+            let len = tmp_arena.len() as u32 - start;
+            terms.push((tmp_arena[start as usize], start, len, ni as u32));
         }
-        self.terminals.sort_by(|a, b| {
-            a.root_pid
-                .cmp(&b.root_pid)
-                .then(b.chain.len().cmp(&a.chain.len()))
-        });
+        terms.sort_by(|a, b| a.0.cmp(&b.0).then(b.2.cmp(&a.2)));
+        p.term_node.clear();
+        p.term_chain_start.clear();
+        p.chain_arena.clear();
+        p.term_chain_start.push(0);
+        for &(_, start, len, node) in &terms {
+            p.term_node.push(node);
+            p.chain_arena
+                .extend_from_slice(&tmp_arena[start as usize..(start + len) as usize]);
+            p.term_chain_start.push(p.chain_arena.len() as u32);
+        }
         self.dirty = false;
     }
 }
@@ -366,9 +508,12 @@ impl Trie {
 /// subscriptions changed.
 #[derive(Debug, Default)]
 struct Postings {
-    /// Predicate index → entry ids (deduplicated: an entry appears once
-    /// per *distinct* predicate in its chain).
-    by_pred: Vec<Vec<u32>>,
+    /// CSR posting lists: predicate index `p`'s entries are
+    /// `entries[pred_start[p]..pred_start[p+1]]` (deduplicated: an entry
+    /// appears once per *distinct* predicate in its chain). One flat slab
+    /// instead of one heap `Vec` per predicate.
+    pred_start: Vec<u32>,
+    entries: Vec<u32>,
     /// Entry id → number of distinct predicates in its chain; a per-path
     /// counter reaching this value makes the entry a candidate.
     /// `u32::MAX` marks entries that can never match (removed flat
@@ -379,6 +524,24 @@ struct Postings {
     /// pc-ap` probe only the clusters whose access predicate matched
     /// instead of iterating every root.
     root_of: Vec<u32>,
+}
+
+impl Postings {
+    /// Posting list of one predicate.
+    #[inline]
+    fn of(&self, pid: usize) -> &[u32] {
+        &self.entries[self.pred_start[pid] as usize..self.pred_start[pid + 1] as usize]
+    }
+
+    /// Heap footprint of the posting slabs, in bytes.
+    fn slab_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.pred_start.capacity()
+            + self.entries.capacity()
+            + self.required.capacity()
+            + self.root_of.capacity())
+            * size_of::<u32>()
+    }
 }
 
 const NO_ROOT: u32 = u32::MAX;
@@ -476,6 +639,21 @@ impl MatchScratch {
     pub fn stats(&self) -> EngineStats {
         self.stats
     }
+
+    #[doc(hidden)]
+    /// Test hook: forces the internal document/path epochs (e.g. just
+    /// below the u32 wrap point) so the epoch-wrap hard-clear discipline
+    /// can be soaked without matching 2³² documents.
+    pub fn force_epochs(&mut self, doc_epoch: u32, path_epoch: u32) {
+        self.state.doc_epoch = doc_epoch;
+        self.state.path_epoch = path_epoch;
+    }
+
+    #[doc(hidden)]
+    /// Test hook: the current (doc, path) epochs.
+    pub fn epochs(&self) -> (u32, u32) {
+        (self.state.doc_epoch, self.state.path_epoch)
+    }
 }
 
 /// A matching handle over a shared, immutable [`FilterEngine`]: holds its
@@ -516,22 +694,155 @@ impl Matcher<'_> {
     }
 }
 
+/// An epoch-stamped bitmap: one bit per id, valid only while the owning
+/// 64-bit word's stamp equals the current epoch. Setting a bit in a
+/// stale word lazily zeroes the word first, so neither documents nor
+/// paths pay a clearing pass. The same u32 wrap discipline as the plain
+/// stamp arrays applies: on epoch wrap the owner must [`hard_clear`]
+/// (otherwise a word last stamped 2³² epochs ago would read as current).
+///
+/// [`hard_clear`]: EpochBitmap::hard_clear
+#[derive(Debug, Default)]
+struct EpochBitmap {
+    words: Vec<u64>,
+    stamps: Vec<u32>,
+}
+
+impl EpochBitmap {
+    /// Grows to cover at least `bits` ids (never shrinks).
+    fn resize(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+            self.stamps.resize(words, 0);
+        }
+    }
+
+    #[inline]
+    fn test(&self, i: usize, epoch: u32) -> bool {
+        self.stamps[i / 64] == epoch && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, epoch: u32) {
+        let w = i / 64;
+        if self.stamps[w] != epoch {
+            self.stamps[w] = epoch;
+            self.words[w] = 0;
+        }
+        self.words[w] |= 1u64 << (i % 64);
+    }
+
+    /// Zeroes every word and stamp (epoch-wrap hard clear).
+    fn hard_clear(&mut self) {
+        self.words.fill(0);
+        self.stamps.fill(0);
+    }
+
+    /// Visits every bit set in the current epoch, in ascending id order.
+    fn for_each_set(&self, epoch: u32, mut f: impl FnMut(usize)) {
+        for (w, (&stamp, &word)) in self.stamps.iter().zip(&self.words).enumerate() {
+            if stamp != epoch || word == 0 {
+                continue;
+            }
+            let mut bits = word;
+            while bits != 0 {
+                f(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// Open-addressed flat hash table for the per-document path memo (hash of
+/// the tag-symbol sequence → span into `memo_syms`). Linear probing over
+/// one key slab; key 0 means empty (callers remap a real hash of 0 to 1,
+/// which is sound because every hit is verified against the stored symbol
+/// sequence anyway).
+#[derive(Debug, Default)]
+struct MemoTable {
+    keys: Vec<u64>,
+    vals: Vec<(u32, u32)>,
+    len: usize,
+}
+
+impl MemoTable {
+    /// Empties the table, keeping capacity.
+    fn clear(&mut self) {
+        self.keys.fill(0);
+        self.len = 0;
+    }
+
+    fn get(&self, h: u64) -> Option<(u32, u32)> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            let k = self.keys[i];
+            if k == 0 {
+                return None;
+            }
+            if k == h {
+                return Some(self.vals[i]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, h: u64, v: (u32, u32)) {
+        debug_assert_ne!(h, 0, "hash 0 is the empty marker");
+        if self.len * 2 >= self.keys.len() {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = (h as usize) & mask;
+        while self.keys[i] != 0 {
+            if self.keys[i] == h {
+                self.vals[i] = v;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = h;
+        self.vals[i] = v;
+        self.len += 1;
+    }
+
+    /// Doubles capacity (load factor ½) and rehashes.
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(64);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![(0, 0); new_cap]);
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != 0 {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct DocState {
     doc_epoch: u32,
     path_epoch: u32,
-    /// SubId → doc epoch at which it matched.
-    sub_matched: Vec<u32>,
-    /// Trie node → path epoch at which it was (found or propagated)
-    /// structurally matched.
-    node_matched: Vec<u32>,
-    /// Trie node → doc epoch at which its whole subtree became resolved
-    /// (every reachable subscription matched): pruned from later paths.
-    node_done: Vec<u32>,
-    /// Trie node → doc epoch at which all of its own sinks resolved (so
-    /// later visits skip sink processing — crucial for duplicate-heavy
-    /// workloads where one node carries thousands of subscriptions).
-    node_sinks_done: Vec<u32>,
+    /// SubId → matched in the current document (doc-epoch bitmap). Also
+    /// the result accumulator: the final ascending bitmap scan *is* the
+    /// sorted result list, replacing per-match pushes plus a sort.
+    sub_matched: EpochBitmap,
+    /// Trie node → (found or propagated) structurally matched on the
+    /// current path (path-epoch bitmap).
+    node_matched: EpochBitmap,
+    /// Trie node → whole subtree resolved in the current document (every
+    /// reachable subscription matched): pruned from later paths.
+    node_done: EpochBitmap,
+    /// Trie node → all of its own sinks resolved in the current document
+    /// (so later visits skip sink processing — crucial for
+    /// duplicate-heavy workloads where one node carries thousands of
+    /// subscriptions).
+    node_sinks_done: EpochBitmap,
     /// Component registry id → path indices matched in the current doc.
     comp_paths: Vec<Vec<u32>>,
     /// Terminals (trie) or expressions (flat) still unresolved in the
@@ -548,45 +859,46 @@ struct DocState {
     /// across documents; `n_paths` is the live prefix.
     paths: Vec<Vec<NodeId>>,
     n_paths: usize,
-    /// Posting-driven stage 2: per-entry satisfied-predicate counters,
-    /// epoch-stamped per path (an entry becomes a candidate when its
-    /// counter reaches the entry's distinct-predicate count).
-    cand_count: Vec<u32>,
-    cand_epoch: Vec<u32>,
+    /// Posting-driven stage 2: per-entry satisfied-predicate counters
+    /// packed as `(path_epoch << 32) | count` — one load/store per
+    /// posting bump, no separate epoch array (an entry becomes a
+    /// candidate when its count reaches the entry's distinct-predicate
+    /// count).
+    cand: Vec<u64>,
     /// Candidate entries of the current path.
     cand_buf: Vec<u32>,
     /// Incremental stage 1: one context mark per open element.
     ctx_marks: Vec<CtxMark>,
     /// Scratch predicate chain for `dfs_node` sink processing.
     chain_buf: Vec<PredId>,
-    /// Per-document path memo: hash of the tag-symbol sequence → span into
-    /// `memo_syms` holding the sequence (verified on hit — a hash
-    /// collision falls back to running stage 2).
-    memo: HashMap<u64, (u32, u32)>,
+    /// Per-document path memo (verified on hit — a hash collision falls
+    /// back to running stage 2).
+    memo: MemoTable,
     memo_syms: Vec<Symbol>,
 }
 
 impl DocState {
-    /// Bumps the document epoch. On u32 wrap the stamped arrays are
+    /// Bumps the document epoch. On u32 wrap the stamped bitmaps are
     /// hard-cleared and the epoch restarts at 1 — otherwise a slot last
     /// stamped 2³² documents ago would read as current.
     fn advance_doc_epoch(&mut self) {
         self.doc_epoch = self.doc_epoch.wrapping_add(1);
         if self.doc_epoch == 0 {
-            self.sub_matched.fill(0);
-            self.node_done.fill(0);
-            self.node_sinks_done.fill(0);
+            self.sub_matched.hard_clear();
+            self.node_done.hard_clear();
+            self.node_sinks_done.hard_clear();
             self.doc_epoch = 1;
         }
     }
 
-    /// Bumps the path epoch, with the same wrap handling for the arrays
-    /// stamped per path.
+    /// Bumps the path epoch, with the same wrap handling for the
+    /// structures stamped per path (the packed candidate slots carry the
+    /// epoch in their high half, so zeroing them is the hard clear).
     fn advance_path_epoch(&mut self) {
         self.path_epoch = self.path_epoch.wrapping_add(1);
         if self.path_epoch == 0 {
-            self.node_matched.fill(0);
-            self.cand_epoch.fill(0);
+            self.node_matched.hard_clear();
+            self.cand.fill(0);
             self.path_epoch = 1;
         }
     }
@@ -684,6 +996,38 @@ impl FilterEngine {
         self.index.len()
     }
 
+    /// Approximate heap footprint of the matching index structures
+    /// (posting slabs, packed trie arenas, flat entries, predicate
+    /// index), in bytes. Dividing by [`Self::len`] gives the
+    /// bytes-per-expression figure the compact-layout work optimizes.
+    /// Builder-side structures (insert-time edge map, sink lists) are
+    /// included so the number reflects what a resident engine costs, not
+    /// just its hot columns.
+    pub fn index_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let flat_bytes: usize = self.flat.capacity() * size_of::<FlatExpr>()
+            + self
+                .flat
+                .iter()
+                .map(|e| e.preds.len() * size_of::<PredId>())
+                .sum::<usize>();
+        let builder_bytes = self.trie.nodes.capacity() * size_of::<TrieNode>()
+            + self.trie.edges.len() * size_of::<((u32, PredId), u32)>();
+        self.trie.packed.arena_bytes()
+            + self.postings.slab_bytes()
+            + flat_bytes
+            + builder_bytes
+            + self.locations.capacity() * size_of::<SubLocation>()
+            + self.index.approx_bytes()
+    }
+
+    #[doc(hidden)]
+    /// Test hook: forces the internal scratch's epochs; see
+    /// [`MatchScratch::force_epochs`].
+    pub fn force_scratch_epochs(&mut self, doc_epoch: u32, path_epoch: u32) {
+        self.scratch.force_epochs(doc_epoch, path_epoch);
+    }
+
     /// Sets the per-document resource budget enforced by the streaming
     /// parse path (`match_bytes`), including matchers created afterwards.
     pub fn set_parser_limits(&mut self, limits: ParserLimits) {
@@ -722,48 +1066,67 @@ impl FilterEngine {
     /// trie terminals. O(total predicate occurrences over all entries).
     fn build_postings(&mut self) {
         let npreds = self.index.len();
-        let p = &mut self.postings;
-        for list in &mut p.by_pred {
-            list.clear();
-        }
-        p.by_pred.resize_with(npreds, Vec::new);
-        p.required.clear();
+        let mut required = std::mem::take(&mut self.postings.required);
+        required.clear();
         // A chain may hold the same predicate at two levels (e.g. `b/c`
         // twice in one expression): posting entries are deduplicated so
         // one satisfied predicate bumps each entry's counter at most
         // once, and `required` counts *distinct* predicates.
         let mut distinct: Vec<PredId> = Vec::new();
-        let mut push_entry = |p: &mut Postings, ei: u32, preds: &[PredId]| {
-            distinct.clear();
-            distinct.extend_from_slice(preds);
-            distinct.sort_unstable();
-            distinct.dedup();
-            debug_assert!(!distinct.is_empty(), "entries always carry predicates");
-            for &pid in distinct.iter() {
-                p.by_pred[pid.index()].push(ei);
-            }
-            p.required.push(distinct.len() as u32);
-        };
-        match self.algorithm {
-            Algorithm::Basic => {
-                for (ei, expr) in self.flat.iter().enumerate() {
-                    if matches!(expr.sink, Sink::Removed) {
-                        p.required.push(NEVER_CANDIDATE);
-                    } else {
-                        push_entry(p, ei as u32, &expr.preds);
+        let mut pairs: Vec<(PredId, u32)> = Vec::new();
+        {
+            let mut push_entry = |ei: u32, preds: &[PredId], required: &mut Vec<u32>| {
+                distinct.clear();
+                distinct.extend_from_slice(preds);
+                distinct.sort_unstable();
+                distinct.dedup();
+                debug_assert!(!distinct.is_empty(), "entries always carry predicates");
+                for &pid in distinct.iter() {
+                    pairs.push((pid, ei));
+                }
+                required.push(distinct.len() as u32);
+            };
+            match self.algorithm {
+                Algorithm::Basic => {
+                    for (ei, expr) in self.flat.iter().enumerate() {
+                        if matches!(expr.sink, Sink::Removed) {
+                            required.push(NEVER_CANDIDATE);
+                        } else {
+                            push_entry(ei as u32, &expr.preds, &mut required);
+                        }
+                    }
+                }
+                Algorithm::PrefixCovering | Algorithm::AccessPredicate => {
+                    for ti in 0..self.trie.packed.n_terminals() {
+                        push_entry(ti as u32, self.trie.packed.chain(ti as u32), &mut required);
                     }
                 }
             }
-            Algorithm::PrefixCovering | Algorithm::AccessPredicate => {
-                for (ti, t) in self.trie.terminals.iter().enumerate() {
-                    push_entry(p, ti as u32, &t.chain);
-                }
-            }
+        }
+        // Counting sort of the (pid, entry) pairs into the CSR slab
+        // (stable, so each posting list keeps entry insertion order).
+        let p = &mut self.postings;
+        p.required = required;
+        p.pred_start.clear();
+        p.pred_start.resize(npreds + 1, 0);
+        for &(pid, _) in &pairs {
+            p.pred_start[pid.index() + 1] += 1;
+        }
+        for i in 0..npreds {
+            p.pred_start[i + 1] += p.pred_start[i];
+        }
+        p.entries.clear();
+        p.entries.resize(pairs.len(), 0);
+        let mut cursor: Vec<u32> = p.pred_start[..npreds].to_vec();
+        for &(pid, ei) in &pairs {
+            let c = &mut cursor[pid.index()];
+            p.entries[*c as usize] = ei;
+            *c += 1;
         }
         p.root_of.clear();
         p.root_of.resize(npreds, NO_ROOT);
-        for (&pid, &root) in &self.trie.roots {
-            p.root_of[pid.index()] = root;
+        for (i, &pid) in self.trie.packed.root_pid.iter().enumerate() {
+            p.root_of[pid.index()] = self.trie.packed.root_node[i];
         }
     }
 
@@ -850,8 +1213,11 @@ impl FilterEngine {
             }
             SubLocation::Node(n) => {
                 let changed = strip(&mut self.trie.nodes[n as usize].sinks);
-                if changed && self.trie.nodes[n as usize].sinks.is_empty() {
-                    // The node may no longer be a terminal.
+                if changed {
+                    // The packed sink columns (`sink_len`, the plain-sub
+                    // arena) mirror the builder sink lists and must be
+                    // recompiled — and the node may no longer be a
+                    // terminal at all.
                     self.trie.dirty = true;
                 }
                 changed
@@ -967,10 +1333,10 @@ impl FilterEngine {
         } = scratch;
         state.advance_doc_epoch();
         state.results.clear();
-        state.sub_matched.resize(self.n_subs as usize, 0);
-        state.node_matched.resize(self.trie.nodes.len(), 0);
-        state.node_done.resize(self.trie.nodes.len(), 0);
-        state.node_sinks_done.resize(self.trie.nodes.len(), 0);
+        state.sub_matched.resize(self.n_subs as usize);
+        state.node_matched.resize(self.trie.nodes.len());
+        state.node_done.resize(self.trie.nodes.len());
+        state.node_sinks_done.resize(self.trie.nodes.len());
         state
             .comp_paths
             .resize_with(self.n_components as usize, Vec::new);
@@ -981,14 +1347,15 @@ impl FilterEngine {
         state.active.clear();
         let n_entries = match self.algorithm {
             Algorithm::Basic => self.flat.len(),
-            _ => self.trie.terminals.len(),
+            _ => self.trie.packed.n_terminals(),
         };
         match self.stage2 {
             // Posting mode derives per-path candidates from satisfied
             // predicates: no per-document O(registered entries) pass.
             Stage2::Posting => {
-                state.cand_count.resize(n_entries, 0);
-                state.cand_epoch.resize(n_entries, 0);
+                if state.cand.len() < n_entries {
+                    state.cand.resize(n_entries, 0);
+                }
             }
             Stage2::Scan => state.active.extend(0..n_entries as u32),
         }
@@ -1005,7 +1372,6 @@ impl FilterEngine {
         }
 
         let t2 = Instant::now();
-        let mut results = std::mem::take(&mut state.results);
         for ns in &self.nested {
             if !ns.live {
                 continue;
@@ -1017,10 +1383,16 @@ impl FilterEngine {
                 continue;
             }
             if combine(&ns.plan, doc, &state.paths[..state.n_paths], comp_paths) {
-                results.push(ns.sub);
+                state.sub_matched.set(ns.sub.0 as usize, state.doc_epoch);
             }
         }
-        results.sort_unstable();
+        // The ascending bitmap scan yields the sorted result list directly
+        // (no per-match pushes, no sort over the matched ids).
+        let mut results = std::mem::take(&mut state.results);
+        let epoch = state.doc_epoch;
+        state
+            .sub_matched
+            .for_each_set(epoch, |i| results.push(SubId(i as u32)));
         stats.matches += results.len() as u64;
         stats.other_ns += t2.elapsed().as_nanos() as u64;
         results
@@ -1219,7 +1591,12 @@ impl<D: DocAccess> IncrementalDriver<'_, '_, D> {
             h ^= t.tag.index() as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        if let Some(&(start, len)) = self.state.memo.get(&h) {
+        // 0 marks empty slots in the open-addressed table; aliasing a real
+        // hash onto 1 is sound because hits verify the symbol sequence.
+        if h == 0 {
+            h = 1;
+        }
+        if let Some((start, len)) = self.state.memo.get(h) {
             let seen = &self.state.memo_syms[start as usize..(start + len) as usize];
             return seen.len() == tuples.len() && seen.iter().zip(tuples).all(|(s, t)| *s == t.tag);
         }
@@ -1290,7 +1667,7 @@ fn stage2_flat<D: DocAccess>(
             }
         }
         let resolved = match &expr.sink {
-            Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
+            Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
             Sink::Component { .. } => false,
             Sink::Removed => true,
         };
@@ -1321,21 +1698,11 @@ fn stage2_trie<D: DocAccess>(
     let mut read = 0;
     while read < active.len() {
         let ti = active[read];
-        let terminal = &trie.terminals[ti as usize];
         read += 1;
-        eval_terminal(
-            trie,
-            terminal,
-            ctx,
-            publication,
-            doc,
-            state,
-            stats,
-            path_idx,
-        );
+        eval_terminal(trie, ti, ctx, publication, doc, state, stats, path_idx);
         // Stop-after-first-match: drop the terminal from the active list
         // once every subscription it resolves has matched this document.
-        if !terminal_resolved(trie, terminal, state) {
+        if !terminal_resolved(trie, trie.packed.term_node[ti as usize], state) {
             active[write] = ti;
             write += 1;
         }
@@ -1352,7 +1719,7 @@ fn stage2_trie<D: DocAccess>(
 #[allow(clippy::too_many_arguments)]
 fn eval_terminal<D: DocAccess>(
     trie: &Trie,
-    terminal: &Terminal,
+    ti: u32,
     ctx: &MatchContext,
     publication: &Publication,
     doc: &D,
@@ -1360,61 +1727,76 @@ fn eval_terminal<D: DocAccess>(
     stats: &mut EngineStats,
     path_idx: u32,
 ) {
-    let node = terminal.node as usize;
-    let evaluate = state.node_matched[node] != state.path_epoch;
+    let term_node = trie.packed.term_node[ti as usize];
+    let chain = trie.packed.chain(ti);
+    let node = term_node as usize;
+    let evaluate = !state.node_matched.test(node, state.path_epoch);
     // Already known matched on this path via covering propagation?
     // Then its sinks were already processed.
     let mut matched_here = !evaluate;
-    if evaluate && !terminal.chain.iter().any(|&pid| ctx.get(pid).is_empty()) {
+    if evaluate && !chain.iter().any(|&pid| ctx.get(pid).is_empty()) {
         stats.occurrence_runs += 1;
-        matched_here = determine_match_by(terminal.chain.len(), |i| ctx.get(terminal.chain[i]));
+        matched_here = determine_match_by(chain.len(), |i| ctx.get(chain[i]));
     }
-    if matched_here && state.node_matched[node] != state.path_epoch {
+    if matched_here && !state.node_matched.test(node, state.path_epoch) {
         // Mark this node and every ancestor (prefix expressions) as
         // structurally matched on this path, resolving their sinks.
-        let mut cur = terminal.node;
-        let mut depth = terminal.chain.len();
+        let mut cur = term_node;
+        let mut depth = chain.len();
         loop {
-            let n = &trie.nodes[cur as usize];
-            if state.node_matched[cur as usize] != state.path_epoch {
-                state.node_matched[cur as usize] = state.path_epoch;
-                if cur != terminal.node && !n.sinks.is_empty() {
+            if !state.node_matched.test(cur as usize, state.path_epoch) {
+                state.node_matched.set(cur as usize, state.path_epoch);
+                let n_sinks = trie.packed.sink_len[cur as usize];
+                if cur != term_node && n_sinks != 0 {
                     stats.pc_propagations += 1;
                 }
-                for sink in &n.sinks {
-                    process_sink(
-                        sink,
-                        &terminal.chain[..depth],
-                        ctx,
-                        publication,
-                        doc,
-                        state,
-                        stats,
-                        path_idx,
-                    );
+                let plain = trie.packed.plain_subs(cur);
+                if plain.len() as u32 == n_sinks {
+                    // All sinks plain: one sweep over the packed id
+                    // column resolves them.
+                    for &sub in plain {
+                        state.sub_matched.set(sub as usize, state.doc_epoch);
+                    }
+                } else {
+                    for sink in &trie.nodes[cur as usize].sinks {
+                        process_sink(
+                            sink,
+                            &chain[..depth],
+                            ctx,
+                            publication,
+                            doc,
+                            state,
+                            stats,
+                            path_idx,
+                        );
+                    }
                 }
             }
-            if n.parent == NO_PARENT {
+            let parent = trie.packed.parent[cur as usize];
+            if parent == NO_PARENT {
                 break;
             }
-            cur = n.parent;
+            cur = parent;
             depth -= 1;
         }
     }
 }
 
-/// True when every subscription sink of the terminal's node has matched
-/// the current document (component sinks never resolve: they must record
-/// every path).
-fn terminal_resolved(trie: &Trie, terminal: &Terminal, state: &DocState) -> bool {
-    trie.nodes[terminal.node as usize]
-        .sinks
-        .iter()
-        .all(|s| match s {
-            Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
-            Sink::Component { .. } => false,
-            Sink::Removed => true,
-        })
+/// True when every subscription sink of the node has matched the current
+/// document (component sinks never resolve: they must record every
+/// path).
+fn terminal_resolved(trie: &Trie, node: u32, state: &DocState) -> bool {
+    let plain = trie.packed.plain_subs(node);
+    if plain.len() as u32 == trie.packed.sink_len[node as usize] {
+        return plain
+            .iter()
+            .all(|&sub| state.sub_matched.test(sub as usize, state.doc_epoch));
+    }
+    trie.nodes[node as usize].sinks.iter().all(|s| match s {
+        Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
+        Sink::Component { .. } => false,
+        Sink::Removed => true,
+    })
 }
 
 /// Stage 2 for the `basic-pc-ap` organization: clusters are ruled out
@@ -1444,8 +1826,10 @@ fn stage2_dfs<D: DocAccess>(
         stage2_trie(trie, ctx, publication, doc, state, stats, path_idx);
         return;
     }
-    for (&pid, &root) in &trie.roots {
-        if state.node_done[root as usize] == state.doc_epoch {
+    let packed = &trie.packed;
+    for (i, &pid) in packed.root_pid.iter().enumerate() {
+        let root = packed.root_node[i];
+        if state.node_done.test(root as usize, state.doc_epoch) {
             continue;
         }
         let pairs = ctx.get(pid);
@@ -1480,49 +1864,63 @@ fn dfs_node<D: DocAccess>(
 ) -> bool {
     debug_assert_ne!(f_in, 0);
     stats.occurrence_runs += 1;
-    let node = &trie.nodes[n as usize];
-    if !node.sinks.is_empty() && state.node_sinks_done[n as usize] != state.doc_epoch {
-        // Selection-postponed attribute checks need the predicate chain of
-        // this node; collect it (into a reused buffer) only when some sink
-        // asks.
-        let mut chain = std::mem::take(&mut state.chain_buf);
-        chain.clear();
-        if node.sinks.iter().any(|s| {
-            matches!(
-                s,
-                Sink::Sub {
-                    attr_check: Some(_),
-                    ..
-                }
-            )
-        }) {
-            let mut cur = n;
-            loop {
-                let nd = &trie.nodes[cur as usize];
-                chain.push(nd.pid);
-                if nd.parent == NO_PARENT {
-                    break;
-                }
-                cur = nd.parent;
+    let packed = &trie.packed;
+    let has_sinks = packed.sink_len[n as usize] != 0;
+    if has_sinks && !state.node_sinks_done.test(n as usize, state.doc_epoch) {
+        let plain = packed.plain_subs(n);
+        if plain.len() as u32 == packed.sink_len[n as usize] {
+            // Every sink is a plain subscription: resolution is one
+            // bitmap-marking sweep over the packed id column (4 bytes
+            // per sink, no enum dispatch), and the node is then fully
+            // resolved for this document.
+            for &sub in plain {
+                state.sub_matched.set(sub as usize, state.doc_epoch);
             }
-            chain.reverse();
-        }
-        for sink in &node.sinks {
-            process_sink(sink, &chain, ctx, publication, doc, state, stats, path_idx);
-        }
-        state.chain_buf = chain;
-        if node.sinks.iter().all(|s| match s {
-            Sink::Sub { sub, .. } => state.sub_matched[sub.0 as usize] == state.doc_epoch,
-            Sink::Component { .. } => false,
-            Sink::Removed => true,
-        }) {
-            state.node_sinks_done[n as usize] = state.doc_epoch;
+            state.node_sinks_done.set(n as usize, state.doc_epoch);
+        } else {
+            let sinks = &trie.nodes[n as usize].sinks;
+            // Selection-postponed attribute checks need the predicate
+            // chain of this node; collect it (into a reused buffer) only
+            // when some sink asks.
+            let mut chain = std::mem::take(&mut state.chain_buf);
+            chain.clear();
+            if sinks.iter().any(|s| {
+                matches!(
+                    s,
+                    Sink::Sub {
+                        attr_check: Some(_),
+                        ..
+                    }
+                )
+            }) {
+                let mut cur = n;
+                loop {
+                    chain.push(packed.pid[cur as usize]);
+                    let parent = packed.parent[cur as usize];
+                    if parent == NO_PARENT {
+                        break;
+                    }
+                    cur = parent;
+                }
+                chain.reverse();
+            }
+            for sink in sinks {
+                process_sink(sink, &chain, ctx, publication, doc, state, stats, path_idx);
+            }
+            state.chain_buf = chain;
+            if sinks.iter().all(|s| match s {
+                Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
+                Sink::Component { .. } => false,
+                Sink::Removed => true,
+            }) {
+                state.node_sinks_done.set(n as usize, state.doc_epoch);
+            }
         }
     }
-    let mut all_done =
-        node.sinks.is_empty() || state.node_sinks_done[n as usize] == state.doc_epoch;
-    for (&cpid, &child) in &node.children {
-        if state.node_done[child as usize] == state.doc_epoch {
+    let mut all_done = !has_sinks || state.node_sinks_done.test(n as usize, state.doc_epoch);
+    let (child_pids, child_nodes) = packed.children(n);
+    for (&cpid, &child) in child_pids.iter().zip(child_nodes) {
+        if state.node_done.test(child as usize, state.doc_epoch) {
             continue;
         }
         let mut f: u128 = 0;
@@ -1551,7 +1949,7 @@ fn dfs_node<D: DocAccess>(
         }
     }
     if all_done {
-        state.node_done[n as usize] = state.doc_epoch;
+        state.node_done.set(n as usize, state.doc_epoch);
     }
     all_done
 }
@@ -1571,21 +1969,26 @@ fn build_candidates(
     stats: &mut EngineStats,
 ) {
     state.cand_buf.clear();
-    let epoch = state.path_epoch;
+    // Counter slots pack `(path_epoch << 32) | count` into one u64: a
+    // stale slot is recognized by its high half and restarted at 1 with a
+    // single store — one load/store per bump, no separate epoch array.
+    let tag = (state.path_epoch as u64) << 32;
     for &pid in ctx.matched() {
-        for &ei in &postings.by_pred[pid.index()] {
+        let list = postings.of(pid.index());
+        for &ei in list {
             let e = ei as usize;
-            if state.cand_epoch[e] != epoch {
-                state.cand_epoch[e] = epoch;
-                state.cand_count[e] = 1;
+            let slot = state.cand[e];
+            let slot = if slot & 0xffff_ffff_0000_0000 == tag {
+                slot + 1
             } else {
-                state.cand_count[e] += 1;
-            }
-            if state.cand_count[e] == postings.required[e] {
+                tag | 1
+            };
+            state.cand[e] = slot;
+            if slot as u32 == postings.required[e] {
                 state.cand_buf.push(ei);
             }
         }
-        stats.posting_bumps += postings.by_pred[pid.index()].len() as u64;
+        stats.posting_bumps += list.len() as u64;
     }
     stats.stage2_candidates += state.cand_buf.len() as u64;
 }
@@ -1612,7 +2015,7 @@ fn stage2_flat_posting<D: DocAccess>(
         // matched this document is skipped without re-determination
         // (the scan formulation compacts it out of the active list).
         if let Sink::Sub { sub, .. } = &expr.sink {
-            if state.sub_matched[sub.0 as usize] == state.doc_epoch {
+            if state.sub_matched.test(sub.0 as usize, state.doc_epoch) {
                 continue;
             }
         }
@@ -1655,26 +2058,16 @@ fn stage2_trie_posting<D: DocAccess>(
     // terminal-list order (ascending index) for longest-first evaluation.
     cand.sort_unstable();
     for &ti in &cand {
-        let terminal = &trie.terminals[ti as usize];
-        let node = terminal.node as usize;
+        let node = trie.packed.term_node[ti as usize];
         // Stop-after-first-match: once every sink of this node matched
         // the document, a doc-epoch stamp turns all later visits into an
         // O(1) skip (the scan formulation drops it from the active list).
-        if state.node_sinks_done[node] == state.doc_epoch {
+        if state.node_sinks_done.test(node as usize, state.doc_epoch) {
             continue;
         }
-        eval_terminal(
-            trie,
-            terminal,
-            ctx,
-            publication,
-            doc,
-            state,
-            stats,
-            path_idx,
-        );
-        if terminal_resolved(trie, terminal, state) {
-            state.node_sinks_done[node] = state.doc_epoch;
+        eval_terminal(trie, ti, ctx, publication, doc, state, stats, path_idx);
+        if terminal_resolved(trie, node, state) {
+            state.node_sinks_done.set(node as usize, state.doc_epoch);
         }
     }
     state.cand_buf = cand;
@@ -1717,14 +2110,16 @@ fn stage2_dfs_posting<D: DocAccess>(
     // predicates). Both visit exactly the clusters whose access predicate
     // holds, in an order that cannot affect results (clusters are
     // disjoint), and `ap_root_probes` counts those clusters either way.
-    if trie.roots.len() <= ctx.matched().len() {
-        for (&pid, &root) in &trie.roots {
+    let packed = &trie.packed;
+    if packed.root_pid.len() <= ctx.matched().len() {
+        for (i, &pid) in packed.root_pid.iter().enumerate() {
+            let root = packed.root_node[i];
             let pairs = ctx.get(pid);
             if pairs.is_empty() {
                 continue;
             }
             stats.ap_root_probes += 1;
-            if state.node_done[root as usize] == state.doc_epoch {
+            if state.node_done.test(root as usize, state.doc_epoch) {
                 continue;
             }
             let mut f: u128 = 0;
@@ -1741,7 +2136,7 @@ fn stage2_dfs_posting<D: DocAccess>(
             continue;
         }
         stats.ap_root_probes += 1;
-        if state.node_done[root as usize] == state.doc_epoch {
+        if state.node_done.test(root as usize, state.doc_epoch) {
             continue;
         }
         let pairs = ctx.get(pid);
@@ -1773,7 +2168,7 @@ fn process_sink<D: DocAccess>(
 ) {
     match sink {
         Sink::Sub { sub, attr_check } => {
-            if state.sub_matched[sub.0 as usize] == state.doc_epoch {
+            if state.sub_matched.test(sub.0 as usize, state.doc_epoch) {
                 return;
             }
             if let Some(check) = attr_check {
@@ -1804,8 +2199,9 @@ fn process_sink<D: DocAccess>(
                     return;
                 }
             }
-            state.sub_matched[sub.0 as usize] = state.doc_epoch;
-            state.results.push(*sub);
+            // Marking the bit is the whole result record: the final
+            // ascending bitmap scan emits the sorted id list.
+            state.sub_matched.set(sub.0 as usize, state.doc_epoch);
         }
         Sink::Component { comp } => {
             let cp = &mut state.comp_paths[*comp as usize];

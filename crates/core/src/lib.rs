@@ -43,10 +43,15 @@ pub mod nested;
 pub mod occurrence;
 pub mod parallel;
 pub mod reference;
+pub mod sharded;
 
 pub use backend::{BackendError, FilterBackend};
 pub use encode::{AttrMode, EncodeError, EncodedPath};
 pub use engine::{
     AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, Stage1, Stage2, SubId,
 };
-pub use parallel::{BatchReport, ByteFilterResult, DocError, DocFilterResult};
+pub use parallel::{
+    BatchMatcher, BatchReport, BatchScratch, ByteFilterResult, DocError, DocFilterResult,
+    MatcherSource,
+};
+pub use sharded::{ShardedEngine, ShardedMatcher};

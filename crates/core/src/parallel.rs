@@ -15,10 +15,65 @@
 //! worker whose matcher panics discards that matcher (its scratch state
 //! may be mid-document) and continues with a fresh one.
 
-use crate::engine::{FilterEngine, SubId};
+use crate::engine::{FilterEngine, Matcher, SubId};
+use crate::sharded::{ShardedEngine, ShardedMatcher};
 use pxf_xml::{Document, XmlError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A per-thread matching handle usable by the batch driver: both
+/// [`Matcher`] (one engine) and [`ShardedMatcher`] (expression-sharded)
+/// qualify, so the document axis here composes with the expression axis
+/// of [`crate::sharded`].
+pub trait BatchMatcher {
+    /// Filters a parsed document (ids ascending).
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId>;
+    /// Parses and filters raw bytes in one streaming pass.
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError>;
+}
+
+impl BatchMatcher for Matcher<'_> {
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        Matcher::match_document(self, doc)
+    }
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        Matcher::match_bytes(self, bytes)
+    }
+}
+
+impl BatchMatcher for ShardedMatcher<'_> {
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        ShardedMatcher::match_document(self, doc)
+    }
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        ShardedMatcher::match_bytes(self, bytes)
+    }
+}
+
+/// A prepared, immutable subscription base that can mint any number of
+/// independent per-thread matchers.
+pub trait MatcherSource: Sync {
+    /// The matcher type handed to each worker.
+    type Matcher<'a>: BatchMatcher
+    where
+        Self: 'a;
+    /// Creates a fresh matcher over this source.
+    fn matcher(&self) -> Self::Matcher<'_>;
+}
+
+impl MatcherSource for FilterEngine {
+    type Matcher<'a> = Matcher<'a>;
+    fn matcher(&self) -> Matcher<'_> {
+        FilterEngine::matcher(self)
+    }
+}
+
+impl MatcherSource for ShardedEngine {
+    type Matcher<'a> = ShardedMatcher<'a>;
+    fn matcher(&self) -> ShardedMatcher<'_> {
+        ShardedEngine::matcher(self)
+    }
+}
 
 /// Why one document of a batch produced no match set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,14 +170,40 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Reusable batch-driver scratch: the per-worker result staging buffers
+/// that [`run_isolated`] previously allocated on every call. A caller
+/// looping over batches holds one `BatchScratch` and passes it to the
+/// `*_with` entry points, so the staging vectors keep their capacity
+/// across batches.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    per_worker: Vec<Vec<(usize, DocFilterResult)>>,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs `work` on worker threads over the documents `0..n`, isolating each
 /// document: a panic becomes a per-document [`DocError::Panicked`] entry
-/// and the worker continues with a fresh matcher.
-fn run_isolated<F>(engine: &FilterEngine, n: usize, threads: usize, work: F) -> Vec<DocFilterResult>
+/// and the worker continues with a fresh matcher. Per-worker staging
+/// buffers are borrowed from `scratch` and returned with their capacity
+/// intact.
+fn run_isolated<E, F>(
+    engine: &E,
+    n: usize,
+    threads: usize,
+    scratch: &mut BatchScratch,
+    work: F,
+) -> Vec<DocFilterResult>
 where
-    F: Fn(&mut crate::engine::Matcher<'_>, usize) -> DocFilterResult + Sync,
+    E: MatcherSource,
+    F: for<'e> Fn(&mut E::Matcher<'e>, usize) -> DocFilterResult + Sync,
 {
-    let one_doc = |matcher: &mut crate::engine::Matcher<'_>, i: usize| -> DocFilterResult {
+    let one_doc = |matcher: &mut E::Matcher<'_>, i: usize| -> DocFilterResult {
         // The matcher's scratch is left in an unspecified state if `work`
         // panics mid-document, so the caller must discard it afterwards.
         match catch_unwind(AssertUnwindSafe(|| work(matcher, i))) {
@@ -142,26 +223,33 @@ where
             })
             .collect();
     }
+    if scratch.per_worker.len() < threads {
+        scratch.per_worker.resize_with(threads, Vec::new);
+    }
+    // A worker that died outside the isolated region last batch leaves
+    // entries staged; drop them before reuse so they cannot alias this
+    // batch's document indices.
+    for chunk in &mut scratch.per_worker {
+        chunk.clear();
+    }
     let next = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(usize, DocFilterResult)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for chunk in scratch.per_worker.iter_mut().take(threads) {
             let next = &next;
             let one_doc = &one_doc;
             handles.push(scope.spawn(move || {
                 let mut matcher = engine.matcher();
-                let mut out: Vec<(usize, DocFilterResult)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
-                        return out;
+                        return;
                     }
                     let r = one_doc(&mut matcher, i);
                     if matches!(r, Err(DocError::Panicked(_))) {
                         matcher = engine.matcher();
                     }
-                    out.push((i, r));
+                    chunk.push((i, r));
                 }
             }));
         }
@@ -169,9 +257,7 @@ where
             // Workers catch per-document panics, so join only fails on a
             // panic outside the isolated region; its claimed documents
             // keep their "worker lost" placeholder below.
-            if let Ok(chunk) = h.join() {
-                per_worker.push(chunk);
-            }
+            let _ = h.join();
         }
     });
     let mut results: Vec<DocFilterResult> = (0..n)
@@ -181,8 +267,8 @@ where
             ))
         })
         .collect();
-    for chunk in per_worker {
-        for (i, r) in chunk {
+    for chunk in &mut scratch.per_worker {
+        for (i, r) in chunk.drain(..) {
             results[i] = r;
         }
     }
@@ -229,13 +315,25 @@ fn effective_threads(threads: usize, n_docs: usize) -> usize {
 /// assert_eq!(results[0].as_ref().unwrap(), &vec![s]);
 /// assert!(results[1].as_ref().unwrap().is_empty());
 /// ```
-pub fn filter_batch(
-    engine: &FilterEngine,
+pub fn filter_batch<E: MatcherSource>(
+    engine: &E,
     docs: &[Document],
     threads: usize,
 ) -> Vec<DocFilterResult> {
+    filter_batch_with(engine, docs, threads, &mut BatchScratch::new())
+}
+
+/// [`filter_batch`] with caller-held [`BatchScratch`]: a loop over many
+/// batches reuses the per-worker staging buffers instead of reallocating
+/// them every call.
+pub fn filter_batch_with<E: MatcherSource>(
+    engine: &E,
+    docs: &[Document],
+    threads: usize,
+    scratch: &mut BatchScratch,
+) -> Vec<DocFilterResult> {
     let threads = effective_threads(threads, docs.len());
-    run_isolated(engine, docs.len(), threads, |matcher, i| {
+    run_isolated(engine, docs.len(), threads, scratch, |matcher, i| {
         Ok(matcher.match_document(&docs[i]))
     })
 }
@@ -251,13 +349,24 @@ pub fn filter_batch(
 /// `threads == 0` uses every available core, mirroring [`filter_batch`].
 ///
 /// [`Matcher::match_bytes`]: crate::Matcher::match_bytes
-pub fn filter_batch_bytes(
-    engine: &FilterEngine,
+pub fn filter_batch_bytes<E: MatcherSource>(
+    engine: &E,
     docs: &[Vec<u8>],
     threads: usize,
 ) -> Vec<ByteFilterResult> {
+    filter_batch_bytes_with(engine, docs, threads, &mut BatchScratch::new())
+}
+
+/// [`filter_batch_bytes`] with caller-held [`BatchScratch`] (see
+/// [`filter_batch_with`]).
+pub fn filter_batch_bytes_with<E: MatcherSource>(
+    engine: &E,
+    docs: &[Vec<u8>],
+    threads: usize,
+    scratch: &mut BatchScratch,
+) -> Vec<ByteFilterResult> {
     let threads = effective_threads(threads, docs.len());
-    run_isolated(engine, docs.len(), threads, |matcher, i| {
+    run_isolated(engine, docs.len(), threads, scratch, |matcher, i| {
         matcher.match_bytes(&docs[i]).map_err(DocError::from)
     })
 }
@@ -371,6 +480,51 @@ mod tests {
                 Err(DocError::Parse(e)) => assert!(e.is_limit()),
                 other => panic!("expected a limit error, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_drives_the_batch_path() {
+        let (engine, _) = sample_engine();
+        let mut sharded =
+            crate::ShardedEngine::new(3, Algorithm::AccessPredicate, AttrMode::Inline);
+        for e in ["/a/b", "//c", "a/*/d"] {
+            sharded.add_str(e).unwrap();
+        }
+        sharded.prepare();
+        let bytes: Vec<Vec<u8>> = [
+            "<a><b/></a>",
+            "<a><x><c/></x></a>",
+            "<a><q><d/></q></a>",
+            "<z/>",
+        ]
+        .iter()
+        .cycle()
+        .take(40)
+        .map(|s| s.as_bytes().to_vec())
+        .collect();
+        let want = filter_batch_bytes(&engine, &bytes, 1);
+        for threads in [1, 2, 4] {
+            assert_eq!(filter_batch_bytes(&sharded, &bytes, threads), want);
+        }
+    }
+
+    #[test]
+    fn batch_scratch_is_reusable_across_batches() {
+        let (engine, _) = sample_engine();
+        let mut scratch = BatchScratch::new();
+        let big: Vec<Vec<u8>> = (0..32).map(|_| b"<a><b/></a>".to_vec()).collect();
+        let small = vec![b"<a><x><c/></x></a>".to_vec(), b"<broken".to_vec()];
+        for _ in 0..3 {
+            let r = filter_batch_bytes_with(&engine, &big, 4, &mut scratch);
+            assert_eq!(r.len(), 32);
+            assert!(r.iter().all(|x| x.is_ok()));
+            // A smaller batch (fewer workers) right after must not see
+            // stale staged entries from the bigger one.
+            let r = filter_batch_bytes_with(&engine, &small, 2, &mut scratch);
+            assert_eq!(r.len(), 2);
+            assert!(r[0].is_ok());
+            assert!(matches!(r[1], Err(DocError::Parse(_))));
         }
     }
 

@@ -1,0 +1,490 @@
+//! Expression-index sharding: one document fanned out to independent
+//! sub-engines.
+//!
+//! [`parallel`](crate::parallel) parallelizes across *documents* — each
+//! worker owns a matcher over one shared subscription base. This module
+//! adds the orthogonal axis: the subscription base itself is split
+//! round-robin into `n` independent [`FilterEngine`] shards, a document is
+//! matched against every shard, and the per-shard match sets are merged.
+//! Each shard's index is a fraction of the whole, so its hot structures
+//! (trie arena, posting slabs, predicate columns) fit lower cache tiers —
+//! the compact-layout refactor's data-parallel complement, and the unit of
+//! distribution a broker deployment would place on separate cores or
+//! machines.
+//!
+//! Round-robin placement keeps the mapping arithmetic-only: global
+//! subscription id `g` lives on shard `g % n` as local id `g / n`, so
+//! local result lists (ascending) map back with `g = local · n + shard`
+//! and merge in one k-way pass — no translation tables. A
+//! [`ShardedEngine`] implements [`FilterBackend`] unchanged, and
+//! [`ShardedEngine::matcher`] yields per-thread handles so the document
+//! axis composes with this one.
+
+use crate::backend::{BackendError, FilterBackend};
+use crate::encode::AttrMode;
+use crate::engine::{Algorithm, EngineStats, FilterEngine, MatchScratch, Stage1, Stage2, SubId};
+use pxf_xml::{DocAccess, Document, ParserLimits, PathDoc, XmlError};
+use pxf_xpath::XPathExpr;
+use std::time::Instant;
+
+/// Per-shard scratch plus the merge state for one matching context (the
+/// engine's own `&mut self` API or one [`ShardedMatcher`]).
+#[derive(Debug, Default)]
+struct ShardScratch {
+    per_shard: Vec<MatchScratch>,
+    /// Cumulative slowest-minus-fastest shard time per document.
+    imbalance_ns: u64,
+    /// Reused k-way merge cursors (one per shard).
+    cursors: Vec<usize>,
+    /// Reused per-shard local result lists.
+    locals: Vec<Vec<SubId>>,
+}
+
+impl ShardScratch {
+    fn with_shards(n: usize) -> Self {
+        ShardScratch {
+            per_shard: (0..n).map(|_| MatchScratch::new()).collect(),
+            imbalance_ns: 0,
+            cursors: vec![0; n],
+            locals: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// An expression-sharded filtering engine: subscriptions are distributed
+/// round-robin over `n` independent [`FilterEngine`]s and every document
+/// is matched against all of them, with the per-shard results merged into
+/// one ascending id list. Behaves exactly like a single engine through
+/// [`FilterBackend`].
+///
+/// ```
+/// use pxf_core::{Algorithm, AttrMode, ShardedEngine};
+/// use pxf_xml::Document;
+///
+/// let mut engine = ShardedEngine::new(4, Algorithm::AccessPredicate, AttrMode::Inline);
+/// let a = engine.add_str("/a/b").unwrap();
+/// let c = engine.add_str("//c").unwrap();
+/// engine.prepare();
+/// let doc = Document::parse(b"<a><b><c/></b></a>").unwrap();
+/// assert_eq!(engine.match_document(&doc), vec![a, c]);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<FilterEngine>,
+    n_subs: u32,
+    scratch: ShardScratch,
+    limits: ParserLimits,
+}
+
+impl ShardedEngine {
+    /// Creates an engine with `n_shards` sub-engines (at least 1; a count
+    /// of 0 is promoted to 1) running the given algorithm and attribute
+    /// mode.
+    pub fn new(n_shards: usize, algorithm: Algorithm, attr_mode: AttrMode) -> Self {
+        let n = n_shards.max(1);
+        ShardedEngine {
+            shards: (0..n)
+                .map(|_| FilterEngine::new(algorithm, attr_mode))
+                .collect(),
+            n_subs: 0,
+            scratch: ShardScratch::with_shards(n),
+            limits: ParserLimits::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to the shard engines (diagnostics, footprint reports).
+    pub fn shards(&self) -> &[FilterEngine] {
+        &self.shards
+    }
+
+    /// Selects the stage-1 evaluation mode on every shard.
+    pub fn set_stage1(&mut self, stage1: Stage1) {
+        for s in &mut self.shards {
+            s.set_stage1(stage1);
+        }
+    }
+
+    /// Selects the stage-2 strategy on every shard.
+    pub fn set_stage2(&mut self, stage2: Stage2) {
+        for s in &mut self.shards {
+            s.set_stage2(stage2);
+        }
+    }
+
+    /// Registered subscriptions (across all shards).
+    pub fn len(&self) -> usize {
+        self.n_subs as usize
+    }
+
+    /// True if no subscription is registered.
+    pub fn is_empty(&self) -> bool {
+        self.n_subs == 0
+    }
+
+    /// Registers an expression on the next shard in round-robin order and
+    /// returns its global subscription id.
+    pub fn add(&mut self, expr: &XPathExpr) -> Result<SubId, BackendError> {
+        let n = self.shards.len() as u32;
+        let shard = (self.n_subs % n) as usize;
+        let local = FilterBackend::add(&mut self.shards[shard], expr)?;
+        // Round-robin invariant: shard `s` holds globals s, s+n, s+2n, …
+        // in registration order, so the local id the shard just assigned
+        // must be exactly global / n.
+        debug_assert_eq!(local.0, self.n_subs / n);
+        let global = SubId(self.n_subs);
+        self.n_subs += 1;
+        Ok(global)
+    }
+
+    /// Parses and registers an expression (convenience).
+    pub fn add_str(&mut self, src: &str) -> Result<SubId, BackendError> {
+        let expr = pxf_xpath::parse(src).map_err(|e| BackendError(e.to_string()))?;
+        self.add(&expr)
+    }
+
+    /// Finishes construction on every shard.
+    pub fn prepare(&mut self) {
+        for s in &mut self.shards {
+            s.prepare();
+        }
+    }
+
+    /// Filters a parsed document: global ids of all matching
+    /// subscriptions, ascending.
+    pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<SubId> {
+        let shards = &self.shards;
+        Self::match_with(shards, doc, &mut self.scratch)
+    }
+
+    /// Parses and filters raw bytes: one parse into the flat path store,
+    /// then every shard matches against the same parsed document.
+    pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        let doc = PathDoc::parse_with_limits(bytes, self.limits)?;
+        Ok(Self::match_with(&self.shards, &doc, &mut self.scratch))
+    }
+
+    /// Per-document resource budget for the byte entry points (shared by
+    /// every matcher created afterwards).
+    pub fn set_parser_limits(&mut self, limits: ParserLimits) {
+        self.limits = limits;
+        for s in &mut self.shards {
+            s.set_parser_limits(limits);
+        }
+    }
+
+    /// Creates an independent matching handle over the shared shards (one
+    /// per thread); requires [`Self::prepare`].
+    pub fn matcher(&self) -> ShardedMatcher<'_> {
+        ShardedMatcher {
+            engine: self,
+            scratch: ShardScratch::with_shards(self.shards.len()),
+        }
+    }
+
+    /// Merged statistics of the internal (`&mut self`) matching API:
+    /// per-shard stage times and counters summed, `docs` counted once per
+    /// document, and the shard-imbalance counter filled in.
+    pub fn stats(&self) -> EngineStats {
+        merged_stats(&self.scratch)
+    }
+
+    /// Resets the internal matching API's statistics.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.scratch.per_shard {
+            *s = MatchScratch::new();
+        }
+        self.scratch.imbalance_ns = 0;
+    }
+
+    /// Distinct predicates summed over the shards. Sharding trades some
+    /// cross-shard predicate sharing for smaller per-shard indexes, so
+    /// this is ≥ the unsharded count for the same subscriptions.
+    pub fn distinct_predicates(&self) -> usize {
+        self.shards.iter().map(|s| s.distinct_predicates()).sum()
+    }
+
+    /// Approximate index footprint in bytes, summed over the shards.
+    pub fn index_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.index_bytes()).sum()
+    }
+
+    /// Matches `doc` against every shard and merges the local result
+    /// lists. The shards are borrowed immutably, so any number of
+    /// scratches can run concurrently.
+    fn match_with<D: DocAccess>(
+        shards: &[FilterEngine],
+        doc: &D,
+        scratch: &mut ShardScratch,
+    ) -> Vec<SubId> {
+        let n = shards.len() as u32;
+        let mut fastest = u64::MAX;
+        let mut slowest = 0u64;
+        for (s, shard) in shards.iter().enumerate() {
+            let t0 = Instant::now();
+            let local = shard.match_document_with(doc, &mut scratch.per_shard[s]);
+            let dt = t0.elapsed().as_nanos() as u64;
+            fastest = fastest.min(dt);
+            slowest = slowest.max(dt);
+            scratch.locals[s] = local;
+        }
+        scratch.imbalance_ns += slowest - fastest;
+
+        // K-way merge: each local list is ascending and `g = local·n + s`
+        // is strictly monotone per shard, so repeatedly taking the
+        // smallest head yields the ascending global list.
+        scratch.cursors.fill(0);
+        let total: usize = scratch.locals.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (s, local) in scratch.locals.iter().enumerate() {
+                if let Some(&SubId(l)) = local.get(scratch.cursors[s]) {
+                    let g = l * n + s as u32;
+                    if best.is_none_or(|(bg, _)| g < bg) {
+                        best = Some((g, s));
+                    }
+                }
+            }
+            let Some((g, s)) = best else { break };
+            scratch.cursors[s] += 1;
+            out.push(SubId(g));
+        }
+        for local in &mut scratch.locals {
+            local.clear();
+        }
+        out
+    }
+}
+
+impl Default for ShardedEngine {
+    /// Two shards of the paper's default configuration.
+    fn default() -> Self {
+        ShardedEngine::new(2, Algorithm::AccessPredicate, AttrMode::Inline)
+    }
+}
+
+/// Merges per-shard scratch statistics: stage times and counters are
+/// summed, `docs` is taken from the first shard (every shard sees every
+/// document), and the accumulated imbalance is reported.
+fn merged_stats(scratch: &ShardScratch) -> EngineStats {
+    let mut out = EngineStats::default();
+    for (i, s) in scratch.per_shard.iter().enumerate() {
+        let st = s.stats();
+        if i == 0 {
+            out.docs = st.docs;
+        }
+        out.predicate_ns += st.predicate_ns;
+        out.expression_ns += st.expression_ns;
+        out.other_ns += st.other_ns;
+        out.occurrence_runs += st.occurrence_runs;
+        out.pc_propagations += st.pc_propagations;
+        out.stage2_candidates += st.stage2_candidates;
+        out.posting_bumps += st.posting_bumps;
+        out.ap_root_probes += st.ap_root_probes;
+        out.memo_path_skips += st.memo_path_skips;
+        out.matches += st.matches;
+    }
+    out.shard_imbalance_ns = scratch.imbalance_ns;
+    out
+}
+
+/// A per-thread matching handle over a shared [`ShardedEngine`]: holds
+/// its own per-shard scratch so the document axis
+/// ([`parallel`](crate::parallel)) composes with expression sharding.
+#[derive(Debug)]
+pub struct ShardedMatcher<'e> {
+    engine: &'e ShardedEngine,
+    scratch: ShardScratch,
+}
+
+impl ShardedMatcher<'_> {
+    /// Filters a document: global ids of all matching subscriptions,
+    /// ascending.
+    pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<SubId> {
+        ShardedEngine::match_with(&self.engine.shards, doc, &mut self.scratch)
+    }
+
+    /// Parses and filters raw bytes (one parse, all shards).
+    pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        let doc = PathDoc::parse_with_limits(bytes, self.engine.limits)?;
+        Ok(ShardedEngine::match_with(
+            &self.engine.shards,
+            &doc,
+            &mut self.scratch,
+        ))
+    }
+
+    /// Merged statistics accumulated by this matcher.
+    pub fn stats(&self) -> EngineStats {
+        merged_stats(&self.scratch)
+    }
+}
+
+impl FilterBackend for ShardedEngine {
+    fn add(&mut self, expr: &XPathExpr) -> Result<SubId, BackendError> {
+        ShardedEngine::add(self, expr)
+    }
+
+    fn prepare(&mut self) {
+        ShardedEngine::prepare(self);
+    }
+
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        ShardedEngine::match_document(self, doc)
+    }
+
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        ShardedEngine::match_bytes(self, bytes)
+    }
+
+    fn set_parser_limits(&mut self, limits: ParserLimits) {
+        ShardedEngine::set_parser_limits(self, limits);
+    }
+
+    fn reset_stats(&mut self) {
+        ShardedEngine::reset_stats(self);
+    }
+
+    fn stats(&self) -> Option<EngineStats> {
+        Some(ShardedEngine::stats(self))
+    }
+
+    fn distinct_predicates(&self) -> usize {
+        ShardedEngine::distinct_predicates(self)
+    }
+
+    fn index_bytes(&self) -> usize {
+        ShardedEngine::index_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(xml: &str) -> Document {
+        Document::parse(xml.as_bytes()).unwrap()
+    }
+
+    const EXPRS: [&str; 7] = [
+        "/a/b",
+        "//c",
+        "a/*/d",
+        "//b[@k = \"1\"]",
+        "/a//c/d",
+        "//a//b",
+        "/a",
+    ];
+
+    fn oracle(exprs: &[&str], xml: &str) -> Vec<SubId> {
+        let mut single = FilterEngine::new(Algorithm::AccessPredicate, AttrMode::Inline);
+        for e in exprs {
+            single.add_str(e).unwrap();
+        }
+        single.prepare();
+        single.match_document(&doc(xml))
+    }
+
+    #[test]
+    fn sharded_matches_equal_single_engine() {
+        let docs = [
+            "<a><b/></a>",
+            "<a><x><c><d/></c></x></a>",
+            "<a><b k=\"1\"><c/></b></a>",
+            "<z/>",
+        ];
+        for n_shards in [1usize, 2, 3, 4] {
+            let mut sharded =
+                ShardedEngine::new(n_shards, Algorithm::AccessPredicate, AttrMode::Inline);
+            for (i, e) in EXPRS.iter().enumerate() {
+                assert_eq!(sharded.add_str(e).unwrap(), SubId(i as u32));
+            }
+            sharded.prepare();
+            for xml in docs {
+                let want = oracle(&EXPRS, xml);
+                assert_eq!(sharded.match_document(&doc(xml)), want, "{n_shards} shards");
+                assert_eq!(
+                    sharded.match_bytes(xml.as_bytes()).unwrap(),
+                    want,
+                    "{n_shards} shards, byte path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matchers_are_independent_and_agree() {
+        let mut sharded = ShardedEngine::new(3, Algorithm::AccessPredicate, AttrMode::Inline);
+        for e in EXPRS {
+            sharded.add_str(e).unwrap();
+        }
+        sharded.prepare();
+        let d = doc("<a><b k=\"1\"><c/></b></a>");
+        let want = oracle(&EXPRS, "<a><b k=\"1\"><c/></b></a>");
+        let mut m1 = sharded.matcher();
+        let mut m2 = sharded.matcher();
+        assert_eq!(m1.match_document(&d), want);
+        assert_eq!(m1.match_document(&d), want);
+        assert_eq!(m2.match_document(&d), want);
+        assert_eq!(m1.stats().docs, 2);
+        assert_eq!(m2.stats().docs, 1);
+    }
+
+    #[test]
+    fn merged_stats_count_documents_once() {
+        let mut sharded = ShardedEngine::new(4, Algorithm::AccessPredicate, AttrMode::Inline);
+        for e in EXPRS {
+            sharded.add_str(e).unwrap();
+        }
+        sharded.prepare();
+        let d = doc("<a><b/></a>");
+        sharded.match_document(&d);
+        sharded.match_document(&d);
+        let stats = ShardedEngine::stats(&sharded);
+        assert_eq!(stats.docs, 2);
+        assert_eq!(stats.matches, 2 * 3); // /a/b, //a//b, /a per document
+        sharded.reset_stats();
+        assert_eq!(ShardedEngine::stats(&sharded).docs, 0);
+        assert_eq!(ShardedEngine::stats(&sharded).shard_imbalance_ns, 0);
+    }
+
+    #[test]
+    fn backend_trait_dispatch() {
+        let mut backend: Box<dyn FilterBackend> = Box::new(ShardedEngine::new(
+            2,
+            Algorithm::AccessPredicate,
+            AttrMode::Inline,
+        ));
+        let a = backend.add_str("/a/b").unwrap();
+        let b = backend.add_str("//c").unwrap();
+        backend.prepare();
+        let bytes = b"<a><b><c/></b></a>";
+        assert_eq!(
+            backend.match_document(&doc("<a><b><c/></b></a>")),
+            vec![a, b]
+        );
+        assert_eq!(backend.match_bytes(bytes).unwrap(), vec![a, b]);
+        assert!(backend.stats().is_some());
+        assert!(backend.distinct_predicates() > 0);
+        assert!(backend.index_bytes() > 0);
+        backend.set_parser_limits(ParserLimits {
+            max_depth: 2,
+            ..ParserLimits::default()
+        });
+        assert!(backend
+            .match_bytes(b"<a><b><c/></b></a>")
+            .unwrap_err()
+            .is_limit());
+    }
+
+    #[test]
+    fn zero_shards_promotes_to_one() {
+        let engine = ShardedEngine::new(0, Algorithm::Basic, AttrMode::Inline);
+        assert_eq!(engine.n_shards(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Epoch-wrap soak: the engine stamps per-document and per-path scratch
+//! structures (epoch bitmaps, packed candidate slots, memo entries) with
+//! `u32` epochs and relies on a hard clear at the wrap point — a word
+//! stamped 2³² epochs ago must never read as current. Matching 2³²
+//! documents is not a practical test, so this suite plants stamps at low
+//! epochs, forces the epochs to just below `u32::MAX` via the `#[doc
+//! (hidden)]` test hooks, and drives matching through the wrap: if any
+//! structure skipped its hard clear, the stale low-epoch stamps would
+//! collide with the restarted epochs and corrupt the match sets.
+
+use pxf_core::{Algorithm, AttrMode, FilterEngine, MatchScratch, Stage1, Stage2, SubId};
+use pxf_xml::Document;
+
+const EXPRS: [&str; 8] = [
+    "/a/b",
+    "//c",
+    "a/*/d",
+    "//b[@k = \"1\"]",
+    "/a//c/d",
+    "//a//b",
+    "/a[b/c]",
+    "//b[@m]",
+];
+
+/// Repeated tags (duplicate-path memo), attributes, multiple leaf paths.
+const DOCS: [&str; 5] = [
+    "<a><b k=\"1\"><c/></b><b/></a>",
+    "<a><x><c><d/></c></x><b m=\"2\"/></a>",
+    "<a><b><c/></b><b><c/></b><q><d/></q></a>",
+    "<z><a><b/></a></z>",
+    "<a/>",
+];
+
+fn build(algo: Algorithm, mode: AttrMode, s1: Stage1, s2: Stage2) -> FilterEngine {
+    let mut engine = FilterEngine::new(algo, mode);
+    engine.set_stage1(s1);
+    engine.set_stage2(s2);
+    for e in EXPRS {
+        engine.add_str(e).unwrap();
+    }
+    engine.prepare();
+    engine
+}
+
+fn all_modes() -> Vec<(Algorithm, AttrMode, Stage1, Stage2)> {
+    let mut out = Vec::new();
+    for algo in [
+        Algorithm::Basic,
+        Algorithm::PrefixCovering,
+        Algorithm::AccessPredicate,
+    ] {
+        for mode in [AttrMode::Inline, AttrMode::Postponed] {
+            for s1 in [Stage1::Incremental, Stage1::PerPath] {
+                for s2 in [Stage2::Posting, Stage2::Scan] {
+                    out.push((algo, mode, s1, s2));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drives the engine's internal scratch through both epoch wraps and
+/// asserts the match sets never change.
+#[test]
+fn doc_and_path_epoch_wrap_preserves_match_sets() {
+    let docs: Vec<Document> = DOCS
+        .iter()
+        .map(|s| Document::parse(s.as_bytes()).unwrap())
+        .collect();
+    for (algo, mode, s1, s2) in all_modes() {
+        let ctx = format!("{algo:?} {mode:?} {s1:?} {s2:?}");
+        let mut engine = build(algo, mode, s1, s2);
+        // Plant stamps and candidate slots at low epochs (1, 2, …).
+        let baseline: Vec<Vec<SubId>> = docs.iter().map(|d| engine.match_document(d)).collect();
+        // Jump to just below the wrap point; the next few documents and
+        // leaf paths cross u32::MAX → 1, re-entering the epoch range the
+        // stale stamps were planted at.
+        engine.force_scratch_epochs(u32::MAX - 2, u32::MAX - 3);
+        for pass in 0..4 {
+            for (doc, want) in docs.iter().zip(&baseline) {
+                assert_eq!(
+                    engine.match_document(doc),
+                    *want,
+                    "{ctx}, pass {pass}, doc {}",
+                    doc.to_xml()
+                );
+            }
+        }
+    }
+}
+
+/// Same soak through the public concurrent-matcher scratch, with the
+/// epochs observed to actually wrap (restart at small values).
+#[test]
+fn matcher_scratch_wraps_and_restarts() {
+    let docs: Vec<Document> = DOCS
+        .iter()
+        .map(|s| Document::parse(s.as_bytes()).unwrap())
+        .collect();
+    for (algo, mode, s1, s2) in all_modes() {
+        let ctx = format!("{algo:?} {mode:?} {s1:?} {s2:?}");
+        let engine = build(algo, mode, s1, s2);
+        let mut scratch = MatchScratch::new();
+        let baseline: Vec<Vec<SubId>> = docs
+            .iter()
+            .map(|d| engine.match_document_with(d, &mut scratch))
+            .collect();
+        scratch.force_epochs(u32::MAX - 2, u32::MAX - 3);
+        for pass in 0..4 {
+            for (doc, want) in docs.iter().zip(&baseline) {
+                assert_eq!(
+                    engine.match_document_with(doc, &mut scratch),
+                    *want,
+                    "{ctx}, pass {pass}, doc {}",
+                    doc.to_xml()
+                );
+            }
+        }
+        let (doc_epoch, path_epoch) = scratch.epochs();
+        // 20 documents and ≥ 20 leaf paths crossed the forced start
+        // points, so both epochs must have wrapped and restarted low —
+        // and, per the hard-clear discipline, never landed on 0.
+        assert!(
+            (1..1000).contains(&doc_epoch),
+            "{ctx}: doc epoch {doc_epoch}"
+        );
+        assert!(
+            (1..1000).contains(&path_epoch),
+            "{ctx}: path epoch {path_epoch}"
+        );
+    }
+}
+
+/// The wrap must also be invisible mid-stream on the byte path (parse +
+/// match per document), where the path store is rebuilt every call.
+#[test]
+fn byte_path_survives_the_wrap() {
+    for (algo, mode, s1, s2) in all_modes() {
+        let ctx = format!("{algo:?} {mode:?} {s1:?} {s2:?}");
+        let mut engine = build(algo, mode, s1, s2);
+        let baseline: Vec<Vec<SubId>> = DOCS
+            .iter()
+            .map(|s| engine.match_bytes(s.as_bytes()).unwrap())
+            .collect();
+        engine.force_scratch_epochs(u32::MAX - 1, u32::MAX - 1);
+        for pass in 0..4 {
+            for (src, want) in DOCS.iter().zip(&baseline) {
+                assert_eq!(
+                    engine.match_bytes(src.as_bytes()).unwrap(),
+                    *want,
+                    "{ctx}, pass {pass}, doc {src}"
+                );
+            }
+        }
+    }
+}

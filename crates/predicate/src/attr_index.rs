@@ -44,16 +44,55 @@ impl<E> Default for AttrBucket<E> {
     }
 }
 
+/// Sorted range constraints in structure-of-arrays layout: the constant
+/// and strictness columns are dense (no entry payload interleaved), so
+/// the admissible prefix is found by binary search over the bare `i64`
+/// column and emitted in one tight pass — the vectorizable whole-element
+/// batch evaluation of the compact-layout work.
+#[derive(Debug, Clone)]
+struct RangeCols<E> {
+    bounds: Vec<i64>,
+    strict: Vec<bool>,
+    entries: Vec<E>,
+}
+
+impl<E> RangeCols<E> {
+    fn new() -> Self {
+        RangeCols {
+            bounds: Vec::new(),
+            strict: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    fn insert_at(&mut self, pos: usize, bound: i64, strict: bool, entry: E) {
+        self.bounds.insert(pos, bound);
+        self.strict.insert(pos, strict);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Visits the entries of the admissible prefix `[0, end)`, skipping
+    /// strict bounds equal to `v`.
+    fn emit_prefix<'a>(&'a self, end: usize, v: i64, visit: &mut impl FnMut(&'a E)) {
+        for i in 0..end {
+            if self.strict[i] && self.bounds[i] == v {
+                continue;
+            }
+            visit(&self.entries[i]);
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct AttrGroup<E> {
     name: Box<str>,
     int_eq: HashMap<i64, Vec<E>>,
     str_eq: HashMap<Box<str>, Vec<E>>,
-    /// (constant, strict) sorted ascending by constant: entry matches iff
-    /// `v > c` (strict) or `v ≥ c`.
-    lower: Vec<(i64, bool, E)>,
-    /// (constant, strict) sorted descending: `v < c` / `v ≤ c`.
-    upper: Vec<(i64, bool, E)>,
+    /// Bounds sorted ascending: entry matches iff `v > c` (strict) or
+    /// `v ≥ c`.
+    lower: RangeCols<E>,
+    /// Bounds sorted descending: `v < c` / `v ≤ c`.
+    upper: RangeCols<E>,
     /// `!=`, existence tests, string range comparisons.
     other: Vec<E>,
 }
@@ -64,8 +103,8 @@ impl<E> AttrGroup<E> {
             name: name.into(),
             int_eq: HashMap::new(),
             str_eq: HashMap::new(),
-            lower: Vec::new(),
-            upper: Vec::new(),
+            lower: RangeCols::new(),
+            upper: RangeCols::new(),
             other: Vec::new(),
         }
     }
@@ -106,20 +145,20 @@ impl<E> AttrBucket<E> {
                 .or_default()
                 .push(entry),
             Some((CmpOp::Ge, AttrValue::Int(n))) => {
-                let pos = group.lower.partition_point(|&(c, _, _)| c < *n);
-                group.lower.insert(pos, (*n, false, entry));
+                let pos = group.lower.bounds.partition_point(|&c| c < *n);
+                group.lower.insert_at(pos, *n, false, entry);
             }
             Some((CmpOp::Gt, AttrValue::Int(n))) => {
-                let pos = group.lower.partition_point(|&(c, _, _)| c < *n);
-                group.lower.insert(pos, (*n, true, entry));
+                let pos = group.lower.bounds.partition_point(|&c| c < *n);
+                group.lower.insert_at(pos, *n, true, entry);
             }
             Some((CmpOp::Le, AttrValue::Int(n))) => {
-                let pos = group.upper.partition_point(|&(c, _, _)| c > *n);
-                group.upper.insert(pos, (*n, false, entry));
+                let pos = group.upper.bounds.partition_point(|&c| c > *n);
+                group.upper.insert_at(pos, *n, false, entry);
             }
             Some((CmpOp::Lt, AttrValue::Int(n))) => {
-                let pos = group.upper.partition_point(|&(c, _, _)| c > *n);
-                group.upper.insert(pos, (*n, true, entry));
+                let pos = group.upper.bounds.partition_point(|&c| c > *n);
+                group.upper.insert_at(pos, *n, true, entry);
             }
             _ => group.other.push(entry),
         }
@@ -132,10 +171,38 @@ impl<E> AttrBucket<E> {
                 .values()
                 .flatten()
                 .chain(g.str_eq.values().flatten())
-                .chain(g.lower.iter().map(|(_, _, e)| e))
-                .chain(g.upper.iter().map(|(_, _, e)| e))
+                .chain(g.lower.entries.iter())
+                .chain(g.upper.entries.iter())
                 .chain(g.other.iter())
         }))
+    }
+
+    /// Approximate heap footprint in bytes: the SoA range columns, the
+    /// hash maps (counted per occupied slot plus payload vectors), and
+    /// the overflow list. An estimate for reporting, not an allocator
+    /// audit.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let e = size_of::<E>();
+        let mut bytes = self.overflow.capacity() * e;
+        for g in &self.groups {
+            bytes += g.name.len();
+            for list in g.int_eq.values() {
+                bytes += size_of::<i64>() + size_of::<Vec<E>>() + list.capacity() * e;
+            }
+            for (k, list) in &g.str_eq {
+                bytes +=
+                    k.len() + size_of::<Box<str>>() + size_of::<Vec<E>>() + list.capacity() * e;
+            }
+            bytes += g.lower.bounds.capacity() * size_of::<i64>()
+                + g.lower.strict.capacity()
+                + g.lower.entries.capacity() * e;
+            bytes += g.upper.bounds.capacity() * size_of::<i64>()
+                + g.upper.strict.capacity()
+                + g.upper.entries.capacity() * e;
+            bytes += g.other.capacity() * e;
+        }
+        bytes
     }
 
     /// Visits every entry whose *first* constraint is satisfied by the
@@ -168,24 +235,14 @@ impl<E> AttrBucket<E> {
                     visit(entry);
                 }
             }
-            for (c, strict, entry) in &group.lower {
-                if *c > v {
-                    break; // sorted ascending: nothing further matches
-                }
-                if *strict && *c == v {
-                    continue; // `> v` fails, but `≥ v` entries may follow
-                }
-                visit(entry);
-            }
-            for (c, strict, entry) in &group.upper {
-                if *c < v {
-                    break; // sorted descending
-                }
-                if *strict && *c == v {
-                    continue;
-                }
-                visit(entry);
-            }
+            // Ascending bounds: the admissible lower-bound entries are
+            // exactly the prefix with `c ≤ v`; symmetric for the
+            // descending upper bounds. The prefix end comes from a
+            // binary search over the bare bounds column.
+            let end = group.lower.bounds.partition_point(|&c| c <= v);
+            group.lower.emit_prefix(end, v, &mut visit);
+            let end = group.upper.bounds.partition_point(|&c| c >= v);
+            group.upper.emit_prefix(end, v, &mut visit);
         }
     }
 }

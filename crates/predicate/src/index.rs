@@ -230,6 +230,53 @@ impl PredicateIndex {
         self.preds.is_empty()
     }
 
+    /// Approximate heap footprint of the index's access paths in bytes:
+    /// the dense per-operator value arrays, the relative two-stage hash,
+    /// the attribute buckets, and the distinct-predicate store. An
+    /// estimate for `index_bytes` reporting, not an allocator audit.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        fn op_arrays(a: &OpArrays) -> usize {
+            (a.eq.capacity() + a.ge.capacity()) * size_of::<Option<PredId>>()
+        }
+        fn unary_lists(lists: &AttrOpLists<AttrBucket<AttrUnary>>) -> usize {
+            let inline =
+                (lists.eq.capacity() + lists.ge.capacity()) * size_of::<AttrBucket<AttrUnary>>();
+            inline
+                + lists
+                    .eq
+                    .iter()
+                    .chain(&lists.ge)
+                    .map(AttrBucket::approx_bytes)
+                    .sum::<usize>()
+        }
+        let mut bytes = self.preds.capacity() * size_of::<Predicate>();
+        bytes += self.length.capacity() * size_of::<Option<PredId>>();
+        bytes += self.rel_to.capacity() + self.rel_attr_to.capacity();
+        bytes += self.absolute.0.capacity() * size_of::<OpArrays>();
+        bytes += self.absolute.0.iter().map(op_arrays).sum::<usize>();
+        for map in &self.relative.0 {
+            for arrays in map.values() {
+                bytes += size_of::<(Symbol, OpArrays)>() + op_arrays(arrays);
+            }
+        }
+        for arr in &self.end_of_path.0 {
+            bytes += arr.capacity() * size_of::<Option<PredId>>();
+        }
+        bytes += self.absolute_attr.0.iter().map(unary_lists).sum::<usize>();
+        bytes += self.end_attr.0.iter().map(unary_lists).sum::<usize>();
+        for map in &self.relative_attr.0 {
+            for lists in map.values() {
+                bytes += size_of::<(Symbol, AttrOpLists<RelSlot>)>()
+                    + (lists.eq.capacity() + lists.ge.capacity()) * size_of::<RelSlot>();
+                for slot in lists.eq.iter().chain(&lists.ge) {
+                    bytes += slot.by_from.approx_bytes() + slot.by_to.approx_bytes();
+                }
+            }
+        }
+        bytes
+    }
+
     /// Returns the predicate for an id.
     pub fn predicate(&self, pid: PredId) -> &Predicate {
         &self.preds[pid.index()]
