@@ -70,6 +70,9 @@ MATCH OPTIONS:
                        shards merged per document (default: 1; pxf only)
   --stream             read concatenated documents from stdin (or from one
                        file argument) instead of one document per file
+  --remove LINES       after loading, unsubscribe the given comma-separated
+                       1-based subscription-file line numbers (exercises
+                       incremental index maintenance; pxf engines only)
   --stats              print matching statistics to stderr
   --quiet              suppress per-document output (timing runs only)
 
@@ -115,6 +118,7 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
     let mut stream = false;
     let mut limits = ParserLimits::default();
     let mut max_failures = pxf_xml::DEFAULT_MAX_CONSECUTIVE_FAILURES;
+    let mut remove_lines: Vec<usize> = Vec::new();
     let mut docs: Vec<PathBuf> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -150,6 +154,15 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
             "--stats" => stats = true,
             "--quiet" => quiet = true,
             "--stream" => stream = true,
+            "--remove" => {
+                for part in take_value(args, &mut i, "--remove")?.split(',') {
+                    remove_lines.push(
+                        part.trim().parse::<usize>().map_err(|_| {
+                            "--remove needs comma-separated line numbers".to_string()
+                        })?,
+                    );
+                }
+            }
             "--max-depth" => limits.max_depth = take_number(args, &mut i, "--max-depth")?,
             "--max-doc-bytes" => {
                 limits.max_document_bytes = take_number(args, &mut i, "--max-doc-bytes")?
@@ -236,6 +249,19 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
     };
     backend.set_parser_limits(limits);
     backend.prepare();
+    // Post-prepare removals: patches the live index in place instead of
+    // rebuilding it (see EngineStats::incremental_patches).
+    let mut removed = 0usize;
+    for lineno in &remove_lines {
+        match lines_of.iter().position(|l| l == lineno) {
+            Some(idx) if backend.remove(SubId(idx as u32)) => removed += 1,
+            Some(_) => eprintln!("pxf: --remove {lineno}: engine does not support removal"),
+            None => eprintln!("pxf: --remove {lineno}: no subscription loaded from that line"),
+        }
+    }
+    if stats && !remove_lines.is_empty() {
+        eprintln!("pxf: removed {removed} of {} subscriptions", lines_of.len());
+    }
     if stats {
         eprintln!(
             "pxf: {} subscriptions ({skipped} skipped), {} distinct predicates",

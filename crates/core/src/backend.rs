@@ -56,6 +56,13 @@ pub trait FilterBackend {
     /// entry points prepare implicitly.
     fn prepare(&mut self) {}
 
+    /// Unregisters a subscription by id; later documents stop reporting
+    /// it. Returns `false` if the id is unknown, already removed, or the
+    /// backend does not support removal (the default).
+    fn remove(&mut self, _sub: SubId) -> bool {
+        false
+    }
+
     /// Filters a parsed document: ids of all matching subscriptions,
     /// ascending.
     fn match_document(&mut self, doc: &Document) -> Vec<SubId>;
@@ -106,6 +113,10 @@ impl FilterBackend for FilterEngine {
 
     fn prepare(&mut self) {
         FilterEngine::prepare(self);
+    }
+
+    fn remove(&mut self, sub: SubId) -> bool {
+        FilterEngine::remove(self, sub)
     }
 
     fn match_document(&mut self, doc: &Document) -> Vec<SubId> {

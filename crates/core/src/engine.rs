@@ -144,17 +144,25 @@ pub struct EngineStats {
     pub shard_imbalance_ns: u64,
     /// Total subscription matches reported.
     pub matches: u64,
+    /// Maintenance: `add`/`remove` operations applied as in-place patches
+    /// of the packed index (posting lists, trie columns, `pid→root` maps)
+    /// after the first [`FilterEngine::prepare`] — no rebuild involved.
+    pub incremental_patches: u64,
+    /// Maintenance: full index recompilations after the first prepare
+    /// (garbage-triggered compactions, or an explicit dirty rebuild).
+    /// Steady-state churn keeps this at zero.
+    pub full_rebuilds: u64,
 }
 
 /// Selection-postponed attribute re-check data: for each predicate level,
 /// the attribute filters of the steps bound to its first/second tag
 /// variables.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AttrCheck {
     levels: Box<[LevelCheck]>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LevelCheck {
     first_tag: Option<Symbol>,
     first: Box<[AttrFilter]>,
@@ -232,7 +240,7 @@ impl AttrCheck {
 }
 
 /// What an expression entry resolves to when it matches a path.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Sink {
     /// A public single-path subscription.
     Sub {
@@ -246,7 +254,7 @@ enum Sink {
 }
 
 /// Flat expression entry (Basic organization).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FlatExpr {
     preds: Box<[PredId]>,
     sink: Sink,
@@ -257,7 +265,7 @@ struct FlatExpr {
 /// lists, which stay here (cold) while the hot matching walk runs over
 /// the arena-packed [`PackedTrie`] columns compiled by
 /// [`Trie::finalize`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TrieNode {
     pid: PredId,
     parent: u32, // u32::MAX = no parent (root-level node)
@@ -267,7 +275,7 @@ struct TrieNode {
 
 const NO_PARENT: u32 = u32::MAX;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Trie {
     nodes: Vec<TrieNode>,
     /// Insert-time edge lookup: `(parent, pid) → child` (parent
@@ -279,12 +287,88 @@ struct Trie {
     dirty: bool,
 }
 
+/// A capacity-tracked slice of an arena: the live elements are
+/// `arena[start..start + len]` and the slot owns `cap` elements starting
+/// at `start`. Bulk compilation emits spans with `cap == len` (a plain
+/// CSR); incremental patching appends in place while `len < cap` and
+/// relocates the span to the end of the arena (doubling `cap`) when
+/// full, leaving the abandoned slot as garbage for the next compaction.
+#[derive(Debug, Clone, Copy, Default)]
+struct Span {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+impl Span {
+    #[inline]
+    fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+/// Appends `v` to the span's slice inside `arena`, relocating the span to
+/// the end of the arena (capacity doubled, old slot abandoned into
+/// `garbage`) when it is full.
+fn grow_span<T: Copy>(arena: &mut Vec<T>, span: &mut Span, v: T, garbage: &mut usize) {
+    if span.len == span.cap {
+        let new_cap = (span.cap * 2).max(4);
+        let new_start = arena.len() as u32;
+        for i in 0..span.len {
+            let x = arena[(span.start + i) as usize];
+            arena.push(x);
+        }
+        arena.resize(new_start as usize + new_cap as usize, v);
+        *garbage += span.cap as usize;
+        span.start = new_start;
+        span.cap = new_cap;
+    }
+    arena[(span.start + span.len) as usize] = v;
+    span.len += 1;
+}
+
+/// [`grow_span`] over two parallel arenas that must relocate together
+/// (e.g. the child `pid`/`node` columns).
+fn grow_span2<A: Copy, B: Copy>(
+    a: &mut Vec<A>,
+    b: &mut Vec<B>,
+    span: &mut Span,
+    va: A,
+    vb: B,
+    garbage: &mut usize,
+) {
+    if span.len == span.cap {
+        let new_cap = (span.cap * 2).max(4);
+        let new_start = a.len() as u32;
+        for i in 0..span.len {
+            let x = a[(span.start + i) as usize];
+            let y = b[(span.start + i) as usize];
+            a.push(x);
+            b.push(y);
+        }
+        a.resize(new_start as usize + new_cap as usize, va);
+        b.resize(new_start as usize + new_cap as usize, vb);
+        *garbage += 2 * span.cap as usize;
+        span.start = new_start;
+        span.cap = new_cap;
+    }
+    a[(span.start + span.len) as usize] = va;
+    b[(span.start + span.len) as usize] = vb;
+    span.len += 1;
+}
+
+/// Terminal slot of a node that carries no sinks (never a terminal, or
+/// tombstoned by removal).
+const NO_TERM: u32 = u32::MAX;
+
 /// Arena-packed structure-of-arrays trie layout: per-node columns, child
-/// edges as CSR ranges sorted by predicate, roots as sorted parallel
-/// arrays, and terminal chains packed end-to-end in one arena. The hot
-/// stage-2 walks touch only these dense columns (plus the builder sink
-/// lists when a node actually resolves subscriptions).
-#[derive(Debug, Default)]
+/// edges as capacity-tracked arena spans (sorted by predicate at compile
+/// time, append-order afterwards), roots as parallel arrays, and terminal
+/// chains packed end-to-end in one arena. The hot stage-2 walks touch
+/// only these dense columns (plus the builder sink lists when a node
+/// actually resolves subscriptions). Incremental `add`/`remove` patch the
+/// columns in place; [`Trie::finalize`] recompiles them from scratch.
+#[derive(Debug, Clone, Default)]
 struct PackedTrie {
     /// Node → its predicate.
     pid: Vec<PredId>,
@@ -293,30 +377,35 @@ struct PackedTrie {
     /// Node → number of sinks (hot presence check; the sinks themselves
     /// stay on the builder nodes).
     sink_len: Vec<u32>,
-    /// Plain-subscription sink CSR: node `n`'s sinks that are
-    /// `Sink::Sub` with no attribute check, as bare subscription ids —
-    /// `plain_subs[plain_start[n]..plain_start[n+1]]`. When the span
-    /// covers all `sink_len[n]` sinks, resolving the node is a tight
-    /// bitmap-marking sweep over this column (4 bytes per sink instead
-    /// of a 16-byte enum match), the duplicate-heavy common case.
-    plain_start: Vec<u32>,
+    /// Plain-subscription sink spans: node `n`'s sinks that are
+    /// `Sink::Sub` with no attribute check, as bare subscription ids in
+    /// `plain_subs[plain_span[n]]`. When the span covers all
+    /// `sink_len[n]` sinks, resolving the node is a tight bitmap-marking
+    /// sweep over this column (4 bytes per sink instead of a 16-byte enum
+    /// match), the duplicate-heavy common case.
+    plain_span: Vec<Span>,
     plain_subs: Vec<u32>,
-    /// Children CSR: node `n`'s edges are
-    /// `child_pid/child_node[child_start[n]..child_start[n+1]]`, sorted
-    /// by predicate.
-    child_start: Vec<u32>,
+    /// Children spans: node `n`'s edges are parallel
+    /// `child_pid/child_node[child_span[n]]` slices.
+    child_span: Vec<Span>,
     child_pid: Vec<PredId>,
     child_node: Vec<u32>,
-    /// Root clusters as parallel arrays sorted by predicate.
+    /// Root clusters as parallel arrays (sorted by predicate at compile
+    /// time; patched roots append — every consumer scans linearly).
     root_pid: Vec<PredId>,
     root_node: Vec<u32>,
     /// Terminals (nodes with sinks): node ids plus chain spans into
     /// `chain_arena`, sorted (root pid asc, chain length desc) — per
     /// cluster, longest chain first (the paper's longest-expression-first
-    /// strategy) with clusters contiguous for access-predicate skipping.
+    /// strategy). Patched terminals append at the end; the order is a
+    /// heuristic only (covering propagation is correct in any order).
     term_node: Vec<u32>,
     term_chain_start: Vec<u32>,
     chain_arena: Vec<PredId>,
+    /// Node → its terminal index (`NO_TERM` when the node has no sinks).
+    /// Lets a patched `add` find the existing terminal of a node and a
+    /// patched `remove` tombstone it.
+    term_of: Vec<u32>,
 }
 
 impl PackedTrie {
@@ -335,17 +424,14 @@ impl PackedTrie {
     /// Node → its plain-subscription sinks (no attribute check).
     #[inline]
     fn plain_subs(&self, n: u32) -> &[u32] {
-        let s = self.plain_start[n as usize] as usize;
-        let e = self.plain_start[n as usize + 1] as usize;
-        &self.plain_subs[s..e]
+        &self.plain_subs[self.plain_span[n as usize].range()]
     }
 
     /// Node → its child edges as parallel `(pid, node)` slices.
     #[inline]
     fn children(&self, n: u32) -> (&[PredId], &[u32]) {
-        let s = self.child_start[n as usize] as usize;
-        let e = self.child_start[n as usize + 1] as usize;
-        (&self.child_pid[s..e], &self.child_node[s..e])
+        let r = self.child_span[n as usize].range();
+        (&self.child_pid[r.clone()], &self.child_node[r])
     }
 
     /// Heap footprint of the packed columns, in bytes.
@@ -354,9 +440,9 @@ impl PackedTrie {
         self.pid.capacity() * size_of::<PredId>()
             + self.parent.capacity() * size_of::<u32>()
             + self.sink_len.capacity() * size_of::<u32>()
-            + self.plain_start.capacity() * size_of::<u32>()
+            + self.plain_span.capacity() * size_of::<Span>()
             + self.plain_subs.capacity() * size_of::<u32>()
-            + self.child_start.capacity() * size_of::<u32>()
+            + self.child_span.capacity() * size_of::<Span>()
             + self.child_pid.capacity() * size_of::<PredId>()
             + self.child_node.capacity() * size_of::<u32>()
             + self.root_pid.capacity() * size_of::<PredId>()
@@ -364,6 +450,7 @@ impl PackedTrie {
             + self.term_node.capacity() * size_of::<u32>()
             + self.term_chain_start.capacity() * size_of::<u32>()
             + self.chain_arena.capacity() * size_of::<PredId>()
+            + self.term_of.capacity() * size_of::<u32>()
     }
 }
 
@@ -418,10 +505,10 @@ impl Trie {
         p.parent.extend(self.nodes.iter().map(|nd| nd.parent));
         p.sink_len
             .extend(self.nodes.iter().map(|nd| nd.sinks.len() as u32));
-        p.plain_start.clear();
+        p.plain_span.clear();
         p.plain_subs.clear();
-        p.plain_start.push(0);
         for nd in &self.nodes {
+            let start = p.plain_subs.len() as u32;
             for s in &nd.sinks {
                 if let Sink::Sub {
                     sub,
@@ -431,7 +518,12 @@ impl Trie {
                     p.plain_subs.push(sub.0);
                 }
             }
-            p.plain_start.push(p.plain_subs.len() as u32);
+            let len = p.plain_subs.len() as u32 - start;
+            p.plain_span.push(Span {
+                start,
+                len,
+                cap: len,
+            });
         }
 
         // Every non-root node contributes exactly one child edge.
@@ -446,13 +538,19 @@ impl Trie {
         }
         edges.sort_unstable();
         roots.sort_unstable();
-        p.child_start.clear();
-        p.child_start.resize(n + 1, 0);
+        let mut counts = vec![0u32; n];
         for &(parent, _, _) in &edges {
-            p.child_start[parent as usize + 1] += 1;
+            counts[parent as usize] += 1;
         }
-        for i in 0..n {
-            p.child_start[i + 1] += p.child_start[i];
+        p.child_span.clear();
+        let mut acc = 0u32;
+        for &len in &counts {
+            p.child_span.push(Span {
+                start: acc,
+                len,
+                cap: len,
+            });
+            acc += len;
         }
         p.child_pid.clear();
         p.child_node.clear();
@@ -489,12 +587,15 @@ impl Trie {
         p.term_node.clear();
         p.term_chain_start.clear();
         p.chain_arena.clear();
+        p.term_of.clear();
+        p.term_of.resize(n, NO_TERM);
         p.term_chain_start.push(0);
-        for &(_, start, len, node) in &terms {
+        for (ti, &(_, start, len, node)) in terms.iter().enumerate() {
             p.term_node.push(node);
             p.chain_arena
                 .extend_from_slice(&tmp_arena[start as usize..(start + len) as usize]);
             p.term_chain_start.push(p.chain_arena.len() as u32);
+            p.term_of[node as usize] = ti as u32;
         }
         self.dirty = false;
     }
@@ -506,13 +607,14 @@ impl Trie {
 /// contains it, plus the distinct-predicate count each entry needs before
 /// it becomes a candidate. Rebuilt by [`FilterEngine::prepare`] whenever
 /// subscriptions changed.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct Postings {
-    /// CSR posting lists: predicate index `p`'s entries are
-    /// `entries[pred_start[p]..pred_start[p+1]]` (deduplicated: an entry
-    /// appears once per *distinct* predicate in its chain). One flat slab
-    /// instead of one heap `Vec` per predicate.
-    pred_start: Vec<u32>,
+    /// Posting lists as arena spans: predicate index `p`'s entries are
+    /// `entries[pred_span[p]]` (deduplicated: an entry appears once per
+    /// *distinct* predicate in its chain). One flat slab instead of one
+    /// heap `Vec` per predicate; incremental adds append via
+    /// [`grow_span`].
+    pred_span: Vec<Span>,
     entries: Vec<u32>,
     /// Entry id → number of distinct predicates in its chain; a per-path
     /// counter reaching this value makes the entry a candidate.
@@ -530,17 +632,24 @@ impl Postings {
     /// Posting list of one predicate.
     #[inline]
     fn of(&self, pid: usize) -> &[u32] {
-        &self.entries[self.pred_start[pid] as usize..self.pred_start[pid + 1] as usize]
+        &self.entries[self.pred_span[pid].range()]
+    }
+
+    /// Grows the per-predicate columns to cover `npreds` predicates (new
+    /// predicates start with an empty posting list and no cluster root).
+    fn ensure(&mut self, npreds: usize) {
+        if self.pred_span.len() < npreds {
+            self.pred_span.resize(npreds, Span::default());
+            self.root_of.resize(npreds, NO_ROOT);
+        }
     }
 
     /// Heap footprint of the posting slabs, in bytes.
     fn slab_bytes(&self) -> usize {
         use std::mem::size_of;
-        (self.pred_start.capacity()
-            + self.entries.capacity()
-            + self.required.capacity()
-            + self.root_of.capacity())
-            * size_of::<u32>()
+        self.pred_span.capacity() * size_of::<Span>()
+            + (self.entries.capacity() + self.required.capacity() + self.root_of.capacity())
+                * size_of::<u32>()
     }
 }
 
@@ -548,7 +657,7 @@ const NO_ROOT: u32 = u32::MAX;
 const NEVER_CANDIDATE: u32 = u32::MAX;
 
 /// A registered nested-path subscription.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct NestedSub {
     sub: SubId,
     plan: NestedPlan,
@@ -598,12 +707,59 @@ pub struct FilterEngine {
     /// Subscriptions removed via [`FilterEngine::remove`] (ids are never
     /// reused).
     removed: u32,
+    /// True once [`Self::prepare`] has compiled the packed structures.
+    /// From then on `add`/`remove` patch them in place and `prepare`
+    /// is an O(1) no-op (amortized by occasional compactions).
+    prepared: bool,
+    /// Arena slots abandoned by span relocations, tombstoned terminal
+    /// chains, and dead posting entries. Crossing the compaction
+    /// threshold triggers one full recompilation.
+    garbage: usize,
+    /// Maintenance counters surfaced through [`EngineStats`].
+    incremental_patches: u64,
+    full_rebuilds: u64,
+    /// Test hook: overrides the garbage threshold that triggers
+    /// compaction.
+    compaction_override: Option<usize>,
     /// Scratch backing the convenient `&mut self` matching API; concurrent
     /// users create their own via [`FilterEngine::matcher`].
     scratch: MatchScratch,
     /// Per-document resource budget enforced on the streaming parse path
     /// (`match_bytes`); shared by every matcher created from this engine.
     limits: ParserLimits,
+}
+
+impl Clone for FilterEngine {
+    /// Deep copy of the subscription base and its packed index; the
+    /// per-document scratch starts fresh (it carries no subscription
+    /// state, only reusable buffers and statistics).
+    fn clone(&self) -> Self {
+        FilterEngine {
+            algorithm: self.algorithm,
+            attr_mode: self.attr_mode,
+            stage1: self.stage1,
+            stage2: self.stage2,
+            has_attr_checks: self.has_attr_checks,
+            interner: self.interner.clone(),
+            index: self.index.clone(),
+            n_subs: self.n_subs,
+            flat: self.flat.clone(),
+            trie: self.trie.clone(),
+            postings: self.postings.clone(),
+            postings_dirty: self.postings_dirty,
+            nested: self.nested.clone(),
+            n_components: self.n_components,
+            locations: self.locations.clone(),
+            removed: self.removed,
+            prepared: self.prepared,
+            garbage: self.garbage,
+            incremental_patches: self.incremental_patches,
+            full_rebuilds: self.full_rebuilds,
+            compaction_override: self.compaction_override,
+            scratch: MatchScratch::default(),
+            limits: self.limits,
+        }
+    }
 }
 
 /// Back-pointer from a subscription to its storage, enabling removal.
@@ -683,9 +839,13 @@ impl Matcher<'_> {
         Ok(self.engine.match_document_with(&doc, &mut self.scratch))
     }
 
-    /// Statistics accumulated by this matcher.
+    /// Statistics accumulated by this matcher, with the engine's
+    /// maintenance counters merged in.
     pub fn stats(&self) -> EngineStats {
-        self.scratch.stats()
+        let mut s = self.scratch.stats();
+        s.incremental_patches = self.engine.incremental_patches;
+        s.full_rebuilds = self.engine.full_rebuilds;
+        s
     }
 
     /// The engine this matcher reads from.
@@ -921,6 +1081,12 @@ impl Default for FilterEngine {
     }
 }
 
+impl AsRef<FilterEngine> for FilterEngine {
+    fn as_ref(&self) -> &FilterEngine {
+        self
+    }
+}
+
 impl FilterEngine {
     /// Creates an engine with the given expression organization and
     /// attribute-filter mode.
@@ -942,6 +1108,11 @@ impl FilterEngine {
             n_components: 0,
             locations: Vec::new(),
             removed: 0,
+            prepared: false,
+            garbage: 0,
+            incremental_patches: 0,
+            full_rebuilds: 0,
+            compaction_override: None,
             scratch: MatchScratch::default(),
             limits: ParserLimits::default(),
         }
@@ -1040,26 +1211,100 @@ impl FilterEngine {
     }
 
     /// Cumulative matching statistics of the internal (`&mut self`)
-    /// matching API. [`Matcher`]s carry their own statistics.
+    /// matching API, plus the engine-level maintenance counters.
+    /// [`Matcher`]s carry their own matching statistics.
     pub fn stats(&self) -> EngineStats {
-        self.scratch.stats
+        let mut s = self.scratch.stats;
+        s.incremental_patches = self.incremental_patches;
+        s.full_rebuilds = self.full_rebuilds;
+        s
     }
 
-    /// Resets the statistics counters.
+    /// Resets the statistics counters (including the maintenance
+    /// counters).
     pub fn reset_stats(&mut self) {
         self.scratch.stats = EngineStats::default();
+        self.incremental_patches = 0;
+        self.full_rebuilds = 0;
+    }
+
+    /// `add`/`remove` operations applied as in-place index patches since
+    /// construction (or the last [`Self::reset_stats`]).
+    pub fn incremental_patches(&self) -> u64 {
+        self.incremental_patches
+    }
+
+    /// Full index recompilations after the first [`Self::prepare`]
+    /// (compactions included). Steady-state churn keeps this at zero.
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
+    }
+
+    #[doc(hidden)]
+    /// Test hook: overrides the garbage threshold above which a patching
+    /// operation triggers compaction (`Some(0)` compacts on every op;
+    /// `None` restores the size-proportional default).
+    pub fn force_compaction_threshold(&mut self, threshold: Option<usize>) {
+        self.compaction_override = threshold;
     }
 
     /// Finishes construction after a batch of [`Self::add`] calls,
     /// preparing the internal organization for matching. Called
     /// automatically by the `&mut self` matching API; required before
     /// [`Self::matcher`] handles can be created.
+    ///
+    /// The first call compiles the packed index from the builder state.
+    /// After that, `add`/`remove` patch the packed structures in place,
+    /// so this is an O(1) no-op — amortized by occasional compactions
+    /// when tombstone garbage crosses a size-proportional threshold.
     pub fn prepare(&mut self) {
-        self.trie.finalize();
-        if self.postings_dirty {
-            self.build_postings();
-            self.postings_dirty = false;
+        if self.prepared && !self.trie.dirty && !self.postings_dirty {
+            return;
         }
+        let was_prepared = self.prepared;
+        self.trie.finalize();
+        self.build_postings();
+        self.postings_dirty = false;
+        self.garbage = 0;
+        if was_prepared {
+            self.full_rebuilds += 1;
+        }
+        self.prepared = true;
+    }
+
+    /// True when `add`/`remove` can patch the packed structures directly:
+    /// the index is compiled and no un-compiled mutation is pending.
+    fn ready_for_patch(&self) -> bool {
+        self.prepared && !self.trie.dirty && !self.postings_dirty
+    }
+
+    /// Garbage level above which a patch triggers [`Self::compact`].
+    fn compaction_threshold(&self) -> usize {
+        self.compaction_override.unwrap_or(
+            (self.trie.packed.plain_subs.len()
+                + self.trie.packed.child_pid.len()
+                + self.trie.packed.chain_arena.len()
+                + self.postings.entries.len())
+                / 2
+                + 4096,
+        )
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.garbage > self.compaction_threshold() {
+            self.compact();
+        }
+    }
+
+    /// Recompiles the packed trie columns and posting lists from the
+    /// builder state, reclaiming abandoned arena slots, tombstoned
+    /// terminals, and dead posting entries.
+    fn compact(&mut self) {
+        self.trie.dirty = true;
+        self.trie.finalize();
+        self.build_postings();
+        self.garbage = 0;
+        self.full_rebuilds += 1;
     }
 
     /// Rebuilds the posting lists from the current flat entries /
@@ -1103,25 +1348,31 @@ impl FilterEngine {
                 }
             }
         }
-        // Counting sort of the (pid, entry) pairs into the CSR slab
-        // (stable, so each posting list keeps entry insertion order).
+        // Counting sort of the (pid, entry) pairs into the arena slab
+        // (stable, so each posting list keeps entry insertion order);
+        // each span's `len` doubles as the fill cursor and ends at `cap`.
         let p = &mut self.postings;
         p.required = required;
-        p.pred_start.clear();
-        p.pred_start.resize(npreds + 1, 0);
+        let mut counts = vec![0u32; npreds];
         for &(pid, _) in &pairs {
-            p.pred_start[pid.index() + 1] += 1;
+            counts[pid.index()] += 1;
         }
-        for i in 0..npreds {
-            p.pred_start[i + 1] += p.pred_start[i];
+        p.pred_span.clear();
+        let mut acc = 0u32;
+        for &cap in &counts {
+            p.pred_span.push(Span {
+                start: acc,
+                len: 0,
+                cap,
+            });
+            acc += cap;
         }
         p.entries.clear();
         p.entries.resize(pairs.len(), 0);
-        let mut cursor: Vec<u32> = p.pred_start[..npreds].to_vec();
         for &(pid, ei) in &pairs {
-            let c = &mut cursor[pid.index()];
-            p.entries[*c as usize] = ei;
-            *c += 1;
+            let s = &mut p.pred_span[pid.index()];
+            p.entries[(s.start + s.len) as usize] = ei;
+            s.len += 1;
         }
         p.root_of.clear();
         p.root_of.resize(npreds, NO_ROOT);
@@ -1157,8 +1408,12 @@ impl FilterEngine {
     /// location steps and each predicate insert is an O(1) index probe.
     pub fn add(&mut self, expr: &XPathExpr) -> Result<SubId, AddError> {
         let sub = SubId(self.n_subs);
+        // Once the packed index is compiled, new subscriptions patch it
+        // in place; before the first prepare() they accumulate in the
+        // builder state for the bulk compilation.
+        let patch = self.ready_for_patch();
         if expr.has_nested_paths() {
-            self.add_nested(expr, sub)?;
+            self.add_nested(expr, sub, patch)?;
             self.locations
                 .push(SubLocation::Nested(self.nested.len() as u32 - 1));
         } else {
@@ -1173,11 +1428,17 @@ impl FilterEngine {
                 .iter()
                 .map(|p| self.index.insert(p.clone()))
                 .collect();
-            let location = self.insert_expr(preds, Sink::Sub { sub, attr_check });
+            let location = self.insert_expr(preds, Sink::Sub { sub, attr_check }, patch);
             self.locations.push(location);
         }
         self.n_subs += 1;
-        self.postings_dirty = true;
+        if patch {
+            debug_assert!(self.ready_for_patch());
+            self.incremental_patches += 1;
+            self.maybe_compact();
+        } else {
+            self.postings_dirty = true;
+        }
         debug_assert_eq!(self.locations.len(), self.n_subs as usize);
         Ok(sub)
     }
@@ -1192,11 +1453,7 @@ impl FilterEngine {
         let Some(location) = self.locations.get(sub.0 as usize).copied() else {
             return false;
         };
-        let strip = |sinks: &mut Vec<Sink>| -> bool {
-            let before = sinks.len();
-            sinks.retain(|s| !matches!(s, Sink::Sub { sub: s2, .. } if *s2 == sub));
-            sinks.len() != before
-        };
+        let patch = self.ready_for_patch();
         let removed = match location {
             SubLocation::Gone => false,
             SubLocation::Flat(i) => {
@@ -1205,27 +1462,102 @@ impl FilterEngine {
                     Sink::Sub { sub: s2, .. } if *s2 == sub => {
                         // Tombstone the flat entry by emptying its chain's
                         // sink: replace with a never-matching marker.
+                        let preds: Vec<PredId> = entry.preds.to_vec();
                         entry.sink = Sink::Removed;
+                        if patch {
+                            // The posting entries of the dead expression
+                            // stay in the lists; `required` at the
+                            // never-candidate sentinel keeps counting from
+                            // ever surfacing it.
+                            let mut distinct = preds.clone();
+                            distinct.sort_unstable();
+                            distinct.dedup();
+                            self.postings.required[i as usize] = NEVER_CANDIDATE;
+                            self.garbage += distinct.len();
+                        }
+                        for pid in preds {
+                            self.index.release(pid);
+                        }
                         true
                     }
                     _ => false,
                 }
             }
             SubLocation::Node(n) => {
-                let changed = strip(&mut self.trie.nodes[n as usize].sinks);
-                if changed {
-                    // The packed sink columns (`sink_len`, the plain-sub
-                    // arena) mirror the builder sink lists and must be
-                    // recompiled — and the node may no longer be a
-                    // terminal at all.
-                    self.trie.dirty = true;
+                let sinks = &mut self.trie.nodes[n as usize].sinks;
+                let pos = sinks
+                    .iter()
+                    .position(|s| matches!(s, Sink::Sub { sub: s2, .. } if *s2 == sub));
+                if let Some(pos) = pos {
+                    let was_plain = matches!(
+                        &sinks[pos],
+                        Sink::Sub {
+                            attr_check: None,
+                            ..
+                        }
+                    );
+                    sinks.remove(pos);
+                    let now_empty = sinks.is_empty();
+                    if patch {
+                        let p = &mut self.trie.packed;
+                        p.sink_len[n as usize] -= 1;
+                        if was_plain {
+                            // Swap-remove the id inside the plain span;
+                            // the freed slot stays within the span's
+                            // capacity, so it is reusable, not garbage.
+                            let span = &mut p.plain_span[n as usize];
+                            let r = span.range();
+                            let idx = p.plain_subs[r.clone()]
+                                .iter()
+                                .position(|&x| x == sub.0)
+                                .expect("plain sink mirrored in the packed column");
+                            p.plain_subs[r.start + idx] = p.plain_subs[r.end - 1];
+                            span.len -= 1;
+                        }
+                        if now_empty {
+                            // The node stops being a terminal: tombstone
+                            // its terminal slot. The chain arena slice and
+                            // the posting entries pointing at the dead
+                            // terminal become garbage.
+                            let ti = p.term_of[n as usize];
+                            debug_assert_ne!(ti, NO_TERM, "terminal mirrored in term_of");
+                            p.term_of[n as usize] = NO_TERM;
+                            let s = p.term_chain_start[ti as usize] as usize;
+                            let e = p.term_chain_start[ti as usize + 1] as usize;
+                            let mut distinct: Vec<PredId> = p.chain_arena[s..e].to_vec();
+                            distinct.sort_unstable();
+                            distinct.dedup();
+                            self.garbage += (e - s) + distinct.len();
+                            self.postings.required[ti as usize] = NEVER_CANDIDATE;
+                        }
+                    } else {
+                        // The packed sink columns (`sink_len`, the
+                        // plain-sub arena) mirror the builder sink lists
+                        // and must be recompiled at the next prepare().
+                        self.trie.dirty = true;
+                    }
+                    // Release this subscription's reference on every
+                    // predicate along the chain (one bump per add).
+                    let mut cur = n;
+                    loop {
+                        let nd = &self.trie.nodes[cur as usize];
+                        let (pid, parent) = (nd.pid, nd.parent);
+                        self.index.release(pid);
+                        if parent == NO_PARENT {
+                            break;
+                        }
+                        cur = parent;
+                    }
+                    true
+                } else {
+                    false
                 }
-                changed
             }
             SubLocation::Nested(i) => {
                 // Nested subscriptions tombstone their plan; component
-                // expressions stay registered but their recorded paths are
-                // simply never combined.
+                // expressions stay registered (and keep their predicate
+                // references) but their recorded paths are simply never
+                // combined.
                 let ns = &mut self.nested[i as usize];
                 if ns.live {
                     ns.live = false;
@@ -1238,12 +1570,18 @@ impl FilterEngine {
         if removed {
             self.locations[sub.0 as usize] = SubLocation::Gone;
             self.removed += 1;
-            self.postings_dirty = true;
+            if patch {
+                debug_assert!(self.ready_for_patch());
+                self.incremental_patches += 1;
+                self.maybe_compact();
+            } else {
+                self.postings_dirty = true;
+            }
         }
         removed
     }
 
-    fn add_nested(&mut self, expr: &XPathExpr, sub: SubId) -> Result<(), AddError> {
+    fn add_nested(&mut self, expr: &XPathExpr, sub: SubId, patch: bool) -> Result<(), AddError> {
         let plan = decompose(expr);
         let comp_base = self.n_components;
         // Validate every component before registering any of them.
@@ -1270,6 +1608,7 @@ impl FilterEngine {
                 Sink::Component {
                     comp: comp_base + ci as u32,
                 },
+                patch,
             );
         }
         self.n_components += plan.components.len() as u32;
@@ -1282,16 +1621,154 @@ impl FilterEngine {
         Ok(())
     }
 
-    fn insert_expr(&mut self, preds: Box<[PredId]>, sink: Sink) -> SubLocation {
+    fn insert_expr(&mut self, preds: Box<[PredId]>, sink: Sink, patch: bool) -> SubLocation {
         match self.algorithm {
             Algorithm::Basic => {
                 self.flat.push(FlatExpr { preds, sink });
-                SubLocation::Flat(self.flat.len() as u32 - 1)
+                let ei = self.flat.len() as u32 - 1;
+                if patch {
+                    self.patch_flat_postings(ei);
+                }
+                SubLocation::Flat(ei)
             }
             Algorithm::PrefixCovering | Algorithm::AccessPredicate => {
-                SubLocation::Node(self.trie.insert(&preds, sink))
+                if patch {
+                    SubLocation::Node(self.patch_trie_insert(&preds, sink))
+                } else {
+                    SubLocation::Node(self.trie.insert(&preds, sink))
+                }
             }
         }
+    }
+
+    /// Incremental posting-list patch for a newly pushed flat entry
+    /// (Basic organization): its `required` count appends and the entry
+    /// joins the posting list of each distinct predicate in its chain.
+    fn patch_flat_postings(&mut self, ei: u32) {
+        self.postings.ensure(self.index.len());
+        debug_assert_eq!(self.postings.required.len(), ei as usize);
+        let mut distinct: Vec<PredId> = self.flat[ei as usize].preds.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        self.postings.required.push(distinct.len() as u32);
+        for pid in distinct {
+            grow_span(
+                &mut self.postings.entries,
+                &mut self.postings.pred_span[pid.index()],
+                ei,
+                &mut self.garbage,
+            );
+        }
+    }
+
+    /// Incremental trie insert (PrefixCovering / AccessPredicate): walks
+    /// or creates the predicate chain exactly like [`Trie::insert`],
+    /// mirroring every new node into the packed columns (and the root /
+    /// `pid→root` tables), attaches the sink, and — if the node was not a
+    /// terminal yet — appends a new terminal with its chain and posting
+    /// entries. Leaves no dirty flags behind: the packed view stays
+    /// exactly what [`Trie::finalize`] + [`FilterEngine::build_postings`]
+    /// would produce, up to span layout and terminal order.
+    fn patch_trie_insert(&mut self, preds: &[PredId], sink: Sink) -> u32 {
+        debug_assert!(!preds.is_empty());
+        self.postings.ensure(self.index.len());
+        let mut current: u32 = NO_PARENT;
+        for &pid in preds {
+            current = match self.trie.edges.get(&(current, pid)) {
+                Some(&n) => n,
+                None => {
+                    let parent = current;
+                    let depth = if parent == NO_PARENT {
+                        1
+                    } else {
+                        self.trie.nodes[parent as usize].depth + 1
+                    };
+                    let n = self.trie.alloc(pid, parent, depth);
+                    self.trie.edges.insert((parent, pid), n);
+                    let p = &mut self.trie.packed;
+                    debug_assert_eq!(p.pid.len(), n as usize);
+                    p.pid.push(pid);
+                    p.parent.push(parent);
+                    p.sink_len.push(0);
+                    p.plain_span.push(Span::default());
+                    p.child_span.push(Span::default());
+                    p.term_of.push(NO_TERM);
+                    if parent == NO_PARENT {
+                        // New access-predicate cluster: append to the root
+                        // tables (scanned linearly, order-insensitive).
+                        p.root_pid.push(pid);
+                        p.root_node.push(n);
+                        self.postings.root_of[pid.index()] = n;
+                    } else {
+                        grow_span2(
+                            &mut p.child_pid,
+                            &mut p.child_node,
+                            &mut p.child_span[parent as usize],
+                            pid,
+                            n,
+                            &mut self.garbage,
+                        );
+                    }
+                    n
+                }
+            };
+        }
+        let n = current;
+        let plain_sub = match &sink {
+            Sink::Sub {
+                sub,
+                attr_check: None,
+            } => Some(sub.0),
+            _ => None,
+        };
+        self.trie.nodes[n as usize].sinks.push(sink);
+        let p = &mut self.trie.packed;
+        p.sink_len[n as usize] += 1;
+        if let Some(s) = plain_sub {
+            grow_span(
+                &mut p.plain_subs,
+                &mut p.plain_span[n as usize],
+                s,
+                &mut self.garbage,
+            );
+        }
+        if p.term_of[n as usize] == NO_TERM {
+            // First sink on this node: it becomes a (new) terminal.
+            if p.term_chain_start.is_empty() {
+                // An empty engine prepared with zero terminals never ran
+                // the chain emission, so the leading sentinel is missing.
+                p.term_chain_start.push(0);
+            }
+            let ti = p.term_node.len() as u32;
+            let mut chain: Vec<PredId> = Vec::new();
+            let mut cur = n;
+            loop {
+                chain.push(p.pid[cur as usize]);
+                let parent = p.parent[cur as usize];
+                if parent == NO_PARENT {
+                    break;
+                }
+                cur = parent;
+            }
+            chain.reverse();
+            p.term_node.push(n);
+            p.chain_arena.extend_from_slice(&chain);
+            p.term_chain_start.push(p.chain_arena.len() as u32);
+            p.term_of[n as usize] = ti;
+            let mut distinct = chain;
+            distinct.sort_unstable();
+            distinct.dedup();
+            self.postings.required.push(distinct.len() as u32);
+            for pid in distinct {
+                grow_span(
+                    &mut self.postings.entries,
+                    &mut self.postings.pred_span[pid.index()],
+                    ti,
+                    &mut self.garbage,
+                );
+            }
+        }
+        n
     }
 
     /// Filters a document: returns the ids of all matching subscriptions,

@@ -44,6 +44,7 @@ pub mod occurrence;
 pub mod parallel;
 pub mod reference;
 pub mod sharded;
+pub mod snapshot;
 
 pub use backend::{BackendError, FilterBackend};
 pub use encode::{AttrMode, EncodeError, EncodedPath};
@@ -54,4 +55,8 @@ pub use parallel::{
     BatchMatcher, BatchReport, BatchScratch, ByteFilterResult, DocError, DocFilterResult,
     MatcherSource,
 };
-pub use sharded::{ShardedEngine, ShardedMatcher};
+pub use sharded::{
+    ShardedEngine, ShardedHandle, ShardedMatcher, ShardedPublisher, ShardedSnapshot,
+    ShardedSnapshotMatcher,
+};
+pub use snapshot::{ChurnOp, EngineSnapshot, SnapshotHandle, SnapshotPublisher};

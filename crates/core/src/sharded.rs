@@ -23,8 +23,11 @@
 use crate::backend::{BackendError, FilterBackend};
 use crate::encode::AttrMode;
 use crate::engine::{Algorithm, EngineStats, FilterEngine, MatchScratch, Stage1, Stage2, SubId};
+use crate::parallel::{BatchMatcher, MatcherSource};
+use crate::snapshot::{EngineSnapshot, SnapshotPublisher};
 use pxf_xml::{DocAccess, Document, ParserLimits, PathDoc, XmlError};
 use pxf_xpath::XPathExpr;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// Per-shard scratch plus the merge state for one matching context (the
@@ -147,6 +150,15 @@ impl ShardedEngine {
         self.add(&expr)
     }
 
+    /// Unregisters a subscription by global id, routing to the shard the
+    /// round-robin placement assigned it to (`g % n`, local id `g / n`).
+    /// Returns whether the shard held a live subscription under that id.
+    pub fn remove(&mut self, sub: SubId) -> bool {
+        let n = self.shards.len() as u32;
+        let shard = (sub.0 % n) as usize;
+        self.shards[shard].remove(SubId(sub.0 / n))
+    }
+
     /// Finishes construction on every shard.
     pub fn prepare(&mut self) {
         for s in &mut self.shards {
@@ -155,8 +167,10 @@ impl ShardedEngine {
     }
 
     /// Filters a parsed document: global ids of all matching
-    /// subscriptions, ascending.
+    /// subscriptions, ascending. Prepares implicitly, like the
+    /// single-engine `&mut self` entry points.
     pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<SubId> {
+        self.prepare();
         let shards = &self.shards;
         Self::match_with(shards, doc, &mut self.scratch)
     }
@@ -164,6 +178,7 @@ impl ShardedEngine {
     /// Parses and filters raw bytes: one parse into the flat path store,
     /// then every shard matches against the same parsed document.
     pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        self.prepare();
         let doc = PathDoc::parse_with_limits(bytes, self.limits)?;
         Ok(Self::match_with(&self.shards, &doc, &mut self.scratch))
     }
@@ -188,9 +203,16 @@ impl ShardedEngine {
 
     /// Merged statistics of the internal (`&mut self`) matching API:
     /// per-shard stage times and counters summed, `docs` counted once per
-    /// document, and the shard-imbalance counter filled in.
+    /// document, and the shard-imbalance counter filled in. Maintenance
+    /// counters (incremental patches, full rebuilds) live on the shard
+    /// engines, not in matching scratch, and are summed in here.
     pub fn stats(&self) -> EngineStats {
-        merged_stats(&self.scratch)
+        let mut out = merged_stats(&self.scratch);
+        for s in &self.shards {
+            out.incremental_patches += s.incremental_patches();
+            out.full_rebuilds += s.full_rebuilds();
+        }
+        out
     }
 
     /// Resets the internal matching API's statistics.
@@ -214,10 +236,10 @@ impl ShardedEngine {
     }
 
     /// Matches `doc` against every shard and merges the local result
-    /// lists. The shards are borrowed immutably, so any number of
-    /// scratches can run concurrently.
-    fn match_with<D: DocAccess>(
-        shards: &[FilterEngine],
+    /// lists. The shards are borrowed immutably (directly or through
+    /// snapshot `Arc`s), so any number of scratches can run concurrently.
+    fn match_with<S: AsRef<FilterEngine>, D: DocAccess>(
+        shards: &[S],
         doc: &D,
         scratch: &mut ShardScratch,
     ) -> Vec<SubId> {
@@ -226,7 +248,9 @@ impl ShardedEngine {
         let mut slowest = 0u64;
         for (s, shard) in shards.iter().enumerate() {
             let t0 = Instant::now();
-            let local = shard.match_document_with(doc, &mut scratch.per_shard[s]);
+            let local = shard
+                .as_ref()
+                .match_document_with(doc, &mut scratch.per_shard[s]);
             let dt = t0.elapsed().as_nanos() as u64;
             fastest = fastest.min(dt);
             slowest = slowest.max(dt);
@@ -319,9 +343,205 @@ impl ShardedMatcher<'_> {
         ))
     }
 
-    /// Merged statistics accumulated by this matcher.
+    /// Merged statistics accumulated by this matcher (maintenance
+    /// counters come from the shared engine's shards).
     pub fn stats(&self) -> EngineStats {
-        merged_stats(&self.scratch)
+        let mut out = merged_stats(&self.scratch);
+        for s in &self.engine.shards {
+            out.incremental_patches += s.incremental_patches();
+            out.full_rebuilds += s.full_rebuilds();
+        }
+        out
+    }
+}
+
+/// An immutable published view of a sharded subscription base: one
+/// [`EngineSnapshot`] per shard, frozen together at a publication epoch.
+#[derive(Debug)]
+pub struct ShardedSnapshot {
+    shards: Vec<Arc<EngineSnapshot>>,
+    epoch: u64,
+    limits: ParserLimits,
+}
+
+impl ShardedSnapshot {
+    /// The publication epoch this composite snapshot was created at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The per-shard snapshots (diagnostics, footprint reports).
+    pub fn shards(&self) -> &[Arc<EngineSnapshot>] {
+        &self.shards
+    }
+
+    /// Creates an independent matching handle over this snapshot.
+    pub fn matcher(&self) -> ShardedSnapshotMatcher<'_> {
+        ShardedSnapshotMatcher {
+            shards: &self.shards,
+            limits: self.limits,
+            scratch: ShardScratch::with_shards(self.shards.len()),
+        }
+    }
+}
+
+/// A per-thread matching handle over a [`ShardedSnapshot`].
+#[derive(Debug)]
+pub struct ShardedSnapshotMatcher<'e> {
+    shards: &'e [Arc<EngineSnapshot>],
+    limits: ParserLimits,
+    scratch: ShardScratch,
+}
+
+impl ShardedSnapshotMatcher<'_> {
+    /// Filters a document: global ids of all matching subscriptions,
+    /// ascending.
+    pub fn match_document<D: DocAccess>(&mut self, doc: &D) -> Vec<SubId> {
+        ShardedEngine::match_with(self.shards, doc, &mut self.scratch)
+    }
+
+    /// Parses and filters raw bytes (one parse, all shards).
+    pub fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        let doc = PathDoc::parse_with_limits(bytes, self.limits)?;
+        Ok(ShardedEngine::match_with(
+            self.shards,
+            &doc,
+            &mut self.scratch,
+        ))
+    }
+}
+
+impl BatchMatcher for ShardedSnapshotMatcher<'_> {
+    fn match_document(&mut self, doc: &Document) -> Vec<SubId> {
+        ShardedSnapshotMatcher::match_document(self, doc)
+    }
+    fn match_bytes(&mut self, bytes: &[u8]) -> Result<Vec<SubId>, XmlError> {
+        ShardedSnapshotMatcher::match_bytes(self, bytes)
+    }
+}
+
+impl MatcherSource for ShardedSnapshot {
+    type Matcher<'a> = ShardedSnapshotMatcher<'a>;
+    fn matcher(&self) -> ShardedSnapshotMatcher<'_> {
+        ShardedSnapshot::matcher(self)
+    }
+}
+
+/// A cloneable reader handle onto a [`ShardedPublisher`]'s snapshot slot.
+#[derive(Debug, Clone)]
+pub struct ShardedHandle {
+    shared: Arc<RwLock<Arc<ShardedSnapshot>>>,
+}
+
+impl ShardedHandle {
+    /// Pins the currently published composite snapshot.
+    pub fn load(&self) -> Arc<ShardedSnapshot> {
+        self.shared
+            .read()
+            .expect("sharded snapshot slot poisoned")
+            .clone()
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch
+    }
+}
+
+/// The single-writer side of an expression-sharded subscription base:
+/// churn routes to per-shard [`SnapshotPublisher`]s and every
+/// [`Self::publish`] swaps in a composite [`ShardedSnapshot`] — the
+/// per-shard snapshot swap of the deployment where shards live on
+/// separate cores.
+#[derive(Debug)]
+pub struct ShardedPublisher {
+    publishers: Vec<SnapshotPublisher>,
+    n_subs: u32,
+    shared: Arc<RwLock<Arc<ShardedSnapshot>>>,
+    epoch: u64,
+    limits: ParserLimits,
+}
+
+impl ShardedPublisher {
+    /// Takes ownership of a sharded engine (prepared or not) and
+    /// publishes its current state as the epoch-0 composite snapshot.
+    pub fn new(engine: ShardedEngine) -> Self {
+        let ShardedEngine {
+            shards,
+            n_subs,
+            limits,
+            ..
+        } = engine;
+        let publishers: Vec<SnapshotPublisher> =
+            shards.into_iter().map(SnapshotPublisher::new).collect();
+        let snapshot = Arc::new(ShardedSnapshot {
+            shards: publishers.iter().map(|p| p.handle().load()).collect(),
+            epoch: 0,
+            limits,
+        });
+        ShardedPublisher {
+            publishers,
+            n_subs,
+            shared: Arc::new(RwLock::new(snapshot)),
+            epoch: 0,
+            limits,
+        }
+    }
+
+    /// A reader handle onto this publisher's snapshot slot.
+    pub fn handle(&self) -> ShardedHandle {
+        ShardedHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Registers an expression on the next shard in round-robin order
+    /// (invisible to readers until the next [`Self::publish`]).
+    pub fn add(&mut self, expr: &XPathExpr) -> Result<SubId, BackendError> {
+        let n = self.publishers.len() as u32;
+        let shard = (self.n_subs % n) as usize;
+        let local = self.publishers[shard]
+            .add(expr)
+            .map_err(|e| BackendError(e.to_string()))?;
+        debug_assert_eq!(local.0, self.n_subs / n);
+        let global = SubId(self.n_subs);
+        self.n_subs += 1;
+        Ok(global)
+    }
+
+    /// Parses and registers an expression (convenience).
+    pub fn add_str(&mut self, src: &str) -> Result<SubId, BackendError> {
+        let expr = pxf_xpath::parse(src).map_err(|e| BackendError(e.to_string()))?;
+        self.add(&expr)
+    }
+
+    /// Unregisters a subscription by global id, routed like
+    /// [`ShardedEngine::remove`].
+    pub fn remove(&mut self, sub: SubId) -> bool {
+        let n = self.publishers.len() as u32;
+        let shard = (sub.0 % n) as usize;
+        self.publishers[shard].remove(SubId(sub.0 / n))
+    }
+
+    /// Read access to the per-shard write buffers (maintenance counters).
+    pub fn engines(&self) -> impl Iterator<Item = &FilterEngine> {
+        self.publishers.iter().map(|p| p.engine())
+    }
+
+    /// Publishes every shard and swaps in a new composite snapshot,
+    /// returning its epoch.
+    pub fn publish(&mut self) -> u64 {
+        for p in &mut self.publishers {
+            p.publish();
+        }
+        self.epoch += 1;
+        let fresh = Arc::new(ShardedSnapshot {
+            shards: self.publishers.iter().map(|p| p.handle().load()).collect(),
+            epoch: self.epoch,
+            limits: self.limits,
+        });
+        *self.shared.write().expect("sharded snapshot slot poisoned") = fresh;
+        self.epoch
     }
 }
 
@@ -332,6 +552,10 @@ impl FilterBackend for ShardedEngine {
 
     fn prepare(&mut self) {
         ShardedEngine::prepare(self);
+    }
+
+    fn remove(&mut self, sub: SubId) -> bool {
+        ShardedEngine::remove(self, sub)
     }
 
     fn match_document(&mut self, doc: &Document) -> Vec<SubId> {

@@ -132,6 +132,66 @@ fn matcher_scratch_wraps_and_restarts() {
     }
 }
 
+/// Churn across the wrap: subscriptions are removed and re-added while
+/// the scratch epochs cross `u32::MAX`, so in-place index patches (trie
+/// tombstones, posting-span rewrites, predicate slot reclamation) land
+/// on structures whose epoch words are about to restart. After every
+/// churn step the live engine must agree with a fresh oracle over the
+/// surviving set — a stale stamp surviving the wrap, or a patch
+/// resurrecting one, would desynchronize them.
+#[test]
+fn churn_between_wraps_matches_oracle() {
+    let docs: Vec<Document> = DOCS
+        .iter()
+        .map(|s| Document::parse(s.as_bytes()).unwrap())
+        .collect();
+    for (algo, mode, s1, s2) in all_modes() {
+        let ctx = format!("{algo:?} {mode:?} {s1:?} {s2:?}");
+        let mut engine = build(algo, mode, s1, s2);
+        let mut live: Vec<Option<&str>> = EXPRS.iter().map(|e| Some(*e)).collect();
+        // Plant low-epoch stamps, then park just below the wrap point.
+        for doc in &docs {
+            let _ = engine.match_document(doc);
+        }
+        engine.force_scratch_epochs(u32::MAX - 2, u32::MAX - 3);
+        for step in 0..6 {
+            // Alternate removals and re-adds so the set keeps changing
+            // while the epochs cross the wrap.
+            let victim = step % EXPRS.len();
+            if live[victim].is_some() {
+                assert!(engine.remove(SubId(victim as u32)), "{ctx}");
+                live[victim] = None;
+            } else {
+                let id = engine.add_str(EXPRS[victim]).unwrap();
+                live.push(None);
+                live[id.0 as usize] = Some(EXPRS[victim]);
+            }
+            let mut oracle = FilterEngine::new(algo, mode);
+            oracle.set_stage1(s1);
+            oracle.set_stage2(s2);
+            let mut kept_orig: Vec<u32> = Vec::new();
+            for (i, e) in live.iter().enumerate() {
+                if let Some(e) = e {
+                    oracle.add_str(e).unwrap();
+                    kept_orig.push(i as u32);
+                }
+            }
+            for doc in &docs {
+                let want: Vec<u32> = oracle
+                    .match_document(doc)
+                    .iter()
+                    .map(|s| kept_orig[s.0 as usize])
+                    .collect();
+                let got: Vec<u32> = engine.match_document(doc).iter().map(|s| s.0).collect();
+                assert_eq!(got, want, "{ctx}, step {step}, doc {}", doc.to_xml());
+            }
+        }
+        // Steady-state churn across the wrap stayed incremental.
+        assert_eq!(engine.full_rebuilds(), 0, "{ctx}");
+        assert!(engine.incremental_patches() > 0, "{ctx}");
+    }
+}
+
 /// The wrap must also be invisible mid-stream on the byte path (parse +
 /// match per document), where the path store is rebuilt every call.
 #[test]

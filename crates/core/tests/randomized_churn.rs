@@ -1,0 +1,301 @@
+//! Seeded randomized churn property suite: random interleavings of
+//! add / remove / match, applied to a *live* engine that patches its
+//! index in place, must be indistinguishable from a fresh engine
+//! rebuilt from the surviving subscription set — across every
+//! algorithm, both stage-1 modes, both stage-2 strategies, and both
+//! document stores (tree and streaming byte path).
+//!
+//! The incremental paths under test: posting-list spans patched per
+//! add/remove, packed-trie column appends with tombstoned terminals,
+//! predicate reference counting with slot reclamation, and the
+//! `pid → root` table maintenance — all equivalence-checked against the
+//! rebuild-from-scratch engine as oracle after every batch of ops.
+
+use pxf_core::{Algorithm, AttrMode, FilterEngine, ShardedEngine, Stage1, Stage2, SubId};
+use pxf_rng::Rng;
+use pxf_xml::Document;
+use pxf_xpath::XPathExpr;
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Random expression source covering the index's dispatch arms: plain
+/// steps, wildcards, attribute filters (equality, existence, ranges),
+/// and occasional nested path filters.
+fn arb_expr_src(rng: &mut Rng) -> String {
+    let n_steps = rng.gen_range(1..5usize);
+    let mut src = String::new();
+    if rng.gen_bool(0.5) {
+        src.push('/');
+    }
+    for i in 0..n_steps {
+        if i > 0 || src == "/" {
+            if rng.gen_bool(0.35) && i != 0 {
+                src.push_str("//");
+            } else if i > 0 {
+                src.push('/');
+            }
+        }
+        if rng.gen_bool(0.2) && i > 0 {
+            src.push('*');
+            continue;
+        }
+        src.push_str(TAGS[rng.gen_range(0..TAGS.len())]);
+        // Attribute filters exercise the attr-range columns and buckets.
+        if rng.gen_bool(0.3) {
+            match rng.gen_range(0..4u32) {
+                0 => src.push_str("[@k = \"1\"]"),
+                1 => src.push_str("[@m]"),
+                2 => src.push_str(&format!("[@n >= {}]", rng.gen_range(1..4u32))),
+                _ => src.push_str(&format!("[@n <= {}]", rng.gen_range(1..4u32))),
+            }
+        }
+        // Nested path filters exercise the NestedSub live-flag path.
+        if rng.gen_bool(0.1) {
+            src.push_str(&format!("[{}/{}]", TAGS[rng.gen_range(0..2usize)], TAGS[2]));
+        }
+    }
+    if src.is_empty() || src == "/" {
+        src = "/a".into();
+    }
+    src
+}
+
+fn arb_expr(rng: &mut Rng) -> XPathExpr {
+    loop {
+        if let Ok(e) = pxf_xpath::parse(&arb_expr_src(rng)) {
+            return e;
+        }
+    }
+}
+
+fn arb_doc_xml(rng: &mut Rng, depth: usize) -> String {
+    let tag = TAGS[rng.gen_range(0..TAGS.len())];
+    let attr = match rng.gen_range(0..5u32) {
+        0 => " k=\"1\"".to_string(),
+        1 => " m=\"x\"".to_string(),
+        2 => format!(" n=\"{}\"", rng.gen_range(0..5u32)),
+        _ => String::new(),
+    };
+    let n_children = if depth == 0 {
+        0
+    } else {
+        rng.gen_range(0..3usize)
+    };
+    if n_children == 0 {
+        return format!("<{tag}{attr}/>");
+    }
+    let children: String = (0..n_children)
+        .map(|_| arb_doc_xml(rng, depth - 1))
+        .collect();
+    format!("<{tag}{attr}>{children}</{tag}>")
+}
+
+fn mode_grid() -> Vec<(Algorithm, Stage1, Stage2)> {
+    let mut out = Vec::new();
+    for algo in [
+        Algorithm::Basic,
+        Algorithm::PrefixCovering,
+        Algorithm::AccessPredicate,
+    ] {
+        for s1 in [Stage1::Incremental, Stage1::PerPath] {
+            for s2 in [Stage2::Posting, Stage2::Scan] {
+                out.push((algo, s1, s2));
+            }
+        }
+    }
+    out
+}
+
+/// One random op script: initial adds, then batches of interleaved
+/// adds/removes, with the document set to check after every batch.
+struct Script {
+    attr_mode: AttrMode,
+    initial: Vec<XPathExpr>,
+    /// Per batch: (new exprs to add, indices into the live-id order to
+    /// remove — resolved against the current live set at run time).
+    batches: Vec<(Vec<XPathExpr>, Vec<usize>)>,
+    docs: Vec<String>,
+}
+
+fn arb_script(rng: &mut Rng) -> Script {
+    let attr_mode = if rng.gen_bool(0.5) {
+        AttrMode::Inline
+    } else {
+        AttrMode::Postponed
+    };
+    let initial = (0..rng.gen_range(3..9usize))
+        .map(|_| arb_expr(rng))
+        .collect();
+    let batches = (0..rng.gen_range(2..5usize))
+        .map(|_| {
+            let adds = (0..rng.gen_range(0..4usize))
+                .map(|_| arb_expr(rng))
+                .collect();
+            let removes = (0..rng.gen_range(0..3usize))
+                .map(|_| rng.gen_range(0..1usize << 16))
+                .collect();
+            (adds, removes)
+        })
+        .collect();
+    let docs = (0..rng.gen_range(1..4usize))
+        .map(|_| arb_doc_xml(rng, 4))
+        .collect();
+    Script {
+        attr_mode,
+        initial,
+        batches,
+        docs,
+    }
+}
+
+/// Runs the script against a live engine in one mode, checking both
+/// stores against the survivor oracle after every batch. Returns the
+/// number of incremental patches the live engine performed.
+fn run_script(script: &Script, algo: Algorithm, s1: Stage1, s2: Stage2) -> u64 {
+    let ctx = format!("{algo:?} {s1:?} {s2:?} {:?}", script.attr_mode);
+    let mut engine = FilterEngine::new(algo, script.attr_mode);
+    engine.set_stage1(s1);
+    engine.set_stage2(s2);
+    // SubId → live expression (None once removed).
+    let mut subs: Vec<Option<XPathExpr>> = Vec::new();
+    for e in &script.initial {
+        let id = engine.add(e).unwrap();
+        assert_eq!(id.0 as usize, subs.len());
+        subs.push(Some(e.clone()));
+    }
+    let docs: Vec<Document> = script
+        .docs
+        .iter()
+        .map(|s| Document::parse(s.as_bytes()).unwrap())
+        .collect();
+    // First match triggers the bulk prepare; everything after it must
+    // patch in place (checked by the caller via the returned counter).
+    let _ = engine.match_document(&docs[0]);
+
+    for (batch_no, (adds, removes)) in script.batches.iter().enumerate() {
+        for e in adds {
+            let id = engine.add(e).unwrap();
+            assert_eq!(id.0 as usize, subs.len(), "{ctx}");
+            subs.push(Some(e.clone()));
+        }
+        for &pick in removes {
+            let live: Vec<usize> = (0..subs.len()).filter(|&i| subs[i].is_some()).collect();
+            if live.is_empty() {
+                continue;
+            }
+            let victim = live[pick % live.len()];
+            assert!(engine.remove(SubId(victim as u32)), "{ctx}");
+            subs[victim] = None;
+            // Double-remove must be rejected without corrupting state.
+            assert!(!engine.remove(SubId(victim as u32)), "{ctx}");
+        }
+
+        // Oracle: fresh engine over the surviving set, same mode.
+        let mut oracle = FilterEngine::new(algo, script.attr_mode);
+        oracle.set_stage1(s1);
+        oracle.set_stage2(s2);
+        let mut kept_orig: Vec<u32> = Vec::new();
+        for (i, e) in subs.iter().enumerate() {
+            if let Some(e) = e {
+                oracle.add(e).unwrap();
+                kept_orig.push(i as u32);
+            }
+        }
+        for (src, doc) in script.docs.iter().zip(&docs) {
+            let want: Vec<u32> = oracle
+                .match_document(doc)
+                .iter()
+                .map(|s| kept_orig[s.0 as usize])
+                .collect();
+            let got: Vec<u32> = engine.match_document(doc).iter().map(|s| s.0).collect();
+            assert_eq!(got, want, "{ctx}, batch {batch_no}, tree store, doc {src}");
+            let streamed: Vec<u32> = engine
+                .match_bytes(src.as_bytes())
+                .unwrap()
+                .iter()
+                .map(|s| s.0)
+                .collect();
+            assert_eq!(
+                streamed, want,
+                "{ctx}, batch {batch_no}, byte store, doc {src}"
+            );
+        }
+    }
+    engine.incremental_patches()
+}
+
+#[test]
+fn churn_equals_rebuild_across_all_modes() {
+    let mut rng = Rng::seed_from_u64(0x7c41);
+    let grid = mode_grid();
+    let mut total_patches = 0u64;
+    for _ in 0..24 {
+        let script = arb_script(&mut rng);
+        for &(algo, s1, s2) in &grid {
+            total_patches += run_script(&script, algo, s1, s2);
+        }
+    }
+    assert!(
+        total_patches > 0,
+        "steady-state churn never took the incremental patch path"
+    );
+}
+
+/// The same churn scripts driven through a sharded engine: removal must
+/// route to the shard the round-robin placement put the subscription on.
+#[test]
+fn sharded_churn_equals_rebuild() {
+    let mut rng = Rng::seed_from_u64(0x7c42);
+    for _ in 0..24 {
+        let script = arb_script(&mut rng);
+        for n_shards in [2usize, 3] {
+            let ctx = format!("{n_shards} shards {:?}", script.attr_mode);
+            let mut engine =
+                ShardedEngine::new(n_shards, Algorithm::AccessPredicate, script.attr_mode);
+            let mut subs: Vec<Option<XPathExpr>> = Vec::new();
+            for e in &script.initial {
+                engine.add(e).unwrap();
+                subs.push(Some(e.clone()));
+            }
+            let docs: Vec<Document> = script
+                .docs
+                .iter()
+                .map(|s| Document::parse(s.as_bytes()).unwrap())
+                .collect();
+            let _ = engine.match_document(&docs[0]);
+            for (adds, removes) in &script.batches {
+                for e in adds {
+                    engine.add(e).unwrap();
+                    subs.push(Some(e.clone()));
+                }
+                for &pick in removes {
+                    let live: Vec<usize> = (0..subs.len()).filter(|&i| subs[i].is_some()).collect();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let victim = live[pick % live.len()];
+                    assert!(engine.remove(SubId(victim as u32)), "{ctx}");
+                    subs[victim] = None;
+                    assert!(!engine.remove(SubId(victim as u32)), "{ctx}");
+                }
+                let mut oracle = FilterEngine::new(Algorithm::AccessPredicate, script.attr_mode);
+                let mut kept_orig: Vec<u32> = Vec::new();
+                for (i, e) in subs.iter().enumerate() {
+                    if let Some(e) = e {
+                        oracle.add(e).unwrap();
+                        kept_orig.push(i as u32);
+                    }
+                }
+                for (src, doc) in script.docs.iter().zip(&docs) {
+                    let want: Vec<u32> = oracle
+                        .match_document(doc)
+                        .iter()
+                        .map(|s| kept_orig[s.0 as usize])
+                        .collect();
+                    let got: Vec<u32> = engine.match_document(doc).iter().map(|s| s.0).collect();
+                    assert_eq!(got, want, "{ctx}, doc {src}");
+                }
+            }
+        }
+    }
+}

@@ -71,6 +71,20 @@ impl<E> RangeCols<E> {
         self.entries.insert(pos, entry);
     }
 
+    /// Removes the first entry matching `pred`, keeping the three columns
+    /// aligned and the bounds sorted.
+    fn remove_where(&mut self, pred: &impl Fn(&E) -> bool) -> bool {
+        match self.entries.iter().position(pred) {
+            Some(pos) => {
+                self.bounds.remove(pos);
+                self.strict.remove(pos);
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Visits the entries of the admissible prefix `[0, end)`, skipping
     /// strict bounds equal to `v`.
     fn emit_prefix<'a>(&'a self, end: usize, v: i64, visit: &mut impl FnMut(&'a E)) {
@@ -162,6 +176,62 @@ impl<E> AttrBucket<E> {
             }
             _ => group.other.push(entry),
         }
+    }
+
+    /// Removes the first entry matching `pred` from the slot that `insert`
+    /// routed `key` to. Returns whether an entry was removed. Swap-removal
+    /// inside hash/overflow lists is fine (consumers never rely on entry
+    /// order); the sorted range columns shift to stay aligned.
+    pub fn remove_entry(&mut self, key: &TagVar, pred: impl Fn(&E) -> bool) -> bool {
+        let removed = 'found: {
+            let Some(first) = key.attrs.first() else {
+                break 'found match self.overflow.iter().position(&pred) {
+                    Some(pos) => {
+                        self.overflow.swap_remove(pos);
+                        true
+                    }
+                    None => false,
+                };
+            };
+            let Some(group) = self.groups.iter_mut().find(|g| *g.name == *first.name) else {
+                break 'found false;
+            };
+            match &first.constraint {
+                Some((CmpOp::Eq, AttrValue::Int(n))) => match group.int_eq.get_mut(n) {
+                    Some(list) => match list.iter().position(&pred) {
+                        Some(pos) => {
+                            list.swap_remove(pos);
+                            true
+                        }
+                        None => false,
+                    },
+                    None => false,
+                },
+                Some((CmpOp::Eq, AttrValue::Str(s))) => match group.str_eq.get_mut(s.as_str()) {
+                    Some(list) => match list.iter().position(&pred) {
+                        Some(pos) => {
+                            list.swap_remove(pos);
+                            true
+                        }
+                        None => false,
+                    },
+                    None => false,
+                },
+                Some((CmpOp::Ge | CmpOp::Gt, AttrValue::Int(_))) => group.lower.remove_where(&pred),
+                Some((CmpOp::Le | CmpOp::Lt, AttrValue::Int(_))) => group.upper.remove_where(&pred),
+                _ => match group.other.iter().position(&pred) {
+                    Some(pos) => {
+                        group.other.swap_remove(pos);
+                        true
+                    }
+                    None => false,
+                },
+            }
+        };
+        if removed {
+            self.len -= 1;
+        }
+        removed
     }
 
     /// Iterates every entry (dedup lookups at insert time).

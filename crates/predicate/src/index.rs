@@ -78,6 +78,16 @@ impl RelSlot {
         }
     }
 
+    /// Removes the entry with this predicate id, routing by the same key
+    /// rule as [`Self::insert`].
+    fn remove(&mut self, from: &TagVar, to: &TagVar, pid: PredId) -> bool {
+        if from.has_attrs() {
+            self.by_from.remove_entry(from, |e| e.pid == pid)
+        } else {
+            self.by_to.remove_entry(to, |e| e.pid == pid)
+        }
+    }
+
     fn find(&self, from: &TagVar, to: &TagVar) -> Option<PredId> {
         self.by_from
             .iter()
@@ -125,6 +135,16 @@ impl<S: Default> AttrOpLists<S> {
         };
         arr.get(value as usize)
     }
+
+    /// Mutable access to an already-allocated slot (no resizing — used by
+    /// predicate release, which must not grow the tables).
+    fn existing_slot_mut(&mut self, op: PosOp, value: u32) -> Option<&mut S> {
+        let arr = match op {
+            PosOp::Eq => &mut self.eq,
+            PosOp::Ge => &mut self.ge,
+        };
+        arr.get_mut(value as usize)
+    }
 }
 
 /// Grow-on-demand dense table indexed by [`Symbol`].
@@ -149,7 +169,7 @@ impl<T: Default> SymTable<T> {
 
 /// The predicate index: distinct-predicate storage plus the access paths
 /// used for matching (paper Fig. 1).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PredicateIndex {
     /// Absolute predicates: tag → per-operator value arrays.
     absolute: SymTable<OpArrays>,
@@ -179,6 +199,11 @@ pub struct PredicateIndex {
     rel_attr_to: Vec<bool>,
     /// PredId → predicate.
     preds: Vec<Predicate>,
+    /// PredId → number of expression levels referencing the predicate
+    /// ([`Self::insert`] bumps, [`Self::release`] decrements; at zero the
+    /// dispatch slot is cleared so the predicate stops matching). Ids are
+    /// never reused.
+    refs: Vec<u32>,
 }
 
 impl Default for PredicateIndex {
@@ -202,6 +227,7 @@ impl PredicateIndex {
             rel_to: Vec::new(),
             rel_attr_to: Vec::new(),
             preds: Vec::new(),
+            refs: Vec::new(),
         }
     }
 
@@ -251,6 +277,7 @@ impl PredicateIndex {
                     .sum::<usize>()
         }
         let mut bytes = self.preds.capacity() * size_of::<Predicate>();
+        bytes += self.refs.capacity() * size_of::<u32>();
         bytes += self.length.capacity() * size_of::<Option<PredId>>();
         bytes += self.rel_to.capacity() + self.rel_attr_to.capacity();
         bytes += self.absolute.0.capacity() * size_of::<OpArrays>();
@@ -282,22 +309,31 @@ impl PredicateIndex {
         &self.preds[pid.index()]
     }
 
-    fn alloc(preds: &mut Vec<Predicate>, pred: Predicate) -> PredId {
+    fn alloc(preds: &mut Vec<Predicate>, refs: &mut Vec<u32>, pred: Predicate) -> PredId {
         let pid = PredId(preds.len() as u32);
         preds.push(pred);
+        refs.push(1);
+        pid
+    }
+
+    /// Bumps the reference count of an already-stored predicate.
+    fn bump(refs: &mut [u32], pid: PredId) -> PredId {
+        refs[pid.index()] += 1;
         pid
     }
 
     /// Inserts a predicate, returning its id. If the exact same predicate is
-    /// already stored, the existing id is returned (overlap sharing).
+    /// already stored, the existing id is returned (overlap sharing) with
+    /// its reference count bumped; every insertion must eventually be
+    /// balanced by a [`Self::release`] for removal to reclaim slots.
     pub fn insert(&mut self, pred: Predicate) -> PredId {
         match &pred {
             Predicate::Absolute { tag, op, value } if !tag.has_attrs() => {
                 let slot = self.absolute.get_mut(tag.tag).slot(*op, *value);
                 match slot {
-                    Some(pid) => *pid,
+                    Some(pid) => Self::bump(&mut self.refs, *pid),
                     None => {
-                        let pid = Self::alloc(&mut self.preds, pred.clone());
+                        let pid = Self::alloc(&mut self.preds, &mut self.refs, pred.clone());
                         *slot = Some(pid);
                         pid
                     }
@@ -317,9 +353,9 @@ impl PredicateIndex {
                     .or_default()
                     .slot(*op, *value);
                 match slot {
-                    Some(pid) => *pid,
+                    Some(pid) => Self::bump(&mut self.refs, *pid),
                     None => {
-                        let pid = Self::alloc(&mut self.preds, pred.clone());
+                        let pid = Self::alloc(&mut self.preds, &mut self.refs, pred.clone());
                         *slot = Some(pid);
                         pid
                     }
@@ -332,9 +368,9 @@ impl PredicateIndex {
                     arr.resize(idx + 1, None);
                 }
                 match &arr[idx] {
-                    Some(pid) => *pid,
+                    Some(pid) => Self::bump(&mut self.refs, *pid),
                     None => {
-                        let pid = Self::alloc(&mut self.preds, pred.clone());
+                        let pid = Self::alloc(&mut self.preds, &mut self.refs, pred.clone());
                         arr[idx] = Some(pid);
                         pid
                     }
@@ -346,9 +382,9 @@ impl PredicateIndex {
                     self.length.resize(idx + 1, None);
                 }
                 match &self.length[idx] {
-                    Some(pid) => *pid,
+                    Some(pid) => Self::bump(&mut self.refs, *pid),
                     None => {
-                        let pid = Self::alloc(&mut self.preds, pred.clone());
+                        let pid = Self::alloc(&mut self.preds, &mut self.refs, pred.clone());
                         self.length[idx] = Some(pid);
                         pid
                     }
@@ -361,9 +397,9 @@ impl PredicateIndex {
                 self.has_attr_preds = true;
                 let bucket = self.absolute_attr.get_mut(tag.tag).slot_mut(*op, *value);
                 if let Some(e) = bucket.iter().find(|e| e.tag == *tag) {
-                    return e.pid;
+                    return Self::bump(&mut self.refs, e.pid);
                 }
-                let pid = Self::alloc(&mut self.preds, pred.clone());
+                let pid = Self::alloc(&mut self.preds, &mut self.refs, pred.clone());
                 bucket.insert(
                     tag,
                     AttrUnary {
@@ -388,9 +424,9 @@ impl PredicateIndex {
                     .or_default()
                     .slot_mut(*op, *value);
                 if let Some(pid) = slot.find(from, to) {
-                    return pid;
+                    return Self::bump(&mut self.refs, pid);
                 }
-                let pid = Self::alloc(&mut self.preds, pred.clone());
+                let pid = Self::alloc(&mut self.preds, &mut self.refs, pred.clone());
                 slot.insert(AttrBinary {
                     from: from.clone(),
                     to: to.clone(),
@@ -402,9 +438,9 @@ impl PredicateIndex {
                 self.has_attr_preds = true;
                 let bucket = self.end_attr.get_mut(tag.tag).slot_mut(PosOp::Ge, *value);
                 if let Some(e) = bucket.iter().find(|e| e.tag == *tag) {
-                    return e.pid;
+                    return Self::bump(&mut self.refs, e.pid);
                 }
-                let pid = Self::alloc(&mut self.preds, pred.clone());
+                let pid = Self::alloc(&mut self.preds, &mut self.refs, pred.clone());
                 bucket.insert(
                     tag,
                     AttrUnary {
@@ -413,6 +449,120 @@ impl PredicateIndex {
                     },
                 );
                 pid
+            }
+        }
+    }
+
+    /// Releases one reference on a predicate (the inverse of one
+    /// [`Self::insert`]). When the count reaches zero the predicate's
+    /// dispatch slot is cleared, so it stops matching publications and a
+    /// later identical insert allocates a fresh id. The id itself and the
+    /// stored [`Predicate`] are never reused or deallocated; the `rel_to`
+    /// bitmaps stay set (they are conservative filters, not correctness
+    /// state).
+    pub fn release(&mut self, pid: PredId) {
+        let Some(r) = self.refs.get_mut(pid.index()) else {
+            return;
+        };
+        if *r == 0 {
+            return;
+        }
+        *r -= 1;
+        if *r != 0 {
+            return;
+        }
+        let pred = self.preds[pid.index()].clone();
+        match &pred {
+            Predicate::Absolute { tag, op, value } if !tag.has_attrs() => {
+                if let Some(arrays) = self.absolute.0.get_mut(tag.tag.index()) {
+                    let arr = match op {
+                        PosOp::Eq => &mut arrays.eq,
+                        PosOp::Ge => &mut arrays.ge,
+                    };
+                    if let Some(slot) = arr.get_mut(*value as usize) {
+                        if *slot == Some(pid) {
+                            *slot = None;
+                        }
+                    }
+                }
+            }
+            Predicate::Relative {
+                from,
+                to,
+                op,
+                value,
+            } if !from.has_attrs() && !to.has_attrs() => {
+                if let Some(arrays) = self
+                    .relative
+                    .0
+                    .get_mut(from.tag.index())
+                    .and_then(|m| m.get_mut(&to.tag))
+                {
+                    let arr = match op {
+                        PosOp::Eq => &mut arrays.eq,
+                        PosOp::Ge => &mut arrays.ge,
+                    };
+                    if let Some(slot) = arr.get_mut(*value as usize) {
+                        if *slot == Some(pid) {
+                            *slot = None;
+                        }
+                    }
+                }
+            }
+            Predicate::EndOfPath { tag, value } if !tag.has_attrs() => {
+                if let Some(slot) = self
+                    .end_of_path
+                    .0
+                    .get_mut(tag.tag.index())
+                    .and_then(|arr| arr.get_mut(*value as usize))
+                {
+                    if *slot == Some(pid) {
+                        *slot = None;
+                    }
+                }
+            }
+            Predicate::Length { value } => {
+                if let Some(slot) = self.length.get_mut(*value as usize) {
+                    if *slot == Some(pid) {
+                        *slot = None;
+                    }
+                }
+            }
+            Predicate::Absolute { tag, op, value } => {
+                if let Some(bucket) = self
+                    .absolute_attr
+                    .0
+                    .get_mut(tag.tag.index())
+                    .and_then(|lists| lists.existing_slot_mut(*op, *value))
+                {
+                    bucket.remove_entry(tag, |e| e.pid == pid);
+                }
+            }
+            Predicate::Relative {
+                from,
+                to,
+                op,
+                value,
+            } => {
+                if let Some(slot) = self
+                    .relative_attr
+                    .0
+                    .get_mut(from.tag.index())
+                    .and_then(|m| m.get_mut(&to.tag))
+                    .and_then(|lists| lists.existing_slot_mut(*op, *value))
+                {
+                    slot.remove(from, to, pid);
+                }
+            }
+            Predicate::EndOfPath { tag, value } => {
+                if let Some(bucket) = self
+                    .end_attr
+                    .0
+                    .get_mut(tag.tag.index())
+                    .and_then(|lists| lists.existing_slot_mut(PosOp::Ge, *value))
+                {
+                    bucket.remove_entry(tag, |e| e.pid == pid);
+                }
             }
         }
     }
