@@ -4,7 +4,7 @@
 //! ```text
 //! harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse]
 //!         [--scale F] [--docs N]
-//! harness compare OLD.json NEW.json [--max-regress PCT] [--abs-slack MS]
+//! harness compare OLD.json NEW.json [--max-regress PCT] [--abs-slack MS] [--loose SUBSTR=PCT ...]
 //! ```
 //!
 //! `--scale` multiplies the expression counts of each experiment (1.0 =
@@ -98,9 +98,9 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse|insert|covering|xfilter|hostile|churn|benchjson] \
+        "usage: harness [all|table1|fig6a|fig6b|fig7|fig8w|fig8d|fig9|fig10|parse|insert|covering|xfilter|hostile|churn|broker|benchjson] \
          [--scale F] [--docs N] [--reps N] [--out PATH]\n\
-         \x20      harness compare OLD.json NEW.json [--max-regress PCT] [--abs-slack MS]"
+         \x20      harness compare OLD.json NEW.json [--max-regress PCT] [--abs-slack MS] [--loose SUBSTR=PCT ...]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -185,6 +185,18 @@ fn main() {
         }
         ran = true;
     }
+    // Not part of "all": spins up a real TCP broker and drives it with
+    // the loadgen client (seconds of wall clock, spawns a thread pool).
+    if opts.experiment == "broker" {
+        if let Some(out) = &opts.out {
+            let mut rows = Vec::new();
+            broker_rows(&opts, Some(&mut rows));
+            std::fs::write(out, rows.join(",\n")).expect("write broker rows");
+        } else {
+            broker_rows(&opts, None);
+        }
+        ran = true;
+    }
     // Not part of "all": writes a machine-readable comparison file.
     if opts.experiment == "benchjson" {
         benchjson(&opts);
@@ -240,8 +252,9 @@ fn parse_bench_rows(path: &str) -> Vec<(String, f64)> {
 }
 
 /// `harness compare OLD.json NEW.json [--max-regress PCT]
-/// [--abs-slack MS]`: row-by-row `ms_per_doc` diff; exits 1 if any
-/// configuration present in both files regressed beyond the threshold.
+/// [--abs-slack MS] [--loose SUBSTR=PCT ...]`: row-by-row `ms_per_doc`
+/// diff; exits 1 if any configuration present in both files regressed
+/// beyond its threshold.
 ///
 /// The gate is `new <= old * (1 + PCT/100) + MS`. The absolute term
 /// (default 0.002 ms) exists for the microsecond-band rows: a purely
@@ -252,10 +265,21 @@ fn parse_bench_rows(path: &str) -> Vec<(String, f64)> {
 /// threshold. Real regressions at the micro scale still show up in the
 /// same configuration's larger-scale rows, which the slack term leaves
 /// effectively untouched.
+///
+/// `--loose SUBSTR=PCT` (repeatable) overrides the relative threshold
+/// for rows whose configuration key contains `SUBSTR`. Rows that
+/// timeshare threads on the single-core bench container (the churn
+/// writer/reader pair, the sharded matcher) are at the mercy of
+/// scheduler interleaving and move by tens of percent between file
+/// generations even when best-of-N is taken, while the single-threaded
+/// rows hold within the tight gate — the override keeps those rows
+/// gated (a finite ceiling) at an honest tolerance instead of
+/// loosening every row.
 fn compare_cmd(args: &[String]) {
     let mut files: Vec<&String> = Vec::new();
     let mut max_regress = 5.0f64;
     let mut abs_slack = 0.002f64;
+    let mut loose: Vec<(String, f64)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -270,6 +294,16 @@ fn compare_cmd(args: &[String]) {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--abs-slack needs a number (ms)"))
+            }
+            "--loose" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| usage("--loose needs SUBSTR=PCT"));
+                let (substr, pct) = spec
+                    .split_once('=')
+                    .and_then(|(s, p)| p.parse::<f64>().ok().map(|p| (s, p)))
+                    .unwrap_or_else(|| usage("--loose needs SUBSTR=PCT"));
+                loose.push((substr.to_string(), pct));
             }
             other if !other.starts_with('-') => files.push(a),
             other => usage(&format!("unknown flag {other}")),
@@ -298,9 +332,16 @@ fn compare_cmd(args: &[String]) {
         };
         compared += 1;
         let delta = (new_ms - old_ms) / old_ms.max(1e-12) * 100.0;
-        let flag = if new_ms > old_ms * (1.0 + max_regress / 100.0) + abs_slack {
+        let threshold = loose
+            .iter()
+            .find(|(substr, _)| key.contains(substr.as_str()))
+            .map(|&(_, pct)| pct)
+            .unwrap_or(max_regress);
+        let flag = if new_ms > old_ms * (1.0 + threshold / 100.0) + abs_slack {
             regressions += 1;
             "  REGRESSED"
+        } else if threshold != max_regress {
+            "  (loose)"
         } else {
             ""
         };
@@ -829,8 +870,16 @@ fn parse_times(opts: &Opts) {
 /// repeated million-expression builds penalizes exactly the arena
 /// relocations that churn exercises (and vice versa for the sweeps).
 ///
-/// Writes JSON to `--out` (default `BENCH_pr7.json`). Each row —
-/// including the churn rows — is the best of `--reps` runs (default 3).
+/// Part 4 — broker: the end-to-end TCP broker service benchmark
+/// (`broker_rows`): 100k resident subscriptions, churn concurrent with
+/// ingest, throughput + delivery-latency percentiles. Also a child
+/// process, both for heap isolation and because the broker spawns a
+/// worker pool whose threads should not inherit a fragmented arena.
+///
+/// Writes JSON to `--out` (default `BENCH_pr8.json`). Each row —
+/// including the churn rows — is the best of `--reps` runs (default 3;
+/// the broker row is a single run — it is a multi-second end-to-end
+/// window, already noise-averaged by its own length).
 fn benchjson(opts: &Opts) {
     let scale = scale_or(opts, 0.2);
     let docs = docs_or(opts, 50);
@@ -838,7 +887,7 @@ fn benchjson(opts: &Opts) {
     // measure a few milliseconds and gate CI at 5%, so one scheduler
     // hiccup would fail the build.
     let reps = if opts.reps == 0 { 3 } else { opts.reps };
-    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr7.json".into());
+    let out_path = opts.out.clone().unwrap_or_else(|| "BENCH_pr8.json".into());
 
     let mut entries: Vec<String> = Vec::new();
     let fmt_entry = |section: &str,
@@ -916,6 +965,22 @@ fn benchjson(opts: &Opts) {
     assert!(status.success(), "churn child process failed: {status}");
     entries.push(std::fs::read_to_string(&churn_tmp).expect("read churn rows"));
     let _ = std::fs::remove_file(&churn_tmp);
+
+    // Part 4, also in a child process: the TCP broker run at its own
+    // defaults (100k resident subs, 2000 docs) regardless of this
+    // sweep's --scale/--docs, so the checked-in broker row is always
+    // the ISSUE's headline configuration.
+    let broker_tmp =
+        std::env::temp_dir().join(format!("pxf_broker_rows_{}.json", std::process::id()));
+    let status = std::process::Command::new(&exe)
+        .arg("broker")
+        .arg("--out")
+        .arg(&broker_tmp)
+        .status()
+        .expect("spawn broker child process");
+    assert!(status.success(), "broker child process failed: {status}");
+    entries.push(std::fs::read_to_string(&broker_tmp).expect("read broker rows"));
+    let _ = std::fs::remove_file(&broker_tmp);
 
     // Part 1: scan vs posting at the PR4 configurations.
     let mut shallow = Regime::nitf();
@@ -1053,7 +1118,7 @@ fn benchjson(opts: &Opts) {
     }
 
     let json = format!
-        ("{{\n  \"bench\": \"pr7_incremental_churn\",\n  \"scale\": {scale},\n  \"docs\": {docs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        ("{{\n  \"bench\": \"pr8_broker\",\n  \"scale\": {scale},\n  \"docs\": {docs},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"));
     std::fs::write(&out_path, json).expect("write benchjson output");
     println!("\nwrote {out_path}");
@@ -1149,6 +1214,108 @@ fn churn_rows(regime: &Regime, docs: usize, reps: usize, mut entries: Option<&mu
                 r.clone_fallbacks,
             ));
         }
+    }
+}
+
+/// End-to-end broker benchmark: spawns the `pxf-broker` TCP service
+/// in-process on an ephemeral port and drives it with the loadgen
+/// client — a 100k resident subscription base split across four
+/// subscriber connections, 500 SUB/UNSUB churn pairs concurrent with a
+/// full-throttle document stream. Reports ingest throughput (docs/sec;
+/// `ms_per_doc` is its inverse so the compare gate applies unchanged)
+/// and delivery latency (`DOC` send → `MATCH` receipt) percentiles.
+/// Steady-state churn must complete with zero full index rebuilds and
+/// zero deep-clone publish fallbacks; per-connection delivery must be
+/// strictly FIFO — all three are asserted, not just reported.
+fn broker_rows(opts: &Opts, entries: Option<&mut Vec<String>>) {
+    use pxf_broker::{loadgen, Broker, BrokerConfig};
+    let docs = docs_or(opts, 2_000);
+    let subs = if opts.scale > 0.0 {
+        scaled(100_000, opts.scale)
+    } else {
+        100_000
+    };
+    let churn_pairs = 500usize;
+    println!("\n## benchjson — broker ({subs} resident subs over TCP, {churn_pairs} churn pairs)");
+    let handle = Broker::spawn(BrokerConfig::default()).expect("spawn broker");
+    let report = loadgen::run(&loadgen::LoadgenConfig {
+        addr: handle.local_addr().to_string(),
+        subs,
+        sub_conns: 4,
+        docs,
+        churn_pairs,
+        malformed_every: 0,
+        seed: 42,
+        shutdown_when_done: true,
+    })
+    .expect("loadgen run");
+    let final_stats = handle.wait();
+    assert_eq!(
+        report.fifo_violations, 0,
+        "per-connection delivery must be FIFO"
+    );
+    assert_eq!(
+        final_stats.full_rebuilds, 0,
+        "steady-state broker churn must not trigger full rebuilds"
+    );
+    assert_eq!(
+        final_stats.clone_fallbacks, 0,
+        "broker publishes must reclaim retired snapshots, not deep-clone"
+    );
+    print_header(&[
+        "n_resident",
+        "docs/sec",
+        "p50-ms",
+        "p99-ms",
+        "matched",
+        "epoch",
+        "rebuilds",
+        "clone-fb",
+    ]);
+    println!(
+        "{:<12} {:>13.1} {:>13.3} {:>13.3} {:>13} {:>13} {:>13} {:>13}",
+        report.resident_subs,
+        report.docs_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        report.docs_matched,
+        final_stats.epoch,
+        final_stats.full_rebuilds,
+        final_stats.clone_fallbacks,
+    );
+    if let Some(entries) = entries {
+        entries.push(format!(
+            concat!(
+                "    {{\"section\": \"broker\", \"workload\": \"nitf\", ",
+                "\"engine\": \"broker-tcp\", ",
+                "\"stage1\": \"incremental\", \"stage2\": \"posting\", ",
+                "\"n_exprs\": {}, \"n_docs\": {}, ",
+                "\"ms_per_doc\": {:.6}, \"docs_per_sec\": {:.3}, ",
+                "\"delivery_p50_ms\": {:.3}, \"delivery_p99_ms\": {:.3}, ",
+                "\"match_lines\": {}, \"latency_samples\": {}, ",
+                "\"churn_pairs\": {}, \"fifo_violations\": {}, ",
+                "\"docs_matched\": {}, \"parse_failures\": {}, \"shed\": {}, ",
+                "\"snapshot_epoch\": {}, \"full_rebuilds\": {}, ",
+                "\"incremental_patches\": {}, \"clone_fallbacks\": {}}}"
+            ),
+            subs,
+            docs,
+            1e3 / report.docs_per_sec.max(1e-9),
+            report.docs_per_sec,
+            report.p50_ms,
+            report.p99_ms,
+            report.match_lines,
+            report.latency_samples,
+            churn_pairs,
+            report.fifo_violations,
+            report.docs_matched,
+            report.parse_failures,
+            final_stats.shed,
+            final_stats.epoch,
+            final_stats.full_rebuilds,
+            final_stats.incremental_patches,
+            final_stats.clone_fallbacks,
+        ));
     }
 }
 

@@ -1,0 +1,412 @@
+//! Benchmark load generator for a running broker.
+//!
+//! Drives a broker over real TCP the way the paper's evaluation drives
+//! the engine in-process: a large resident subscription base, a paced
+//! stream of subscribe/unsubscribe churn, and a full-throttle document
+//! stream, measuring end-to-end ingest throughput (docs/sec) and
+//! delivery latency (`DOC` send → `MATCH` receipt) percentiles.
+//!
+//! Topology per [`LoadgenConfig`]:
+//!
+//! * `sub_conns` subscriber connections splitting `subs` resident
+//!   subscriptions between them; each runs a reader thread counting
+//!   `MATCH` lines, asserting per-connection FIFO (strictly ascending
+//!   sequence numbers) and sampling delivery latency against the shared
+//!   send-time table.
+//! * one churn connection issuing `churn_pairs` SUB/UNSUB pairs
+//!   concurrently with document ingest (each pair forces snapshot
+//!   publishes under load).
+//! * one ingest connection streaming `docs` documents as `DOC` frames,
+//!   tagged `d<i>` so `MATCH` lines index the send-time table directly.
+//! * one stats connection polling `STATS` until every sent document has
+//!   been processed, which is also how the run detects completion.
+
+use crate::protocol::Reply;
+use crate::server::BrokerStatsSnapshot;
+use pxf_workload::{Regime, XPathGenerator, XmlGenerator};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// What to run against the broker.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Broker address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Resident subscriptions registered before ingest starts.
+    pub subs: usize,
+    /// Connections the resident subscriptions are split across.
+    pub sub_conns: usize,
+    /// Documents streamed through the ingest connection.
+    pub docs: usize,
+    /// SUB/UNSUB pairs issued concurrently with ingest.
+    pub churn_pairs: usize,
+    /// Every `malformed_every`-th document is replaced by a malformed
+    /// one (0 disables) to exercise per-connection error reporting.
+    pub malformed_every: usize,
+    /// Workload seed (expressions and documents are generated from the
+    /// NITF regime of `pxf-workload`).
+    pub seed: u64,
+    /// Send `SHUTDOWN` to the broker once the run completes.
+    pub shutdown_when_done: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            subs: 100_000,
+            sub_conns: 4,
+            docs: 2_000,
+            churn_pairs: 500,
+            malformed_every: 0,
+            seed: 42,
+            shutdown_when_done: false,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Subscriptions resident when ingest started (from `STATS`).
+    pub resident_subs: u64,
+    /// Documents sent (including intentionally malformed ones).
+    pub docs_sent: usize,
+    /// Documents the broker matched successfully.
+    pub docs_matched: u64,
+    /// Documents the broker rejected at parse.
+    pub parse_failures: u64,
+    /// `MATCH` lines received across all subscriber connections.
+    pub match_lines: u64,
+    /// Per-connection FIFO violations observed (must be 0).
+    pub fifo_violations: u64,
+    /// Latency samples collected (one per `MATCH` line).
+    pub latency_samples: usize,
+    /// Wall-clock seconds from first `DOC` frame to last processed doc.
+    pub ingest_secs: f64,
+    /// End-to-end ingest throughput.
+    pub docs_per_sec: f64,
+    /// Median delivery latency (DOC send → MATCH receipt), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile delivery latency, milliseconds.
+    pub p99_ms: f64,
+    /// Final broker counters.
+    pub stats: BrokerStatsSnapshot,
+}
+
+/// A blocking line-protocol client (request/response or pipelined).
+struct Client {
+    input: BufReader<TcpStream>,
+    output: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let sock = TcpStream::connect(addr)?;
+        let _ = sock.set_nodelay(true);
+        Ok(Client {
+            input: BufReader::new(sock.try_clone()?),
+            output: sock,
+        })
+    }
+
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.output.write_all(line.as_bytes())?;
+        self.output.write_all(b"\n")
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<Reply> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.input.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "broker closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Reply::parse(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+    }
+
+    fn stats(&mut self) -> std::io::Result<BrokerStatsSnapshot> {
+        self.send_line("STATS")?;
+        loop {
+            // Skip any interleaved asynchronous lines.
+            if let Reply::Stats(kv) = self.read_reply()? {
+                return Ok(BrokerStatsSnapshot::from_kv(&kv));
+            }
+        }
+    }
+}
+
+/// Sorted-slice percentile (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A document the boundary scanner accepts but the parser rejects —
+/// exercises the `-ERR DOC` path without desyncing the stream.
+const MALFORMED_DOC: &[u8] = b"<bad attr=></bad>";
+
+/// Runs the full load profile against a broker at `cfg.addr`.
+pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    let regime = Regime::nitf();
+    let mut xp = regime.xpath.clone();
+    xp.count = cfg.subs + cfg.churn_pairs.min(cfg.subs.max(1));
+    xp.seed = cfg.seed;
+    let exprs: Vec<String> = XPathGenerator::new(&regime.dtd, xp)
+        .generate()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    let mut xg = XmlGenerator::new(&regime.dtd, regime.xml.clone());
+    let docs: Vec<Vec<u8>> = (0..cfg.docs)
+        .map(|i| {
+            if cfg.malformed_every > 0 && i % cfg.malformed_every == cfg.malformed_every - 1 {
+                MALFORMED_DOC.to_vec()
+            } else {
+                xg.generate().to_xml().into_bytes()
+            }
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let send_ns: Arc<Vec<AtomicU64>> = Arc::new((0..cfg.docs).map(|_| AtomicU64::new(0)).collect());
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let match_lines = Arc::new(AtomicU64::new(0));
+    let fifo_violations = Arc::new(AtomicU64::new(0));
+
+    // --- resident subscriptions, pipelined per connection ---
+    let sub_conns = cfg.sub_conns.max(1);
+    let mut subscriber_socks: Vec<TcpStream> = Vec::new();
+    let mut subscriber_readers = Vec::new();
+    for c in 0..sub_conns {
+        let mut client = Client::connect(&cfg.addr)?;
+        let mine: Vec<&String> = exprs[..cfg.subs]
+            .iter()
+            .skip(c)
+            .step_by(sub_conns)
+            .collect();
+        let mut out = String::new();
+        for expr in &mine {
+            out.push_str("SUB ");
+            out.push_str(expr);
+            out.push('\n');
+        }
+        client.output.write_all(out.as_bytes())?;
+        let mut acked = 0usize;
+        while acked < mine.len() {
+            match client.read_reply()? {
+                Reply::SubOk(_) => acked += 1,
+                Reply::Err { kind, detail } => {
+                    return Err(std::io::Error::other(format!(
+                        "subscription rejected: {kind} {detail}"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        // Reader thread: count MATCH lines, check FIFO, sample latency.
+        let keep = client.output.try_clone()?;
+        let send_ns = send_ns.clone();
+        let latencies = latencies.clone();
+        let match_lines = match_lines.clone();
+        let fifo_violations = fifo_violations.clone();
+        subscriber_readers.push(std::thread::spawn(move || {
+            let mut input = client.input;
+            let mut line = String::new();
+            let mut last_seq: Option<u64> = None;
+            loop {
+                line.clear();
+                match input.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                let Ok(Reply::Match { seq, tag, .. }) = Reply::parse(&line) else {
+                    continue;
+                };
+                match_lines.fetch_add(1, Ordering::Relaxed);
+                if last_seq.is_some_and(|last| seq <= last) {
+                    fifo_violations.fetch_add(1, Ordering::Relaxed);
+                }
+                last_seq = Some(seq);
+                if let Some(idx) = tag.strip_prefix('d').and_then(|t| t.parse::<usize>().ok()) {
+                    if let Some(slot) = send_ns.get(idx) {
+                        let sent = slot.load(Ordering::Acquire);
+                        if sent > 0 {
+                            let now = t0.elapsed().as_nanos() as u64;
+                            latencies
+                                .lock()
+                                .expect("latencies poisoned")
+                                .push((now.saturating_sub(sent)) as f64 / 1e6);
+                        }
+                    }
+                }
+            }
+            drop(client.output);
+        }));
+        subscriber_socks.push(keep);
+    }
+
+    let mut stats_client = Client::connect(&cfg.addr)?;
+    let resident_subs = stats_client.stats()?.subs;
+
+    // --- churn connection, concurrent with ingest ---
+    let churn_stop = Arc::new(AtomicU64::new(0));
+    let churn_thread = {
+        let addr = cfg.addr.clone();
+        let pairs = cfg.churn_pairs;
+        let exprs: Vec<String> = exprs[cfg.subs..].to_vec();
+        let stop = churn_stop.clone();
+        std::thread::spawn(move || -> std::io::Result<u64> {
+            let mut done = 0u64;
+            if exprs.is_empty() {
+                return Ok(0);
+            }
+            let mut client = Client::connect(&addr)?;
+            for i in 0..pairs {
+                if stop.load(Ordering::Acquire) > 0 {
+                    break;
+                }
+                client.send_line(&format!("SUB {}", exprs[i % exprs.len()]))?;
+                let id = loop {
+                    match client.read_reply()? {
+                        Reply::SubOk(id) => break id,
+                        Reply::Err { kind, detail } => {
+                            return Err(std::io::Error::other(format!(
+                                "churn SUB: {kind} {detail}"
+                            )))
+                        }
+                        _ => {}
+                    }
+                };
+                client.send_line(&format!("UNSUB {id}"))?;
+                loop {
+                    match client.read_reply()? {
+                        Reply::UnsubOk(_) => break,
+                        Reply::Err { kind, detail } => {
+                            return Err(std::io::Error::other(format!(
+                                "churn UNSUB: {kind} {detail}"
+                            )))
+                        }
+                        _ => {}
+                    }
+                }
+                done += 1;
+            }
+            client.send_line("QUIT")?;
+            Ok(done)
+        })
+    };
+
+    // --- ingest ---
+    let ingest_start = Instant::now();
+    let mut ingest = Client::connect(&cfg.addr)?;
+    let ack_reader = {
+        let sock = ingest.output.try_clone()?;
+        let expect = cfg.docs;
+        std::thread::spawn(move || {
+            let mut input = BufReader::new(sock);
+            let mut line = String::new();
+            let mut seen = 0usize;
+            while seen < expect {
+                line.clear();
+                match input.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                match Reply::parse(&line) {
+                    Ok(Reply::DocOk { .. }) => seen += 1,
+                    Ok(Reply::Err { .. }) => {}
+                    _ => {}
+                }
+            }
+            seen
+        })
+    };
+    for (i, bytes) in docs.iter().enumerate() {
+        let header = format!("DOC {} d{}\n", bytes.len(), i);
+        send_ns[i].store(t0.elapsed().as_nanos() as u64, Ordering::Release);
+        ingest.output.write_all(header.as_bytes())?;
+        ingest.output.write_all(bytes)?;
+    }
+    ingest.output.flush()?;
+
+    // --- completion: poll STATS until every doc is processed ---
+    let expect = cfg.docs as u64;
+    let mut stats;
+    loop {
+        stats = stats_client.stats()?;
+        if stats.matched + stats.parse_failures >= expect {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+
+    churn_stop.store(1, Ordering::Release);
+    let _churn_done = churn_thread
+        .join()
+        .map_err(|_| std::io::Error::other("churn thread panicked"))??;
+
+    // Give final MATCH lines a moment to land, then close subscriber
+    // connections so their reader threads observe EOF and exit.
+    std::thread::sleep(Duration::from_millis(50));
+    let final_stats = stats_client.stats()?;
+    for sock in &subscriber_socks {
+        let _ = sock.shutdown(Shutdown::Both);
+    }
+    for reader in subscriber_readers {
+        let _ = reader.join();
+    }
+    let _ = ingest.send_line("QUIT");
+    let _ = ack_reader.join();
+
+    if cfg.shutdown_when_done {
+        let _ = stats_client.send_line("SHUTDOWN");
+    }
+
+    let mut lat = latencies.lock().expect("latencies poisoned").clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Ok(LoadgenReport {
+        resident_subs,
+        docs_sent: cfg.docs,
+        docs_matched: final_stats.matched,
+        parse_failures: final_stats.parse_failures,
+        match_lines: match_lines.load(Ordering::Relaxed),
+        fifo_violations: fifo_violations.load(Ordering::Relaxed),
+        latency_samples: lat.len(),
+        ingest_secs,
+        docs_per_sec: cfg.docs as f64 / ingest_secs.max(1e-9),
+        p50_ms: percentile(&lat, 50.0),
+        p99_ms: percentile(&lat, 99.0),
+        stats: final_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+}

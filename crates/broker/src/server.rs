@@ -1,0 +1,992 @@
+//! The long-running broker service.
+//!
+//! A [`Broker`] turns the in-process snapshot-publication machinery
+//! ([`SnapshotPublisher`] / [`SnapshotHandle`]) into a network service
+//! speaking the line protocol of [`crate::protocol`] over plain
+//! `std::net` TCP. The thread topology mirrors the paper's deployment
+//! (one writer, many matchers, §6):
+//!
+//! ```text
+//!                    ┌────────────┐  control   ┌──────────────────┐
+//!  conn reader ─────▶│  BoundedQ  │───────────▶│ subscription     │
+//!  (SUB/UNSUB)       └────────────┘  (Block)   │ writer thread    │──publish──▶ snapshot slot
+//!                                              │ SnapshotPublisher│                 │
+//!                    ┌────────────┐  ingest    └──────────────────┘                 │ load()/batch
+//!  conn reader ─────▶│  BoundedQ  │────────────────┬──────────────┐                 ▼
+//!  (DOC frames,      └────────────┘  (Block)       ▼              ▼          ┌────────────┐
+//!   DocumentStream                             matcher w0 …  matcher wN ────▶│  BoundedQ  │
+//!   push-mode scan)                                                delivery  └────────────┘
+//!                                                                  (Block)        │
+//!                    ┌────────────┐  per-conn outbox (Shed)  ┌────────────────────┘
+//!  conn writer ◀─────│  BoundedQ  │◀─────────────────────────│ delivery thread
+//!  (MATCH/-ERR/+OK)  └────────────┘                          │ (seq resequencer)
+//! ```
+//!
+//! Invariants the topology enforces:
+//!
+//! * **One writer.** All subscription churn funnels through a single
+//!   thread owning the [`SnapshotPublisher`]; a batch of control ops is
+//!   applied and published as one snapshot swap, so matchers never see a
+//!   half-applied batch and steady-state churn stays on the incremental
+//!   patch + replay path (zero full rebuilds, zero clone fallbacks).
+//! * **Snapshot pinning per batch.** Each matcher worker loads the
+//!   current snapshot once per ingest batch and drops it before parking
+//!   again, keeping the publisher's bounded reclaim wait effective.
+//! * **Bounded everything.** Every hand-off is a [`BoundedQueue`]:
+//!   ingest and control block producers (backpressure propagates out the
+//!   TCP socket to the publisher's peer), per-subscriber outboxes shed
+//!   (one slow consumer cannot stall fan-out).
+//! * **FIFO delivery.** Workers finish documents out of order; the
+//!   delivery thread restores global ingest-sequence order with a
+//!   min-heap resequencer before fanning out, so each connection sees
+//!   strictly ascending `MATCH` sequence numbers.
+//! * **Malformed input is data, not failure.** Document bytes run
+//!   through a per-connection push-mode [`DocumentStream`] under strict
+//!   [`ParserLimits`]; scanner- and parse-level failures produce a
+//!   `-ERR DOC` line on the offending connection and honor the
+//!   note_success/note_failure raw-ingest contract, so only a run of
+//!   *consecutive* failures (a truly desynced peer) fuses and closes the
+//!   connection.
+
+use crate::protocol::{Command, Reply};
+use crate::queue::{Backpressure, BoundedQueue, PushOutcome};
+use pxf_core::{FilterEngine, SnapshotHandle, SnapshotPublisher, SubId};
+use pxf_xml::{DocumentStream, ParserLimits, PollDoc, XmlErrorKind};
+use pxf_xpath::XPathExpr;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for a [`Broker`]. `Default` is sized for tests and small
+/// deployments; the CLI exposes the interesting knobs.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub listen: String,
+    /// Matcher worker threads; 0 = derive from available parallelism.
+    pub workers: usize,
+    /// Ingest queue capacity (documents in flight).
+    pub ingest_capacity: usize,
+    /// Backpressure policy of the ingest queue. [`Backpressure::Block`]
+    /// (the default) propagates overload to publishers via TCP;
+    /// [`Backpressure::Shed`] drops documents instead (each shed is
+    /// reported and gap-filled so delivery order is preserved).
+    pub ingest_policy: Backpressure,
+    /// Control queue capacity (subscription ops in flight).
+    pub control_capacity: usize,
+    /// Delivery queue capacity (match completions in flight).
+    pub delivery_capacity: usize,
+    /// Per-connection outbox capacity (lines not yet written).
+    pub outbox_capacity: usize,
+    /// Outbox policy. Keep this [`Backpressure::Shed`] — a blocking
+    /// outbox lets one unread connection stall the delivery thread.
+    pub outbox_policy: Backpressure,
+    /// Per-document parser budgets applied on both the boundary scanner
+    /// and the matchers.
+    pub limits: ParserLimits,
+    /// Largest accepted `DOC` frame; bigger frames are rejected with
+    /// `-ERR DOC` and their payload discarded (the connection survives).
+    pub max_frame_bytes: usize,
+    /// Documents a matcher worker processes per pinned snapshot.
+    pub match_batch: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 0,
+            ingest_capacity: 1024,
+            ingest_policy: Backpressure::Block,
+            control_capacity: 4096,
+            delivery_capacity: 1024,
+            outbox_capacity: 65536,
+            outbox_policy: Backpressure::Shed,
+            limits: ParserLimits::strict(),
+            max_frame_bytes: 8 << 20,
+            match_batch: 32,
+        }
+    }
+}
+
+/// A document accepted into the ingest queue.
+struct IngestDoc {
+    seq: u64,
+    conn: u64,
+    tag: String,
+    bytes: Vec<u8>,
+}
+
+/// What matching a document produced.
+enum Outcome {
+    /// Parsed fine; these subscriptions matched (possibly none).
+    Matched(Vec<SubId>),
+    /// The document failed to parse under the engine's limits.
+    ParseError(String),
+    /// The document was shed before matching (ingest overflow); exists
+    /// only to fill its sequence slot in the resequencer.
+    Shed,
+}
+
+struct Completion {
+    seq: u64,
+    conn: u64,
+    tag: String,
+    outcome: Outcome,
+}
+
+/// Min-heap adapter: BinaryHeap is a max-heap, order by reversed seq.
+struct Pending(Completion);
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.seq.cmp(&self.0.seq)
+    }
+}
+
+/// One subscription-base mutation bound for the writer thread.
+enum Control {
+    Sub { conn: u64, expr: Box<XPathExpr> },
+    Unsub { conn: u64, id: u32 },
+    Disconnect { conn: u64 },
+}
+
+/// Per-connection state shared between its reader, its writer, the
+/// subscription writer and the delivery thread.
+struct ConnShared {
+    id: u64,
+    /// Lines awaiting the connection writer. Shed policy: a peer that
+    /// stops reading loses notifications, not the broker's liveness.
+    outbox: BoundedQueue<String>,
+    /// Push-mode boundary scanner carrying the connection's cumulative
+    /// failure-cap state (the raw-ingest contract's note_success /
+    /// note_failure land here from the delivery thread).
+    stream: Mutex<DocumentStream<std::io::Empty>>,
+    /// Clone of the socket kept for `shutdown()` during teardown.
+    sock: TcpStream,
+}
+
+#[derive(Default)]
+struct Counters {
+    ingested: AtomicU64,
+    matched: AtomicU64,
+    parse_failures: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    subs: AtomicU64,
+    conns: AtomicU64,
+    rebuilds: AtomicU64,
+    clone_fallbacks: AtomicU64,
+    patches: AtomicU64,
+}
+
+/// A point-in-time copy of the broker's counters (the payload of a
+/// `+STATS` reply, and what [`BrokerHandle::wait`] returns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStatsSnapshot {
+    /// Snapshot epoch of the most recent publish.
+    pub epoch: u64,
+    /// Connections currently open.
+    pub conns: u64,
+    /// Resident subscriptions.
+    pub subs: u64,
+    /// Documents accepted into the ingest queue.
+    pub ingested: u64,
+    /// Documents matched successfully (match set may be empty).
+    pub matched: u64,
+    /// Documents rejected by the parser.
+    pub parse_failures: u64,
+    /// `MATCH` lines enqueued to subscriber outboxes.
+    pub delivered: u64,
+    /// Items dropped at a high-water mark (ingest + all outboxes).
+    pub shed: u64,
+    /// Deliveries addressed to a connection that had already gone away.
+    pub dropped: u64,
+    /// Full index rebuilds on the write engine (steady state: 0).
+    pub full_rebuilds: u64,
+    /// Publishes that fell back to deep-cloning (steady state: 0).
+    pub clone_fallbacks: u64,
+    /// In-place incremental index patches applied.
+    pub incremental_patches: u64,
+}
+
+impl BrokerStatsSnapshot {
+    fn to_kv(self) -> Vec<(String, String)> {
+        [
+            ("epoch", self.epoch),
+            ("conns", self.conns),
+            ("subs", self.subs),
+            ("ingested", self.ingested),
+            ("matched", self.matched),
+            ("parse_failures", self.parse_failures),
+            ("delivered", self.delivered),
+            ("shed", self.shed),
+            ("dropped", self.dropped),
+            ("rebuilds", self.full_rebuilds),
+            ("clone_fallbacks", self.clone_fallbacks),
+            ("patches", self.incremental_patches),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+    }
+
+    /// Parses the key/value pairs of a `+STATS` reply (unknown keys are
+    /// ignored so old clients tolerate new counters).
+    pub fn from_kv(kv: &[(String, String)]) -> Self {
+        let mut s = BrokerStatsSnapshot::default();
+        for (k, v) in kv {
+            let Ok(v) = v.parse::<u64>() else { continue };
+            match k.as_str() {
+                "epoch" => s.epoch = v,
+                "conns" => s.conns = v,
+                "subs" => s.subs = v,
+                "ingested" => s.ingested = v,
+                "matched" => s.matched = v,
+                "parse_failures" => s.parse_failures = v,
+                "delivered" => s.delivered = v,
+                "shed" => s.shed = v,
+                "dropped" => s.dropped = v,
+                "rebuilds" => s.full_rebuilds = v,
+                "clone_fallbacks" => s.clone_fallbacks = v,
+                "patches" => s.incremental_patches = v,
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+struct Shared {
+    config: BrokerConfig,
+    control: BoundedQueue<Control>,
+    ingest: BoundedQueue<IngestDoc>,
+    delivery: BoundedQueue<Completion>,
+    /// Subscription id → owning connection id (readers: delivery thread;
+    /// writer: the subscription-writer thread only).
+    registry: RwLock<HashMap<u32, u64>>,
+    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
+    next_conn: AtomicU64,
+    /// Broker-global ingest sequence; every consumed seq produces exactly
+    /// one Completion so the resequencer never stalls on a gap.
+    seq: AtomicU64,
+    stats: Counters,
+    handle: SnapshotHandle,
+    running: AtomicBool,
+    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+    conn_writer_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn conn_by_id(&self, id: u64) -> Option<Arc<ConnShared>> {
+        self.conns.lock().expect("conns poisoned").get(&id).cloned()
+    }
+
+    fn is_running(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
+
+    fn request_shutdown(&self) {
+        self.running.store(false, Ordering::Release);
+    }
+
+    fn stats_snapshot(&self) -> BrokerStatsSnapshot {
+        let c = &self.stats;
+        let mut shed = self.ingest.shed_count();
+        {
+            let conns = self.conns.lock().expect("conns poisoned");
+            for conn in conns.values() {
+                shed += conn.outbox.shed_count();
+            }
+        }
+        BrokerStatsSnapshot {
+            epoch: self.handle.epoch(),
+            conns: c.conns.load(Ordering::Relaxed),
+            subs: c.subs.load(Ordering::Relaxed),
+            ingested: c.ingested.load(Ordering::Relaxed),
+            matched: c.matched.load(Ordering::Relaxed),
+            parse_failures: c.parse_failures.load(Ordering::Relaxed),
+            delivered: c.delivered.load(Ordering::Relaxed),
+            shed,
+            dropped: c.dropped.load(Ordering::Relaxed),
+            full_rebuilds: c.rebuilds.load(Ordering::Relaxed),
+            clone_fallbacks: c.clone_fallbacks.load(Ordering::Relaxed),
+            incremental_patches: c.patches.load(Ordering::Relaxed),
+        }
+    }
+
+    fn mirror_publisher(&self, publisher: &SnapshotPublisher) {
+        let c = &self.stats;
+        c.subs
+            .store(publisher.engine().len() as u64, Ordering::Relaxed);
+        c.rebuilds
+            .store(publisher.engine().full_rebuilds(), Ordering::Relaxed);
+        c.clone_fallbacks
+            .store(publisher.clone_fallbacks(), Ordering::Relaxed);
+        c.patches
+            .store(publisher.engine().incremental_patches(), Ordering::Relaxed);
+    }
+}
+
+/// Handle onto a spawned broker: address, shutdown trigger, teardown.
+pub struct BrokerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    core: Option<CoreThreads>,
+}
+
+struct CoreThreads {
+    listener: JoinHandle<()>,
+    sub_writer: JoinHandle<()>,
+    delivery: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Namespace for spawning a broker service.
+pub struct Broker;
+
+impl Broker {
+    /// Binds, spawns the full thread topology and returns immediately.
+    pub fn spawn(config: BrokerConfig) -> std::io::Result<BrokerHandle> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+
+        let mut engine = FilterEngine::default();
+        engine.set_parser_limits(config.limits);
+        let publisher = SnapshotPublisher::new(engine);
+        let handle = publisher.handle();
+
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get().saturating_sub(2))
+                .unwrap_or(2)
+                .max(2)
+        };
+
+        let shared = Arc::new(Shared {
+            control: BoundedQueue::new(config.control_capacity, Backpressure::Block),
+            ingest: BoundedQueue::new(config.ingest_capacity, config.ingest_policy),
+            delivery: BoundedQueue::new(config.delivery_capacity, Backpressure::Block),
+            registry: RwLock::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            stats: Counters::default(),
+            handle,
+            running: AtomicBool::new(true),
+            reader_threads: Mutex::new(Vec::new()),
+            conn_writer_threads: Mutex::new(Vec::new()),
+            config,
+        });
+
+        let core = CoreThreads {
+            listener: {
+                let shared = shared.clone();
+                std::thread::spawn(move || listener_loop(&shared, listener))
+            },
+            sub_writer: {
+                let shared = shared.clone();
+                std::thread::spawn(move || sub_writer_loop(&shared, publisher))
+            },
+            delivery: {
+                let shared = shared.clone();
+                std::thread::spawn(move || delivery_loop(&shared))
+            },
+            workers: (0..workers)
+                .map(|_| {
+                    let shared = shared.clone();
+                    std::thread::spawn(move || worker_loop(&shared))
+                })
+                .collect(),
+        };
+
+        Ok(BrokerHandle {
+            addr,
+            shared,
+            core: Some(core),
+        })
+    }
+}
+
+impl BrokerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters (same numbers a `STATS` command reports).
+    pub fn stats(&self) -> BrokerStatsSnapshot {
+        self.shared.stats_snapshot()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain in-flight
+    /// documents, flush outboxes. Pair with [`Self::wait`].
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until a shutdown is requested (by [`Self::shutdown`] or a
+    /// client's `SHUTDOWN` command), then tears the broker down in drain
+    /// order and returns the final counters.
+    pub fn wait(mut self) -> BrokerStatsSnapshot {
+        while self.shared.is_running() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.teardown();
+        self.shared.stats_snapshot()
+    }
+
+    /// Drain-ordered teardown. Each stage closes the queue feeding the
+    /// next only after the producers of that queue have been joined, so
+    /// every document accepted before shutdown flows all the way to its
+    /// subscribers' sockets.
+    fn teardown(&mut self) {
+        let Some(core) = self.core.take() else { return };
+        self.shared.request_shutdown();
+        let _ = core.listener.join();
+
+        // Unblock connection readers parked in read(); they observe EOF,
+        // enqueue their Disconnect and exit. Join them before closing the
+        // queues they produce into.
+        {
+            let conns = self.shared.conns.lock().expect("conns poisoned");
+            for conn in conns.values() {
+                let _ = conn.sock.shutdown(Shutdown::Read);
+            }
+        }
+        let readers =
+            std::mem::take(&mut *self.shared.reader_threads.lock().expect("threads poisoned"));
+        for r in readers {
+            let _ = r.join();
+        }
+
+        self.shared.control.close();
+        let _ = core.sub_writer.join();
+
+        self.shared.ingest.close();
+        for w in core.workers {
+            let _ = w.join();
+        }
+
+        self.shared.delivery.close();
+        let _ = core.delivery.join();
+
+        // Everything is delivered into outboxes; close them so the
+        // connection writers flush and exit, then drop the sockets.
+        {
+            let conns = self.shared.conns.lock().expect("conns poisoned");
+            for conn in conns.values() {
+                conn.outbox.close();
+            }
+        }
+        let writers = std::mem::take(
+            &mut *self
+                .shared
+                .conn_writer_threads
+                .lock()
+                .expect("threads poisoned"),
+        );
+        for w in writers {
+            let _ = w.join();
+        }
+        let mut conns = self.shared.conns.lock().expect("conns poisoned");
+        for conn in conns.values() {
+            let _ = conn.sock.shutdown(Shutdown::Both);
+        }
+        conns.clear();
+    }
+}
+
+impl Drop for BrokerHandle {
+    fn drop(&mut self) {
+        if self.core.is_some() {
+            self.teardown();
+        }
+    }
+}
+
+fn listener_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    while shared.is_running() {
+        match listener.accept() {
+            Ok((sock, _peer)) => spawn_connection(shared, sock),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn spawn_connection(shared: &Arc<Shared>, sock: TcpStream) {
+    let _ = sock.set_nodelay(true);
+    let (write_sock, keep_sock) = match (sock.try_clone(), sock.try_clone()) {
+        (Ok(w), Ok(k)) => (w, k),
+        _ => return,
+    };
+    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let conn = Arc::new(ConnShared {
+        id,
+        outbox: BoundedQueue::new(shared.config.outbox_capacity, shared.config.outbox_policy),
+        stream: Mutex::new(DocumentStream::push_mode(shared.config.limits)),
+        sock: keep_sock,
+    });
+    shared
+        .conns
+        .lock()
+        .expect("conns poisoned")
+        .insert(id, conn.clone());
+    shared.stats.conns.fetch_add(1, Ordering::Relaxed);
+
+    let reader = {
+        let shared = shared.clone();
+        let conn = conn.clone();
+        std::thread::spawn(move || reader_loop(&shared, &conn, sock))
+    };
+    let writer = std::thread::spawn(move || conn_writer_loop(&conn, write_sock));
+    shared
+        .reader_threads
+        .lock()
+        .expect("threads poisoned")
+        .push(reader);
+    shared
+        .conn_writer_threads
+        .lock()
+        .expect("threads poisoned")
+        .push(writer);
+}
+
+/// Drains the connection's outbox onto the socket. A write error flips
+/// the connection into sink mode (keep draining so shed-policy pushes
+/// stay cheap) until the outbox is closed.
+fn conn_writer_loop(conn: &Arc<ConnShared>, sock: TcpStream) {
+    let mut out = BufWriter::new(sock);
+    let mut dead = false;
+    while let Some(line) = conn.outbox.pop() {
+        if dead {
+            continue;
+        }
+        if out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .is_err()
+        {
+            dead = true;
+            continue;
+        }
+        if conn.outbox.is_empty() && out.flush().is_err() {
+            dead = true;
+        }
+    }
+    let _ = out.flush();
+}
+
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<ConnShared>, sock: TcpStream) {
+    let mut input = BufReader::new(sock);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match input.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cmd = match Command::parse(&line) {
+            Ok(cmd) => cmd,
+            Err(e) => {
+                conn.outbox.push(e.to_wire());
+                continue;
+            }
+        };
+        match cmd {
+            Command::Sub(src) => match pxf_xpath::parse(&src) {
+                Ok(expr) => {
+                    shared.control.push(Control::Sub {
+                        conn: conn.id,
+                        expr: Box::new(expr),
+                    });
+                }
+                Err(e) => {
+                    conn.outbox
+                        .push(format!("-ERR SUB {}", one_line(&e.to_string())));
+                }
+            },
+            Command::Unsub(id) => {
+                shared.control.push(Control::Unsub { conn: conn.id, id });
+            }
+            Command::Doc { len, tag } => {
+                if !ingest_frame(shared, conn, &mut input, len, &tag) {
+                    break;
+                }
+            }
+            Command::Stats => {
+                conn.outbox
+                    .push(Reply::Stats(shared.stats_snapshot().to_kv()).to_wire());
+            }
+            Command::Quit => {
+                conn.outbox.push(Reply::Bye.to_wire());
+                break;
+            }
+            Command::Shutdown => {
+                conn.outbox.push(Reply::ShutdownOk.to_wire());
+                shared.request_shutdown();
+                break;
+            }
+        }
+    }
+    shared.control.push(Control::Disconnect { conn: conn.id });
+}
+
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+/// Reads a `DOC` frame's payload, feeding it through the connection's
+/// boundary scanner in bounded chunks. Returns false when the connection
+/// must close (socket died or the stream fused).
+fn ingest_frame(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    input: &mut BufReader<TcpStream>,
+    len: usize,
+    tag: &str,
+) -> bool {
+    const CHUNK: usize = 64 * 1024;
+    if len > shared.config.max_frame_bytes {
+        // Consume the payload to stay in frame sync, then report.
+        let mut remaining = len;
+        let mut sink = [0u8; 4096];
+        while remaining > 0 {
+            let take = sink.len().min(remaining);
+            if input.read_exact(&mut sink[..take]).is_err() {
+                return false;
+            }
+            remaining -= take;
+        }
+        conn.outbox.push(format!(
+            "-ERR DOC frame of {len} bytes exceeds max_frame_bytes={}",
+            shared.config.max_frame_bytes
+        ));
+        return true;
+    }
+    let mut remaining = len;
+    let mut chunk = vec![0u8; CHUNK.min(len.max(1))];
+    while remaining > 0 {
+        let take = chunk.len().min(remaining);
+        if input.read_exact(&mut chunk[..take]).is_err() {
+            return false;
+        }
+        remaining -= take;
+        conn.stream
+            .lock()
+            .expect("stream poisoned")
+            .feed(&chunk[..take]);
+        if !drain_scanner(shared, conn, tag) {
+            return false;
+        }
+    }
+    // A frame must end on a document boundary: anything still buffered is
+    // a truncated document. Report it and resync so the next frame cannot
+    // concatenate with the leftover bytes (and so the client gets a reply
+    // instead of silence).
+    let dropped = conn
+        .stream
+        .lock()
+        .expect("stream poisoned")
+        .discard_partial();
+    if let Some(n) = dropped {
+        conn.outbox.push(format!(
+            "-ERR DOC frame ended inside a document ({n} bytes discarded)"
+        ));
+        // discard_partial counts against the consecutive-failure cap;
+        // surface the fuse the same way an in-band failure would.
+        if !drain_scanner(shared, conn, tag) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Polls completed documents out of the connection's scanner and moves
+/// them into the ingest pipeline. Never holds the stream lock across a
+/// queue push (the delivery thread takes the same lock for the
+/// note_success/note_failure contract).
+fn drain_scanner(shared: &Arc<Shared>, conn: &Arc<ConnShared>, tag: &str) -> bool {
+    loop {
+        let polled = conn.stream.lock().expect("stream poisoned").poll_raw_at();
+        match polled {
+            PollDoc::Doc(_, bytes) => {
+                let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+                conn.outbox.push(
+                    Reply::DocOk {
+                        seq,
+                        tag: tag.to_string(),
+                    }
+                    .to_wire(),
+                );
+                shared.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                let doc = IngestDoc {
+                    seq,
+                    conn: conn.id,
+                    tag: tag.to_string(),
+                    bytes,
+                };
+                match shared.ingest.push(doc) {
+                    PushOutcome::Enqueued => {}
+                    PushOutcome::Shed | PushOutcome::Closed => {
+                        conn.outbox
+                            .push(format!("-ERR DOC shed at ingest high-water (seq {seq})"));
+                        // Fill the sequence slot so the resequencer
+                        // keeps delivering later documents in order.
+                        shared.delivery.push(Completion {
+                            seq,
+                            conn: conn.id,
+                            tag: tag.to_string(),
+                            outcome: Outcome::Shed,
+                        });
+                    }
+                }
+            }
+            PollDoc::Fail(e) => {
+                // Scanner-level failure (desync, oversize): already
+                // counted against the failure cap by the stream itself.
+                let fused = matches!(e.kind, XmlErrorKind::TooManyFailures(_));
+                conn.outbox
+                    .push(format!("-ERR DOC {}", one_line(&e.to_string())));
+                if fused {
+                    return false;
+                }
+            }
+            PollDoc::NeedInput | PollDoc::End => return true,
+        }
+    }
+}
+
+/// The single subscription writer: owns the [`SnapshotPublisher`],
+/// applies batches of control ops, publishes once per batch, and only
+/// then acknowledges — a `+SUB`/`+UNSUB` reply means the change is
+/// visible to every document ingested after the reply.
+fn sub_writer_loop(shared: &Arc<Shared>, mut publisher: SnapshotPublisher) {
+    let mut conn_subs: HashMap<u64, HashSet<u32>> = HashMap::new();
+    let mut batch: Vec<Control> = Vec::new();
+    let mut replies: Vec<(u64, String)> = Vec::new();
+    while let Some(first) = shared.control.pop() {
+        batch.push(first);
+        shared.control.try_drain(255, &mut batch);
+        for op in batch.drain(..) {
+            match op {
+                Control::Sub { conn, expr } => match publisher.add(&expr) {
+                    Ok(sub) => {
+                        shared
+                            .registry
+                            .write()
+                            .expect("registry poisoned")
+                            .insert(sub.0, conn);
+                        conn_subs.entry(conn).or_default().insert(sub.0);
+                        replies.push((conn, Reply::SubOk(sub.0).to_wire()));
+                    }
+                    Err(e) => {
+                        replies.push((conn, format!("-ERR SUB {}", one_line(&e.to_string()))));
+                    }
+                },
+                Control::Unsub { conn, id } => {
+                    let owned = conn_subs.get(&conn).is_some_and(|s| s.contains(&id));
+                    if owned && publisher.remove(SubId(id)) {
+                        shared
+                            .registry
+                            .write()
+                            .expect("registry poisoned")
+                            .remove(&id);
+                        conn_subs
+                            .get_mut(&conn)
+                            .expect("owned implies entry")
+                            .remove(&id);
+                        replies.push((conn, Reply::UnsubOk(id).to_wire()));
+                    } else {
+                        replies.push((conn, format!("-ERR UNSUB unknown subscription {id}")));
+                    }
+                }
+                Control::Disconnect { conn } => {
+                    // During shutdown the connection (and its
+                    // subscriptions) must survive until the in-flight
+                    // documents have drained to it; final teardown
+                    // retires everything.
+                    if !shared.is_running() {
+                        continue;
+                    }
+                    if let Some(ids) = conn_subs.remove(&conn) {
+                        let mut reg = shared.registry.write().expect("registry poisoned");
+                        for id in ids {
+                            publisher.remove(SubId(id));
+                            reg.remove(&id);
+                        }
+                    }
+                    let retired = shared.conns.lock().expect("conns poisoned").remove(&conn);
+                    if let Some(c) = retired {
+                        c.outbox.close();
+                        shared.stats.conns.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if publisher.pending_ops() > 0 {
+            publisher.publish();
+        }
+        shared.mirror_publisher(&publisher);
+        for (conn, line) in replies.drain(..) {
+            if let Some(c) = shared.conn_by_id(conn) {
+                c.outbox.push(line);
+            }
+        }
+    }
+    if publisher.pending_ops() > 0 {
+        publisher.publish();
+    }
+    shared.mirror_publisher(&publisher);
+}
+
+/// A matcher worker: pin one snapshot per batch, match, hand completions
+/// to the delivery thread.
+///
+/// The pin is epoch-bounded: between documents the worker compares the
+/// handle's lock-free [`SnapshotHandle::epoch`] mirror against the pinned
+/// snapshot and re-pins when a publish happened, so under subscription
+/// churn a worker never holds a retired snapshot longer than one document
+/// match — comfortably inside the publisher's bounded reclaim wait, which
+/// is what keeps steady-state `clone_fallbacks` at zero.
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut batch: Vec<IngestDoc> = Vec::new();
+    loop {
+        batch.clear();
+        if shared
+            .ingest
+            .pop_batch(shared.config.match_batch, &mut batch)
+            == 0
+        {
+            return;
+        }
+        let mut i = 0;
+        while i < batch.len() {
+            // Load *after* popping: a document enqueued after a +SUB ack
+            // is always matched against a snapshot containing that sub.
+            let snapshot = shared.handle.load();
+            let mut matcher = snapshot.matcher();
+            while i < batch.len() {
+                if shared.handle.epoch() != snapshot.epoch() {
+                    break; // a publish landed: release + re-pin
+                }
+                let doc = &mut batch[i];
+                i += 1;
+                let bytes = std::mem::take(&mut doc.bytes);
+                let outcome = match matcher.match_bytes(&bytes) {
+                    Ok(ids) => Outcome::Matched(ids),
+                    Err(e) => Outcome::ParseError(one_line(&e.to_string())),
+                };
+                shared.delivery.push(Completion {
+                    seq: doc.seq,
+                    conn: doc.conn,
+                    tag: std::mem::take(&mut doc.tag),
+                    outcome,
+                });
+            }
+        }
+    }
+}
+
+/// The delivery thread: restores ingest order with a min-heap
+/// resequencer, applies the raw-ingest failure-cap contract to the
+/// origin connection's scanner, and fans matches out per subscriber.
+fn delivery_loop(shared: &Arc<Shared>) {
+    let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+    let mut next = 0u64;
+    while let Some(done) = shared.delivery.pop() {
+        heap.push(Pending(done));
+        while heap.peek().is_some_and(|p| p.0.seq == next) {
+            let c = heap.pop().expect("peeked").0;
+            next += 1;
+            deliver_one(shared, c);
+        }
+    }
+    // Closed: flush stragglers in order (gaps only if a producer died).
+    while let Some(p) = heap.pop() {
+        deliver_one(shared, p.0);
+    }
+}
+
+fn deliver_one(shared: &Arc<Shared>, c: Completion) {
+    match c.outcome {
+        Outcome::Matched(ids) => {
+            if let Some(origin) = shared.conn_by_id(c.conn) {
+                origin
+                    .stream
+                    .lock()
+                    .expect("stream poisoned")
+                    .note_success();
+            }
+            shared.stats.matched.fetch_add(1, Ordering::Relaxed);
+            if ids.is_empty() {
+                return;
+            }
+            let mut per_conn: HashMap<u64, Vec<u32>> = HashMap::new();
+            {
+                let reg = shared.registry.read().expect("registry poisoned");
+                for id in &ids {
+                    if let Some(&owner) = reg.get(&id.0) {
+                        per_conn.entry(owner).or_default().push(id.0);
+                    }
+                }
+            }
+            for (owner, ids) in per_conn {
+                let line = Reply::Match {
+                    seq: c.seq,
+                    tag: c.tag.clone(),
+                    ids,
+                }
+                .to_wire();
+                match shared.conn_by_id(owner) {
+                    Some(conn) => {
+                        if conn.outbox.push(line).is_enqueued() {
+                            shared.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    None => {
+                        shared.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Outcome::ParseError(detail) => {
+            shared.stats.parse_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(origin) = shared.conn_by_id(c.conn) {
+                origin
+                    .stream
+                    .lock()
+                    .expect("stream poisoned")
+                    .note_failure();
+                origin.outbox.push(format!("-ERR DOC {detail}"));
+            }
+        }
+        Outcome::Shed => {}
+    }
+}

@@ -1,0 +1,427 @@
+//! End-to-end broker tests over localhost TCP: real sockets, real
+//! threads, matched against a single-threaded oracle engine.
+
+use pxf_broker::{Broker, BrokerConfig, Reply};
+use pxf_core::FilterEngine;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A blocking test client with a read timeout so a broken broker fails
+/// the test instead of hanging it.
+struct Client {
+    input: BufReader<TcpStream>,
+    output: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let sock = TcpStream::connect(addr).expect("connect");
+        sock.set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        sock.set_nodelay(true).unwrap();
+        Client {
+            input: BufReader::new(sock.try_clone().expect("clone")),
+            output: sock,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.output.write_all(line.as_bytes()).expect("send");
+        self.output.write_all(b"\n").expect("send");
+    }
+
+    fn send_doc(&mut self, tag: &str, bytes: &[u8]) {
+        self.output
+            .write_all(format!("DOC {} {}\n", bytes.len(), tag).as_bytes())
+            .expect("send doc header");
+        self.output.write_all(bytes).expect("send doc payload");
+    }
+
+    /// Reads the next line; None on clean EOF.
+    fn read_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.input.read_line(&mut line) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    if !line.trim().is_empty() {
+                        return Some(line);
+                    }
+                }
+                Err(e) => panic!("read timed out or failed: {e}"),
+            }
+        }
+    }
+
+    fn read_reply(&mut self) -> Reply {
+        let line = self.read_line().expect("unexpected EOF");
+        Reply::parse(&line).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+    }
+
+    /// Subscribes and returns the broker-assigned id.
+    fn subscribe(&mut self, expr: &str) -> u32 {
+        self.send(&format!("SUB {expr}"));
+        loop {
+            match self.read_reply() {
+                Reply::SubOk(id) => return id,
+                Reply::Err { kind, detail } => panic!("SUB rejected: {kind} {detail}"),
+                _ => {} // skip async lines
+            }
+        }
+    }
+
+    fn unsubscribe(&mut self, id: u32) {
+        self.send(&format!("UNSUB {id}"));
+        loop {
+            match self.read_reply() {
+                Reply::UnsubOk(got) => {
+                    assert_eq!(got, id);
+                    return;
+                }
+                Reply::Err { kind, detail } => panic!("UNSUB rejected: {kind} {detail}"),
+                _ => {}
+            }
+        }
+    }
+}
+
+const EXPRS: &[&str] = &["/a", "/a/b", "//b", "//c", "/x", "/a//d", "//e", "/x/e"];
+
+const DOC_SHAPES: &[&str] = &[
+    "<a><b/></a>",
+    "<a><c/><d/></a>",
+    "<x><e/></x>",
+    "<a><b><c/></b></a>",
+];
+
+/// Single-threaded oracle: which expression indices match each shape.
+fn oracle_matches() -> Vec<BTreeSet<usize>> {
+    let mut engine = FilterEngine::default();
+    let ids: Vec<_> = EXPRS.iter().map(|e| engine.add_str(e).unwrap()).collect();
+    engine.prepare();
+    let mut matcher = engine.matcher();
+    DOC_SHAPES
+        .iter()
+        .map(|shape| {
+            let matched = matcher.match_bytes(shape.as_bytes()).unwrap();
+            ids.iter()
+                .enumerate()
+                .filter(|(_, id)| matched.contains(id))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect()
+}
+
+fn spawn_broker(workers: usize) -> pxf_broker::BrokerHandle {
+    Broker::spawn(BrokerConfig {
+        workers,
+        ..BrokerConfig::default()
+    })
+    .expect("spawn broker")
+}
+
+/// Two subscriber connections split the expression set; documents stream
+/// while a third connection churns sub/unsub pairs. Every connection's
+/// MATCH lines must equal the oracle's prediction for the expressions it
+/// owns, in ingest (FIFO) order, before and after an unsubscribe.
+#[test]
+fn matches_agree_with_oracle_under_churn() {
+    let broker = spawn_broker(4);
+    let addr = broker.local_addr();
+    let oracle = oracle_matches();
+
+    // Conn A owns even expression indices, conn B odd ones.
+    let mut conn_a = Client::connect(addr);
+    let mut conn_b = Client::connect(addr);
+    let mut a_ids = Vec::new(); // (broker id, expr index)
+    let mut b_ids = Vec::new();
+    for (i, expr) in EXPRS.iter().enumerate() {
+        if i % 2 == 0 {
+            a_ids.push((conn_a.subscribe(expr), i));
+        } else {
+            b_ids.push((conn_b.subscribe(expr), i));
+        }
+    }
+
+    // Concurrent churn on its own connection while documents stream; its
+    // short-lived subscriptions are owned by the churn connection, so
+    // they never pollute A's or B's deliveries.
+    let churn = std::thread::spawn(move || {
+        let mut conn = Client::connect(addr);
+        for round in 0..30 {
+            let id = conn.subscribe(EXPRS[round % EXPRS.len()]);
+            conn.unsubscribe(id);
+        }
+    });
+
+    let mut ingest = Client::connect(addr);
+    let n_docs = 60usize;
+    for i in 0..n_docs {
+        ingest.send_doc(
+            &format!("d{i}"),
+            DOC_SHAPES[i % DOC_SHAPES.len()].as_bytes(),
+        );
+    }
+    let mut acked = 0;
+    while acked < n_docs {
+        if let Reply::DocOk { .. } = ingest.read_reply() {
+            acked += 1;
+        }
+    }
+    churn.join().expect("churn thread");
+
+    // Expected deliveries per connection, in ingest order.
+    let check = |conn: &mut Client, owned: &[(u32, usize)]| {
+        let expected: Vec<(String, BTreeSet<u32>)> = (0..n_docs)
+            .filter_map(|i| {
+                let ids: BTreeSet<u32> = owned
+                    .iter()
+                    .filter(|(_, e)| oracle[i % DOC_SHAPES.len()].contains(e))
+                    .map(|(id, _)| *id)
+                    .collect();
+                (!ids.is_empty()).then(|| (format!("d{i}"), ids))
+            })
+            .collect();
+        let mut last_seq = None::<u64>;
+        for (want_tag, want_ids) in &expected {
+            let (seq, tag, ids) = match conn.read_reply() {
+                Reply::Match { seq, tag, ids } => (seq, tag, ids),
+                other => panic!("expected MATCH, got {other:?}"),
+            };
+            assert!(
+                last_seq.is_none_or(|last| seq > last),
+                "per-connection FIFO violated: seq {seq} after {last_seq:?}"
+            );
+            last_seq = Some(seq);
+            assert_eq!(&tag, want_tag, "delivery out of ingest order");
+            assert_eq!(&ids.iter().copied().collect::<BTreeSet<_>>(), want_ids);
+        }
+    };
+    check(&mut conn_a, &a_ids);
+    check(&mut conn_b, &b_ids);
+
+    // Unsubscribe half of A's expressions; later documents must reflect it.
+    let (dropped, kept): (Vec<_>, Vec<_>) = a_ids.iter().partition(|(_, e)| e % 4 == 0);
+    for (id, _) in &dropped {
+        conn_a.unsubscribe(*id);
+    }
+    for i in n_docs..n_docs + 20 {
+        ingest.send_doc(
+            &format!("d{i}"),
+            DOC_SHAPES[i % DOC_SHAPES.len()].as_bytes(),
+        );
+    }
+    let mut acked = 0;
+    while acked < 20 {
+        if let Reply::DocOk { .. } = ingest.read_reply() {
+            acked += 1;
+        }
+    }
+    for i in n_docs..n_docs + 20 {
+        let want: BTreeSet<u32> = kept
+            .iter()
+            .filter(|(_, e)| oracle[i % DOC_SHAPES.len()].contains(e))
+            .map(|(id, _)| *id)
+            .collect();
+        if want.is_empty() {
+            continue;
+        }
+        match conn_a.read_reply() {
+            Reply::Match { tag, ids, .. } => {
+                assert_eq!(tag, format!("d{i}"));
+                assert_eq!(ids.iter().copied().collect::<BTreeSet<_>>(), want);
+            }
+            other => panic!("expected MATCH, got {other:?}"),
+        }
+    }
+
+    broker.shutdown();
+    let stats = broker.wait();
+    assert_eq!(stats.matched, (n_docs + 20) as u64);
+    assert_eq!(stats.parse_failures, 0);
+    assert_eq!(stats.full_rebuilds, 0, "churn must stay incremental");
+}
+
+/// A malformed document mid-stream yields `-ERR DOC` on the publishing
+/// connection and nothing else: the connection survives, later documents
+/// still match, and the failure is counted.
+#[test]
+fn malformed_doc_reports_error_without_dropping_connection() {
+    let broker = spawn_broker(2);
+    let mut conn = Client::connect(broker.local_addr());
+    let sub = conn.subscribe("//b");
+
+    conn.send_doc("good0", b"<a><b/></a>");
+    // Balanced (so the boundary scanner hands it to a matcher) but
+    // unparseable: the matcher rejects it.
+    conn.send_doc("bad1", b"<bad attr=></bad>");
+    conn.send_doc("good2", b"<a><b/></a>");
+
+    let mut acks = 0;
+    let mut matches = Vec::new();
+    let mut errors = Vec::new();
+    while matches.len() < 2 || errors.is_empty() || acks < 3 {
+        match conn.read_reply() {
+            Reply::DocOk { tag, .. } => {
+                acks += 1;
+                assert!(["good0", "bad1", "good2"].contains(&tag.as_str()));
+            }
+            Reply::Match { tag, ids, .. } => {
+                assert_eq!(ids, vec![sub]);
+                matches.push(tag);
+            }
+            Reply::Err { kind, .. } => {
+                assert_eq!(kind, "DOC");
+                errors.push(kind);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(matches, vec!["good0", "good2"], "connection kept working");
+
+    // The connection is still fully functional after the error.
+    conn.send("STATS");
+    loop {
+        if let Reply::Stats(kv) = conn.read_reply() {
+            let stats = pxf_broker::BrokerStatsSnapshot::from_kv(&kv);
+            assert_eq!(stats.parse_failures, 1);
+            assert_eq!(stats.matched, 2);
+            assert_eq!(stats.conns, 1);
+            break;
+        }
+    }
+
+    broker.shutdown();
+    broker.wait();
+}
+
+/// A frame whose payload ends inside a document (complete frame,
+/// truncated XML) must draw an immediate `-ERR DOC` — not silence — and
+/// the leftover bytes must not leak into the next frame's scan.
+#[test]
+fn truncated_frame_reports_error_and_resyncs() {
+    let broker = spawn_broker(2);
+    let mut conn = Client::connect(broker.local_addr());
+    let sub = conn.subscribe("//b");
+
+    // Frame is complete (5 payload bytes announced, 5 sent) but the
+    // document inside it is not.
+    conn.send_doc("trunc", b"<a><b");
+    match conn.read_reply() {
+        Reply::Err { kind, detail } => {
+            assert_eq!(kind, "DOC");
+            assert!(
+                detail.contains("inside a document"),
+                "unexpected detail {detail:?}"
+            );
+        }
+        other => panic!("expected -ERR DOC for truncated frame, got {other:?}"),
+    }
+
+    // The partial must have been discarded: this document would not match
+    // //b if the scanner glued it onto the leftover "<a><b".
+    conn.send_doc("good", b"<a><b/></a>");
+    let mut acked = false;
+    let mut matched = false;
+    while !acked || !matched {
+        match conn.read_reply() {
+            Reply::DocOk { tag, .. } => {
+                assert_eq!(tag, "good");
+                acked = true;
+            }
+            Reply::Match { tag, ids, .. } => {
+                assert_eq!(tag, "good");
+                assert_eq!(ids, vec![sub]);
+                matched = true;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    broker.shutdown();
+    broker.wait();
+}
+
+/// With several workers completing documents out of order, the delivery
+/// resequencer must still hand each connection its MATCH lines in exact
+/// ingest order.
+#[test]
+fn delivery_is_fifo_per_connection() {
+    let broker = spawn_broker(4);
+    let addr = broker.local_addr();
+    let mut subscriber = Client::connect(addr);
+    subscriber.subscribe("//b");
+
+    let mut ingest = Client::connect(addr);
+    let n = 200usize;
+    for i in 0..n {
+        // Alternate sizes so worker completion order scrambles.
+        let doc = if i % 3 == 0 {
+            format!("<a>{}<b/></a>", "<c/>".repeat(40))
+        } else {
+            "<a><b/></a>".to_string()
+        };
+        ingest.send_doc(&format!("d{i}"), doc.as_bytes());
+    }
+
+    let mut last_seq = None::<u64>;
+    for i in 0..n {
+        match subscriber.read_reply() {
+            Reply::Match { seq, tag, .. } => {
+                assert_eq!(tag, format!("d{i}"), "delivery out of ingest order");
+                assert!(last_seq.is_none_or(|last| seq > last));
+                last_seq = Some(seq);
+            }
+            other => panic!("expected MATCH, got {other:?}"),
+        }
+    }
+
+    broker.shutdown();
+    broker.wait();
+}
+
+/// Documents accepted before a shutdown request must still be matched
+/// and delivered before the sockets close: shutdown drains, it does not
+/// discard.
+#[test]
+fn shutdown_drains_in_flight_documents() {
+    let broker = spawn_broker(1); // one worker: the backlog stays deep
+    let addr = broker.local_addr();
+    let mut subscriber = Client::connect(addr);
+    subscriber.subscribe("//b");
+
+    let mut ingest = Client::connect(addr);
+    let n = 100usize;
+    for i in 0..n {
+        ingest.send_doc(&format!("d{i}"), b"<a><b/></a>");
+    }
+    let mut acked = 0;
+    while acked < n {
+        if let Reply::DocOk { .. } = ingest.read_reply() {
+            acked += 1;
+        }
+    }
+
+    // Shut down while (most of) the backlog is still unprocessed.
+    broker.shutdown();
+    let stats = broker.wait();
+    assert_eq!(stats.ingested, n as u64);
+    assert_eq!(
+        stats.matched, n as u64,
+        "shutdown must drain in-flight docs"
+    );
+
+    // Every delivery reached the subscriber's socket before close.
+    let mut got = 0;
+    while let Some(line) = subscriber.read_line() {
+        if let Ok(Reply::Match { tag, .. }) = Reply::parse(&line) {
+            assert_eq!(tag, format!("d{got}"));
+            got += 1;
+        }
+    }
+    assert_eq!(got, n, "all in-flight matches delivered before close");
+}

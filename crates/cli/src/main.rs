@@ -8,6 +8,7 @@
 //! pxf match  --subs FILE --stream [-]          # concatenated docs on stdin
 //! pxf encode 'EXPR' ['EXPR' …]
 //! pxf generate --regime nitf|psd --exprs N --docs N --out DIR [--seed S]
+//! pxf broker --listen HOST:PORT [--workers N] [--queue-cap N] [limits]
 //! pxf --help
 //! ```
 //!
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         Some("match") => cmd_match(&args[1..]),
         Some("encode") => cmd_encode(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("generate") => cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("broker") => cmd_broker(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -59,6 +61,8 @@ USAGE:
   pxf match  --subs FILE [options] DOC.xml [DOC.xml …]
   pxf encode 'EXPR' ['EXPR' …]
   pxf generate --regime nitf|psd --exprs N --docs N --out DIR [--seed S]
+  pxf broker [--listen HOST:PORT] [--workers N] [--queue-cap N]
+             [--outbox-cap N] [--shed-ingest] [parser limit options]
 
 MATCH OPTIONS:
   --subs FILE          subscription file (one XPath per line, # comments)
@@ -85,6 +89,17 @@ PARSER LIMIT OPTIONS (per document; hostile-input hardening):
   --max-entities N     entity references per doc     (default: 1048576)
   --max-failures N     consecutive bad stream documents before giving up
                        (default: 64; --stream only)
+
+BROKER OPTIONS (long-running pub/sub service; see DESIGN.md §11):
+  --listen HOST:PORT   listen address      (default: 127.0.0.1:7878)
+  --workers N          matcher threads; 0 = derive from cores (default: 0)
+  --queue-cap N        ingest queue capacity          (default: 1024)
+  --outbox-cap N       per-connection outbox capacity (default: 65536)
+  --shed-ingest        shed documents at the ingest high-water mark
+                       instead of blocking the publisher's connection
+  The parser limit options above apply per document (default: strict
+  profile). Protocol: SUB/UNSUB/DOC/STATS/QUIT/SHUTDOWN; drive it with
+  the `loadgen` binary of pxf-broker.
 
 Output: one line per document: `<path>: <n> [line numbers…]`
 (`<stream#i>` in --stream mode). Exit status: 0 if every document was
@@ -428,6 +443,61 @@ fn match_stream(
         return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Runs the long-running pub/sub broker service until a client sends
+/// `SHUTDOWN` (or the process is killed).
+fn cmd_broker(args: &[String]) -> Result<(), String> {
+    use pxf_broker::{Backpressure, Broker, BrokerConfig};
+    let mut config = BrokerConfig {
+        listen: "127.0.0.1:7878".to_string(),
+        limits: ParserLimits::strict(),
+        ..BrokerConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => config.listen = take_value(args, &mut i, "--listen")?,
+            "--workers" => config.workers = take_number(args, &mut i, "--workers")?,
+            "--queue-cap" => config.ingest_capacity = take_number(args, &mut i, "--queue-cap")?,
+            "--outbox-cap" => config.outbox_capacity = take_number(args, &mut i, "--outbox-cap")?,
+            "--shed-ingest" => config.ingest_policy = Backpressure::Shed,
+            "--max-depth" => config.limits.max_depth = take_number(args, &mut i, "--max-depth")?,
+            "--max-doc-bytes" => {
+                config.limits.max_document_bytes = take_number(args, &mut i, "--max-doc-bytes")?
+            }
+            "--max-attrs" => {
+                config.limits.max_attributes = take_number(args, &mut i, "--max-attrs")?
+            }
+            "--max-attr-value" => {
+                config.limits.max_attribute_value_len =
+                    take_number(args, &mut i, "--max-attr-value")?
+            }
+            "--max-name-len" => {
+                config.limits.max_name_len = take_number(args, &mut i, "--max-name-len")?
+            }
+            "--max-entities" => {
+                config.limits.max_entity_expansions = take_number(args, &mut i, "--max-entities")?
+            }
+            flag => return Err(format!("unknown flag '{flag}'")),
+        }
+        i += 1;
+    }
+    let handle = Broker::spawn(config).map_err(|e| format!("cannot start broker: {e}"))?;
+    eprintln!("pxf broker listening on {}", handle.local_addr());
+    let stats = handle.wait();
+    eprintln!(
+        "pxf broker stopped: ingested={} matched={} parse_failures={} delivered={} \
+         epoch={} rebuilds={} clone_fallbacks={}",
+        stats.ingested,
+        stats.matched,
+        stats.parse_failures,
+        stats.delivered,
+        stats.epoch,
+        stats.full_rebuilds,
+        stats.clone_fallbacks
+    );
+    Ok(())
 }
 
 fn cmd_encode(args: &[String]) -> Result<(), String> {

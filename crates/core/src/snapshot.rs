@@ -32,6 +32,7 @@
 use crate::engine::{AddError, FilterEngine, Matcher, SubId};
 use crate::parallel::MatcherSource;
 use pxf_xpath::XPathExpr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// An immutable published view of the subscription base: a prepared
@@ -96,6 +97,9 @@ type SharedSlot = Arc<RwLock<Arc<EngineSnapshot>>>;
 #[derive(Debug, Clone)]
 pub struct SnapshotHandle {
     shared: SharedSlot,
+    /// Epoch of the most recent publish, mirrored atomically so stats
+    /// paths can poll it without touching the snapshot slot at all.
+    epoch: Arc<AtomicU64>,
 }
 
 impl SnapshotHandle {
@@ -106,9 +110,15 @@ impl SnapshotHandle {
         self.shared.read().expect("snapshot slot poisoned").clone()
     }
 
-    /// Epoch of the currently published snapshot.
+    /// Epoch of the most recently published snapshot.
+    ///
+    /// A single atomic load: no lock is taken and no snapshot `Arc` is
+    /// cloned, so a stats poller hammering this (the broker calls it per
+    /// `STATS` request) can never pin a retired snapshot and push the
+    /// publisher into its deep-clone reclaim fallback. May lead
+    /// [`Self::load`] by one publish while a swap is in flight.
     pub fn epoch(&self) -> u64 {
-        self.load().epoch
+        self.epoch.load(Ordering::Acquire)
     }
 }
 
@@ -142,6 +152,8 @@ pub struct SnapshotPublisher {
     log: Vec<ChurnOp>,
     shared: SharedSlot,
     epoch: u64,
+    /// Lock-free mirror of `epoch`, shared with every [`SnapshotHandle`].
+    published_epoch: Arc<AtomicU64>,
     /// Publishes that could not recycle the retired buffer (a reader
     /// pinned it past the bounded wait) and deep-cloned instead.
     clone_fallbacks: u64,
@@ -172,6 +184,7 @@ impl SnapshotPublisher {
             log: Vec::new(),
             shared: Arc::new(RwLock::new(snapshot)),
             epoch: 0,
+            published_epoch: Arc::new(AtomicU64::new(0)),
             clone_fallbacks: 0,
         }
     }
@@ -180,6 +193,7 @@ impl SnapshotPublisher {
     pub fn handle(&self) -> SnapshotHandle {
         SnapshotHandle {
             shared: self.shared.clone(),
+            epoch: self.published_epoch.clone(),
         }
     }
 
@@ -246,6 +260,7 @@ impl SnapshotPublisher {
             let mut slot = self.shared.write().expect("snapshot slot poisoned");
             std::mem::replace(&mut *slot, fresh)
         };
+        self.published_epoch.store(self.epoch, Ordering::Release);
         self.write = self.reclaim(previous);
         self.log.clear();
         self.epoch
@@ -378,6 +393,52 @@ mod tests {
         let c = publisher.add_str("/a").unwrap();
         publisher.publish();
         assert_eq!(handle.load().matcher().match_document(&d), vec![a, b, c]);
+    }
+
+    /// The stats-path satellite of PR 8: `SnapshotHandle::epoch()` must
+    /// not pin (or even briefly clone) the snapshot, so a poller hammering
+    /// it in a tight loop across many publishes never pushes the
+    /// publisher into its deep-clone reclaim fallback, and sees a
+    /// monotonically nondecreasing epoch sequence.
+    #[test]
+    fn epoch_polling_does_not_extend_snapshot_lifetime() {
+        let mut publisher = SnapshotPublisher::new(FilterEngine::default());
+        let handle = publisher.handle();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let poller_handle = handle.clone();
+            let stop = &stop;
+            let poller = scope.spawn(move || {
+                let mut last = 0u64;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let e = poller_handle.epoch();
+                    assert!(e >= last, "epoch went backwards: {last} -> {e}");
+                    last = e;
+                    reads += 1;
+                }
+                (last, reads)
+            });
+            for _ in 0..200 {
+                let s = publisher.add_str("/a/b").unwrap();
+                publisher.publish();
+                publisher.remove(s);
+                publisher.publish();
+            }
+            stop.store(true, Ordering::Release);
+            let (last_seen, reads) = poller.join().expect("poller panicked");
+            assert!(reads > 0);
+            assert!(last_seen <= publisher.epoch());
+        });
+        assert_eq!(publisher.epoch(), 400);
+        assert_eq!(handle.epoch(), 400);
+        assert_eq!(
+            publisher.clone_fallbacks(),
+            0,
+            "an epoch poller must never pin a retired snapshot"
+        );
+        // The lock-free mirror agrees with the slot itself.
+        assert_eq!(handle.load().epoch(), handle.epoch());
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub use access::{DocAccess, ElementVisitor, PathDoc};
 pub use limits::ParserLimits;
 pub use name::{Interner, Symbol};
 pub use reader::{Attribute, Event, Reader, XmlError, XmlErrorKind};
-pub use stream::{DocumentStream, DEFAULT_MAX_CONSECUTIVE_FAILURES};
+pub use stream::{DocumentStream, PollDoc, DEFAULT_MAX_CONSECUTIVE_FAILURES};
 pub use tree::{Document, DocumentBuilder, Element, NodeId, TreeEvent};

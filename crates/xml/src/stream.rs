@@ -60,6 +60,9 @@ pub struct DocumentStream<R: Read> {
     exhausted: bool,
     /// Stream-absolute offset of `buffer[0]` (bytes consumed so far).
     base: usize,
+    /// No more input will arrive: the reader hit EOF, or a push-mode
+    /// caller declared the stream complete via [`Self::finish`].
+    input_eof: bool,
     /// True while skipping the tail of a desynced or oversized document;
     /// suppresses repeated errors for one garbage run.
     in_garbage: bool,
@@ -85,6 +88,30 @@ enum ScanHit {
     Doc(usize),
     /// Offset one past a stray top-level end tag (desync point).
     Stray(usize),
+}
+
+/// Outcome of polling the bytes buffered so far ([`DocumentStream::poll_raw_at`]).
+///
+/// This is the push-mode counterpart of [`DocumentStream::next_raw_at`]:
+/// a long-lived connection (e.g. a broker ingesting framed document
+/// chunks) calls [`DocumentStream::feed`] with whatever bytes arrived and
+/// then polls until `NeedInput`, without ever blocking on a reader.
+#[derive(Debug)]
+pub enum PollDoc {
+    /// A complete document: its stream-absolute start offset plus its raw
+    /// bytes (leading inter-document whitespace included).
+    Doc(usize, Vec<u8>),
+    /// A boundary-level failure: desync, an oversized garbage run, a
+    /// truncated trailer after [`DocumentStream::finish`], or the
+    /// consecutive-failure cap fusing the stream. Unless the stream is
+    /// now over, polling continues past it.
+    Fail(XmlError),
+    /// No complete document in the buffered bytes: feed more input (or
+    /// call [`DocumentStream::finish`] if there is none).
+    NeedInput,
+    /// The stream is over: finished and fully drained, or fused by the
+    /// failure cap. All further polls return `End`.
+    End,
 }
 
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +152,7 @@ impl<R: Read> DocumentStream<R> {
             consecutive_failures: 0,
             exhausted: false,
             base: 0,
+            input_eof: false,
             in_garbage: false,
             recovered: 0,
         }
@@ -295,6 +323,127 @@ impl<R: Read> DocumentStream<R> {
         self.scanner = Scanner::default();
         bytes
     }
+
+    /// Appends bytes to the scan buffer (push-mode ingest). The bytes need
+    /// not align with document boundaries — a document may span any number
+    /// of `feed` calls, and one call may carry several documents.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Declares the end of input for push-mode use: after this, a buffered
+    /// partial document is reported as [`XmlErrorKind::StreamTruncated`]
+    /// and polling reaches [`PollDoc::End`].
+    pub fn finish(&mut self) {
+        self.input_eof = true;
+    }
+
+    /// Push-mode frame-boundary check: discards any bytes buffered past
+    /// the last complete document and resets the boundary scanner, so the
+    /// next [`Self::feed`] starts at a document boundary. Framed callers
+    /// use this when a frame that must carry whole documents ends with the
+    /// scanner still inside one. Returns `Some(dropped)` when the discard
+    /// swallowed a real partial document — counted against the
+    /// consecutive-failure cap — and `None` when the buffer was empty,
+    /// whitespace padding, or the tail of an already-reported garbage run.
+    pub fn discard_partial(&mut self) -> Option<usize> {
+        let len = self.buffer.len();
+        if len == 0 {
+            return None;
+        }
+        let real = !self.in_garbage && self.buffer.iter().any(|b| !b.is_ascii_whitespace());
+        self.consume(len);
+        self.in_garbage = false;
+        if real {
+            self.note_failure();
+            Some(len)
+        } else {
+            None
+        }
+    }
+
+    /// Polls the bytes buffered so far for the next complete document,
+    /// without reading from the underlying input. Push-mode callers
+    /// alternate [`Self::feed`] and `poll_raw_at` (polling until
+    /// [`PollDoc::NeedInput`] after each feed); the blocking
+    /// [`Self::next_raw_at`] is this poll plus a read on `NeedInput`.
+    ///
+    /// Raw-path consumers remain responsible for the failure-cap contract:
+    /// call [`Self::note_success`] / [`Self::note_failure`] per delivered
+    /// document, exactly as with [`Self::next_raw`].
+    pub fn poll_raw_at(&mut self) -> PollDoc {
+        if self.done {
+            return PollDoc::End;
+        }
+        if self.exhausted {
+            self.done = true;
+            return PollDoc::Fail(XmlError::new(
+                self.base,
+                XmlErrorKind::TooManyFailures(self.max_consecutive_failures),
+            ));
+        }
+        loop {
+            match self.scan() {
+                Some(ScanHit::Doc(end)) => {
+                    let start = self.base;
+                    let bytes = self.consume(end);
+                    self.in_garbage = false;
+                    return PollDoc::Doc(start, bytes);
+                }
+                Some(ScanHit::Stray(end)) => {
+                    let pos = self.base;
+                    self.consume(end);
+                    if self.in_garbage {
+                        // Tail of an already-reported bad run: skip quietly.
+                        continue;
+                    }
+                    self.in_garbage = true;
+                    self.note_failure();
+                    return PollDoc::Fail(XmlError::new(pos, XmlErrorKind::StreamDesync));
+                }
+                None => {}
+            }
+            // No boundary in the buffered bytes yet. A well-formed document
+            // must fit the byte budget — otherwise drop the run and resync.
+            if self.buffer.len() > self.limits.max_document_bytes {
+                let pos = self.base;
+                let len = self.buffer.len();
+                self.consume(len);
+                let already = self.in_garbage;
+                self.in_garbage = true;
+                if already {
+                    continue;
+                }
+                self.note_failure();
+                return PollDoc::Fail(XmlError::new(
+                    pos,
+                    XmlErrorKind::DocumentTooLarge(self.limits.max_document_bytes),
+                ));
+            }
+            if self.input_eof {
+                self.done = true;
+                // Trailing garbage or an incomplete document?
+                if !self.in_garbage && self.buffer.iter().any(|b| !b.is_ascii_whitespace()) {
+                    return PollDoc::Fail(XmlError::new(
+                        self.base + self.buffer.len(),
+                        XmlErrorKind::StreamTruncated,
+                    ));
+                }
+                return PollDoc::End;
+            }
+            return PollDoc::NeedInput;
+        }
+    }
+}
+
+impl DocumentStream<std::io::Empty> {
+    /// Creates a push-mode stream with no underlying reader: all input
+    /// arrives through [`Self::feed`] and documents come out of
+    /// [`Self::poll_raw_at`]. This is the broker ingest shape — framed
+    /// chunks from a connection are fed as they arrive.
+    pub fn push_mode(limits: ParserLimits) -> Self {
+        DocumentStream::with_limits(std::io::empty(), limits)
+    }
 }
 
 impl<R: BufRead> DocumentStream<R> {
@@ -312,75 +461,24 @@ impl<R: BufRead> DocumentStream<R> {
     /// per-document parse errors can be reported relative to the whole
     /// stream.
     pub fn next_raw_at(&mut self) -> Option<Result<(usize, Vec<u8>), XmlError>> {
-        if self.done {
-            return None;
-        }
-        if self.exhausted {
-            self.done = true;
-            return Some(Err(XmlError::new(
-                self.base,
-                XmlErrorKind::TooManyFailures(self.max_consecutive_failures),
-            )));
-        }
         loop {
-            match self.scan() {
-                Some(ScanHit::Doc(end)) => {
-                    let start = self.base;
-                    let bytes = self.consume(end);
-                    self.in_garbage = false;
-                    return Some(Ok((start, bytes)));
-                }
-                Some(ScanHit::Stray(end)) => {
-                    let pos = self.base;
-                    self.consume(end);
-                    if self.in_garbage {
-                        // Tail of an already-reported bad run: skip quietly.
-                        continue;
+            match self.poll_raw_at() {
+                PollDoc::Doc(start, bytes) => return Some(Ok((start, bytes))),
+                PollDoc::Fail(e) => return Some(Err(e)),
+                PollDoc::End => return None,
+                PollDoc::NeedInput => {
+                    let mut chunk = [0u8; 4096];
+                    match self.input.read(&mut chunk) {
+                        Ok(0) => self.input_eof = true,
+                        Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(XmlError::new(
+                                self.base,
+                                XmlErrorKind::Io(e.to_string()),
+                            )));
+                        }
                     }
-                    self.in_garbage = true;
-                    self.note_failure();
-                    return Some(Err(XmlError::new(pos, XmlErrorKind::StreamDesync)));
-                }
-                None => {}
-            }
-            // No boundary in the buffered bytes yet. A well-formed document
-            // must fit the byte budget — otherwise drop the run and resync.
-            if self.buffer.len() > self.limits.max_document_bytes {
-                let pos = self.base;
-                let len = self.buffer.len();
-                self.consume(len);
-                let already = self.in_garbage;
-                self.in_garbage = true;
-                if already {
-                    continue;
-                }
-                self.note_failure();
-                return Some(Err(XmlError::new(
-                    pos,
-                    XmlErrorKind::DocumentTooLarge(self.limits.max_document_bytes),
-                )));
-            }
-            // Need more input.
-            let mut chunk = [0u8; 4096];
-            match self.input.read(&mut chunk) {
-                Ok(0) => {
-                    self.done = true;
-                    // Trailing garbage or an incomplete document?
-                    if !self.in_garbage && self.buffer.iter().any(|b| !b.is_ascii_whitespace()) {
-                        return Some(Err(XmlError::new(
-                            self.base + self.buffer.len(),
-                            XmlErrorKind::StreamTruncated,
-                        )));
-                    }
-                    return None;
-                }
-                Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
-                Err(e) => {
-                    self.done = true;
-                    return Some(Err(XmlError::new(
-                        self.base,
-                        XmlErrorKind::Io(e.to_string()),
-                    )));
                 }
             }
         }
@@ -599,6 +697,131 @@ mod tests {
         let docs: Result<Vec<_>, _> = DocumentStream::new(OneByte(input)).collect();
         let docs = docs.unwrap();
         assert_eq!(docs.len(), 2);
+    }
+
+    /// The raw-ingest failure-cap contract (the PR-8 ingest bugfix): a
+    /// long-lived raw-path consumer that reports per-document outcomes via
+    /// `note_success`/`note_failure` keeps the cap *consecutive* — sparse
+    /// garbage interleaved with good documents never fuses the stream, and
+    /// `recovered()` counts exactly the failed documents and garbage runs.
+    #[test]
+    fn raw_ingest_contract_keeps_failure_cap_consecutive() {
+        // 150 units, each: a parse-level bad document (clean boundary, bad
+        // attribute syntax), a good document, and a scanner-level stray
+        // end tag. Far more total failures than the default cap of 64.
+        let input = "<bad x=></bad><good/></zz> ".repeat(150);
+        let mut stream = DocumentStream::new(input.as_bytes());
+        let (mut good, mut parse_failures, mut desyncs) = (0usize, 0usize, 0usize);
+        let mut fused = false;
+        while let Some(item) = stream.next_raw() {
+            match item {
+                Ok(bytes) => match Document::parse(&bytes) {
+                    Ok(_) => {
+                        stream.note_success();
+                        good += 1;
+                    }
+                    Err(_) => {
+                        stream.note_failure();
+                        parse_failures += 1;
+                    }
+                },
+                Err(e) => {
+                    fused |= matches!(e.kind, XmlErrorKind::TooManyFailures(_));
+                    desyncs += 1;
+                }
+            }
+        }
+        assert!(!fused, "interleaved successes must keep the stream unfused");
+        assert_eq!(good, 150);
+        assert_eq!(parse_failures, 150);
+        assert_eq!(desyncs, 150);
+        // Exact accounting: every bad document and every garbage run.
+        assert_eq!(stream.recovered(), 300);
+    }
+
+    /// Pins the pre-fix behavior of `examples/stream_broker.rs`: a raw-path
+    /// consumer that never calls `note_success` lets scanner-level failures
+    /// accumulate over the stream's lifetime, so sparse garbage spuriously
+    /// fuses a long-lived stream despite plenty of good documents.
+    #[test]
+    fn raw_ingest_without_success_notes_fuses_spuriously() {
+        let input = "</zz> <good/> ".repeat(100);
+        let mut stream = DocumentStream::new(input.as_bytes());
+        let mut good = 0usize;
+        let mut fused = false;
+        while let Some(item) = stream.next_raw() {
+            match item {
+                Ok(_) => good += 1, // contract violation: no note_success
+                Err(e) => fused |= matches!(e.kind, XmlErrorKind::TooManyFailures(_)),
+            }
+        }
+        assert!(fused, "cumulative counting hits the cap of 64");
+        assert!(good < 100, "the fuse cut the stream short");
+    }
+
+    #[test]
+    fn push_mode_feed_and_poll_across_chunk_boundaries() {
+        let input = b"<a x=\"1>2\"><b/></a> <c/><d>t</d>";
+        let mut stream = DocumentStream::push_mode(ParserLimits::default());
+        let mut docs: Vec<Vec<u8>> = Vec::new();
+        // Feed in 5-byte chunks; poll to quiescence after every feed.
+        for chunk in input.chunks(5) {
+            stream.feed(chunk);
+            loop {
+                match stream.poll_raw_at() {
+                    PollDoc::Doc(_, bytes) => docs.push(bytes),
+                    PollDoc::NeedInput => break,
+                    other => panic!("unexpected poll outcome: {other:?}"),
+                }
+            }
+        }
+        stream.finish();
+        loop {
+            match stream.poll_raw_at() {
+                PollDoc::Doc(_, bytes) => docs.push(bytes),
+                PollDoc::End => break,
+                other => panic!("unexpected poll outcome: {other:?}"),
+            }
+        }
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0], b"<a x=\"1>2\"><b/></a>");
+        assert_eq!(docs[2], b"<d>t</d>");
+    }
+
+    #[test]
+    fn discard_partial_resyncs_to_a_document_boundary() {
+        let mut stream = DocumentStream::push_mode(ParserLimits::default());
+        stream.feed(b"<a><b"); // frame ends inside a document
+        assert!(matches!(stream.poll_raw_at(), PollDoc::NeedInput));
+        assert_eq!(stream.discard_partial(), Some(5));
+        assert_eq!(stream.recovered(), 1);
+        // The next feed starts clean — the leftover "<a><b" must not
+        // concatenate with it.
+        stream.feed(b"<c/>");
+        match stream.poll_raw_at() {
+            PollDoc::Doc(_, bytes) => assert_eq!(bytes, b"<c/>"),
+            other => panic!("expected a document, got {other:?}"),
+        }
+        // Empty and whitespace-only buffers discard quietly.
+        assert_eq!(stream.discard_partial(), None);
+        stream.feed(b"  \n");
+        assert_eq!(stream.discard_partial(), None);
+        assert_eq!(stream.recovered(), 1);
+    }
+
+    #[test]
+    fn push_mode_reports_truncation_then_ends() {
+        let mut stream = DocumentStream::push_mode(ParserLimits::default());
+        stream.feed(b"<a/> <unfinished><x/>");
+        assert!(matches!(stream.poll_raw_at(), PollDoc::Doc(0, _)));
+        assert!(matches!(stream.poll_raw_at(), PollDoc::NeedInput));
+        stream.finish();
+        match stream.poll_raw_at() {
+            PollDoc::Fail(e) => assert_eq!(e.kind, XmlErrorKind::StreamTruncated),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        assert!(matches!(stream.poll_raw_at(), PollDoc::End));
+        assert!(matches!(stream.poll_raw_at(), PollDoc::End));
     }
 
     #[test]

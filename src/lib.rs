@@ -26,7 +26,10 @@
 //! * [`predicate`] — the predicate language and the shared predicate
 //!   index,
 //! * [`workload`] — NITF-like and PSD-like DTDs plus XPath/XML workload
-//!   generators for the experiments.
+//!   generators for the experiments,
+//! * [`broker`] — a long-running pub/sub broker service over TCP:
+//!   snapshot-published subscription churn, a matcher worker pool,
+//!   bounded-queue FIFO fan-out, and a load-generator client.
 //!
 //! # Quick start
 //!
@@ -49,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pxf_broker as broker;
 pub use pxf_core as engine;
 pub use pxf_indexfilter as indexfilter;
 pub use pxf_predicate as predicate;
