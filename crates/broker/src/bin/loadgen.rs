@@ -24,6 +24,8 @@ fn usage() -> ! {
            --sub-conns N         subscriber connections (default 4)\n\
            --docs N              documents to stream (default 2000)\n\
            --churn N             concurrent SUB/UNSUB pairs (default 500)\n\
+           --rate N              offered load, docs/sec, open-loop (default 0 = full throttle;\n\
+                                 full throttle measures saturation sojourn, not service latency)\n\
            --malformed-every N   every Nth doc is malformed (default 0 = none)\n\
            --seed N              workload seed (default 42)\n\
            --shutdown            send SHUTDOWN to the broker when done"
@@ -64,6 +66,7 @@ fn main() {
             "--sub-conns" => cfg.sub_conns = take_number(&args, &mut i, "--sub-conns"),
             "--docs" => cfg.docs = take_number(&args, &mut i, "--docs"),
             "--churn" => cfg.churn_pairs = take_number(&args, &mut i, "--churn"),
+            "--rate" => cfg.rate = take_number(&args, &mut i, "--rate"),
             "--malformed-every" => {
                 cfg.malformed_every = take_number(&args, &mut i, "--malformed-every")
             }

@@ -49,6 +49,16 @@ pub struct LoadgenConfig {
     /// Workload seed (expressions and documents are generated from the
     /// NITF regime of `pxf-workload`).
     pub seed: u64,
+    /// Offered document rate in docs/sec; 0 streams full throttle.
+    ///
+    /// Full throttle is a *closed-loop saturation* measurement: every
+    /// document queues behind the whole backlog, so the delivery
+    /// percentiles report queueing sojourn (seconds), not service
+    /// latency. A paced *open-loop* run below the saturation throughput
+    /// sends each `DOC` at its scheduled instant regardless of broker
+    /// progress, so p50/p99 report what a subscriber actually waits at
+    /// that offered load.
+    pub rate: f64,
     /// Send `SHUTDOWN` to the broker once the run completes.
     pub shutdown_when_done: bool,
 }
@@ -63,6 +73,7 @@ impl Default for LoadgenConfig {
             churn_pairs: 500,
             malformed_every: 0,
             seed: 42,
+            rate: 0.0,
             shutdown_when_done: false,
         }
     }
@@ -336,7 +347,20 @@ pub fn run(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
             seen
         })
     };
+    let interval = (cfg.rate > 0.0).then(|| Duration::from_secs_f64(1.0 / cfg.rate));
     for (i, bytes) in docs.iter().enumerate() {
+        if let Some(interval) = interval {
+            // Open-loop pacing: document i is due at i·interval from
+            // ingest start, independent of how far the broker has
+            // drained — a slow broker accumulates lateness in the
+            // latency samples instead of silently throttling the
+            // offered load.
+            let deadline = interval.mul_f64(i as f64);
+            let elapsed = ingest_start.elapsed();
+            if elapsed < deadline {
+                std::thread::sleep(deadline - elapsed);
+            }
+        }
         let header = format!("DOC {} d{}\n", bytes.len(), i);
         send_ns[i].store(t0.elapsed().as_nanos() as u64, Ordering::Release);
         ingest.output.write_all(header.as_bytes())?;

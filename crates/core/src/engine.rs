@@ -14,9 +14,11 @@
 //!   the trie by each expression's first predicate (the *access
 //!   predicate*); if it has no matches the entire cluster is skipped.
 
+use crate::covering::CoveringIndex;
 use crate::encode::{encode_single_path, AttrMode, EncodeError, EncodedPath};
 use crate::nested::{combine, decompose, NestedPlan};
 use crate::occurrence::determine_match_by;
+use crate::program::PredPrograms;
 use pxf_predicate::{CtxMark, MatchContext, PredId, PredicateIndex, Publication};
 use pxf_xml::{
     DocAccess, ElementVisitor, Interner, NodeId, ParserLimits, PathDoc, Symbol, XmlError,
@@ -152,6 +154,13 @@ pub struct EngineStats {
     /// (garbage-triggered compactions, or an explicit dirty rebuild).
     /// Steady-state churn keeps this at zero.
     pub full_rebuilds: u64,
+    /// Covered terminals resolved through their coverer's structural
+    /// match instead of their own stage-2 evaluation (subscription-set
+    /// compilation, containment covering).
+    pub covered_skips: u64,
+    /// Subscriptions registered as O(1) members of an existing canonical
+    /// group (structural-hash dedup) instead of full encode+index adds.
+    pub dedup_hits: u64,
 }
 
 /// Selection-postponed attribute re-check data: for each predicate level,
@@ -249,15 +258,17 @@ enum Sink {
     },
     /// A component of a nested-path subscription: record the path index.
     Component { comp: u32 },
-    /// Tombstone left by subscription removal (Basic organization).
-    Removed,
 }
 
-/// Flat expression entry (Basic organization).
+/// Flat expression entry (Basic organization). One entry can carry
+/// several sinks: structurally identical subscriptions dedup onto one
+/// canonical entry whose chain is evaluated once per path. An entry with
+/// no sinks left is dead (skipped by scans, `NEVER_CANDIDATE` in posting
+/// mode).
 #[derive(Debug, Clone)]
 struct FlatExpr {
     preds: Box<[PredId]>,
-    sink: Sink,
+    sinks: Vec<Sink>,
 }
 
 /// A trie node in the *builder* representation (PrefixCovering /
@@ -656,6 +667,136 @@ impl Postings {
 const NO_ROOT: u32 = u32::MAX;
 const NEVER_CANDIDATE: u32 = u32::MAX;
 
+/// Subscription-set compilation switches. All passes are on by default;
+/// [`CompileOptions::none`] turns every pass off, yielding the uncompiled
+/// baseline used as the equivalence oracle in tests and ablation rows in
+/// the benchmarks. Options must be chosen before subscriptions are added
+/// (see [`FilterEngine::set_compile_options`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Hash-dedup structurally identical expressions onto one canonical
+    /// entry carrying a subscriber list.
+    pub dedup: bool,
+    /// Detect pairwise containment between trie terminal chains at
+    /// prepare time; a covered terminal is resolved by its coverer's
+    /// structural match with no stage-2 work of its own.
+    pub covering: bool,
+    /// Compile the flat organization's predicate chains into flat
+    /// slot-resolved programs executed without per-probe context
+    /// dispatch. Trie organizations already store chains slot-resolved
+    /// in the packed terminal arena, so the pass applies to
+    /// [`Algorithm::Basic`] only.
+    pub programs: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            dedup: true,
+            covering: true,
+            programs: true,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Every compilation pass disabled (the uncompiled oracle).
+    pub fn none() -> Self {
+        CompileOptions {
+            dedup: false,
+            covering: false,
+            programs: false,
+        }
+    }
+}
+
+/// Effective-subscription accounting after subscription-set compilation
+/// (see [`FilterEngine::subset_stats`]). The stage-2 work per document is
+/// driven by `canonical - covered` entries, not by `registered`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubsetStats {
+    /// Live single-path subscriptions registered (dedup-eligible
+    /// population; nested-path subscriptions are excluded).
+    pub registered: u64,
+    /// Canonical entries actually stored (distinct structural hashes).
+    pub canonical: u64,
+    /// Canonical trie terminals covered by another terminal's chain, so
+    /// they run no stage-2 evaluation of their own.
+    pub covered: u64,
+}
+
+impl SubsetStats {
+    /// Entries that still execute stage-2 work per candidate path.
+    pub fn effective(&self) -> u64 {
+        self.canonical.saturating_sub(self.covered)
+    }
+}
+
+/// A canonical expression group: every structurally identical subscription
+/// shares one entry (flat expression or trie terminal). The group — not
+/// the individual member — owns the predicate-index references of the
+/// chain, so member churn inside a live group never touches the index.
+#[derive(Debug, Clone)]
+struct CanonGroup {
+    /// Canonical rendering (hash-collision verification key).
+    canon: Box<str>,
+    /// The encoded predicate chain (for releasing index references when
+    /// the last member leaves).
+    chain: Box<[PredId]>,
+    /// Where the shared entry lives (`Flat` or `Node`).
+    location: SubLocation,
+    /// Live member count; 0 = dead group (entry tombstoned).
+    members: u32,
+    /// Postponed attribute-check template; identical for every member
+    /// (it derives from the canonical expression), cloned per sink.
+    attr_check: Option<Box<AttrCheck>>,
+}
+
+/// Sentinel group id for subscriptions outside the dedup universe
+/// (nested-path subscriptions, or dedup disabled).
+const NO_GROUP: u32 = u32::MAX;
+
+/// Prepare-time containment covering over trie terminals: for each
+/// terminal (the *coverer*), the terminals whose entire chain appears as
+/// a contiguous window of the coverer's chain at offset ≥ 1 (offset-0
+/// windows are trie-prefix ancestors, already resolved by prefix-covering
+/// propagation). When the coverer's chain admits an occurrence
+/// combination, every covered chain does too (restriction of the
+/// combination to the window — see [`crate::covering`]), so covered
+/// terminals resolve with no determination run of their own. Rebuilt at
+/// prepare/compaction; terminals patched in afterwards simply carry no
+/// edges until the next compilation (sound — they just run uncovered).
+#[derive(Debug, Clone, Default)]
+struct TermCovering {
+    /// Coverer terminal → span of covered terminal ids; indexed by
+    /// terminal id, may be shorter than the terminal table after patches.
+    span: Vec<(u32, u32)>,
+    arena: Vec<u32>,
+    /// Distinct terminals covered by at least one coverer.
+    n_covered: u64,
+}
+
+impl TermCovering {
+    fn clear(&mut self) {
+        self.span.clear();
+        self.arena.clear();
+        self.n_covered = 0;
+    }
+
+    /// Terminals covered by `ti` (empty for terminals without edges).
+    #[inline]
+    fn covered_by(&self, ti: u32) -> &[u32] {
+        match self.span.get(ti as usize) {
+            Some(&(start, len)) => &self.arena[start as usize..(start + len) as usize],
+            None => &[],
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.span.len() * 8 + self.arena.len() * 4
+    }
+}
+
 /// A registered nested-path subscription.
 #[derive(Debug, Clone)]
 struct NestedSub {
@@ -704,6 +845,22 @@ pub struct FilterEngine {
     n_components: u32,
     /// Where each subscription's sinks live (for O(depth) removal).
     locations: Vec<SubLocation>,
+    /// Subscription-set compilation switches (fixed before the first add).
+    compile: CompileOptions,
+    /// Canonical groups (dedup pass); `canon_index` maps a structural
+    /// hash to the group ids sharing it (verified against the canonical
+    /// rendering — the hash alone is not proof of identity).
+    groups: Vec<CanonGroup>,
+    canon_index: HashMap<u64, Vec<u32>>,
+    /// Subscription → its canonical group (`NO_GROUP` outside dedup).
+    sub_group: Vec<u32>,
+    /// Containment covering over trie terminals (covering pass).
+    covering: TermCovering,
+    /// Compiled predicate programs (programs pass) for the flat
+    /// organization's entries. Empty when the pass is off. Trie terminals
+    /// need no programs: their chains already live slot-resolved in the
+    /// packed SoA arena, so an extra program indirection only adds cost.
+    flat_programs: PredPrograms,
     /// Subscriptions removed via [`FilterEngine::remove`] (ids are never
     /// reused).
     removed: u32,
@@ -718,6 +875,7 @@ pub struct FilterEngine {
     /// Maintenance counters surfaced through [`EngineStats`].
     incremental_patches: u64,
     full_rebuilds: u64,
+    dedup_hits: u64,
     /// Test hook: overrides the garbage threshold that triggers
     /// compaction.
     compaction_override: Option<usize>,
@@ -750,11 +908,18 @@ impl Clone for FilterEngine {
             nested: self.nested.clone(),
             n_components: self.n_components,
             locations: self.locations.clone(),
+            compile: self.compile,
+            groups: self.groups.clone(),
+            canon_index: self.canon_index.clone(),
+            sub_group: self.sub_group.clone(),
+            covering: self.covering.clone(),
+            flat_programs: self.flat_programs.clone(),
             removed: self.removed,
             prepared: self.prepared,
             garbage: self.garbage,
             incremental_patches: self.incremental_patches,
             full_rebuilds: self.full_rebuilds,
+            dedup_hits: self.dedup_hits,
             compaction_override: self.compaction_override,
             scratch: MatchScratch::default(),
             limits: self.limits,
@@ -845,6 +1010,7 @@ impl Matcher<'_> {
         let mut s = self.scratch.stats();
         s.incremental_patches = self.engine.incremental_patches;
         s.full_rebuilds = self.engine.full_rebuilds;
+        s.dedup_hits = self.engine.dedup_hits;
         s
     }
 
@@ -1107,11 +1273,18 @@ impl FilterEngine {
             nested: Vec::new(),
             n_components: 0,
             locations: Vec::new(),
+            compile: CompileOptions::default(),
+            groups: Vec::new(),
+            canon_index: HashMap::new(),
+            sub_group: Vec::new(),
+            covering: TermCovering::default(),
+            flat_programs: PredPrograms::default(),
             removed: 0,
             prepared: false,
             garbage: 0,
             incremental_patches: 0,
             full_rebuilds: 0,
+            dedup_hits: 0,
             compaction_override: None,
             scratch: MatchScratch::default(),
             limits: ParserLimits::default(),
@@ -1152,6 +1325,44 @@ impl FilterEngine {
         self.stage2 = stage2;
     }
 
+    /// The active subscription-set compilation switches.
+    pub fn compile_options(&self) -> CompileOptions {
+        self.compile
+    }
+
+    /// Selects the subscription-set compilation passes. Must be called
+    /// before any subscription is added — the passes shape how
+    /// subscriptions are stored, so flipping them mid-stream would leave
+    /// the store half-compiled. Panics on a non-empty engine.
+    pub fn set_compile_options(&mut self, options: CompileOptions) {
+        assert!(
+            self.n_subs == 0,
+            "set_compile_options: choose compilation passes before adding subscriptions"
+        );
+        self.compile = options;
+    }
+
+    /// Effective-subscription accounting: registered single-path
+    /// subscriptions vs canonical entries stored vs terminals covered by
+    /// containment (as of the last prepare/compaction).
+    pub fn subset_stats(&self) -> SubsetStats {
+        let registered = self
+            .locations
+            .iter()
+            .filter(|l| matches!(l, SubLocation::Flat(_) | SubLocation::Node(_)))
+            .count() as u64;
+        let canonical = if self.compile.dedup {
+            self.groups.iter().filter(|g| g.members > 0).count() as u64
+        } else {
+            registered
+        };
+        SubsetStats {
+            registered,
+            canonical,
+            covered: self.covering.n_covered,
+        }
+    }
+
     /// Number of live subscriptions (registered minus removed).
     pub fn len(&self) -> usize {
         (self.n_subs - self.removed) as usize
@@ -1189,6 +1400,8 @@ impl FilterEngine {
             + flat_bytes
             + builder_bytes
             + self.locations.capacity() * size_of::<SubLocation>()
+            + self.flat_programs.bytes()
+            + self.covering.bytes()
             + self.index.approx_bytes()
     }
 
@@ -1217,6 +1430,7 @@ impl FilterEngine {
         let mut s = self.scratch.stats;
         s.incremental_patches = self.incremental_patches;
         s.full_rebuilds = self.full_rebuilds;
+        s.dedup_hits = self.dedup_hits;
         s
     }
 
@@ -1226,6 +1440,7 @@ impl FilterEngine {
         self.scratch.stats = EngineStats::default();
         self.incremental_patches = 0;
         self.full_rebuilds = 0;
+        self.dedup_hits = 0;
     }
 
     /// `add`/`remove` operations applied as in-place index patches since
@@ -1264,6 +1479,7 @@ impl FilterEngine {
         let was_prepared = self.prepared;
         self.trie.finalize();
         self.build_postings();
+        self.compile_subset();
         self.postings_dirty = false;
         self.garbage = 0;
         if was_prepared {
@@ -1303,8 +1519,83 @@ impl FilterEngine {
         self.trie.dirty = true;
         self.trie.finalize();
         self.build_postings();
+        self.compile_subset();
         self.garbage = 0;
         self.full_rebuilds += 1;
+    }
+
+    /// Subscription-set compilation (runs after every full build): the
+    /// predicate programs shadowing the entry stores, and the containment
+    /// covering over trie terminals. Patches extend the programs
+    /// incrementally; covering edges for patched-in terminals wait for
+    /// the next compilation (they run uncovered in the meantime, which is
+    /// sound).
+    fn compile_subset(&mut self) {
+        self.flat_programs.clear();
+        self.covering.clear();
+        if self.compile.programs && matches!(self.algorithm, Algorithm::Basic) {
+            for expr in &self.flat {
+                let filtered = expr.sinks.iter().any(|s| {
+                    !matches!(
+                        s,
+                        Sink::Sub {
+                            attr_check: None,
+                            ..
+                        }
+                    )
+                });
+                self.flat_programs.push_chain(&expr.preds, filtered);
+            }
+        }
+        if self.compile.covering
+            && !matches!(self.algorithm, Algorithm::Basic)
+            && self.trie.packed.n_terminals() > 0
+        {
+            self.build_covering();
+        }
+    }
+
+    /// Builds the containment-covering edges: terminal V is covered by
+    /// terminal U when V's whole chain occurs as a contiguous window of
+    /// U's chain at offset ≥ 1. Offset-0 occurrences are trie prefixes —
+    /// V is then an ancestor of U and prefix-covering propagation already
+    /// resolves it — and a chain never covers itself (identical chains
+    /// share one trie terminal). Detection runs Aho–Corasick over the
+    /// predicate-id alphabet ([`CoveringIndex`]), O(total chain length +
+    /// hits).
+    fn build_covering(&mut self) {
+        let p = &self.trie.packed;
+        let nt = p.n_terminals();
+        let chains: Vec<&[PredId]> = (0..nt as u32).map(|ti| p.chain(ti)).collect();
+        let cov = CoveringIndex::build(&chains);
+        // Per-coverer dedup stamp: a chain can occur at several offsets.
+        let mut seen = vec![u32::MAX; nt];
+        let mut covered_any = vec![false; nt];
+        let mut span = Vec::with_capacity(nt);
+        let mut arena: Vec<u32> = Vec::new();
+        for ti in 0..nt {
+            let start = arena.len() as u32;
+            cov.contained_in_at(chains[ti], |pat, end| {
+                let pi = pat as usize;
+                if pi == ti {
+                    return;
+                }
+                let offset = end + 1 - chains[pi].len();
+                if offset == 0 {
+                    return;
+                }
+                if seen[pi] == ti as u32 {
+                    return;
+                }
+                seen[pi] = ti as u32;
+                arena.push(pat);
+                covered_any[pi] = true;
+            });
+            span.push((start, arena.len() as u32 - start));
+        }
+        self.covering.span = span;
+        self.covering.arena = arena;
+        self.covering.n_covered = covered_any.iter().filter(|&&c| c).count() as u64;
     }
 
     /// Rebuilds the posting lists from the current flat entries /
@@ -1334,7 +1625,7 @@ impl FilterEngine {
             match self.algorithm {
                 Algorithm::Basic => {
                     for (ei, expr) in self.flat.iter().enumerate() {
-                        if matches!(expr.sink, Sink::Removed) {
+                        if expr.sinks.is_empty() {
                             required.push(NEVER_CANDIDATE);
                         } else {
                             push_entry(ei as u32, &expr.preds, &mut required);
@@ -1416,6 +1707,9 @@ impl FilterEngine {
             self.add_nested(expr, sub, patch)?;
             self.locations
                 .push(SubLocation::Nested(self.nested.len() as u32 - 1));
+            self.sub_group.push(NO_GROUP);
+        } else if self.compile.dedup {
+            self.add_deduped(expr, sub, patch)?;
         } else {
             let enc = encode_single_path(expr, &mut self.interner, self.attr_mode)?;
             let attr_check = match self.attr_mode {
@@ -1430,6 +1724,7 @@ impl FilterEngine {
                 .collect();
             let location = self.insert_expr(preds, Sink::Sub { sub, attr_check }, patch);
             self.locations.push(location);
+            self.sub_group.push(NO_GROUP);
         }
         self.n_subs += 1;
         if patch {
@@ -1440,7 +1735,113 @@ impl FilterEngine {
             self.postings_dirty = true;
         }
         debug_assert_eq!(self.locations.len(), self.n_subs as usize);
+        debug_assert_eq!(self.sub_group.len(), self.n_subs as usize);
         Ok(sub)
+    }
+
+    /// Registers a single-path subscription through the canonical-group
+    /// store: structurally identical expressions (equal canonical normal
+    /// form) share one entry. A duplicate add is an O(1) patch — no
+    /// parse-tree encoding, no predicate-index traffic, just a sink
+    /// attached to the existing entry; the group, not the member, owns
+    /// the chain's predicate references.
+    fn add_deduped(&mut self, expr: &XPathExpr, sub: SubId, patch: bool) -> Result<(), AddError> {
+        let canon = expr.canonical();
+        let key = canon.to_string();
+        let hash = pxf_xpath::fnv1a(key.as_bytes());
+        if let Some(gids) = self.canon_index.get(&hash) {
+            let hit = gids.iter().copied().find(|&g| {
+                self.groups[g as usize].members > 0 && *self.groups[g as usize].canon == *key
+            });
+            if let Some(gid) = hit {
+                let location = self.groups[gid as usize].location;
+                let attr_check = self.groups[gid as usize].attr_check.clone();
+                self.groups[gid as usize].members += 1;
+                self.attach_sink(location, Sink::Sub { sub, attr_check }, patch);
+                self.locations.push(location);
+                self.sub_group.push(gid);
+                self.dedup_hits += 1;
+                return Ok(());
+            }
+        }
+        // First member: encode the *canonical* expression (the attribute
+        // check's slot indices must refer to the steps actually encoded).
+        let enc = encode_single_path(&canon, &mut self.interner, self.attr_mode)?;
+        let attr_check = match self.attr_mode {
+            AttrMode::Inline => None,
+            AttrMode::Postponed => AttrCheck::build(&canon, &enc, &mut self.interner),
+        };
+        self.has_attr_checks |= attr_check.is_some();
+        let preds: Box<[PredId]> = enc
+            .preds
+            .iter()
+            .map(|p| self.index.insert(p.clone()))
+            .collect();
+        let chain = preds.clone();
+        let location = self.insert_expr(
+            preds,
+            Sink::Sub {
+                sub,
+                attr_check: attr_check.clone(),
+            },
+            patch,
+        );
+        let gid = self.groups.len() as u32;
+        self.groups.push(CanonGroup {
+            canon: key.into_boxed_str(),
+            chain,
+            location,
+            members: 1,
+            attr_check,
+        });
+        self.canon_index.entry(hash).or_default().push(gid);
+        self.locations.push(location);
+        self.sub_group.push(gid);
+        Ok(())
+    }
+
+    /// Attaches one more sink to an existing live entry (duplicate member
+    /// of a canonical group). Flat entries need no posting work — the
+    /// entry is already listed under every predicate of its chain; trie
+    /// nodes mirror the sink into the packed columns when patching.
+    fn attach_sink(&mut self, location: SubLocation, sink: Sink, patch: bool) {
+        let plain_sub = match &sink {
+            Sink::Sub {
+                sub,
+                attr_check: None,
+            } => Some(sub.0),
+            _ => None,
+        };
+        match location {
+            SubLocation::Flat(ei) => {
+                self.flat[ei as usize].sinks.push(sink);
+                debug_assert!(
+                    !patch || self.postings.required[ei as usize] != NEVER_CANDIDATE,
+                    "attach targets a live entry"
+                );
+            }
+            SubLocation::Node(n) => {
+                self.trie.nodes[n as usize].sinks.push(sink);
+                if patch {
+                    let p = &mut self.trie.packed;
+                    debug_assert_ne!(p.term_of[n as usize], NO_TERM, "attach targets a terminal");
+                    p.sink_len[n as usize] += 1;
+                    if let Some(s) = plain_sub {
+                        grow_span(
+                            &mut p.plain_subs,
+                            &mut p.plain_span[n as usize],
+                            s,
+                            &mut self.garbage,
+                        );
+                    }
+                } else {
+                    self.trie.dirty = true;
+                }
+            }
+            SubLocation::Nested(_) | SubLocation::Gone => {
+                unreachable!("canonical groups hold flat or trie entries")
+            }
+        }
     }
 
     /// Removes a subscription. Returns false if the id was already removed
@@ -1454,33 +1855,44 @@ impl FilterEngine {
             return false;
         };
         let patch = self.ready_for_patch();
+        // Members of a canonical group do not own predicate-index
+        // references — the group does, and releases them only when its
+        // last member leaves (the bookkeeping at the end of this
+        // function).
+        let grouped = self
+            .sub_group
+            .get(sub.0 as usize)
+            .is_some_and(|&g| g != NO_GROUP);
         let removed = match location {
             SubLocation::Gone => false,
             SubLocation::Flat(i) => {
                 let entry = &mut self.flat[i as usize];
-                match &entry.sink {
-                    Sink::Sub { sub: s2, .. } if *s2 == sub => {
-                        // Tombstone the flat entry by emptying its chain's
-                        // sink: replace with a never-matching marker.
-                        let preds: Vec<PredId> = entry.preds.to_vec();
-                        entry.sink = Sink::Removed;
-                        if patch {
-                            // The posting entries of the dead expression
-                            // stay in the lists; `required` at the
-                            // never-candidate sentinel keeps counting from
-                            // ever surfacing it.
-                            let mut distinct = preds.clone();
-                            distinct.sort_unstable();
-                            distinct.dedup();
-                            self.postings.required[i as usize] = NEVER_CANDIDATE;
-                            self.garbage += distinct.len();
-                        }
+                let pos = entry
+                    .sinks
+                    .iter()
+                    .position(|s| matches!(s, Sink::Sub { sub: s2, .. } if *s2 == sub));
+                if let Some(pos) = pos {
+                    entry.sinks.remove(pos);
+                    let now_empty = entry.sinks.is_empty();
+                    let preds: Vec<PredId> = entry.preds.to_vec();
+                    if now_empty && patch {
+                        // The posting entries of the dead expression stay
+                        // in the lists; `required` at the never-candidate
+                        // sentinel keeps counting from ever surfacing it.
+                        let mut distinct = preds.clone();
+                        distinct.sort_unstable();
+                        distinct.dedup();
+                        self.postings.required[i as usize] = NEVER_CANDIDATE;
+                        self.garbage += distinct.len();
+                    }
+                    if !grouped {
                         for pid in preds {
                             self.index.release(pid);
                         }
-                        true
                     }
-                    _ => false,
+                    true
+                } else {
+                    false
                 }
             }
             SubLocation::Node(n) => {
@@ -1537,16 +1949,19 @@ impl FilterEngine {
                         self.trie.dirty = true;
                     }
                     // Release this subscription's reference on every
-                    // predicate along the chain (one bump per add).
-                    let mut cur = n;
-                    loop {
-                        let nd = &self.trie.nodes[cur as usize];
-                        let (pid, parent) = (nd.pid, nd.parent);
-                        self.index.release(pid);
-                        if parent == NO_PARENT {
-                            break;
+                    // predicate along the chain (one bump per add) —
+                    // unless a canonical group owns the references.
+                    if !grouped {
+                        let mut cur = n;
+                        loop {
+                            let nd = &self.trie.nodes[cur as usize];
+                            let (pid, parent) = (nd.pid, nd.parent);
+                            self.index.release(pid);
+                            if parent == NO_PARENT {
+                                break;
+                            }
+                            cur = parent;
                         }
-                        cur = parent;
                     }
                     true
                 } else {
@@ -1570,6 +1985,30 @@ impl FilterEngine {
         if removed {
             self.locations[sub.0 as usize] = SubLocation::Gone;
             self.removed += 1;
+            if grouped {
+                let gid = std::mem::replace(&mut self.sub_group[sub.0 as usize], NO_GROUP);
+                let g = &mut self.groups[gid as usize];
+                g.members -= 1;
+                if g.members == 0 {
+                    // Last member: the group releases its chain's index
+                    // references and leaves the canonical lookup, so a
+                    // later re-add of the same canonical form starts a
+                    // fresh group (the old entry is tombstoned).
+                    let chain: Vec<PredId> = g.chain.to_vec();
+                    let hash = pxf_xpath::fnv1a(g.canon.as_bytes());
+                    for pid in chain {
+                        self.index.release(pid);
+                    }
+                    if let Some(bucket) = self.canon_index.get_mut(&hash) {
+                        if let Some(pos) = bucket.iter().position(|&g2| g2 == gid) {
+                            bucket.swap_remove(pos);
+                        }
+                        if bucket.is_empty() {
+                            self.canon_index.remove(&hash);
+                        }
+                    }
+                }
+            }
             if patch {
                 debug_assert!(self.ready_for_patch());
                 self.incremental_patches += 1;
@@ -1624,7 +2063,10 @@ impl FilterEngine {
     fn insert_expr(&mut self, preds: Box<[PredId]>, sink: Sink, patch: bool) -> SubLocation {
         match self.algorithm {
             Algorithm::Basic => {
-                self.flat.push(FlatExpr { preds, sink });
+                self.flat.push(FlatExpr {
+                    preds,
+                    sinks: vec![sink],
+                });
                 let ei = self.flat.len() as u32 - 1;
                 if patch {
                     self.patch_flat_postings(ei);
@@ -1658,6 +2100,21 @@ impl FilterEngine {
                 ei,
                 &mut self.garbage,
             );
+        }
+        if self.compile.programs {
+            // Keep the compiled programs aligned with the entry store.
+            let expr = &self.flat[ei as usize];
+            let filtered = expr.sinks.iter().any(|s| {
+                !matches!(
+                    s,
+                    Sink::Sub {
+                        attr_check: None,
+                        ..
+                    }
+                )
+            });
+            debug_assert_eq!(self.flat_programs.len(), ei as usize);
+            self.flat_programs.push_chain(&expr.preds, filtered);
         }
     }
 
@@ -1755,6 +2212,8 @@ impl FilterEngine {
             p.chain_arena.extend_from_slice(&chain);
             p.term_chain_start.push(p.chain_arena.len() as u32);
             p.term_of[n as usize] = ti;
+            // (The new terminal carries no covering edges until the next
+            // full compilation; it runs uncovered, which is sound.)
             let mut distinct = chain;
             distinct.sort_unstable();
             distinct.dedup();
@@ -1961,44 +2420,23 @@ impl FilterEngine {
     ) {
         match (self.algorithm, self.stage2) {
             (Algorithm::Basic, Stage2::Scan) => {
-                stage2_flat(&self.flat, ctx, publication, doc, state, stats, path_idx)
+                self.stage2_flat(ctx, publication, doc, state, stats, path_idx)
             }
-            (Algorithm::Basic, Stage2::Posting) => stage2_flat_posting(
-                &self.flat,
-                &self.postings,
-                ctx,
-                publication,
-                doc,
-                state,
-                stats,
-                path_idx,
-            ),
+            (Algorithm::Basic, Stage2::Posting) => {
+                self.stage2_flat_posting(ctx, publication, doc, state, stats, path_idx)
+            }
             (Algorithm::PrefixCovering, Stage2::Scan) => {
-                stage2_trie(&self.trie, ctx, publication, doc, state, stats, path_idx)
+                self.stage2_trie(ctx, publication, doc, state, stats, path_idx)
             }
-            (Algorithm::PrefixCovering, Stage2::Posting) => stage2_trie_posting(
-                &self.trie,
-                &self.postings,
-                ctx,
-                publication,
-                doc,
-                state,
-                stats,
-                path_idx,
-            ),
+            (Algorithm::PrefixCovering, Stage2::Posting) => {
+                self.stage2_trie_posting(ctx, publication, doc, state, stats, path_idx)
+            }
             (Algorithm::AccessPredicate, Stage2::Scan) => {
-                stage2_dfs(&self.trie, ctx, publication, doc, state, stats, path_idx)
+                self.stage2_dfs(ctx, publication, doc, state, stats, path_idx)
             }
-            (Algorithm::AccessPredicate, Stage2::Posting) => stage2_dfs_posting(
-                &self.trie,
-                &self.postings,
-                ctx,
-                publication,
-                doc,
-                state,
-                stats,
-                path_idx,
-            ),
+            (Algorithm::AccessPredicate, Stage2::Posting) => {
+                self.stage2_dfs_posting(ctx, publication, doc, state, stats, path_idx)
+            }
         }
     }
 }
@@ -2108,399 +2546,95 @@ impl<D: DocAccess> ElementVisitor for IncrementalDriver<'_, '_, D> {
     }
 }
 
-/// Stage 2 for the Basic organization: every active expression
-/// independently. Expressions whose subscription has matched the current
-/// document are compacted out of the active list (stop-after-first-match,
-/// §3.1).
-#[allow(clippy::too_many_arguments)]
-fn stage2_flat<D: DocAccess>(
-    flat: &[FlatExpr],
-    ctx: &MatchContext,
-    publication: &Publication,
-    doc: &D,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-    path_idx: u32,
-) {
-    let mut active = std::mem::take(&mut state.active);
-    let mut write = 0;
-    for read in 0..active.len() {
-        let ei = active[read];
-        let expr = &flat[ei as usize];
-        let any_empty = expr.preds.iter().any(|&pid| ctx.get(pid).is_empty());
-        if !any_empty {
-            stats.occurrence_runs += 1;
-            if determine_match_by(expr.preds.len(), |i| ctx.get(expr.preds[i])) {
-                process_sink(
-                    &expr.sink,
-                    &expr.preds,
-                    ctx,
-                    publication,
-                    doc,
-                    state,
-                    stats,
-                    path_idx,
-                );
-            }
+/// Stage-2 evaluation: one method per (organization, candidate-generation)
+/// pair, plus the shared terminal/node machinery. These live on the engine
+/// so they can reach the compiled subscription-set state (predicate
+/// programs, containment covering) next to the entry stores; all mutable
+/// per-document state stays in the caller-owned scratch.
+impl FilterEngine {
+    /// Executes the structural occurrence determination of flat entry
+    /// `ei`: through its compiled program when one exists (slots resolved
+    /// once, no per-probe dispatch), otherwise interpreted over the
+    /// `PredId` chain.
+    #[inline]
+    fn determine_flat(&self, ei: u32, expr: &FlatExpr, ctx: &MatchContext, runs: &mut u64) -> bool {
+        if (ei as usize) < self.flat_programs.len() {
+            return self.flat_programs.execute(ei, ctx, runs);
         }
-        let resolved = match &expr.sink {
-            Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
-            Sink::Component { .. } => false,
-            Sink::Removed => true,
-        };
-        if !resolved {
-            active[write] = ei;
-            write += 1;
+        if expr.preds.iter().any(|&pid| ctx.get(pid).is_empty()) {
+            return false;
         }
+        *runs += 1;
+        determine_match_by(expr.preds.len(), |i| ctx.get(expr.preds[i]))
     }
-    active.truncate(write);
-    state.active = active;
-}
 
-/// Stage 2 for the `basic-pc` organization: active terminals evaluated
-/// longest-first per cluster with Algorithm 1, plus prefix-covering
-/// propagation (a match marks every prefix expression matched).
-#[allow(clippy::too_many_arguments)]
-fn stage2_trie<D: DocAccess>(
-    trie: &Trie,
-    ctx: &MatchContext,
-    publication: &Publication,
-    doc: &D,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-    path_idx: u32,
-) {
-    let mut active = std::mem::take(&mut state.active);
-    let mut write = 0;
-    let mut read = 0;
-    while read < active.len() {
-        let ti = active[read];
-        read += 1;
-        eval_terminal(trie, ti, ctx, publication, doc, state, stats, path_idx);
-        // Stop-after-first-match: drop the terminal from the active list
-        // once every subscription it resolves has matched this document.
-        if !terminal_resolved(trie, trie.packed.term_node[ti as usize], state) {
-            active[write] = ti;
-            write += 1;
-        }
-    }
-    active.truncate(write);
-    state.active = active;
-}
-
-/// Evaluates one trie terminal on the current path: occurrence
-/// determination over its full predicate chain (skipped when covering
-/// propagation already marked the node matched), then the propagation
-/// walk marking this node and every ancestor matched and resolving their
-/// sinks (§4.2).
-#[allow(clippy::too_many_arguments)]
-fn eval_terminal<D: DocAccess>(
-    trie: &Trie,
-    ti: u32,
-    ctx: &MatchContext,
-    publication: &Publication,
-    doc: &D,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-    path_idx: u32,
-) {
-    let term_node = trie.packed.term_node[ti as usize];
-    let chain = trie.packed.chain(ti);
-    let node = term_node as usize;
-    let evaluate = !state.node_matched.test(node, state.path_epoch);
-    // Already known matched on this path via covering propagation?
-    // Then its sinks were already processed.
-    let mut matched_here = !evaluate;
-    if evaluate && !chain.iter().any(|&pid| ctx.get(pid).is_empty()) {
-        stats.occurrence_runs += 1;
-        matched_here = determine_match_by(chain.len(), |i| ctx.get(chain[i]));
-    }
-    if matched_here && !state.node_matched.test(node, state.path_epoch) {
-        // Mark this node and every ancestor (prefix expressions) as
-        // structurally matched on this path, resolving their sinks.
-        let mut cur = term_node;
-        let mut depth = chain.len();
-        loop {
-            if !state.node_matched.test(cur as usize, state.path_epoch) {
-                state.node_matched.set(cur as usize, state.path_epoch);
-                let n_sinks = trie.packed.sink_len[cur as usize];
-                if cur != term_node && n_sinks != 0 {
-                    stats.pc_propagations += 1;
-                }
-                let plain = trie.packed.plain_subs(cur);
-                if plain.len() as u32 == n_sinks {
-                    // All sinks plain: one sweep over the packed id
-                    // column resolves them.
-                    for &sub in plain {
-                        state.sub_matched.set(sub as usize, state.doc_epoch);
-                    }
-                } else {
-                    for sink in &trie.nodes[cur as usize].sinks {
-                        process_sink(
-                            sink,
-                            &chain[..depth],
-                            ctx,
-                            publication,
-                            doc,
-                            state,
-                            stats,
-                            path_idx,
-                        );
-                    }
-                }
-            }
-            let parent = trie.packed.parent[cur as usize];
-            if parent == NO_PARENT {
-                break;
-            }
-            cur = parent;
-            depth -= 1;
-        }
-    }
-}
-
-/// True when every subscription sink of the node has matched the current
-/// document (component sinks never resolve: they must record every
-/// path).
-fn terminal_resolved(trie: &Trie, node: u32, state: &DocState) -> bool {
-    let plain = trie.packed.plain_subs(node);
-    if plain.len() as u32 == trie.packed.sink_len[node as usize] {
-        return plain
-            .iter()
-            .all(|&sub| state.sub_matched.test(sub as usize, state.doc_epoch));
-    }
-    trie.nodes[node as usize].sinks.iter().all(|s| match s {
-        Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
-        Sink::Component { .. } => false,
-        Sink::Removed => true,
-    })
-}
-
-/// Stage 2 for the `basic-pc-ap` organization: clusters are ruled out
-/// whole when their access predicate has no matches (paper §4.2.2); the
-/// surviving clusters are evaluated by a depth-first walk of the
-/// expression trie (paper Fig. 2) that forward-propagates the feasible
-/// occurrence set. Because the occurrence constraints form a chain
-/// (`o2[i−1] = o1[i]`), a node is reachable with a non-empty feasible set
-/// iff Algorithm 1 would report a match for the expression ending there —
-/// forward propagation is exact and needs no backtracking, and every
-/// shared predicate prefix is evaluated exactly once per path.
-///
-/// Occurrence numbers are tracked in a 128-bit set; paths deeper than 127
-/// elements (which could alias bits) fall back to the `basic-pc`
-/// evaluation for that path.
-#[allow(clippy::too_many_arguments)]
-fn stage2_dfs<D: DocAccess>(
-    trie: &Trie,
-    ctx: &MatchContext,
-    publication: &Publication,
-    doc: &D,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-    path_idx: u32,
-) {
-    if publication.length >= 128 {
-        stage2_trie(trie, ctx, publication, doc, state, stats, path_idx);
-        return;
-    }
-    let packed = &trie.packed;
-    for (i, &pid) in packed.root_pid.iter().enumerate() {
-        let root = packed.root_node[i];
-        if state.node_done.test(root as usize, state.doc_epoch) {
-            continue;
-        }
-        let pairs = ctx.get(pid);
-        if pairs.is_empty() {
-            // Access predicate unsatisfied: the entire cluster is ruled
-            // out without touching its expressions.
-            continue;
-        }
-        let mut f: u128 = 0;
-        for &(_, o2) in pairs {
-            f |= 1u128 << o2;
-        }
-        dfs_node(trie, root, f, ctx, publication, doc, state, stats, path_idx);
-    }
-}
-
-/// Visits one trie node reached with feasible occurrence set `f_in`
-/// (non-empty): resolves its sinks, recurses into children whose predicate
-/// chains on, and returns whether the whole subtree is now resolved for
-/// this document.
-#[allow(clippy::too_many_arguments)]
-fn dfs_node<D: DocAccess>(
-    trie: &Trie,
-    n: u32,
-    f_in: u128,
-    ctx: &MatchContext,
-    publication: &Publication,
-    doc: &D,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-    path_idx: u32,
-) -> bool {
-    debug_assert_ne!(f_in, 0);
-    stats.occurrence_runs += 1;
-    let packed = &trie.packed;
-    let has_sinks = packed.sink_len[n as usize] != 0;
-    if has_sinks && !state.node_sinks_done.test(n as usize, state.doc_epoch) {
-        let plain = packed.plain_subs(n);
-        if plain.len() as u32 == packed.sink_len[n as usize] {
-            // Every sink is a plain subscription: resolution is one
-            // bitmap-marking sweep over the packed id column (4 bytes
-            // per sink, no enum dispatch), and the node is then fully
-            // resolved for this document.
-            for &sub in plain {
-                state.sub_matched.set(sub as usize, state.doc_epoch);
-            }
-            state.node_sinks_done.set(n as usize, state.doc_epoch);
-        } else {
-            let sinks = &trie.nodes[n as usize].sinks;
-            // Selection-postponed attribute checks need the predicate
-            // chain of this node; collect it (into a reused buffer) only
-            // when some sink asks.
-            let mut chain = std::mem::take(&mut state.chain_buf);
-            chain.clear();
-            if sinks.iter().any(|s| {
-                matches!(
-                    s,
-                    Sink::Sub {
-                        attr_check: Some(_),
-                        ..
-                    }
-                )
-            }) {
-                let mut cur = n;
-                loop {
-                    chain.push(packed.pid[cur as usize]);
-                    let parent = packed.parent[cur as usize];
-                    if parent == NO_PARENT {
-                        break;
-                    }
-                    cur = parent;
-                }
-                chain.reverse();
-            }
-            for sink in sinks {
-                process_sink(sink, &chain, ctx, publication, doc, state, stats, path_idx);
-            }
-            state.chain_buf = chain;
-            if sinks.iter().all(|s| match s {
-                Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
-                Sink::Component { .. } => false,
-                Sink::Removed => true,
-            }) {
-                state.node_sinks_done.set(n as usize, state.doc_epoch);
-            }
-        }
-    }
-    let mut all_done = !has_sinks || state.node_sinks_done.test(n as usize, state.doc_epoch);
-    let (child_pids, child_nodes) = packed.children(n);
-    for (&cpid, &child) in child_pids.iter().zip(child_nodes) {
-        if state.node_done.test(child as usize, state.doc_epoch) {
-            continue;
-        }
-        let mut f: u128 = 0;
-        for &(o1, o2) in ctx.get(cpid) {
-            if f_in & (1u128 << o1) != 0 {
-                f |= 1u128 << o2;
-            }
-        }
-        let done = if f != 0 {
-            dfs_node(
-                trie,
-                child,
-                f,
-                ctx,
-                publication,
-                doc,
-                state,
-                stats,
-                path_idx,
-            )
-        } else {
-            false
-        };
-        if !done {
-            all_done = false;
-        }
-    }
-    if all_done {
-        state.node_done.set(n as usize, state.doc_epoch);
-    }
-    all_done
-}
-
-/// Builds the current path's stage-2 candidate list from the satisfied
-/// predicates' posting lists by counting: each satisfied predicate bumps
-/// the per-entry counter of every entry in its posting list; an entry
-/// whose counter reaches its distinct-predicate count has its *entire*
-/// chain satisfied and enters `cand_buf`. Counters are path-epoch-stamped
-/// (no per-path clearing), so the whole pass costs exactly the sum of the
-/// satisfied predicates' posting-list lengths — independent of how many
-/// expressions are registered.
-fn build_candidates(
-    postings: &Postings,
-    ctx: &MatchContext,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-) {
-    state.cand_buf.clear();
-    // Counter slots pack `(path_epoch << 32) | count` into one u64: a
-    // stale slot is recognized by its high half and restarted at 1 with a
-    // single store — one load/store per bump, no separate epoch array.
-    let tag = (state.path_epoch as u64) << 32;
-    for &pid in ctx.matched() {
-        let list = postings.of(pid.index());
-        for &ei in list {
-            let e = ei as usize;
-            let slot = state.cand[e];
-            let slot = if slot & 0xffff_ffff_0000_0000 == tag {
-                slot + 1
-            } else {
-                tag | 1
-            };
-            state.cand[e] = slot;
-            if slot as u32 == postings.required[e] {
-                state.cand_buf.push(ei);
-            }
-        }
-        stats.posting_bumps += list.len() as u64;
-    }
-    stats.stage2_candidates += state.cand_buf.len() as u64;
-}
-
-/// Posting-driven stage 2 for the Basic organization: only expressions
-/// whose full predicate set matched this path are visited; no scan over
-/// the registered list.
-#[allow(clippy::too_many_arguments)]
-fn stage2_flat_posting<D: DocAccess>(
-    flat: &[FlatExpr],
-    postings: &Postings,
-    ctx: &MatchContext,
-    publication: &Publication,
-    doc: &D,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-    path_idx: u32,
-) {
-    build_candidates(postings, ctx, state, stats);
-    let cand = std::mem::take(&mut state.cand_buf);
-    for &ei in &cand {
-        let expr = &flat[ei as usize];
-        // Stop-after-first-match (§3.1): a subscription that already
-        // matched this document is skipped without re-determination
-        // (the scan formulation compacts it out of the active list).
-        if let Sink::Sub { sub, .. } = &expr.sink {
-            if state.sub_matched.test(sub.0 as usize, state.doc_epoch) {
+    /// Stage 2 for the Basic organization: every active expression
+    /// independently. Expressions whose subscriptions all matched the
+    /// current document — and dead entries (every sink removed) — are
+    /// compacted out of the active list (stop-after-first-match, §3.1).
+    #[allow(clippy::too_many_arguments)]
+    fn stage2_flat<D: DocAccess>(
+        &self,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        let mut active = std::mem::take(&mut state.active);
+        let mut write = 0;
+        for read in 0..active.len() {
+            let ei = active[read];
+            let expr = &self.flat[ei as usize];
+            if expr.sinks.is_empty() {
+                // Dead entry: drop it from the active list for this
+                // document.
                 continue;
             }
+            if self.determine_flat(ei, expr, ctx, &mut stats.occurrence_runs) {
+                self.resolve_flat_sinks(ei, expr, ctx, publication, doc, state, stats, path_idx);
+            }
+            let resolved = expr.sinks.iter().all(|s| match s {
+                Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
+                Sink::Component { .. } => false,
+            });
+            if !resolved {
+                active[write] = ei;
+                write += 1;
+            }
         }
-        // Candidates have every predicate list non-empty by construction.
-        stats.occurrence_runs += 1;
-        if determine_match_by(expr.preds.len(), |i| ctx.get(expr.preds[i])) {
+        active.truncate(write);
+        state.active = active;
+    }
+
+    /// Resolves the sinks of a structurally matched flat entry. When the
+    /// compiled program pre-resolved the entry as filter-free (every sink
+    /// a plain subscription), resolution is a direct bitmap-marking sweep;
+    /// otherwise each sink dispatches through [`process_sink`].
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_flat_sinks<D: DocAccess>(
+        &self,
+        ei: u32,
+        expr: &FlatExpr,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        if (ei as usize) < self.flat_programs.len() && !self.flat_programs.needs_filter(ei) {
+            for sink in &expr.sinks {
+                if let Sink::Sub { sub, .. } = sink {
+                    state.sub_matched.set(sub.0 as usize, state.doc_epoch);
+                }
+            }
+            return;
+        }
+        for sink in &expr.sinks {
             process_sink(
-                &expr.sink,
+                sink,
                 &expr.preds,
                 ctx,
                 publication,
@@ -2511,121 +2645,502 @@ fn stage2_flat_posting<D: DocAccess>(
             );
         }
     }
-    state.cand_buf = cand;
-}
 
-/// Posting-driven stage 2 for the `basic-pc` organization: candidate
-/// terminals (full chain satisfied) evaluated in terminal order — which
-/// [`Trie::finalize`] sorted longest-first per cluster — so covering
-/// propagation fires exactly as in the scan formulation.
-#[allow(clippy::too_many_arguments)]
-fn stage2_trie_posting<D: DocAccess>(
-    trie: &Trie,
-    postings: &Postings,
-    ctx: &MatchContext,
-    publication: &Publication,
-    doc: &D,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-    path_idx: u32,
-) {
-    build_candidates(postings, ctx, state, stats);
-    let mut cand = std::mem::take(&mut state.cand_buf);
-    // Candidates surface in satisfied-predicate order; restore the
-    // terminal-list order (ascending index) for longest-first evaluation.
-    cand.sort_unstable();
-    for &ti in &cand {
-        let node = trie.packed.term_node[ti as usize];
-        // Stop-after-first-match: once every sink of this node matched
-        // the document, a doc-epoch stamp turns all later visits into an
-        // O(1) skip (the scan formulation drops it from the active list).
-        if state.node_sinks_done.test(node as usize, state.doc_epoch) {
-            continue;
+    /// Stage 2 for the `basic-pc` organization: active terminals evaluated
+    /// longest-first per cluster with Algorithm 1, plus prefix-covering
+    /// propagation (a match marks every prefix expression matched).
+    #[allow(clippy::too_many_arguments)]
+    fn stage2_trie<D: DocAccess>(
+        &self,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        let mut active = std::mem::take(&mut state.active);
+        let mut write = 0;
+        let mut read = 0;
+        while read < active.len() {
+            let ti = active[read];
+            read += 1;
+            let node = self.trie.packed.term_node[ti as usize];
+            // Containment covering (or an earlier posting pass) may have
+            // resolved every sink of this node already: skip evaluation.
+            if !state.node_sinks_done.test(node as usize, state.doc_epoch) {
+                self.eval_terminal(ti, ctx, publication, doc, state, stats, path_idx);
+            }
+            // Stop-after-first-match: drop the terminal from the active
+            // list once every subscription it resolves has matched this
+            // document.
+            if !self.terminal_resolved(node, state) {
+                active[write] = ti;
+                write += 1;
+            }
         }
-        eval_terminal(trie, ti, ctx, publication, doc, state, stats, path_idx);
-        if terminal_resolved(trie, node, state) {
-            state.node_sinks_done.set(node as usize, state.doc_epoch);
+        active.truncate(write);
+        state.active = active;
+    }
+
+    /// Evaluates one trie terminal on the current path: occurrence
+    /// determination interpreted over its packed predicate chain (already
+    /// slot-resolved in the SoA arena, so a compiled program would only
+    /// add an indirection), skipped when covering propagation
+    /// already marked the node matched, then the propagation walk marking
+    /// this node and every ancestor matched and resolving their sinks
+    /// (§4.2). A first-time structural match additionally resolves the
+    /// terminals this one covers by containment.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_terminal<D: DocAccess>(
+        &self,
+        ti: u32,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        let trie = &self.trie;
+        let term_node = trie.packed.term_node[ti as usize];
+        let chain = trie.packed.chain(ti);
+        let node = term_node as usize;
+        let evaluate = !state.node_matched.test(node, state.path_epoch);
+        // Already known matched on this path via covering propagation?
+        // Then its sinks were already processed.
+        let mut matched_here = !evaluate;
+        if evaluate && !chain.iter().any(|&pid| ctx.get(pid).is_empty()) {
+            stats.occurrence_runs += 1;
+            matched_here = determine_match_by(chain.len(), |i| ctx.get(chain[i]));
+        }
+        if matched_here && !state.node_matched.test(node, state.path_epoch) {
+            // Mark this node and every ancestor (prefix expressions) as
+            // structurally matched on this path, resolving their sinks.
+            let mut cur = term_node;
+            let mut depth = chain.len();
+            loop {
+                if !state.node_matched.test(cur as usize, state.path_epoch) {
+                    state.node_matched.set(cur as usize, state.path_epoch);
+                    let n_sinks = trie.packed.sink_len[cur as usize];
+                    if cur != term_node && n_sinks != 0 {
+                        stats.pc_propagations += 1;
+                    }
+                    let plain = trie.packed.plain_subs(cur);
+                    if plain.len() as u32 == n_sinks {
+                        // All sinks plain: one sweep over the packed id
+                        // column resolves them.
+                        for &sub in plain {
+                            state.sub_matched.set(sub as usize, state.doc_epoch);
+                        }
+                    } else {
+                        for sink in &trie.nodes[cur as usize].sinks {
+                            process_sink(
+                                sink,
+                                &chain[..depth],
+                                ctx,
+                                publication,
+                                doc,
+                                state,
+                                stats,
+                                path_idx,
+                            );
+                        }
+                    }
+                }
+                let parent = trie.packed.parent[cur as usize];
+                if parent == NO_PARENT {
+                    break;
+                }
+                cur = parent;
+                depth -= 1;
+            }
+            // Containment covering: this terminal's structural match
+            // carries to every terminal whose chain is a window of this
+            // chain.
+            self.resolve_covers(ti, state, stats);
         }
     }
-    state.cand_buf = cand;
-}
 
-/// Posting-driven stage 2 for the `basic-pc-ap` organization: instead of
-/// iterating every cluster root to find the ones whose access predicate
-/// matched, probe the dense `pid → root` map once per *satisfied*
-/// predicate — unmatched clusters are never even looked at. The per-path
-/// cost is one array probe per satisfied predicate plus the DFS over the
-/// reachable (satisfied-access-predicate) clusters.
-#[allow(clippy::too_many_arguments)]
-fn stage2_dfs_posting<D: DocAccess>(
-    trie: &Trie,
-    postings: &Postings,
-    ctx: &MatchContext,
-    publication: &Publication,
-    doc: &D,
-    state: &mut DocState,
-    stats: &mut EngineStats,
-    path_idx: u32,
-) {
-    if publication.length >= 128 {
-        stage2_trie_posting(
-            trie,
-            postings,
-            ctx,
-            publication,
-            doc,
-            state,
-            stats,
-            path_idx,
-        );
-        return;
-    }
-    // Probe in whichever direction is cheaper for this path: the satisfied
-    // predicates (output-sensitive — wins when few predicates hold against
-    // a large registered alphabet) or the root table (bounded by the
-    // distinct first components, wins on deep paths that satisfy many
-    // predicates). Both visit exactly the clusters whose access predicate
-    // holds, in an order that cannot affect results (clusters are
-    // disjoint), and `ap_root_probes` counts those clusters either way.
-    let packed = &trie.packed;
-    if packed.root_pid.len() <= ctx.matched().len() {
-        for (i, &pid) in packed.root_pid.iter().enumerate() {
-            let root = packed.root_node[i];
-            let pairs = ctx.get(pid);
-            if pairs.is_empty() {
+    /// Resolves the terminals covered (by containment) by a structurally
+    /// matched coverer `ti`: their chains occur as contiguous windows of
+    /// the coverer's chain, so the coverer's occurrence combination
+    /// restricts to a witness for each of them — no determination run of
+    /// their own. Only all-plain-sink terminals take the shortcut: sinks
+    /// with postponed attribute checks re-determine against document
+    /// nodes, which a structural witness cannot subsume.
+    fn resolve_covers(&self, ti: u32, state: &mut DocState, stats: &mut EngineStats) {
+        for &cti in self.covering.covered_by(ti) {
+            let node = self.trie.packed.term_node[cti as usize] as usize;
+            if state.node_sinks_done.test(node, state.doc_epoch) {
                 continue;
             }
-            stats.ap_root_probes += 1;
+            let n_sinks = self.trie.packed.sink_len[node];
+            if n_sinks == 0 {
+                // Tombstoned since the covering was built.
+                continue;
+            }
+            let plain = self.trie.packed.plain_subs(node as u32);
+            if plain.len() as u32 == n_sinks {
+                for &sub in plain {
+                    state.sub_matched.set(sub as usize, state.doc_epoch);
+                }
+                state.node_sinks_done.set(node, state.doc_epoch);
+                stats.covered_skips += 1;
+            }
+        }
+    }
+
+    /// True when every subscription sink of the node has matched the
+    /// current document (component sinks never resolve: they must record
+    /// every path).
+    fn terminal_resolved(&self, node: u32, state: &DocState) -> bool {
+        let trie = &self.trie;
+        let plain = trie.packed.plain_subs(node);
+        if plain.len() as u32 == trie.packed.sink_len[node as usize] {
+            return plain
+                .iter()
+                .all(|&sub| state.sub_matched.test(sub as usize, state.doc_epoch));
+        }
+        trie.nodes[node as usize].sinks.iter().all(|s| match s {
+            Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
+            Sink::Component { .. } => false,
+        })
+    }
+
+    /// Stage 2 for the `basic-pc-ap` organization: clusters are ruled out
+    /// whole when their access predicate has no matches (paper §4.2.2); the
+    /// surviving clusters are evaluated by a depth-first walk of the
+    /// expression trie (paper Fig. 2) that forward-propagates the feasible
+    /// occurrence set. Because the occurrence constraints form a chain
+    /// (`o2[i−1] = o1[i]`), a node is reachable with a non-empty feasible set
+    /// iff Algorithm 1 would report a match for the expression ending there —
+    /// forward propagation is exact and needs no backtracking, and every
+    /// shared predicate prefix is evaluated exactly once per path.
+    ///
+    /// Occurrence numbers are tracked in a 128-bit set; paths deeper than 127
+    /// elements (which could alias bits) fall back to the `basic-pc`
+    /// evaluation for that path.
+    #[allow(clippy::too_many_arguments)]
+    fn stage2_dfs<D: DocAccess>(
+        &self,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        if publication.length >= 128 {
+            self.stage2_trie(ctx, publication, doc, state, stats, path_idx);
+            return;
+        }
+        let packed = &self.trie.packed;
+        for (i, &pid) in packed.root_pid.iter().enumerate() {
+            let root = packed.root_node[i];
             if state.node_done.test(root as usize, state.doc_epoch) {
+                continue;
+            }
+            let pairs = ctx.get(pid);
+            if pairs.is_empty() {
+                // Access predicate unsatisfied: the entire cluster is
+                // ruled out without touching its expressions.
                 continue;
             }
             let mut f: u128 = 0;
             for &(_, o2) in pairs {
                 f |= 1u128 << o2;
             }
-            dfs_node(trie, root, f, ctx, publication, doc, state, stats, path_idx);
+            self.dfs_node(root, f, ctx, publication, doc, state, stats, path_idx);
         }
-        return;
     }
-    for &pid in ctx.matched() {
-        let root = postings.root_of[pid.index()];
-        if root == NO_ROOT {
-            continue;
+
+    /// Visits one trie node reached with feasible occurrence set `f_in`
+    /// (non-empty): resolves its sinks (and, for terminals, the terminals
+    /// they cover by containment), recurses into children whose predicate
+    /// chains on, and returns whether the whole subtree is now resolved
+    /// for this document.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_node<D: DocAccess>(
+        &self,
+        n: u32,
+        f_in: u128,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) -> bool {
+        debug_assert_ne!(f_in, 0);
+        stats.occurrence_runs += 1;
+        let trie = &self.trie;
+        let packed = &trie.packed;
+        let has_sinks = packed.sink_len[n as usize] != 0;
+        if has_sinks && !state.node_sinks_done.test(n as usize, state.doc_epoch) {
+            let plain = packed.plain_subs(n);
+            if plain.len() as u32 == packed.sink_len[n as usize] {
+                // Every sink is a plain subscription: resolution is one
+                // bitmap-marking sweep over the packed id column (4 bytes
+                // per sink, no enum dispatch), and the node is then fully
+                // resolved for this document.
+                for &sub in plain {
+                    state.sub_matched.set(sub as usize, state.doc_epoch);
+                }
+                state.node_sinks_done.set(n as usize, state.doc_epoch);
+            } else {
+                let sinks = &trie.nodes[n as usize].sinks;
+                // Selection-postponed attribute checks need the predicate
+                // chain of this node; collect it (into a reused buffer)
+                // only when some sink asks.
+                let mut chain = std::mem::take(&mut state.chain_buf);
+                chain.clear();
+                if sinks.iter().any(|s| {
+                    matches!(
+                        s,
+                        Sink::Sub {
+                            attr_check: Some(_),
+                            ..
+                        }
+                    )
+                }) {
+                    let mut cur = n;
+                    loop {
+                        chain.push(packed.pid[cur as usize]);
+                        let parent = packed.parent[cur as usize];
+                        if parent == NO_PARENT {
+                            break;
+                        }
+                        cur = parent;
+                    }
+                    chain.reverse();
+                }
+                for sink in sinks {
+                    process_sink(sink, &chain, ctx, publication, doc, state, stats, path_idx);
+                }
+                state.chain_buf = chain;
+                if sinks.iter().all(|s| match s {
+                    Sink::Sub { sub, .. } => {
+                        state.sub_matched.test(sub.0 as usize, state.doc_epoch)
+                    }
+                    Sink::Component { .. } => false,
+                }) {
+                    state.node_sinks_done.set(n as usize, state.doc_epoch);
+                }
+            }
+            // The chain to this node matched structurally: resolve the
+            // terminals it covers by containment.
+            let ti = packed.term_of[n as usize];
+            if ti != NO_TERM {
+                self.resolve_covers(ti, state, stats);
+            }
         }
-        stats.ap_root_probes += 1;
-        if state.node_done.test(root as usize, state.doc_epoch) {
-            continue;
+        let mut all_done = !has_sinks || state.node_sinks_done.test(n as usize, state.doc_epoch);
+        let (child_pids, child_nodes) = packed.children(n);
+        for (&cpid, &child) in child_pids.iter().zip(child_nodes) {
+            if state.node_done.test(child as usize, state.doc_epoch) {
+                continue;
+            }
+            let mut f: u128 = 0;
+            for &(o1, o2) in ctx.get(cpid) {
+                if f_in & (1u128 << o1) != 0 {
+                    f |= 1u128 << o2;
+                }
+            }
+            let done = if f != 0 {
+                self.dfs_node(child, f, ctx, publication, doc, state, stats, path_idx)
+            } else {
+                false
+            };
+            if !done {
+                all_done = false;
+            }
         }
-        let pairs = ctx.get(pid);
-        debug_assert!(
-            !pairs.is_empty(),
-            "matched() lists only satisfied predicates"
-        );
-        let mut f: u128 = 0;
-        for &(_, o2) in pairs {
-            f |= 1u128 << o2;
+        if all_done {
+            state.node_done.set(n as usize, state.doc_epoch);
         }
-        dfs_node(trie, root, f, ctx, publication, doc, state, stats, path_idx);
+        all_done
+    }
+
+    /// Builds the current path's stage-2 candidate list from the satisfied
+    /// predicates' posting lists by counting: each satisfied predicate bumps
+    /// the per-entry counter of every entry in its posting list; an entry
+    /// whose counter reaches its distinct-predicate count has its *entire*
+    /// chain satisfied and enters `cand_buf`. Counters are path-epoch-stamped
+    /// (no per-path clearing), so the whole pass costs exactly the sum of the
+    /// satisfied predicates' posting-list lengths — independent of how many
+    /// expressions are registered.
+    fn build_candidates(&self, ctx: &MatchContext, state: &mut DocState, stats: &mut EngineStats) {
+        let postings = &self.postings;
+        state.cand_buf.clear();
+        // Counter slots pack `(path_epoch << 32) | count` into one u64: a
+        // stale slot is recognized by its high half and restarted at 1
+        // with a single store — one load/store per bump, no separate
+        // epoch array.
+        let tag = (state.path_epoch as u64) << 32;
+        for &pid in ctx.matched() {
+            let list = postings.of(pid.index());
+            for &ei in list {
+                let e = ei as usize;
+                let slot = state.cand[e];
+                let slot = if slot & 0xffff_ffff_0000_0000 == tag {
+                    slot + 1
+                } else {
+                    tag | 1
+                };
+                state.cand[e] = slot;
+                if slot as u32 == postings.required[e] {
+                    state.cand_buf.push(ei);
+                }
+            }
+            stats.posting_bumps += list.len() as u64;
+        }
+        stats.stage2_candidates += state.cand_buf.len() as u64;
+    }
+
+    /// Posting-driven stage 2 for the Basic organization: only
+    /// expressions whose full predicate set matched this path are
+    /// visited; no scan over the registered list.
+    #[allow(clippy::too_many_arguments)]
+    fn stage2_flat_posting<D: DocAccess>(
+        &self,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        self.build_candidates(ctx, state, stats);
+        let cand = std::mem::take(&mut state.cand_buf);
+        for &ei in &cand {
+            let expr = &self.flat[ei as usize];
+            // Stop-after-first-match (§3.1): an entry all of whose
+            // subscriptions already matched this document is skipped
+            // without re-determination (the scan formulation compacts it
+            // out of the active list). Dead entries never surface —
+            // their `required` is the never-candidate sentinel.
+            let resolved = expr.sinks.iter().all(|s| match s {
+                Sink::Sub { sub, .. } => state.sub_matched.test(sub.0 as usize, state.doc_epoch),
+                Sink::Component { .. } => false,
+            });
+            if resolved {
+                continue;
+            }
+            if self.determine_flat(ei, expr, ctx, &mut stats.occurrence_runs) {
+                self.resolve_flat_sinks(ei, expr, ctx, publication, doc, state, stats, path_idx);
+            }
+        }
+        state.cand_buf = cand;
+    }
+
+    /// Posting-driven stage 2 for the `basic-pc` organization: candidate
+    /// terminals (full chain satisfied) evaluated in terminal order —
+    /// which [`Trie::finalize`] sorted longest-first per cluster — so
+    /// covering propagation fires exactly as in the scan formulation.
+    #[allow(clippy::too_many_arguments)]
+    fn stage2_trie_posting<D: DocAccess>(
+        &self,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        self.build_candidates(ctx, state, stats);
+        let mut cand = std::mem::take(&mut state.cand_buf);
+        // Candidates surface in satisfied-predicate order; restore the
+        // terminal-list order (ascending index) for longest-first
+        // evaluation.
+        cand.sort_unstable();
+        for &ti in &cand {
+            let node = self.trie.packed.term_node[ti as usize];
+            // Stop-after-first-match: once every sink of this node
+            // matched the document (or containment covering resolved
+            // them), a doc-epoch stamp turns all later visits into an
+            // O(1) skip (the scan formulation drops it from the active
+            // list).
+            if state.node_sinks_done.test(node as usize, state.doc_epoch) {
+                continue;
+            }
+            self.eval_terminal(ti, ctx, publication, doc, state, stats, path_idx);
+            if self.terminal_resolved(node, state) {
+                state.node_sinks_done.set(node as usize, state.doc_epoch);
+            }
+        }
+        state.cand_buf = cand;
+    }
+
+    /// Posting-driven stage 2 for the `basic-pc-ap` organization: instead
+    /// of iterating every cluster root to find the ones whose access
+    /// predicate matched, probe the dense `pid → root` map once per
+    /// *satisfied* predicate — unmatched clusters are never even looked
+    /// at. The per-path cost is one array probe per satisfied predicate
+    /// plus the DFS over the reachable (satisfied-access-predicate)
+    /// clusters.
+    #[allow(clippy::too_many_arguments)]
+    fn stage2_dfs_posting<D: DocAccess>(
+        &self,
+        ctx: &MatchContext,
+        publication: &Publication,
+        doc: &D,
+        state: &mut DocState,
+        stats: &mut EngineStats,
+        path_idx: u32,
+    ) {
+        if publication.length >= 128 {
+            self.stage2_trie_posting(ctx, publication, doc, state, stats, path_idx);
+            return;
+        }
+        // Probe in whichever direction is cheaper for this path: the
+        // satisfied predicates (output-sensitive — wins when few
+        // predicates hold against a large registered alphabet) or the
+        // root table (bounded by the distinct first components, wins on
+        // deep paths that satisfy many predicates). Both visit exactly
+        // the clusters whose access predicate holds, in an order that
+        // cannot affect results (clusters are disjoint), and
+        // `ap_root_probes` counts those clusters either way.
+        let packed = &self.trie.packed;
+        if packed.root_pid.len() <= ctx.matched().len() {
+            for (i, &pid) in packed.root_pid.iter().enumerate() {
+                let root = packed.root_node[i];
+                let pairs = ctx.get(pid);
+                if pairs.is_empty() {
+                    continue;
+                }
+                stats.ap_root_probes += 1;
+                if state.node_done.test(root as usize, state.doc_epoch) {
+                    continue;
+                }
+                let mut f: u128 = 0;
+                for &(_, o2) in pairs {
+                    f |= 1u128 << o2;
+                }
+                self.dfs_node(root, f, ctx, publication, doc, state, stats, path_idx);
+            }
+            return;
+        }
+        for &pid in ctx.matched() {
+            let root = self.postings.root_of[pid.index()];
+            if root == NO_ROOT {
+                continue;
+            }
+            stats.ap_root_probes += 1;
+            if state.node_done.test(root as usize, state.doc_epoch) {
+                continue;
+            }
+            let pairs = ctx.get(pid);
+            debug_assert!(
+                !pairs.is_empty(),
+                "matched() lists only satisfied predicates"
+            );
+            let mut f: u128 = 0;
+            for &(_, o2) in pairs {
+                f |= 1u128 << o2;
+            }
+            self.dfs_node(root, f, ctx, publication, doc, state, stats, path_idx);
+        }
     }
 }
 
@@ -2686,7 +3201,6 @@ fn process_sink<D: DocAccess>(
                 cp.push(path_idx);
             }
         }
-        Sink::Removed => {}
     }
 }
 

@@ -42,6 +42,7 @@ mod engine;
 pub mod nested;
 pub mod occurrence;
 pub mod parallel;
+mod program;
 pub mod reference;
 pub mod sharded;
 pub mod snapshot;
@@ -49,7 +50,8 @@ pub mod snapshot;
 pub use backend::{BackendError, FilterBackend};
 pub use encode::{AttrMode, EncodeError, EncodedPath};
 pub use engine::{
-    AddError, Algorithm, EngineStats, FilterEngine, MatchScratch, Matcher, Stage1, Stage2, SubId,
+    AddError, Algorithm, CompileOptions, EngineStats, FilterEngine, MatchScratch, Matcher, Stage1,
+    Stage2, SubId, SubsetStats,
 };
 pub use parallel::{
     BatchMatcher, BatchReport, BatchScratch, ByteFilterResult, DocError, DocFilterResult,

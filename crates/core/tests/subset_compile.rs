@@ -1,0 +1,357 @@
+//! Seeded property suite for subscription-set compilation: the compiled
+//! engine (hash-dedup + containment covering + flat predicate programs,
+//! the default [`CompileOptions`]) must produce match sets identical to
+//! the uncompiled oracle ([`CompileOptions::none()`]) on every document —
+//! across all three organizations, both attribute modes, and both
+//! stage-2 strategies — including under churn that exercises the
+//! compiled structures' patch paths: removing one subscriber of a
+//! deduped canonical entry, and removing a coverer whose covered
+//! expressions must keep matching standalone.
+
+use pxf_core::{Algorithm, AttrMode, CompileOptions, FilterEngine, Stage2, SubId};
+use pxf_rng::Rng;
+use pxf_xml::Document;
+use pxf_xpath::XPathExpr;
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Random expression source: plain steps, wildcards, descendant axes,
+/// attribute filters, occasional nested paths — the full dispatch
+/// surface of the compiler's eligibility checks.
+fn arb_expr_src(rng: &mut Rng) -> String {
+    let n_steps = rng.gen_range(1..5usize);
+    let mut src = String::new();
+    if rng.gen_bool(0.5) {
+        src.push('/');
+    }
+    for i in 0..n_steps {
+        if i > 0 || src == "/" {
+            if rng.gen_bool(0.35) && i != 0 {
+                src.push_str("//");
+            } else if i > 0 {
+                src.push('/');
+            }
+        }
+        if rng.gen_bool(0.2) && i > 0 {
+            src.push('*');
+            continue;
+        }
+        src.push_str(TAGS[rng.gen_range(0..TAGS.len())]);
+        if rng.gen_bool(0.25) {
+            match rng.gen_range(0..3u32) {
+                0 => src.push_str("[@k = \"1\"]"),
+                1 => src.push_str("[@m]"),
+                _ => src.push_str(&format!("[@n >= {}]", rng.gen_range(1..4u32))),
+            }
+        }
+        if rng.gen_bool(0.08) {
+            src.push_str(&format!("[{}/{}]", TAGS[rng.gen_range(0..2usize)], TAGS[2]));
+        }
+    }
+    if src.is_empty() || src == "/" {
+        src = "/a".into();
+    }
+    src
+}
+
+fn arb_expr(rng: &mut Rng) -> XPathExpr {
+    loop {
+        if let Ok(e) = pxf_xpath::parse(&arb_expr_src(rng)) {
+            return e;
+        }
+    }
+}
+
+/// A duplicate-heavy expression population: fresh expressions mixed with
+/// verbatim copies (dedup targets) and relative sub-windows of earlier
+/// expressions (containment-covering targets).
+fn arb_exprs_with_dups(rng: &mut Rng, count: usize) -> Vec<XPathExpr> {
+    let mut out: Vec<XPathExpr> = Vec::with_capacity(count);
+    while out.len() < count {
+        let e = if !out.is_empty() && rng.gen_bool(0.35) {
+            out[rng.gen_range(0..out.len())].clone()
+        } else if !out.is_empty() && rng.gen_bool(0.25) {
+            derive_contained(rng, &out).unwrap_or_else(|| arb_expr(rng))
+        } else {
+            arb_expr(rng)
+        };
+        out.push(e);
+    }
+    out
+}
+
+/// A relative window of a random earlier expression (the generated
+/// coverage mirrors `pxf-workload`'s `containment_rate`).
+fn derive_contained(rng: &mut Rng, pool: &[XPathExpr]) -> Option<XPathExpr> {
+    for _ in 0..8 {
+        let base = &pool[rng.gen_range(0..pool.len())];
+        let n = base.steps.len();
+        if n < 3 || base.has_nested_paths() {
+            continue;
+        }
+        let len = rng.gen_range(2..n);
+        let start = rng.gen_range(0..=n - len);
+        let window = &base.steps[start..start + len];
+        if window[0].test.tag().is_none() || !window[0].filters.is_empty() {
+            continue;
+        }
+        let mut steps = window.to_vec();
+        steps[0].axis = pxf_xpath::Axis::Child;
+        return Some(XPathExpr {
+            absolute: false,
+            steps,
+        });
+    }
+    None
+}
+
+fn arb_doc_xml(rng: &mut Rng, depth: usize) -> String {
+    let tag = TAGS[rng.gen_range(0..TAGS.len())];
+    let attr = match rng.gen_range(0..5u32) {
+        0 => " k=\"1\"".to_string(),
+        1 => " m=\"x\"".to_string(),
+        2 => format!(" n=\"{}\"", rng.gen_range(0..5u32)),
+        _ => String::new(),
+    };
+    let n_children = if depth == 0 {
+        0
+    } else {
+        rng.gen_range(0..3usize)
+    };
+    if n_children == 0 {
+        return format!("<{tag}{attr}/>");
+    }
+    let children: String = (0..n_children)
+        .map(|_| arb_doc_xml(rng, depth - 1))
+        .collect();
+    format!("<{tag}{attr}>{children}</{tag}>")
+}
+
+fn mode_grid() -> Vec<(Algorithm, AttrMode, Stage2)> {
+    let mut out = Vec::new();
+    for algo in [
+        Algorithm::Basic,
+        Algorithm::PrefixCovering,
+        Algorithm::AccessPredicate,
+    ] {
+        for attr in [AttrMode::Inline, AttrMode::Postponed] {
+            for s2 in [Stage2::Posting, Stage2::Scan] {
+                out.push((algo, attr, s2));
+            }
+        }
+    }
+    out
+}
+
+fn engine_with(
+    algo: Algorithm,
+    attr: AttrMode,
+    s2: Stage2,
+    options: CompileOptions,
+    exprs: &[XPathExpr],
+) -> FilterEngine {
+    let mut engine = FilterEngine::new(algo, attr);
+    engine.set_compile_options(options);
+    engine.set_stage2(s2);
+    for e in exprs {
+        engine.add(e).unwrap();
+    }
+    engine
+}
+
+/// Static equivalence: on duplicate-heavy populations, the compiled
+/// engine and the uncompiled oracle return byte-identical match sets
+/// (same ids, same ascending order) through both document stores.
+#[test]
+fn compiled_engine_matches_uncompiled_oracle() {
+    let mut rng = Rng::seed_from_u64(0x5c01);
+    let grid = mode_grid();
+    let mut dedup_seen = false;
+    for _ in 0..40 {
+        let count = rng.gen_range(4..16usize);
+        let exprs = arb_exprs_with_dups(&mut rng, count);
+        let docs: Vec<String> = (0..rng.gen_range(1..4usize))
+            .map(|_| arb_doc_xml(&mut rng, 4))
+            .collect();
+        for &(algo, attr, s2) in &grid {
+            let ctx = format!("{algo:?} {attr:?} {s2:?}");
+            let mut compiled = engine_with(algo, attr, s2, CompileOptions::default(), &exprs);
+            let mut oracle = engine_with(algo, attr, s2, CompileOptions::none(), &exprs);
+            dedup_seen |= compiled.subset_stats().canonical < compiled.subset_stats().registered;
+            for src in &docs {
+                let doc = Document::parse(src.as_bytes()).unwrap();
+                let want = oracle.match_document(&doc);
+                let got = compiled.match_document(&doc);
+                assert_eq!(got, want, "{ctx}, tree store, doc {src}");
+                let streamed = compiled.match_bytes(src.as_bytes()).unwrap();
+                assert_eq!(streamed, want, "{ctx}, byte store, doc {src}");
+            }
+        }
+    }
+    assert!(dedup_seen, "the sweep never produced a deduped population");
+}
+
+/// Churn battery: random interleavings of duplicate-heavy adds and
+/// removals against a prepared compiled engine must stay equivalent to
+/// the uncompiled oracle rebuilt from the survivors — with every
+/// mutation taking the O(1)/incremental patch path (zero full rebuilds).
+#[test]
+fn dedup_churn_battery_patches_in_place() {
+    let mut rng = Rng::seed_from_u64(0x5c02);
+    let grid = mode_grid();
+    for round in 0..16 {
+        let initial_count = rng.gen_range(6..14usize);
+        let initial = arb_exprs_with_dups(&mut rng, initial_count);
+        let batches: Vec<(Vec<XPathExpr>, Vec<usize>)> = (0..rng.gen_range(2..4usize))
+            .map(|_| {
+                let add_count = rng.gen_range(0..4usize);
+                let adds = arb_exprs_with_dups(&mut rng, add_count);
+                let removes = (0..rng.gen_range(0..3usize))
+                    .map(|_| rng.gen_range(0..1usize << 16))
+                    .collect();
+                (adds, removes)
+            })
+            .collect();
+        let docs: Vec<String> = (0..rng.gen_range(1..3usize))
+            .map(|_| arb_doc_xml(&mut rng, 4))
+            .collect();
+        for &(algo, attr, s2) in &grid {
+            let ctx = format!("round {round}, {algo:?} {attr:?} {s2:?}");
+            let mut engine = engine_with(algo, attr, s2, CompileOptions::default(), &initial);
+            let mut subs: Vec<Option<XPathExpr>> = initial.iter().cloned().map(Some).collect();
+            // First match triggers the bulk prepare; everything after
+            // must patch in place.
+            let first = Document::parse(docs[0].as_bytes()).unwrap();
+            let _ = engine.match_document(&first);
+            for (adds, removes) in &batches {
+                for e in adds {
+                    let id = engine.add(e).unwrap();
+                    assert_eq!(id.0 as usize, subs.len(), "{ctx}");
+                    subs.push(Some(e.clone()));
+                }
+                for &pick in removes {
+                    let live: Vec<usize> = (0..subs.len()).filter(|&i| subs[i].is_some()).collect();
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let victim = live[pick % live.len()];
+                    assert!(engine.remove(SubId(victim as u32)), "{ctx}");
+                    subs[victim] = None;
+                    assert!(!engine.remove(SubId(victim as u32)), "{ctx}");
+                }
+                let mut oracle = FilterEngine::new(algo, attr);
+                oracle.set_compile_options(CompileOptions::none());
+                oracle.set_stage2(s2);
+                let mut kept_orig: Vec<u32> = Vec::new();
+                for (i, e) in subs.iter().enumerate() {
+                    if let Some(e) = e {
+                        oracle.add(e).unwrap();
+                        kept_orig.push(i as u32);
+                    }
+                }
+                for src in &docs {
+                    let doc = Document::parse(src.as_bytes()).unwrap();
+                    let want: Vec<u32> = oracle
+                        .match_document(&doc)
+                        .iter()
+                        .map(|s| kept_orig[s.0 as usize])
+                        .collect();
+                    let got: Vec<u32> = engine.match_document(&doc).iter().map(|s| s.0).collect();
+                    assert_eq!(got, want, "{ctx}, doc {src}");
+                }
+            }
+            assert_eq!(
+                engine.full_rebuilds(),
+                0,
+                "{ctx}: dedup-aware churn must never trigger a full rebuild"
+            );
+        }
+    }
+}
+
+/// Removing one subscriber of a deduped canonical entry is an O(1)
+/// detach: the surviving subscribers keep matching, the removed one
+/// stops, and no index traffic (rebuild) happens.
+#[test]
+fn removing_one_deduped_subscriber_keeps_the_rest() {
+    for algo in [
+        Algorithm::Basic,
+        Algorithm::PrefixCovering,
+        Algorithm::AccessPredicate,
+    ] {
+        let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+        let expr = pxf_xpath::parse("/a/b").unwrap();
+        let ids: Vec<SubId> = (0..3).map(|_| engine.add(&expr).unwrap()).collect();
+        let stats = engine.subset_stats();
+        assert_eq!((stats.registered, stats.canonical), (3, 1), "{algo:?}");
+
+        let doc = Document::parse(b"<a><b/></a>").unwrap();
+        assert_eq!(engine.match_document(&doc), ids, "{algo:?}");
+        assert!(engine.remove(ids[1]), "{algo:?}");
+        assert_eq!(
+            engine.match_document(&doc),
+            vec![ids[0], ids[2]],
+            "{algo:?}"
+        );
+        assert_eq!(engine.full_rebuilds(), 0, "{algo:?}");
+        // Removing the rest empties the group and releases its chain.
+        assert!(engine.remove(ids[0]) && engine.remove(ids[2]), "{algo:?}");
+        assert!(engine.match_document(&doc).is_empty(), "{algo:?}");
+        // A re-registration after the group died starts a fresh group.
+        let again = engine.add(&expr).unwrap();
+        assert_eq!(engine.match_document(&doc), vec![again], "{algo:?}");
+    }
+}
+
+/// Removing a coverer reinstates its covered set: expressions that were
+/// being resolved through another terminal's structural match must keep
+/// matching standalone once the coverer is gone — without a rebuild.
+#[test]
+fn removing_a_coverer_reinstates_covered_expressions() {
+    for algo in [Algorithm::PrefixCovering, Algorithm::AccessPredicate] {
+        let mut engine = FilterEngine::new(algo, AttrMode::Inline);
+        let coverer = engine.add_str("/a/b/c/d").unwrap();
+        let covered = engine.add_str("b/c").unwrap();
+        let doc = Document::parse(b"<a><b><c><d/></c></b></a>").unwrap();
+        assert_eq!(
+            engine.match_document(&doc),
+            vec![coverer, covered],
+            "{algo:?}"
+        );
+        let skips_before = engine.stats().covered_skips;
+
+        assert!(engine.remove(coverer), "{algo:?}");
+        assert_eq!(
+            engine.match_document(&doc),
+            vec![covered],
+            "{algo:?}: covered expression must survive its coverer"
+        );
+        assert_eq!(engine.full_rebuilds(), 0, "{algo:?}");
+        let _ = skips_before; // covering may or may not fire pre-removal
+                              // depending on evaluation order; survival is
+                              // the property under test.
+
+        // The covered expression also matches documents the coverer
+        // never would have.
+        let other = Document::parse(b"<d><b><c/></b></d>").unwrap();
+        assert_eq!(engine.match_document(&other), vec![covered], "{algo:?}");
+    }
+}
+
+/// The covering fast path actually fires: a covered all-plain terminal
+/// evaluated after its coverer's match is resolved without its own
+/// occurrence run, visible as a nonzero `covered_skips` counter.
+#[test]
+fn covered_skips_counter_fires_on_covered_terminals() {
+    let mut engine = FilterEngine::new(Algorithm::PrefixCovering, AttrMode::Inline);
+    let coverer = engine.add_str("/a/b/c/d").unwrap();
+    let covered = engine.add_str("b/c").unwrap();
+    let doc = Document::parse(b"<a><b><c><d/></c></b></a>").unwrap();
+    assert_eq!(engine.match_document(&doc), vec![coverer, covered]);
+    let stats = engine.stats();
+    assert!(
+        stats.covered_skips > 0,
+        "covered terminal was evaluated standalone (skips = {})",
+        stats.covered_skips
+    );
+}

@@ -64,6 +64,21 @@ impl Regime {
         regime
     }
 
+    /// The duplicate-heavy regime (subscription-set compilation
+    /// experiments): the NITF shape with ≈35% verbatim re-registrations
+    /// and ≈25% derived contained sub-paths, modeling a subscriber
+    /// population where popular queries recur and broad queries subsume
+    /// narrow ones. The dedup/covering compiler's effective-N reduction
+    /// is measured on this regime.
+    pub fn duplicates() -> Regime {
+        let mut regime = Regime::nitf();
+        regime.name = "nitf-dup";
+        regime.xpath.distinct = false;
+        regime.xpath.dup_rate = 0.35;
+        regime.xpath.containment_rate = 0.25;
+        regime
+    }
+
     /// The high-match regime (the paper's PSD workload): narrow DTD,
     /// broad-coverage documents.
     pub fn psd() -> Regime {
@@ -104,5 +119,9 @@ mod tests {
         assert_eq!(s.name, "nitf-scaling");
         assert_eq!(s.dtd.name, "nitf");
         assert!(!s.xpath.distinct, "scaling sweeps sample i.i.d.");
+        let d = Regime::duplicates();
+        assert_eq!(d.name, "nitf-dup");
+        assert!(!d.xpath.distinct);
+        assert!(d.xpath.dup_rate > 0.0 && d.xpath.containment_rate > 0.0);
     }
 }

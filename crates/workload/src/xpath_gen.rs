@@ -39,6 +39,17 @@ pub struct XPathParams {
     /// the covering analysis, where relative expressions create
     /// contained-expression covering opportunities.
     pub relative_prob: f64,
+    /// Probability that an expression is a verbatim copy of an earlier
+    /// expression in the same workload (requires `distinct: false`).
+    /// Models real subscription populations, where popular queries are
+    /// registered by many subscribers — the target of the subscription-set
+    /// dedup compiler.
+    pub dup_rate: f64,
+    /// Probability that an expression is *derived* from an earlier one as
+    /// a relative sub-path (a contiguous tagged window of the base's
+    /// steps), so the base structurally contains it. Exercises the
+    /// containment-covering compiler.
+    pub containment_rate: f64,
     /// RNG seed (generation is fully deterministic given the seed).
     pub seed: u64,
 }
@@ -56,6 +67,8 @@ impl Default for XPathParams {
             attr_filters: 0,
             nested_prob: 0.0,
             relative_prob: 0.0,
+            dup_rate: 0.0,
+            containment_rate: 0.0,
             seed: 42,
         }
     }
@@ -79,13 +92,28 @@ impl<'d> XPathGenerator<'d> {
     /// to a bounded number of attempts — a small DTD may not admit `count`
     /// distinct expressions, in which case fewer are returned).
     pub fn generate(&mut self) -> Vec<XPathExpr> {
-        let mut out = Vec::with_capacity(self.params.count);
+        let mut out: Vec<XPathExpr> = Vec::with_capacity(self.params.count);
         let mut seen: HashSet<String> = HashSet::new();
         let max_attempts = self.params.count.saturating_mul(50).max(1000);
         let mut attempts = 0;
         while out.len() < self.params.count && attempts < max_attempts {
             attempts += 1;
-            let expr = self.generate_one();
+            let expr = if !out.is_empty()
+                && self.params.dup_rate > 0.0
+                && self.rng.gen_bool(self.params.dup_rate)
+            {
+                // Re-register an earlier expression verbatim (a popular
+                // query acquiring another subscriber).
+                out[self.rng.gen_range(0..out.len())].clone()
+            } else if !out.is_empty()
+                && self.params.containment_rate > 0.0
+                && self.rng.gen_bool(self.params.containment_rate)
+            {
+                self.derive_contained(&out)
+                    .unwrap_or_else(|| self.generate_one())
+            } else {
+                self.generate_one()
+            };
             if self.params.distinct {
                 let key = expr.to_string();
                 if !seen.insert(key) {
@@ -95,6 +123,37 @@ impl<'d> XPathGenerator<'d> {
             out.push(expr);
         }
         out
+    }
+
+    /// Derives an expression structurally contained in one already in the
+    /// workload: a contiguous window of a base expression's steps, emitted
+    /// as a relative expression, so the base's chain carries the derived
+    /// chain as an interior sub-chain (the covering compiler's target
+    /// shape). Returns `None` when no sampled base admits a usable window.
+    fn derive_contained(&mut self, pool: &[XPathExpr]) -> Option<XPathExpr> {
+        for _ in 0..8 {
+            let base = &pool[self.rng.gen_range(0..pool.len())];
+            let n = base.steps.len();
+            if n < 3 || base.has_nested_paths() {
+                continue;
+            }
+            let len = self.rng.gen_range(2..n);
+            let start = self.rng.gen_range(0..=n - len);
+            let window = &base.steps[start..start + len];
+            // The window must open on a bare tagged step: a wildcard head
+            // canonicalizes away, and a filtered head would change the
+            // derived expression's selectivity relative to the base.
+            if !matches!(window[0].test, NodeTest::Tag(_)) || !window[0].filters.is_empty() {
+                continue;
+            }
+            let mut steps: Vec<Step> = window.to_vec();
+            steps[0].axis = Axis::Child;
+            return Some(XPathExpr {
+                absolute: false,
+                steps,
+            });
+        }
+        None
     }
 
     /// Generates one expression.
@@ -401,6 +460,65 @@ mod tests {
             let s = e.to_string();
             let re = pxf_xpath::parse(&s).unwrap_or_else(|err| panic!("{s}: {err}"));
             assert_eq!(re, e, "{s}");
+        }
+    }
+
+    #[test]
+    fn dup_rate_repeats_expressions() {
+        let dtd = Dtd::nitf();
+        let exprs = XPathGenerator::new(
+            &dtd,
+            XPathParams {
+                count: 1000,
+                distinct: false,
+                dup_rate: 0.4,
+                ..Default::default()
+            },
+        )
+        .generate();
+        assert_eq!(exprs.len(), 1000);
+        let rendered: HashSet<String> = exprs.iter().map(|e| e.to_string()).collect();
+        // ~40% of emissions are copies; the canonical pool is much smaller
+        // than the workload.
+        assert!(
+            rendered.len() < 700,
+            "expected heavy duplication, got {} distinct",
+            rendered.len()
+        );
+    }
+
+    #[test]
+    fn containment_rate_derives_relative_subpaths() {
+        let dtd = Dtd::nitf();
+        let exprs = XPathGenerator::new(
+            &dtd,
+            XPathParams {
+                count: 500,
+                distinct: false,
+                min_depth: 4,
+                containment_rate: 0.5,
+                ..Default::default()
+            },
+        )
+        .generate();
+        assert_eq!(exprs.len(), 500);
+        let relative = exprs.iter().filter(|e| !e.absolute).count();
+        assert!(relative > 100, "got {relative} derived expressions");
+        // Every derived expression is a step window of some earlier one.
+        for e in exprs.iter().filter(|e| !e.absolute) {
+            assert!(e.steps.len() >= 2);
+            assert_eq!(e.steps[0].axis, Axis::Child);
+            let found = exprs.iter().any(|base| {
+                base.steps
+                    .windows(e.steps.len())
+                    .any(|w| w[1..] == e.steps[1..] && w[0].test == e.steps[0].test)
+            });
+            assert!(found, "{e} has no containing base");
+        }
+        // Derived expressions still round-trip through the parser.
+        for e in &exprs {
+            let s = e.to_string();
+            assert_eq!(&pxf_xpath::parse(&s).unwrap(), e, "{s}");
         }
     }
 

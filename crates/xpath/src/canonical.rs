@@ -1,0 +1,252 @@
+//! Canonical normal form and structural hashing of XPath expressions.
+//!
+//! Two syntactically different expressions of the XP{//,*,[]} fragment can
+//! be *structurally identical* for the filtering semantics: the predicate
+//! encoding (paper §3.2) only records, between two adjacent tagged steps,
+//! the step distance and whether **any** `//` lies between them — not where
+//! in the wildcard run the `//` sits. `a/*//b` and `a//*/b` therefore
+//! encode to the same predicate chain and match exactly the same paths.
+//! The subscription-set optimizer hash-dedups on this normal form, so a
+//! duplicate-heavy workload collapses to its canonical expressions before
+//! any per-expression index state is allocated.
+//!
+//! The normal form applies exactly the rewrites the encoding cannot
+//! distinguish:
+//!
+//! * within each wildcard run between two tagged steps (the closing tagged
+//!   step included), a descendant axis anywhere moves to the *first* step
+//!   of the run (`a/*//b` → `a//*/b`),
+//! * the leading run of an absolute expression is normalized the same way
+//!   (`/*//a` → `//*/a`); for a *relative* expression the leading axes are
+//!   vacuous (the expression floats to any path offset) and all clear to
+//!   child (`*//a` → `*/a`),
+//! * trailing wildcards after the last tagged step always mean "at least
+//!   this many more levels" (end-of-path predicate), so their descendant
+//!   flags clear (`/a/b//*` → `/a/b/*`),
+//! * an all-wildcard expression constrains only the path length (`length ≥
+//!   n` — absolute and relative collapse, paper s7/s11), so it normalizes
+//!   to the relative all-child spelling (`/*//*` → `*/*`),
+//! * attribute filters on a step sort lexicographically and exact
+//!   duplicates collapse (`[@y = 2][@x = 1]` → `[@x = 1][@y = 2]`).
+//!
+//! Expressions with nested path filters keep their axes untouched (only
+//! filter ordering is normalized): a nested filter anchors its relative
+//! path at the step, so leading-axis rewrites that are vacuous for
+//! top-level relative expressions would change its meaning.
+
+use crate::ast::{Axis, Step, StepFilter, XPathExpr};
+
+/// FNV-1a over a byte string — the structural hash primitive. Stable
+/// across processes (no `RandomState`), so hashes can be compared between
+/// engine instances and serialized snapshots.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl XPathExpr {
+    /// Returns the canonical normal form of this expression: a
+    /// semantically identical expression such that two expressions with
+    /// equal canonical renderings match exactly the same documents (see
+    /// the module docs for the rewrites applied).
+    pub fn canonical(&self) -> XPathExpr {
+        let mut steps: Vec<Step> = self.steps.iter().map(canonical_step).collect();
+        let mut absolute = self.absolute;
+        // Axis rewrites are justified by the *single-path* matching
+        // semantics; nested filters anchor at their step, so expressions
+        // carrying them only get the filter-ordering normalization.
+        if !self.has_nested_paths() {
+            let tagged: Vec<usize> = steps
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.test.is_wildcard())
+                .map(|(i, _)| i)
+                .collect();
+            match tagged.first() {
+                None => {
+                    // Only wildcards: a pure length constraint.
+                    for s in &mut steps {
+                        s.axis = Axis::Child;
+                    }
+                    absolute = false;
+                }
+                Some(&first) => {
+                    if absolute {
+                        normalize_run(&mut steps, 0, first);
+                    } else {
+                        // Leading axes of a relative expression are
+                        // vacuous: it floats to any path offset anyway.
+                        for s in &mut steps[..=first] {
+                            s.axis = Axis::Child;
+                        }
+                    }
+                    for w in tagged.windows(2) {
+                        normalize_run(&mut steps, w[0] + 1, w[1]);
+                    }
+                    let last = *tagged.last().unwrap();
+                    for s in &mut steps[last + 1..] {
+                        s.axis = Axis::Child;
+                    }
+                }
+            }
+        }
+        XPathExpr { absolute, steps }
+    }
+
+    /// Structural hash: [`fnv1a`] over the canonical rendering. Equal
+    /// hashes are a candidate for structural identity; callers verify by
+    /// comparing the canonical renderings (the hash is 64-bit, not a
+    /// proof).
+    pub fn structural_hash(&self) -> u64 {
+        fnv1a(self.canonical().to_string().as_bytes())
+    }
+}
+
+/// Collapses the descendant axes of `steps[from..=to]` (a wildcard run
+/// plus its closing step) onto the run's first step: the encoding only
+/// records "some `//` in the gap", so the position within the run is
+/// immaterial.
+fn normalize_run(steps: &mut [Step], from: usize, to: usize) {
+    let any_desc = steps[from..=to].iter().any(|s| s.axis == Axis::Descendant);
+    for s in &mut steps[from..=to] {
+        s.axis = Axis::Child;
+    }
+    if any_desc {
+        steps[from].axis = Axis::Descendant;
+    }
+}
+
+/// Normalizes a step's filter list: attribute filters sorted and
+/// deduplicated, nested path filters canonicalized recursively, then
+/// sorted and deduplicated; attributes before paths.
+fn canonical_step(step: &Step) -> Step {
+    let mut attrs: Vec<StepFilter> = Vec::new();
+    let mut paths: Vec<StepFilter> = Vec::new();
+    for f in &step.filters {
+        match f {
+            StepFilter::Attribute(a) => attrs.push(StepFilter::Attribute(a.clone())),
+            StepFilter::Path(p) => paths.push(StepFilter::Path(p.canonical())),
+        }
+    }
+    // Filters are conjunctive, so ordering is free and exact duplicates
+    // are redundant. Sort by rendering: the AST types deliberately do not
+    // expose an `Ord` (there is no meaningful comparison semantics), and
+    // filter lists are tiny (0–2 entries in the paper's workloads).
+    let key = |f: &StepFilter| f.to_string();
+    attrs.sort_by_key(key);
+    attrs.dedup();
+    paths.sort_by_key(key);
+    paths.dedup();
+    attrs.extend(paths);
+    Step {
+        axis: step.axis,
+        test: step.test.clone(),
+        filters: attrs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    fn canon(src: &str) -> String {
+        parse(src).unwrap().canonical().to_string()
+    }
+
+    #[test]
+    fn wildcard_run_descendant_moves_to_front() {
+        assert_eq!(canon("a/*//b"), "a//*/b");
+        assert_eq!(canon("a//*/b"), "a//*/b");
+        assert_eq!(canon("/a/*/*//b"), "/a//*/*/b");
+        assert_eq!(canon("/a/*//*/b"), "/a//*/*/b");
+        // No descendant in the run: untouched.
+        assert_eq!(canon("/a/*/*/b"), "/a/*/*/b");
+    }
+
+    #[test]
+    fn leading_runs() {
+        assert_eq!(canon("/*//a"), "//*/a");
+        assert_eq!(canon("//*/a"), "//*/a");
+        // Relative leading axes are vacuous.
+        assert_eq!(canon("*//a"), "*/a");
+        assert_eq!(canon("*/a"), "*/a");
+    }
+
+    #[test]
+    fn trailing_wildcards_clear() {
+        assert_eq!(canon("/a/b//*"), "/a/b/*");
+        assert_eq!(canon("/a/b/*//*"), "/a/b/*/*");
+    }
+
+    #[test]
+    fn all_wildcards_collapse_to_relative() {
+        assert_eq!(canon("/*/*"), "*/*");
+        assert_eq!(canon("/*//*"), "*/*");
+        assert_eq!(canon("*/*"), "*/*");
+    }
+
+    #[test]
+    fn direct_descendant_steps_unchanged() {
+        // `//` between two tagged steps has nowhere to move.
+        assert_eq!(canon("/a//b"), "/a//b");
+        assert_eq!(canon("//a"), "//a");
+        assert_eq!(canon("/a"), "/a");
+    }
+
+    #[test]
+    fn attr_filters_sort_and_dedup() {
+        assert_eq!(canon("/a/b[@y = 2][@x = 1]"), "/a/b[@x = 1][@y = 2]");
+        assert_eq!(canon("/a/b[@x = 1][@x = 1]"), "/a/b[@x = 1]");
+        assert_eq!(canon("/a/b[@x = 1][@y = 2]"), "/a/b[@x = 1][@y = 2]");
+    }
+
+    #[test]
+    fn nested_filters_keep_axes() {
+        // The nested path anchors at the step: its axes are significant,
+        // and the outer axes stay put too.
+        assert_eq!(canon("/a[b//c]/*//d"), "/a[b//c]/*//d");
+        // But filter ordering still normalizes.
+        assert_eq!(canon("/a[c][b]/d"), "/a[b][c]/d");
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        for src in [
+            "a/*//b",
+            "/*//a",
+            "*//a/b//*",
+            "/*/*",
+            "/a/b[@y = 2][@x = 1]",
+            "/a[b//c]/d",
+            "*/a/*/b//c/*/*",
+        ] {
+            let c1 = parse(src).unwrap().canonical();
+            let c2 = c1.canonical();
+            assert_eq!(c1, c2, "{src}");
+        }
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_and_merges() {
+        let h = |s: &str| parse(s).unwrap().structural_hash();
+        assert_eq!(h("a/*//b"), h("a//*/b"));
+        assert_eq!(h("/a/b[@y = 2][@x = 1]"), h("/a/b[@x = 1][@y = 2]"));
+        assert_eq!(h("/*/*"), h("*/*"));
+        assert_ne!(h("/a"), h("//a"));
+        assert_ne!(h("/a/b"), h("/a/c"));
+        assert_ne!(h("a/b"), h("/a/b"));
+    }
+
+    #[test]
+    fn canonical_reparses() {
+        for src in ["a/*//b", "/*//a", "/a/b[@y = 2][@x = 1]", "/*/*"] {
+            let c = parse(src).unwrap().canonical();
+            let s = c.to_string();
+            assert_eq!(parse(&s).unwrap(), c, "{src} -> {s}");
+        }
+    }
+}
